@@ -1,0 +1,122 @@
+"""Experiment D1 — the gate-delay claims.
+
+* single chip: ``2⌈lg n⌉ + O(1)`` (hardware model) and the measured
+  critical paths of the gate-level rank-crossbar netlist;
+* Revsort switch: ``3 lg n + O(1)``;
+* Columnsort switch: ``4β lg n + O(1)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.asymptotics import fit_log_slope
+from repro.analysis.tables import render_table
+from repro.gates.hyperconc_gates import GateHyperconcentrator
+from repro.switches.columnsort_switch import ColumnsortSwitch
+from repro.switches.revsort_switch import RevsortSwitch
+
+
+def test_d1_gate_level_chip_depths(benchmark, report):
+    """Measured netlist critical paths vs the paper's idealised chip."""
+    def run():
+        rows = []
+        for n in (4, 8, 16, 32, 64):
+            gate = GateHyperconcentrator(n, with_datapath=True)
+            rows.append(
+                {
+                    "n": n,
+                    "components": gate.component_count,
+                    "datapath delay": gate.datapath_delay(),
+                    "paper 2 lg n": 2 * math.ceil(math.log2(n)),
+                    "setup depth": gate.setup_delay(),
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    report(
+        "D1 — gate-level hyperconcentrator chip (measured netlist)",
+        render_table(rows)
+        + "\nDatapath = 1 + ⌈lg n⌉ (AND + OR tree): same Θ(lg n) family "
+        "as the paper's 2 lg n; components track Θ(n²).",
+    )
+    for row in rows:
+        n = row["n"]
+        assert row["datapath delay"] == 1 + math.ceil(math.log2(n))
+        assert row["datapath delay"] <= row["paper 2 lg n"] + 1
+    # Θ(n²) components: quadrupling between successive doublings.
+    assert 3.0 < rows[-1]["components"] / rows[-2]["components"] < 6.0
+
+
+def test_d1_revsort_delay_slope(benchmark, report):
+    ns = [1 << t for t in (6, 8, 10, 12, 14, 16)]
+    delays = benchmark(
+        lambda: [RevsortSwitch(n, n // 2).gate_delays for n in ns]
+    )
+    slope, const = fit_log_slope(ns, delays)
+    rows = [
+        {"n": n, "gate delays": d, "3 lg n": 3 * int(math.log2(n))}
+        for n, d in zip(ns, delays)
+    ]
+    report(
+        "D1 — Revsort switch delay: paper 3 lg n + O(1)",
+        render_table(rows) + f"\nfitted: {slope:.2f}·lg n + {const:.1f}",
+    )
+    assert abs(slope - 3.0) < 0.1
+
+
+def test_d1_columnsort_delay_slopes(benchmark, report):
+    cases = {
+        0.5: (8, 10, 12, 14, 16),
+        0.625: (8, 16, 24),
+        0.75: (8, 12, 16, 20),
+        1.0: (6, 8, 10, 12),
+    }
+
+    def run():
+        out = {}
+        for beta, ts in cases.items():
+            ns = [1 << t for t in ts]
+            delays = [
+                ColumnsortSwitch.from_beta(n, beta, n // 2).gate_delays
+                for n in ns
+            ]
+            out[beta] = fit_log_slope(ns, delays)
+        return out
+
+    fits = benchmark(run)
+    rows = [
+        {
+            "beta": beta,
+            "paper slope 4β": 4 * beta,
+            "fitted slope": f"{fits[beta][0]:.2f}",
+            "fitted const": f"{fits[beta][1]:.1f}",
+        }
+        for beta in cases
+    ]
+    report("D1 — Columnsort switch delay: paper 4β lg n + O(1)", render_table(rows))
+    for beta in cases:
+        assert abs(fits[beta][0] - 4 * beta) < 0.15, beta
+
+
+def test_d1_crossover_revsort_vs_columnsort(benchmark, report):
+    """Table 1's delay ordering: Columnsort β=1/2 < Revsort ≈
+    Columnsort β=3/4 < Columnsort β=1 at the same n."""
+    def run():
+        n = 1 << 12
+        return {
+            "Columnsort b=0.5": ColumnsortSwitch.from_beta(n, 0.5, n // 2).gate_delays,
+            "Revsort": RevsortSwitch(n, n // 2).gate_delays,
+            "Columnsort b=0.75": ColumnsortSwitch.from_beta(n, 0.75, n // 2).gate_delays,
+            "Columnsort b=1.0": ColumnsortSwitch.from_beta(n, 1.0, n // 2).gate_delays,
+        }
+
+    delays = benchmark(run)
+    report(
+        "D1 — delay ordering at n=4096",
+        render_table([{"switch": k, "gate delays": v} for k, v in delays.items()]),
+    )
+    assert delays["Columnsort b=0.5"] < delays["Revsort"]
+    assert abs(delays["Revsort"] - delays["Columnsort b=0.75"]) <= 8
+    assert delays["Columnsort b=0.75"] < delays["Columnsort b=1.0"]

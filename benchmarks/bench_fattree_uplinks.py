@@ -1,0 +1,118 @@
+"""Experiment FT — concentrators as fat-tree up-links (the research
+context the paper was written in: fat-tree routing with constant-size
+switches).
+
+Measures delivery vs capacity profile (thin / half-bisection /
+full-bisection) under permutation traffic, the per-level contention
+structure, and the analytic-vs-simulated cross-check of the knockout
+loss model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.rng import default_rng
+from repro.analysis.tables import render_table
+from repro.network.analytic import knockout_loss_analytic
+from repro.network.fattree import (
+    FatTree,
+    constant_capacity,
+    full_bisection_capacity,
+    random_permutation_round,
+    universal_capacity,
+)
+from repro.network.knockout import knockout_loss_curve
+
+
+def test_ft_capacity_profiles(benchmark, report):
+    def run():
+        height = 5  # 32 leaves
+        rng = default_rng(51)
+        rows = []
+        for name, profile in (
+            ("thin (cap 1)", constant_capacity(1)),
+            ("thin (cap 2)", constant_capacity(2)),
+            ("half bisection", universal_capacity(height)),
+            ("full bisection", full_bisection_capacity()),
+        ):
+            tree = FatTree(height, profile)
+            offered = delivered = 0
+            for _ in range(25):
+                stats = tree.route_round(
+                    random_permutation_round(tree, 0.9, rng)
+                )
+                offered += stats.offered
+                delivered += stats.delivered
+            rows.append(
+                {
+                    "capacity profile": name,
+                    "offered": offered,
+                    "delivered": delivered,
+                    "delivery rate": f"{delivered / offered:.3f}",
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    report(
+        "Fat-tree up-links — delivery vs capacity profile (32 leaves, 90% permutation load)",
+        render_table(rows)
+        + "\nConcentrators at every ascent hop: richer capacity profiles "
+        "deliver more; full bisection is lossless.",
+    )
+    rates = [float(r["delivery rate"]) for r in rows]
+    assert rates == sorted(rates)
+    assert rates[-1] == 1.0
+
+
+def test_ft_drops_concentrate_low_in_thin_trees(benchmark, report):
+    """In a thin tree the level-1 up-links are the bottleneck — the
+    classic fat-tree observation, visible in our per-level counters."""
+    def run():
+        tree = FatTree(5, constant_capacity(1))
+        rng = default_rng(52)
+        per_level: dict[int, int] = {}
+        for _ in range(25):
+            stats = tree.route_round(random_permutation_round(tree, 0.9, rng))
+            for level, count in stats.dropped_per_level.items():
+                per_level[level] = per_level.get(level, 0) + count
+        return per_level
+
+    per_level = benchmark(run)
+    report(
+        "Fat-tree up-links — where thin trees drop (cap 1, 32 leaves)",
+        render_table(
+            [{"level": d, "drops": per_level.get(d, 0)} for d in range(1, 5)]
+        ),
+    )
+    assert per_level.get(1, 0) >= per_level.get(4, 0)
+
+
+def test_ft_analytic_vs_simulated_knockout(benchmark, report):
+    """Two independent routes to the knockout loss number: the
+    binomial closed form and the event simulation."""
+    def run():
+        rows = []
+        sim = knockout_loss_curve(
+            16, loads=[0.9], l_values=[1, 2, 4, 6], slots=500, seed=53
+        )
+        for L in (1, 2, 4, 6):
+            analytic = knockout_loss_analytic(16, 0.9, L)
+            rows.append(
+                {
+                    "L": L,
+                    "analytic loss": f"{analytic:.4f}",
+                    "simulated loss": f"{sim[(0.9, L)]:.4f}",
+                    "abs diff": f"{abs(analytic - sim[(0.9, L)]):.4f}",
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    report(
+        "Knockout loss — analytic binomial model vs event simulation (N=16, 90% load)",
+        render_table(rows),
+    )
+    for row in rows:
+        assert float(row["abs diff"]) < 0.02

@@ -1,0 +1,90 @@
+"""Experiment F4 — Figure 4: the 3-D packaging of the Revsort switch.
+
+Three stacks of √n boards; stage-2 boards carry a hyperconcentrator
+chip plus a rev(i)-hardwired barrel shifter; exactly two board types;
+volume Θ(n^{3/2}); barrel pins 2√n + ⌈(lg n)/2⌉.
+"""
+
+from __future__ import annotations
+
+from repro._util.bits import bit_reverse, ilg
+from repro.analysis.asymptotics import fit_exponent
+from repro.analysis.tables import render_table
+from repro.hardware.package import revsort_packaging_3d
+from repro.switches.revsort_switch import RevsortSwitch
+
+NS = [1 << t for t in (8, 10, 12, 14, 16)]
+
+
+def _run():
+    packagings = {n: revsort_packaging_3d(RevsortSwitch(n, n // 2)) for n in NS}
+    exponent = fit_exponent(NS, [p.volume for p in packagings.values()])
+    return packagings, exponent
+
+
+def test_fig4_revsort_packaging(benchmark, report):
+    packagings, exponent = benchmark(_run)
+
+    n = 1 << 12
+    pkg = packagings[n]
+    switch = RevsortSwitch(n, n // 2)
+    side = switch.side
+
+    rows = [
+        {"quantity": "stacks", "paper": 3, "measured": len(pkg.stacks)},
+        {"quantity": "boards per stack", "paper": "√n = 64", "measured": pkg.stacks[0].board_count},
+        {"quantity": "board types", "paper": 2, "measured": len(pkg.board_types())},
+        {
+            "quantity": "chips (3√n hyper + √n barrel)",
+            "paper": 4 * side,
+            "measured": pkg.chip_count,
+        },
+        {
+            "quantity": "max pins per chip",
+            "paper": f"2√n + ⌈(lg n)/2⌉ = {2 * side + 6}",
+            "measured": switch.max_pins_per_chip,
+        },
+        {
+            "quantity": "volume exponent over n sweep",
+            "paper": 1.5,
+            "measured": f"{exponent:.3f}",
+        },
+    ]
+
+    shifters = switch.barrel_shifters
+    q = ilg(side)
+    hardwired_ok = all(
+        s.shift == bit_reverse(i, q) for i, s in enumerate(shifters)
+    )
+    rows.append(
+        {
+            "quantity": "barrel shift amounts hardwired to rev(i)",
+            "paper": "yes",
+            "measured": "yes" if hardwired_ok else "NO",
+        }
+    )
+
+    report(
+        f"Figure 4 — 3-D Revsort packaging (shown at n={n})",
+        render_table(rows),
+    )
+
+    assert len(pkg.stacks) == 3
+    assert pkg.board_types() == {"hyper-only", "hyper+barrel"}
+    assert pkg.chip_count == 4 * side
+    assert switch.max_pins_per_chip == 2 * side + 6
+    assert abs(exponent - 1.5) < 0.1
+    assert hardwired_ok
+
+
+def test_fig4_stage2_boards_have_shifters(benchmark, report):
+    pkg = benchmark(revsort_packaging_3d, RevsortSwitch(256, 128))
+    stage2 = pkg.stacks[1]
+    assert stage2.name == "stage2"
+    assert all(b.board_type == "hyper+barrel" for b in stage2.boards)
+    assert all(b.chip_count == 2 for b in stage2.boards)
+    report(
+        "Figure 4 — stage-2 board inventory (n=256)",
+        f"{stage2.board_count} boards, each: hyperconcentrator + barrel "
+        f"shifter; stack volume {stage2.volume}",
+    )

@@ -1,0 +1,66 @@
+"""Experiment F6 — Figure 6: the 2-D Columnsort-based switch at
+n = 32, m = 18 (r = 8, s = 4), routing 14 valid messages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.hardware.package import columnsort_layout_2d
+from repro.switches.columnsort_switch import ColumnsortSwitch
+
+from conftest import random_bits
+
+
+def _run(rng: np.random.Generator):
+    switch = ColumnsortSwitch(8, 4, 18)
+    layout = columnsort_layout_2d(switch)
+    routed = [
+        switch.setup(random_bits(rng, 32, 14)).routed_count for _ in range(400)
+    ]
+    return switch, layout, routed
+
+
+def test_fig6_layout_instance(benchmark, report, rng):
+    switch, layout, routed = benchmark(_run, rng)
+
+    # Output wire distribution: m=18 row-major over 4 column chips.
+    per_chip = [0] * 4
+    for w in range(18):
+        per_chip[w % 4] += 1
+
+    rows = [
+        {"quantity": "underlying matrix", "paper": "8 × 4", "measured": f"{switch.r} × {switch.s}"},
+        {"quantity": "chips (2 stages of s)", "paper": 8, "measured": layout.chip_count},
+        {"quantity": "data pins per chip (2r)", "paper": 16, "measured": switch.data_pins_per_chip},
+        {
+            "quantity": "output wires per stage-2 chip",
+            "paper": "5,5,4,4 (first five of H2,0/H2,1, four of H2,2/H2,3)",
+            "measured": ",".join(map(str, per_chip)),
+        },
+        {"quantity": "2-D area", "paper": "O(n²) crossbar", "measured": layout.crossbar_area},
+        {
+            "quantity": "ε = (s−1)²",
+            "paper": 9,
+            "measured": switch.epsilon_bound,
+        },
+        {
+            "quantity": "14 messages routed (400 random)",
+            "paper": "figure shows a fully-routed instance",
+            "measured": f"min {min(routed)}, mean {np.mean(routed):.1f}, max {max(routed)}",
+        },
+    ]
+    report(
+        "Figure 6 — 2-D Columnsort switch, n=32, m=18, 14 valid messages",
+        render_table(rows),
+    )
+
+    assert layout.chip_count == 8
+    assert switch.data_pins_per_chip == 16
+    assert per_chip == [5, 5, 4, 4]
+    assert switch.epsilon_bound == 9
+    # Fully-routed 14-message instances exist (the figure draws one)
+    # and no instance drops below the Lemma 2 floor m − ε = 9.
+    assert max(routed) == 14
+    assert min(routed) >= 9

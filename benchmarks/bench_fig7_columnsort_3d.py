@@ -1,0 +1,84 @@
+"""Experiment F7 — Figure 7: the 3-D packaging of the Columnsort
+switch (two stacks of s boards, s² interstack connectors, volume
+Θ(n^{1+β})), shown at the figure's r = 8, s = 4 and swept over n.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.asymptotics import fit_exponent
+from repro.analysis.tables import render_table
+from repro.hardware.package import columnsort_packaging_3d
+from repro.switches.columnsort_switch import ColumnsortSwitch
+
+
+def _run():
+    figure = ColumnsortSwitch(8, 4, 18)
+    figure_pkg = columnsort_packaging_3d(figure)
+
+    # Volume exponent sweeps at two β points (β·t integral).
+    sweeps = {}
+    for beta, ts in ((0.75, (8, 12, 16, 20)), (0.625, (8, 16, 24))):
+        ns = [1 << t for t in ts]
+        volumes = [
+            columnsort_packaging_3d(
+                ColumnsortSwitch.from_beta(n, beta, n // 2)
+            ).volume
+            for n in ns
+        ]
+        sweeps[beta] = fit_exponent(ns, volumes)
+    return figure, figure_pkg, sweeps
+
+
+def test_fig7_columnsort_packaging(benchmark, report):
+    figure, pkg, sweeps = benchmark(_run)
+
+    rows = [
+        {"quantity": "stacks", "paper": 2, "measured": len(pkg.stacks)},
+        {"quantity": "boards per stack (s)", "paper": 4, "measured": pkg.stacks[0].board_count},
+        {"quantity": "interstack connectors (s²)", "paper": 16, "measured": pkg.connector_count},
+        {
+            "quantity": "wires per connector (r/s)",
+            "paper": 2,
+            "measured": pkg.connector.wires,
+        },
+        {
+            "quantity": "volume exponent at β=3/4",
+            "paper": 1.75,
+            "measured": f"{sweeps[0.75]:.3f}",
+        },
+        {
+            "quantity": "volume exponent at β=5/8",
+            "paper": 1.625,
+            "measured": f"{sweeps[0.625]:.3f}",
+        },
+    ]
+    report("Figure 7 — 3-D Columnsort packaging (r=8, s=4)", render_table(rows))
+
+    assert len(pkg.stacks) == 2
+    assert pkg.stacks[0].board_count == 4
+    assert pkg.connector_count == 16
+    assert pkg.connector.wires == 2
+    assert abs(sweeps[0.75] - 1.75) < 0.1
+    assert abs(sweeps[0.625] - 1.625) < 0.1
+
+
+def test_fig7_connector_volume_subdominant(benchmark, report):
+    """Section 5: total interstack volume O(n^{2β}) never dominates the
+    stack volume Θ(n^{1+β}) since β ≤ 1."""
+    def measure():
+        out = []
+        for t in (10, 12, 14, 16):
+            switch = ColumnsortSwitch.from_beta(1 << t, 0.75, 1 << (t - 1))
+            pkg = columnsort_packaging_3d(switch)
+            stack_volume = sum(s.volume for s in pkg.stacks)
+            out.append((1 << t, pkg.connector_volume, stack_volume))
+        return out
+
+    rows = benchmark(measure)
+    table = [
+        {"n": n, "connector volume": cv, "stack volume": sv, "ratio": f"{cv / sv:.4f}"}
+        for n, cv, sv in rows
+    ]
+    report("Figure 7/8 — interstack volume stays subdominant", render_table(table))
+    for _, cv, sv in rows:
+        assert cv < sv

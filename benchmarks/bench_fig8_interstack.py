@@ -1,0 +1,34 @@
+"""Experiment F8 — Figure 8: transposing w wires from vertical to
+horizontal alignment uses Θ(w²) volume, wiring only.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.asymptotics import fit_exponent
+from repro.analysis.tables import render_table
+from repro.hardware.package import InterstackConnector
+
+WS = [2, 4, 8, 16, 32, 64, 128]
+
+
+def _run():
+    connectors = [InterstackConnector(w) for w in WS]
+    exponent = fit_exponent(WS, [c.volume for c in connectors])
+    return connectors, exponent
+
+
+def test_fig8_transposition_volume(benchmark, report):
+    connectors, exponent = benchmark(_run)
+    rows = [
+        {"wires w": c.wires, "volume": c.volume, "w²": c.wires**2}
+        for c in connectors
+    ]
+    report(
+        "Figure 8 — w-wire transposition volume",
+        render_table(rows)
+        + f"\nfitted exponent {exponent:.3f} (paper: Θ(w²) → 2.0); "
+        "connectors contain only wiring, no active components.",
+    )
+    assert abs(exponent - 2.0) < 1e-9
+    for c in connectors:
+        assert c.volume == c.wires**2

@@ -1,0 +1,64 @@
+"""Experiment PART — Section 1's motivating claim:
+
+"Partitioning this hyperconcentrator switch among multiple chips with
+p pins each requires Ω((n/p)²) chips … Yet, given chips with p pins,
+we can partition n-input partial concentrator switches using only
+Θ(n/p) chips."
+"""
+
+from __future__ import annotations
+
+from repro.analysis.asymptotics import fit_exponent
+from repro.analysis.tables import render_table
+from repro.hardware.partition import (
+    columnsort_partition,
+    monolithic_partition,
+    partition_comparison,
+)
+
+
+def test_part_quadratic_vs_linear(benchmark, report):
+    """Fit the chip-count exponent in 1/p at fixed n."""
+    n = 1 << 14
+    budgets = [256, 512, 1024, 2048]
+
+    def run():
+        mono = [monolithic_partition(n, p).chips for p in budgets]
+        col = [columnsort_partition(n, p).chips for p in budgets]
+        inv = [1.0 / p for p in budgets]
+        # chips ~ (1/p)^x: x = 2 monolithic, x = 1 partial.
+        mono_exp = fit_exponent([int(1e6 * v) for v in inv], mono)
+        col_exp = fit_exponent([int(1e6 * v) for v in inv], col)
+        return mono, col, mono_exp, col_exp
+
+    mono, col, mono_exp, col_exp = benchmark(run)
+    rows = [
+        {
+            "pin budget p": p,
+            "monolithic chips": m,
+            "Columnsort chips": c,
+        }
+        for p, m, c in zip(budgets, mono, col)
+    ]
+    report(
+        f"Section 1 — partitioning cost at n={n}",
+        render_table(rows)
+        + f"\nfitted exponents in 1/p: monolithic {mono_exp:.2f} "
+        f"(paper: 2), partial concentrator {col_exp:.2f} (paper: 1)",
+    )
+    assert abs(mono_exp - 2.0) < 0.1
+    assert abs(col_exp - 1.0) < 0.1
+
+
+def test_part_comparison_table(benchmark, report):
+    rows = benchmark(partition_comparison, 1 << 12, [96, 144, 192, 256, 512])
+    report(
+        "Section 1 — partitioning comparison (n=4096)",
+        render_table(rows)
+        + "\nThe paper's designs enter once the budget covers their "
+        "fixed chip pinout and then dominate the monolithic split.",
+    )
+    feasible = [r for r in rows if isinstance(r["Columnsort chips"], int)]
+    assert feasible, "some budget must admit the Columnsort design"
+    for row in feasible:
+        assert row["monolithic chips"] > row["Columnsort chips"]

@@ -1,0 +1,160 @@
+"""Experiment S6 — Section 6: full multichip hyperconcentrators.
+
+* Full Revsort: ⌈lg lg √n⌉ repetitions leave ≤ 8 dirty rows; the
+  Shearsort stacks finish the sort; signal passes ``2 lg lg n + O(1)``
+  chips; Θ(√n lg lg n) chips total.
+* Full Columnsort: 8 steps, 4 chips on the signal path,
+  ``8β lg n + O(1)`` delays, same asymptotic chip count as the partial
+  concentrator.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.core.concentration import validate_hyperconcentration
+from repro.mesh.analysis import count_dirty_rows
+from repro.mesh.revsort import revsort_reduce, revsort_repetitions
+from repro.switches.multichip_hyper import (
+    FullColumnsortHyperconcentrator,
+    FullRevsortHyperconcentrator,
+)
+
+from conftest import random_bits
+
+
+def test_s6_revsort_reduction_leaves_8_dirty_rows(benchmark, report, rng):
+    def run():
+        rows = []
+        for side in (8, 16, 32, 64):
+            reps = revsort_repetitions(side)
+            worst = 0
+            for _ in range(40):
+                mat = (rng.random((side, side)) < rng.random()).astype(np.int8)
+                worst = max(worst, count_dirty_rows(revsort_reduce(mat, reps)))
+            rows.append(
+                {
+                    "√n": side,
+                    "repetitions ⌈lg lg √n⌉": reps,
+                    "worst dirty rows": worst,
+                    "paper bound": 8,
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    report("Section 6 — Revsort reduction to ≤ 8 dirty rows", render_table(rows))
+    for row in rows:
+        assert row["worst dirty rows"] <= 8
+
+
+def test_s6_full_revsort_hyperconcentrates(benchmark, report, rng):
+    def run():
+        rows = []
+        for n in (64, 256, 1024):
+            switch = FullRevsortHyperconcentrator(n)
+            for _ in range(15):
+                valid = random_bits(rng, n)
+                routing = switch.setup(valid)
+                validate_hyperconcentration(n, valid, routing.input_to_output)
+            rows.append(
+                {
+                    "n": n,
+                    "chips on path": switch.chips_on_signal_path,
+                    "paper 2 lg lg n + O(1)": 2 * math.ceil(math.log2(math.log2(n)))
+                    + 8,
+                    "total chips": switch.chip_count,
+                    "gate delays": switch.gate_delays,
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    report(
+        "Section 6 — full-Revsort multichip hyperconcentrator",
+        render_table(rows)
+        + "\nEvery random pattern routed its k valid messages to "
+        "exactly the first k outputs.",
+    )
+    for row in rows:
+        assert row["chips on path"] <= row["paper 2 lg lg n + O(1)"] + 2
+
+
+def test_s6_full_columnsort_hyperconcentrates(benchmark, report, rng):
+    def run():
+        rows = []
+        for r, s in ((32, 4), (128, 8), (512, 8)):
+            switch = FullColumnsortHyperconcentrator(r, s)
+            n = r * s
+            for _ in range(15):
+                valid = random_bits(rng, n)
+                routing = switch.setup(valid)
+                validate_hyperconcentration(n, valid, routing.input_to_output)
+            beta = math.log2(r) / math.log2(n)
+            rows.append(
+                {
+                    "r": r,
+                    "s": s,
+                    "n": n,
+                    "chips on path": switch.chips_on_signal_path,
+                    "gate delays": switch.gate_delays,
+                    "paper 8β lg n": f"{8 * beta * math.log2(n):.0f}",
+                    "total chips": switch.chip_count,
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    report(
+        "Section 6 — full-Columnsort multichip hyperconcentrator",
+        render_table(rows),
+    )
+    for row in rows:
+        assert row["chips on path"] == 4
+        # 8β lg n = 8 lg r; our model adds 2 pad delays per chip.
+        assert row["gate delays"] == 8 * math.ceil(math.log2(row["r"])) + 8
+
+
+def test_s6_hyper_vs_partial_cost(benchmark, report):
+    """Section 6's remark: the full hyperconcentrators cost more delay
+    and chips than their partial counterparts at the same n."""
+    from repro.switches.columnsort_switch import ColumnsortSwitch
+    from repro.switches.revsort_switch import RevsortSwitch
+
+    def run():
+        n = 1024
+        rev_partial = RevsortSwitch(n, n // 2)
+        rev_full = FullRevsortHyperconcentrator(n)
+        col_partial = ColumnsortSwitch(128, 8, n // 2)
+        col_full = FullColumnsortHyperconcentrator(128, 8)
+        return [
+            {
+                "switch": "Revsort partial",
+                "gate delays": rev_partial.gate_delays,
+                "chips": rev_partial.chip_count,
+            },
+            {
+                "switch": "Revsort full hyper",
+                "gate delays": rev_full.gate_delays,
+                "chips": rev_full.chip_count,
+            },
+            {
+                "switch": "Columnsort partial",
+                "gate delays": col_partial.gate_delays,
+                "chips": col_partial.chip_count,
+            },
+            {
+                "switch": "Columnsort full hyper",
+                "gate delays": col_full.gate_delays,
+                "chips": col_full.chip_count,
+            },
+        ]
+
+    rows = benchmark(run)
+    report("Section 6 — partial vs full hyperconcentrator cost (n=1024)", render_table(rows))
+    assert rows[1]["gate delays"] > rows[0]["gate delays"]
+    assert rows[1]["chips"] > rows[0]["chips"]
+    assert rows[3]["gate delays"] == 2 * rows[2]["gate delays"]

@@ -1,0 +1,98 @@
+"""Experiment T1 — Table 1: resource measures of the Revsort switch vs
+the Columnsort switch at β ∈ {1/2, 5/8, 3/4}.
+
+For each measure (pins/chip, chip count, ε driving the load ratio,
+volume) we sweep n, fit the Θ(n^x) exponent, and compare against the
+paper's claimed exponent; gate delays are fitted as c·lg n + O(1).
+The concrete Table 1 instance at n = 4096 is printed alongside.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.asymptotics import fit_exponent, fit_log_slope
+from repro.analysis.tables import render_table
+from repro.hardware.costs import (
+    TABLE1_CLAIMED_DELAY_SLOPES,
+    TABLE1_CLAIMED_EXPONENTS,
+    columnsort_measures,
+    revsort_measures,
+    table1,
+)
+
+# n = 2^t grids chosen so β·t is integral (no shape-rounding noise).
+SWEEPS = {
+    "Revsort": ([1 << t for t in (8, 10, 12, 14, 16)], None),
+    "Columnsort b=0.5": ([1 << t for t in (8, 10, 12, 14, 16)], 0.5),
+    "Columnsort b=0.625": ([1 << t for t in (8, 16, 24, 32)], 0.625),
+    "Columnsort b=0.75": ([1 << t for t in (8, 12, 16, 20, 24)], 0.75),
+}
+
+
+def _measures(label: str, n: int):
+    beta = SWEEPS[label][1]
+    if beta is None:
+        return revsort_measures(n, n // 2)
+    return columnsort_measures(n, n // 2, beta)
+
+
+@pytest.mark.parametrize("label", list(SWEEPS))
+def test_table1_exponents(benchmark, report, label):
+    ns = SWEEPS[label][0]
+    rows = benchmark(lambda: [_measures(label, n) for n in ns])
+
+    claimed = TABLE1_CLAIMED_EXPONENTS[label]
+    fits = {
+        "pins": fit_exponent(ns, [r.pins_per_chip for r in rows]),
+        "chips": fit_exponent(ns, [r.chip_count for r in rows]),
+        "epsilon": fit_exponent(ns, [max(r.epsilon, 1) for r in rows]),
+        "volume": fit_exponent(ns, [r.volume for r in rows]),
+    }
+    delay_slope, delay_const = fit_log_slope(ns, [r.gate_delays for r in rows])
+    claimed_delay = TABLE1_CLAIMED_DELAY_SLOPES[label]
+
+    table = [
+        {
+            "measure": key,
+            "paper exponent": claimed[key],
+            "measured exponent": f"{fits[key]:.3f}",
+        }
+        for key in fits
+    ]
+    table.append(
+        {
+            "measure": "gate delays (lg n slope)",
+            "paper exponent": claimed_delay,
+            "measured exponent": f"{delay_slope:.3f} (+{delay_const:.1f})",
+        }
+    )
+    report(f"Table 1 exponents — {label}", render_table(table))
+
+    for key, value in fits.items():
+        assert abs(value - claimed[key]) < 0.1, (label, key, value)
+    assert abs(delay_slope - claimed_delay) < 0.25
+
+
+def test_table1_concrete_instance(benchmark, report):
+    """The full Table 1 at a concrete size (n=4096, m=3n/4), checking
+    the qualitative orderings the paper's table conveys."""
+    n, m = 1 << 12, 3 << 10
+    rows = benchmark(table1, n, m)
+    report(
+        f"Table 1 instance at n={n}, m={m}",
+        render_table([r.as_row() for r in rows]),
+    )
+
+    rev, c12, c58, c34 = rows
+    # Pins grow and chips shrink along the β continuum.
+    assert c12.pins_per_chip <= c58.pins_per_chip <= c34.pins_per_chip
+    assert c12.chip_count >= c58.chip_count >= c34.chip_count
+    # Load ratio improves with β; β=3/4 beats Revsort, β=1/2 is worst.
+    assert c12.load_ratio <= c58.load_ratio <= c34.load_ratio
+    assert c34.load_ratio > rev.load_ratio
+    # Delays: Columnsort at β=1/2 is the fastest; β grows delay.
+    assert c12.gate_delays <= c58.gate_delays <= c34.gate_delays
+    assert c12.gate_delays < rev.gate_delays
+    # Volume grows with β.
+    assert c12.volume <= c58.volume <= c34.volume

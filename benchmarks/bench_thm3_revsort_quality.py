@@ -1,0 +1,130 @@
+"""Experiment TH3 — Theorem 3: the Revsort-based construction is an
+(n, m, 1 − O(n^{3/4}/m)) partial concentrator.
+
+Measures, across n: the worst dirty-row count after Algorithm 1 vs the
+2⌈n^{1/4}⌉−1 bound, the worst row-major ε vs the dirty-window bound,
+the fitted growth exponent of the measured ε (paper: ≤ 3/4), and the
+zero-drop behaviour at the guaranteed capacity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.asymptotics import fit_exponent
+from repro.analysis.tables import render_table
+from repro.core.nearsort import nearsortedness
+from repro.mesh.analysis import count_dirty_rows, is_block_sorted
+from repro.mesh.revsort import revsort_nearsort
+from repro.switches.revsort_switch import RevsortSwitch
+
+from conftest import random_bits
+
+NS = [64, 256, 1024, 4096]
+TRIALS = 60
+
+
+def _run(rng: np.random.Generator):
+    rows = []
+    worst_eps_by_n = {}
+    for n in NS:
+        switch = RevsortSwitch(n, n)
+        side = switch.side
+        worst_dirty = 0
+        worst_eps = 0
+        for _ in range(TRIALS):
+            valid = random_bits(rng, n)
+            mat = revsort_nearsort(valid.astype(np.int8).reshape(side, side))
+            assert is_block_sorted(mat)
+            worst_dirty = max(worst_dirty, count_dirty_rows(mat))
+            worst_eps = max(worst_eps, nearsortedness(mat.reshape(-1)))
+        worst_eps_by_n[n] = worst_eps
+        rows.append(
+            {
+                "n": n,
+                "worst dirty rows": worst_dirty,
+                "bound 2⌈n^¼⌉−1": switch.dirty_row_bound,
+                "worst eps": worst_eps,
+                "eps bound": switch.epsilon_bound,
+            }
+        )
+    eps_exponent = fit_exponent(NS, [max(worst_eps_by_n[n], 1) for n in NS])
+    return rows, eps_exponent
+
+
+def test_thm3_nearsorting_quality(benchmark, report, rng):
+    rows, eps_exponent = benchmark(_run, rng)
+    report(
+        "Theorem 3 — Revsort nearsorting quality",
+        render_table(rows)
+        + f"\nmeasured ε growth exponent: {eps_exponent:.3f} "
+        "(paper: O(n^{3/4}) → ≤ 0.75 + margin)",
+    )
+    for row in rows:
+        assert row["worst dirty rows"] <= row["bound 2⌈n^¼⌉−1"]
+        assert row["worst eps"] <= row["eps bound"]
+    assert eps_exponent < 0.85
+
+
+def test_thm3_guaranteed_capacity_never_drops(benchmark, report, rng):
+    """At k ≤ αm = m − ε the switch must route everything."""
+    def run():
+        results = []
+        for n, m in ((1024, 768), (4096, 3072)):
+            switch = RevsortSwitch(n, m)
+            cap = switch.spec.guaranteed_capacity
+            drops = 0
+            for _ in range(30):
+                valid = random_bits(rng, n, cap)
+                drops += cap - switch.setup(valid).routed_count
+            results.append({"n": n, "m": m, "capacity αm": cap, "drops": drops})
+        return results
+
+    rows = benchmark(run)
+    report(
+        "Theorem 3 — zero drops at guaranteed capacity",
+        render_table(rows),
+    )
+    for row in rows:
+        assert row["capacity αm"] > 0
+        assert row["drops"] == 0
+
+
+def test_thm3_epsilon_distribution(benchmark, report, rng):
+    """Typical-case analysis: the ε distribution, not just its max —
+    the bound is a worst-case envelope; typical inputs nearsort far
+    better, which is why Figure 3's instance routes fully."""
+    def run():
+        n = 1024
+        side = 32
+        samples = []
+        for _ in range(200):
+            valid = random_bits(rng, n)
+            mat = revsort_nearsort(valid.astype(np.int8).reshape(side, side))
+            samples.append(nearsortedness(mat.reshape(-1)))
+        arr = np.array(samples)
+        return {
+            "n": n,
+            "median eps": int(np.median(arr)),
+            "p90 eps": int(np.quantile(arr, 0.9)),
+            "max eps": int(arr.max()),
+            "Theorem 3 bound": RevsortSwitch(n, n).epsilon_bound,
+        }
+
+    row = benchmark(run)
+    report(
+        "Theorem 3 — ε distribution (200 random inputs, n=1024)",
+        render_table([row])
+        + "\nTypical ε sits an order of magnitude under the bound; the "
+        "guarantee is a worst-case envelope, not a typical cost.",
+    )
+    assert row["median eps"] * 4 <= row["Theorem 3 bound"]
+    assert row["max eps"] <= row["Theorem 3 bound"]
+
+
+def test_thm3_setup_throughput(benchmark):
+    """Timing: one full 4096-input switch setup (pytest-benchmark)."""
+    switch = RevsortSwitch(4096, 3072)
+    rng = np.random.default_rng(7)
+    valid = rng.random(4096) < 0.5
+    benchmark(switch.setup, valid)

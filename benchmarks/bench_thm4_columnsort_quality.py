@@ -1,0 +1,149 @@
+"""Experiment TH4 — Theorem 4: the Columnsort-based construction is an
+(n, m, 1 − (s−1)²/m) partial concentrator.
+
+Measures, across (r, s): the worst row-major ε after Algorithm 2 vs the
+exact (s−1)² bound (and whether random inputs achieve it), plus the
+zero-drop behaviour at the guaranteed capacity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.core.nearsort import nearsortedness
+from repro.mesh.columnsort import columnsort_nearsort
+from repro.switches.columnsort_switch import ColumnsortSwitch
+
+from conftest import random_bits
+
+SHAPES = [(8, 4), (16, 4), (64, 4), (32, 8), (128, 8), (256, 16)]
+TRIALS = 120
+
+
+def _run(rng: np.random.Generator):
+    rows = []
+    for r, s in SHAPES:
+        n = r * s
+        bound = (s - 1) ** 2
+        worst = 0
+        for _ in range(TRIALS):
+            valid = random_bits(rng, n)
+            out = columnsort_nearsort(valid.astype(np.int8).reshape(r, s))
+            worst = max(worst, nearsortedness(out.reshape(-1)))
+        rows.append(
+            {
+                "r": r,
+                "s": s,
+                "n": n,
+                "worst eps": worst,
+                "(s−1)² bound": bound,
+                "tight?": "yes" if worst == bound else "no",
+            }
+        )
+    return rows
+
+
+def test_thm4_nearsorting_quality(benchmark, report, rng):
+    rows = benchmark(_run, rng)
+    report(
+        "Theorem 4 — Columnsort nearsorting quality",
+        render_table(rows)
+        + "\nPaper: Algorithm 2 is an (s−1)²-nearsorter; the bound must "
+        "never be exceeded, and small shapes achieve it exactly.",
+    )
+    for row in rows:
+        assert row["worst eps"] <= row["(s−1)² bound"]
+    # The bound is achieved at least on the small shapes (tightness).
+    assert any(row["tight?"] == "yes" for row in rows[:3])
+
+
+def test_thm4_guaranteed_capacity_never_drops(benchmark, report, rng):
+    def run():
+        results = []
+        for r, s, m in ((64, 4, 200), (128, 8, 960), (512, 8, 4000)):
+            switch = ColumnsortSwitch(r, s, m)
+            cap = switch.spec.guaranteed_capacity
+            drops = 0
+            for _ in range(30):
+                valid = random_bits(rng, switch.n, cap)
+                drops += cap - switch.setup(valid).routed_count
+            results.append(
+                {
+                    "r": r,
+                    "s": s,
+                    "m": m,
+                    "capacity αm = m−(s−1)²": cap,
+                    "drops": drops,
+                }
+            )
+        return results
+
+    rows = benchmark(run)
+    report("Theorem 4 — zero drops at guaranteed capacity", render_table(rows))
+    for row in rows:
+        assert row["drops"] == 0
+
+
+def test_thm4_overload_respects_floor(benchmark, report, rng):
+    """Past αm: at least αm messages still routed (and drops do occur,
+    confirming the bound is meaningfully sharp)."""
+    def run():
+        switch = ColumnsortSwitch(16, 4, 16)
+        cap = switch.spec.guaranteed_capacity  # 16 − 9 = 7
+        below_floor = 0
+        dropped_instances = 0
+        for _ in range(400):
+            valid = random_bits(rng, switch.n, 16)
+            routed = switch.setup(valid).routed_count
+            if routed < cap:
+                below_floor += 1
+            if routed < 16:
+                dropped_instances += 1
+        return cap, below_floor, dropped_instances
+
+    cap, below_floor, dropped_instances = benchmark(run)
+    report(
+        "Theorem 4 — overload floor (r=16, s=4, m=16, k=16)",
+        f"guaranteed floor αm = {cap}; instances below floor: "
+        f"{below_floor} (must be 0); instances with any drop: "
+        f"{dropped_instances} (> 0 shows the guarantee is not slack)",
+    )
+    assert below_floor == 0
+    assert dropped_instances > 0
+
+
+def test_thm4_epsilon_distribution(benchmark, report, rng):
+    """Typical vs worst case for the exact (s−1)² bound."""
+    def run():
+        r, s = 64, 8
+        n = r * s
+        samples = []
+        for _ in range(200):
+            valid = random_bits(rng, n)
+            out = columnsort_nearsort(valid.astype(np.int8).reshape(r, s))
+            samples.append(nearsortedness(out.reshape(-1)))
+        arr = np.array(samples)
+        return {
+            "r": r,
+            "s": s,
+            "median eps": int(np.median(arr)),
+            "p90 eps": int(np.quantile(arr, 0.9)),
+            "max eps": int(arr.max()),
+            "(s−1)² bound": (s - 1) ** 2,
+        }
+
+    row = benchmark(run)
+    report(
+        "Theorem 4 — ε distribution (200 random inputs, r=64, s=8)",
+        render_table([row]),
+    )
+    assert row["max eps"] <= row["(s−1)² bound"]
+    assert row["median eps"] <= row["(s−1)² bound"]
+
+
+def test_thm4_setup_throughput(benchmark):
+    switch = ColumnsortSwitch(512, 8, 3072)
+    rng = np.random.default_rng(7)
+    valid = rng.random(4096) < 0.5
+    benchmark(switch.setup, valid)

@@ -1,0 +1,89 @@
+"""Experiment WC — weak-chip ablation.
+
+The paper's chips fully sort their rows/columns.  What if the per-chip
+sorter were cheaper — a truncated odd-even transposition network with
+T < w rounds?  This bench sweeps T and measures the switch-level
+nearsorting quality, quantifying how much of Theorems 3/4 rests on the
+chips being *complete* sorters (answer: everything — quality decays
+smoothly and the theorem bounds only hold at full strength).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.rng import default_rng
+from repro.analysis.tables import render_table
+from repro.core.nearsort import nearsortedness
+from repro.mesh.oddeven import weak_columnsort_pass, weak_revsort_pass
+from repro.mesh.revsort import revsort_epsilon_bound
+
+
+def test_wc_revsort_quality_vs_chip_strength(benchmark, report):
+    side = 16
+    n = side * side
+
+    def run():
+        rng = default_rng(71)
+        rows = []
+        for rounds in (0, 2, 4, 8, 12, 16):
+            worst = 0
+            for _ in range(80):
+                m = (rng.random((side, side)) < rng.random()).astype(np.int8)
+                out = weak_revsort_pass(m, rounds)
+                worst = max(worst, nearsortedness(out.reshape(-1)))
+            rows.append(
+                {
+                    "odd-even rounds per chip": rounds,
+                    "chip fully sorts?": "yes" if rounds >= side else "no",
+                    "worst eps": worst,
+                    "Theorem 3 bound": revsort_epsilon_bound(n),
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    report(
+        f"Weak-chip ablation — Revsort switch quality vs chip strength (n={n})",
+        render_table(rows)
+        + "\nThe Theorem 3 guarantee needs complete per-chip sorting; "
+        "truncated chips degrade ε smoothly toward the unsorted input.",
+    )
+    eps = [row["worst eps"] for row in rows]
+    assert all(a >= b for a, b in zip(eps, eps[1:]))  # monotone improvement
+    assert rows[-1]["worst eps"] <= rows[-1]["Theorem 3 bound"]
+    assert rows[0]["worst eps"] > 4 * rows[-1]["worst eps"]
+
+
+def test_wc_columnsort_quality_vs_chip_strength(benchmark, report):
+    r, s = 32, 4
+    n = r * s
+
+    def run():
+        rng = default_rng(72)
+        rows = []
+        for rounds in (0, 4, 8, 16, 32):
+            worst = 0
+            for _ in range(80):
+                m = (rng.random((r, s)) < rng.random()).astype(np.int8)
+                out = weak_columnsort_pass(m, rounds)
+                worst = max(worst, nearsortedness(out.reshape(-1)))
+            rows.append(
+                {
+                    "odd-even rounds per chip": rounds,
+                    "chip fully sorts?": "yes" if rounds >= r else "no",
+                    "worst eps": worst,
+                    "(s−1)² bound": (s - 1) ** 2,
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    report(
+        f"Weak-chip ablation — Columnsort switch quality (r={r}, s={s})",
+        render_table(rows),
+    )
+    eps = [row["worst eps"] for row in rows]
+    assert all(a >= b for a, b in zip(eps, eps[1:]))
+    assert rows[-1]["worst eps"] <= (s - 1) ** 2
+    assert rows[0]["worst eps"] > (s - 1) ** 2  # weak chips break the bound

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Step-by-step walkthrough of the paper's two algorithms on a small
+matrix of valid bits — the didactic companion to Sections 4 and 5.
+
+Prints the matrix after every step of Algorithm 1 (Revsort pass) and
+Algorithm 2 (Columnsort pass), with the chips responsible for each
+step, then shows the final nearsorted readout and the Lemma 2 load
+ratio it implies.
+
+Run:  python examples/algorithm_walkthrough.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.bits import bit_reverse, ilg
+from repro._util.rng import default_rng
+from repro.core.nearsort import decompose_dirty_window, nearsortedness
+from repro.mesh.grid import sort_columns, sort_rows
+from repro.mesh.revsort import rev_rotate_rows
+from repro.mesh.analysis import count_dirty_rows
+
+
+def show(matrix: np.ndarray, caption: str) -> None:
+    print(f"\n{caption}:")
+    for row in matrix:
+        print("   " + " ".join("#" if b else "." for b in row))
+
+
+def algorithm1() -> None:
+    print("=" * 64)
+    print("Algorithm 1 — the Revsort switch's three chip stages (n=64)")
+    print("=" * 64)
+    rng = default_rng(7)
+    side = 8
+    mat = (rng.random((side, side)) < 0.45).astype(np.int8)
+    k = int(mat.sum())
+    show(mat, f"input valid bits (k = {k} messages)")
+
+    mat = sort_columns(mat)
+    show(mat, "step 1 — stage-1 chips sort each COLUMN (1s rise)")
+
+    mat = sort_rows(mat)
+    show(mat, "step 2 — stage-2 chips sort each ROW (1s move left)")
+
+    q = ilg(side)
+    shifts = [bit_reverse(i, q) for i in range(side)]
+    mat = rev_rotate_rows(mat)
+    show(mat, f"step 3 — barrel shifters rotate row i by rev(i) = {shifts}")
+
+    mat = sort_columns(mat)
+    show(mat, "step 4 — stage-3 chips sort each COLUMN again")
+
+    flat = mat.reshape(-1)
+    eps = nearsortedness(flat)
+    d = decompose_dirty_window(flat)
+    print(
+        f"\nrow-major readout: {count_dirty_rows(mat)} dirty rows "
+        f"(Theorem 3 bound {2 * 3 - 1}), eps = {eps}, dirty window = "
+        f"{d.dirty_length} bits"
+    )
+    print(
+        "Lemma 2: restricted to its first m outputs this is an "
+        "(n, m, 1 - eps/m) partial concentrator."
+    )
+
+
+def algorithm2() -> None:
+    print("\n" + "=" * 64)
+    print("Algorithm 2 — the Columnsort switch's two chip stages (r=8, s=4)")
+    print("=" * 64)
+    rng = default_rng(11)
+    r, s = 8, 4
+    mat = (rng.random((r, s)) < 0.5).astype(np.int8)
+    k = int(mat.sum())
+    show(mat, f"input valid bits (k = {k} messages)")
+
+    mat = sort_columns(mat)
+    show(mat, "step 1 — stage-1 chips sort each COLUMN")
+
+    mat = mat.T.reshape(r, s)
+    show(mat, "step 2 — fixed wiring: column-major -> row-major reshuffle")
+
+    mat = sort_columns(mat)
+    show(mat, "step 3 — stage-2 chips sort each COLUMN again")
+
+    flat = mat.reshape(-1)
+    eps = nearsortedness(flat)
+    print(
+        f"\nrow-major readout: eps = {eps} <= (s-1)^2 = {(s - 1) ** 2} "
+        f"(Theorem 4, exactly tight in the worst case)"
+    )
+
+
+def main() -> None:
+    algorithm1()
+    algorithm2()
+
+
+if __name__ == "__main__":
+    main()

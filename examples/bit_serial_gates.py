@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Gate-level walkthrough of one hyperconcentrator chip.
+
+Builds the actual combinational netlist of an n-by-n hyperconcentrator
+(the single-chip building block of every switch in the paper), streams
+a bit-serial message set through it cycle by cycle, and prints the
+measured gate counts and critical paths next to the paper's idealised
+figures (Θ(n²) components, 2 lg n gate delays).
+
+Run:  python examples/bit_serial_gates.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro import Message
+from repro._util.rng import default_rng
+from repro.analysis import render_table
+from repro.gates import GateHyperconcentrator
+from repro.gates.evaluate import evaluate
+
+
+def stream_through_netlist(gate: GateHyperconcentrator, messages) -> None:
+    """Simulate the chip cycle by cycle at the gate level."""
+    n = gate.n
+    valid = np.array([m is not None for m in messages], dtype=bool)
+    length = max((m.length for m in messages if m is not None), default=0)
+
+    print(f"\nstreaming {int(valid.sum())} messages through the n={n} netlist:")
+    print(f"  cycle 0 (setup): valid bits {valid.astype(int)}")
+
+    routing = gate.setup(valid)
+    out_wires = [gate.circuit.wire(f"y{j}") for j in range(n)]
+    received: list[list[int]] = [[] for _ in range(n)]
+    for cycle in range(1, length + 1):
+        data = np.array(
+            [m.payload[cycle - 1] if m is not None else 0 for m in messages],
+            dtype=bool,
+        )
+        values = evaluate(gate.circuit, np.concatenate([valid, data]))
+        outs = [int(values[w]) for w in out_wires]
+        for j, bit in enumerate(outs):
+            received[j].append(bit)
+        print(f"  cycle {cycle}: outputs {outs}")
+
+    print("  reassembled at outputs:")
+    for j in range(n):
+        src = [i for i in range(n) if routing.input_to_output[i] == j]
+        if src:
+            value = sum(bit << t for t, bit in enumerate(received[j]))
+            original = messages[src[0]].to_int()
+            status = "ok" if value == original else "CORRUPTED"
+            print(f"    y{j} <- input {src[0]}: value {value} ({status})")
+
+
+def measured_vs_paper() -> None:
+    print("\nmeasured netlist figures vs the paper's idealised chip:")
+    rows = []
+    for n in (4, 8, 16, 32, 64):
+        gate = GateHyperconcentrator(n, with_datapath=True)
+        lg = math.ceil(math.log2(n))
+        rows.append(
+            {
+                "n": n,
+                "components (measured)": gate.component_count,
+                "n^2 (paper Θ)": n * n,
+                "datapath delay": gate.datapath_delay(),
+                "2 lg n (paper)": 2 * lg,
+                "setup depth": gate.setup_delay(),
+            }
+        )
+    print(render_table(rows))
+    print(
+        "\nThe rank-crossbar realisation tracks the paper's Θ(n²) area; "
+        "its datapath is 1 + ⌈lg n⌉ deep (same Θ(lg n) family as the "
+        "paper's 2 lg n figure — see DESIGN.md for the substitution note)."
+    )
+
+
+def main() -> None:
+    rng = default_rng(31)
+    gate = GateHyperconcentrator(8, with_datapath=True)
+    messages = [None] * 8
+    for i in (1, 3, 4, 6):
+        messages[i] = Message.from_int(int(rng.integers(0, 16)), 4)
+    stream_through_netlist(gate, messages)
+    measured_vs_paper()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""The intro's application in its canonical form: a knockout-style
+packet router whose per-output N-to-L concentrators are the paper's
+switches.
+
+Sweeps the concentrator width L and the offered load, prints the loss
+surface with Wilson confidence intervals, and swaps a Columnsort
+partial concentrator into the knockout role to show the Section 1
+substitution inside a real router.
+
+Run:  python examples/knockout_router.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.analysis.stats import wilson_interval
+from repro.network.knockout import KnockoutSwitch, uniform_packet_traffic
+from repro.switches.columnsort_switch import ColumnsortSwitch
+
+
+def run_case(ports: int, L: int, load: float, slots: int, factory=None):
+    switch = KnockoutSwitch(
+        ports, L, buffer_depth=64, concentrator_factory=factory
+    )
+    for packets in uniform_packet_traffic(ports, load, slots, seed=31):
+        switch.step(packets)
+    switch.drain()
+    return switch.stats
+
+
+def loss_surface() -> None:
+    ports, slots = 16, 300
+    print(f"\n--- knockout loss surface (N={ports}, {slots} slots) ---")
+    rows = []
+    for load in (0.5, 0.75, 0.95):
+        row: dict[str, object] = {"load": load}
+        for L in (1, 2, 4, 8):
+            stats = run_case(ports, L, load, slots)
+            iv = wilson_interval(stats.knocked_out, max(stats.offered, 1))
+            row[f"L={L}"] = f"{iv.estimate:.4f} [{iv.low:.4f},{iv.high:.4f}]"
+        rows.append(row)
+    print(render_table(rows))
+    print(
+        "Shape: loss falls steeply in L at every load — a handful of "
+        "concentrator outputs per port absorbs almost all contention."
+    )
+
+
+def substitution() -> None:
+    ports, slots, L = 16, 300, 8
+    print(f"\n--- partial concentrator in the knockout role (N={ports}, L={L}) ---")
+
+    def partial_factory(n, m):
+        assert (n, m) == (16, 8)
+        return ColumnsortSwitch(8, 2, 8)  # (16, 8, 7/8) partial
+
+    rows = []
+    for load in (0.6, 0.9):
+        perfect = run_case(ports, L, load, slots)
+        partial = run_case(ports, L, load, slots, factory=partial_factory)
+        rows.append(
+            {
+                "load": load,
+                "perfect-concentrator loss": f"{perfect.loss_rate:.4f}",
+                "Columnsort-partial loss": f"{partial.loss_rate:.4f}",
+                "delivered (perfect/partial)": f"{perfect.delivered}/{partial.delivered}",
+            }
+        )
+    print(render_table(rows))
+    print(
+        "The (16, 8, 7/8) Columnsort switch — Θ(√n)-pin chips instead of "
+        "a 32-pin monolith — serves the role with no measurable penalty."
+    )
+
+
+def queue_behaviour() -> None:
+    print("\n--- output queue occupancy under bursty load ---")
+    switch = KnockoutSwitch(16, 8, buffer_depth=64)
+    peaks = []
+    for slot, packets in enumerate(
+        uniform_packet_traffic(16, 0.9, 120, seed=32)
+    ):
+        switch.step(packets)
+        peaks.append(max(switch.queue_lengths()))
+    print(
+        render_table(
+            [
+                {
+                    "max queue ever": max(peaks),
+                    "mean of per-slot max": f"{sum(peaks) / len(peaks):.2f}",
+                    "buffer overflows": switch.stats.buffer_overflow,
+                }
+            ]
+        )
+    )
+
+
+def main() -> None:
+    loss_surface()
+    substitution()
+    queue_behaviour()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Thin setup.py shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+``pip install -e .`` (PEP 660) cannot build an editable wheel.  This
+shim lets ``python setup.py develop`` work, and ``pip install -e .``
+falls back to it on pip versions that still support the legacy path.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,92 @@
+"""repro — reproduction of Cormen's *Efficient Multichip Partial
+Concentrator Switches* (MIT LCS TM-322, February 1987).
+
+Public API
+----------
+Theory (Section 3):
+    :func:`~repro.core.nearsort.nearsortedness`,
+    :func:`~repro.core.nearsort.decompose_dirty_window`,
+    :class:`~repro.core.concentration.ConcentratorSpec`,
+    :func:`~repro.core.concentration.lemma2_spec`.
+
+Switches (Sections 1, 4, 5, 6):
+    :class:`~repro.switches.Hyperconcentrator`,
+    :class:`~repro.switches.PerfectConcentrator`,
+    :class:`~repro.switches.RevsortSwitch`,
+    :class:`~repro.switches.ColumnsortSwitch`,
+    :class:`~repro.switches.FullRevsortHyperconcentrator`,
+    :class:`~repro.switches.FullColumnsortHyperconcentrator`,
+    :class:`~repro.gates.GateHyperconcentrator`.
+
+Substrates:
+    :mod:`repro.mesh` (Revsort/Columnsort/Shearsort),
+    :mod:`repro.gates` (netlists), :mod:`repro.hardware` (costs and
+    packagings), :mod:`repro.messages` (bit-serial simulation),
+    :mod:`repro.network` (traffic and network simulation).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import RevsortSwitch
+>>> switch = RevsortSwitch(n=256, m=192)
+>>> valid = np.zeros(256, dtype=bool); valid[:100] = True
+>>> routing = switch.setup(valid)
+>>> routing.routed_count
+100
+"""
+
+from repro.core.concentration import (
+    ConcentratorSpec,
+    lemma2_load_ratio,
+    lemma2_spec,
+    validate_hyperconcentration,
+    validate_partial_concentration,
+    validate_perfect_concentration,
+)
+from repro.core.nearsort import (
+    decompose_dirty_window,
+    is_nearsorted,
+    nearsortedness,
+)
+from repro.gates import GateHyperconcentrator
+from repro.messages import BitSerialSimulator, Message
+from repro.switches import (
+    ColumnsortSwitch,
+    ConcentratorSwitch,
+    FullColumnsortHyperconcentrator,
+    FullRevsortHyperconcentrator,
+    Hyperconcentrator,
+    IteratedColumnsortSwitch,
+    PerfectConcentrator,
+    PrefixButterflyHyperconcentrator,
+    RevsortSwitch,
+    Routing,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BitSerialSimulator",
+    "ColumnsortSwitch",
+    "ConcentratorSpec",
+    "ConcentratorSwitch",
+    "FullColumnsortHyperconcentrator",
+    "FullRevsortHyperconcentrator",
+    "GateHyperconcentrator",
+    "Hyperconcentrator",
+    "IteratedColumnsortSwitch",
+    "Message",
+    "PerfectConcentrator",
+    "PrefixButterflyHyperconcentrator",
+    "RevsortSwitch",
+    "Routing",
+    "decompose_dirty_window",
+    "is_nearsorted",
+    "lemma2_load_ratio",
+    "lemma2_spec",
+    "nearsortedness",
+    "validate_hyperconcentration",
+    "validate_partial_concentration",
+    "validate_perfect_concentration",
+    "__version__",
+]

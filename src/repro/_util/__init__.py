@@ -1,0 +1,21 @@
+"""Internal utilities: bit manipulation and deterministic RNG helpers."""
+
+from repro._util.bits import (
+    bit_reverse,
+    ceil_div,
+    ceil_lg,
+    ilg,
+    is_pow2,
+    lg_star,
+)
+from repro._util.rng import default_rng
+
+__all__ = [
+    "bit_reverse",
+    "ceil_div",
+    "ceil_lg",
+    "default_rng",
+    "ilg",
+    "is_pow2",
+    "lg_star",
+]

@@ -1,0 +1,76 @@
+"""Small integer/bit helpers used throughout the switch constructions.
+
+The paper writes ``lg n`` for the base-2 logarithm and ``rev(i)`` for the
+q-bit reversal of ``i`` (Section 4); these are the canonical
+implementations used by every module.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def is_pow2(x: int) -> bool:
+    """Return True iff ``x`` is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def ilg(x: int) -> int:
+    """Exact integer base-2 logarithm of a power of two.
+
+    Raises :class:`ConfigurationError` if ``x`` is not a power of two;
+    the switch constructions require exact powers.
+    """
+    if not is_pow2(x):
+        raise ConfigurationError(f"expected a power of two, got {x}")
+    return x.bit_length() - 1
+
+
+def ceil_lg(x: int) -> int:
+    """``⌈lg x⌉`` for positive ``x`` (0 for x == 1)."""
+    if x <= 0:
+        raise ConfigurationError(f"ceil_lg requires a positive integer, got {x}")
+    return (x - 1).bit_length()
+
+
+def ceil_div(a: int, b: int) -> int:
+    """``⌈a / b⌉`` for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ConfigurationError(f"ceil_div requires a positive divisor, got {b}")
+    return -(-a // b)
+
+
+def bit_reverse(i: int, q: int) -> int:
+    """The paper's ``rev(i)``: reverse the ``q``-bit binary representation.
+
+    Leading zeros are included in the reversal, e.g. with q = 4,
+    ``rev(3) = rev(0011b) = 1100b = 12`` (the Section 4 example).
+    """
+    if q < 0:
+        raise ConfigurationError(f"bit width must be non-negative, got {q}")
+    if not 0 <= i < (1 << q):
+        raise ConfigurationError(f"value {i} does not fit in {q} bits")
+    out = 0
+    for _ in range(q):
+        out = (out << 1) | (i & 1)
+        i >>= 1
+    return out
+
+
+def lg_star(x: int) -> int:
+    """The iterated logarithm ``lg* x``: the number of times ``lg`` must
+    be applied before the value drops to at most 2.
+
+    Not needed by the concentrator constructions themselves but used by
+    the analysis helpers when reporting asymptotics.
+    """
+    if x <= 0:
+        raise ConfigurationError(f"lg_star requires a positive integer, got {x}")
+    count = 0
+    value = float(x)
+    while value > 2.0:
+        import math
+
+        value = math.log2(value)
+        count += 1
+    return count

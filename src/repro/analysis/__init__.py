@@ -1,0 +1,33 @@
+"""Analysis helpers used by the benches: exponent fitting for Θ(n^x)
+claims, ASCII table rendering, and parameter-sweep drivers."""
+
+from repro.analysis.adversarial import (
+    SearchResult,
+    drop_objective,
+    epsilon_objective,
+    hill_climb,
+)
+from repro.analysis.asymptotics import fit_exponent, fit_log_slope
+from repro.analysis.stats import (
+    Interval,
+    bootstrap_mean,
+    proportions_differ,
+    wilson_interval,
+)
+from repro.analysis.sweep import sweep
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "Interval",
+    "SearchResult",
+    "bootstrap_mean",
+    "drop_objective",
+    "epsilon_objective",
+    "fit_exponent",
+    "fit_log_slope",
+    "hill_climb",
+    "proportions_differ",
+    "render_table",
+    "sweep",
+    "wilson_interval",
+]

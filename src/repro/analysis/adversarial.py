@@ -1,0 +1,114 @@
+"""Adversarial input search: how close do worst-case inputs get to the
+Theorem 3/4 bounds?
+
+Random sampling under-estimates worst-case ε, so the benches also run a
+randomized hill-climbing search over valid-bit patterns: flip/swap a
+few bits, keep the mutation when the measured ε (or another objective)
+does not decrease.  The search is deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro._util.rng import default_rng
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one hill-climbing run."""
+
+    best_input: np.ndarray
+    best_score: int
+    evaluations: int
+    improvements: int
+
+
+def hill_climb(
+    n: int,
+    objective: Callable[[np.ndarray], int],
+    *,
+    iterations: int = 400,
+    restarts: int = 4,
+    seed: int | None = None,
+) -> SearchResult:
+    """Maximise ``objective(valid_bits)`` over boolean vectors.
+
+    Mutations: flip one random bit, or swap a random (valid, invalid)
+    pair — the swap preserves k, letting the search explore a fixed
+    load level once a promising k is found.  Restart j starts from
+    density ``j/(restarts−1)`` (a ladder from empty to full) so the
+    search covers light and heavy loads even when the objective
+    plateaus at zero over most of the space (e.g. drop counts, which
+    are zero until the switch congests).
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    if iterations < 1 or restarts < 1:
+        raise ConfigurationError("iterations and restarts must be positive")
+    rng = default_rng(seed)
+    best: np.ndarray | None = None
+    best_score = -1
+    evaluations = 0
+    improvements = 0
+
+    for restart in range(restarts):
+        density = restart / (restarts - 1) if restarts > 1 else 0.5
+        current = rng.random(n) < density
+        score = objective(current)
+        evaluations += 1
+        for _ in range(iterations):
+            candidate = current.copy()
+            if rng.random() < 0.5:
+                candidate[int(rng.integers(n))] ^= True
+            else:
+                ones = np.flatnonzero(candidate)
+                zeros = np.flatnonzero(~candidate)
+                if ones.size and zeros.size:
+                    candidate[int(rng.choice(ones))] = False
+                    candidate[int(rng.choice(zeros))] = True
+            cand_score = objective(candidate)
+            evaluations += 1
+            if cand_score >= score:
+                if cand_score > score:
+                    improvements += 1
+                current, score = candidate, cand_score
+        if score > best_score:
+            best, best_score = current, score
+
+    assert best is not None
+    return SearchResult(
+        best_input=best,
+        best_score=best_score,
+        evaluations=evaluations,
+        improvements=improvements,
+    )
+
+
+def epsilon_objective(switch) -> Callable[[np.ndarray], int]:
+    """Objective: the nearsortedness of the switch's output valid
+    bits.  Works for any switch exposing ``final_positions``."""
+    from repro.core.nearsort import nearsortedness
+
+    def score(valid: np.ndarray) -> int:
+        final = switch.final_positions(valid)
+        out = np.zeros(switch.n, dtype=np.int8)
+        out[final] = valid.astype(np.int8)
+        return nearsortedness(out)
+
+    return score
+
+
+def drop_objective(switch) -> Callable[[np.ndarray], int]:
+    """Objective: number of valid messages the switch fails to route
+    (pressure on the Lemma 2 floor)."""
+
+    def score(valid: np.ndarray) -> int:
+        routing = switch.setup(valid)
+        return int(valid.sum()) - routing.routed_count
+
+    return score

@@ -1,0 +1,39 @@
+"""Exponent fitting for the paper's Θ(n^x) resource claims.
+
+The benches sweep n, measure a resource (pins, chips, volume, ε), and
+fit the slope of ``log(resource)`` against ``log(n)``; the fitted slope
+is compared with the paper's claimed exponent.  Delay claims of the
+form ``c·lg n + O(1)`` are fitted as a line in ``lg n`` instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def fit_exponent(ns: list[int], values: list[float]) -> float:
+    """Least-squares slope of log(values) vs log(ns): the measured x of
+    a Θ(n^x) relationship."""
+    ns_arr = np.asarray(ns, dtype=float)
+    vals = np.asarray(values, dtype=float)
+    if ns_arr.size != vals.size or ns_arr.size < 2:
+        raise ConfigurationError("need at least two matching samples to fit")
+    if (ns_arr <= 0).any() or (vals <= 0).any():
+        raise ConfigurationError("exponent fits require positive samples")
+    slope, _ = np.polyfit(np.log(ns_arr), np.log(vals), 1)
+    return float(slope)
+
+
+def fit_log_slope(ns: list[int], values: list[float]) -> tuple[float, float]:
+    """Least-squares fit of ``values ≈ a·lg(n) + b``; returns (a, b).
+    Used for the gate-delay claims ``3 lg n + O(1)`` etc."""
+    ns_arr = np.asarray(ns, dtype=float)
+    vals = np.asarray(values, dtype=float)
+    if ns_arr.size != vals.size or ns_arr.size < 2:
+        raise ConfigurationError("need at least two matching samples to fit")
+    if (ns_arr <= 0).any():
+        raise ConfigurationError("log fits require positive n")
+    a, b = np.polyfit(np.log2(ns_arr), vals, 1)
+    return float(a), float(b)

@@ -1,0 +1,79 @@
+"""Markdown report assembly.
+
+The benches print ASCII tables to the terminal; this module collects
+the same sections into a Markdown document (used by
+``python -m repro reproduce --output report.md`` and available to
+downstream pipelines that want machine-collected artifacts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class ReportBuilder:
+    """Accumulates titled sections and renders one Markdown document."""
+
+    title: str
+    _sections: list[tuple[str, str]] = field(default_factory=list)
+
+    def add_text(self, heading: str, body: str) -> None:
+        """Add a prose section."""
+        self._sections.append((heading, body.strip()))
+
+    def add_table(
+        self,
+        heading: str,
+        rows: Iterable[Mapping[str, object]],
+        note: str | None = None,
+    ) -> None:
+        """Add a table section (GitHub-flavoured Markdown)."""
+        rows = list(rows)
+        if not rows:
+            self._sections.append((heading, "_(no rows)_"))
+            return
+        headers = list(rows[0].keys())
+        lines = [
+            "| " + " | ".join(str(h) for h in headers) + " |",
+            "|" + "|".join("---" for _ in headers) + "|",
+        ]
+        for row in rows:
+            lines.append(
+                "| " + " | ".join(str(row.get(h, "")) for h in headers) + " |"
+            )
+        body = "\n".join(lines)
+        if note:
+            body += f"\n\n{note.strip()}"
+        self._sections.append((heading, body))
+
+    def add_checks(self, heading: str, checks: list[tuple[str, bool]]) -> None:
+        """Add a pass/fail checklist section."""
+        lines = [
+            f"- {'✅' if ok else '❌'} {label}" for label, ok in checks
+        ]
+        self._sections.append((heading, "\n".join(lines)))
+
+    @property
+    def section_count(self) -> int:
+        return len(self._sections)
+
+    def render(self) -> str:
+        parts = [f"# {self.title}", ""]
+        for heading, body in self._sections:
+            parts.append(f"## {heading}")
+            parts.append("")
+            parts.append(body)
+            parts.append("")
+        return "\n".join(parts)
+
+    def write(self, path: str | Path) -> Path:
+        target = Path(path)
+        if target.exists() and target.is_dir():
+            raise ConfigurationError(f"{target} is a directory")
+        target.write_text(self.render(), encoding="utf-8")
+        return target

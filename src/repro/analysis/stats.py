@@ -1,0 +1,110 @@
+"""Statistical helpers for the network experiments.
+
+Loss rates from Monte-Carlo runs need uncertainty estimates before
+"partial ≤ perfect + noise"-style conclusions are sound; the benches
+use Wilson score intervals for loss probabilities and bootstrap
+intervals for means.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util.rng import default_rng
+from repro.errors import ConfigurationError
+
+#: two-sided z for common confidence levels.
+_Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A point estimate with a confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+
+def wilson_interval(successes: int, trials: int, confidence: float = 0.95) -> Interval:
+    """Wilson score interval for a binomial proportion.
+
+    Well-behaved at the extremes (0 or all successes), unlike the
+    normal approximation — loss rates near zero are exactly the regime
+    the experiments care about.
+    """
+    if trials < 1:
+        raise ConfigurationError("need at least one trial")
+    if not 0 <= successes <= trials:
+        raise ConfigurationError(
+            f"successes {successes} out of range for {trials} trials"
+        )
+    try:
+        z = _Z[confidence]
+    except KeyError:
+        raise ConfigurationError(
+            f"confidence must be one of {sorted(_Z)}, got {confidence}"
+        ) from None
+    p = successes / trials
+    denom = 1 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return Interval(
+        estimate=p,
+        low=max(0.0, centre - half),
+        high=min(1.0, centre + half),
+        confidence=confidence,
+    )
+
+
+def bootstrap_mean(
+    samples: np.ndarray,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int | None = None,
+) -> Interval:
+    """Percentile-bootstrap confidence interval for a mean."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size < 2:
+        raise ConfigurationError("need at least two samples to bootstrap")
+    if confidence not in _Z:
+        raise ConfigurationError(
+            f"confidence must be one of {sorted(_Z)}, got {confidence}"
+        )
+    rng = default_rng(seed)
+    means = np.empty(resamples)
+    for i in range(resamples):
+        means[i] = arr[rng.integers(0, arr.size, size=arr.size)].mean()
+    tail = (1.0 - confidence) / 2.0
+    return Interval(
+        estimate=float(arr.mean()),
+        low=float(np.quantile(means, tail)),
+        high=float(np.quantile(means, 1.0 - tail)),
+        confidence=confidence,
+    )
+
+
+def proportions_differ(
+    a_successes: int, a_trials: int, b_successes: int, b_trials: int,
+    confidence: float = 0.95,
+) -> bool:
+    """Conservative check that two binomial proportions differ: their
+    Wilson intervals are disjoint."""
+    a = wilson_interval(a_successes, a_trials, confidence)
+    b = wilson_interval(b_successes, b_trials, confidence)
+    return a.high < b.low or b.high < a.low

@@ -1,0 +1,19 @@
+"""Parameter-sweep driver for the benches."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+
+def sweep(
+    parameters: Iterable[object],
+    measure: Callable[[object], Mapping[str, object]],
+) -> list[dict[str, object]]:
+    """Run ``measure`` across ``parameters`` and collect dict rows,
+    tagging each with its parameter value under the key ``param``."""
+    rows: list[dict[str, object]] = []
+    for value in parameters:
+        row = {"param": value}
+        row.update(measure(value))
+        rows.append(row)
+    return rows

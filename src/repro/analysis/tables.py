@@ -1,0 +1,31 @@
+"""Minimal ASCII table rendering for bench output.
+
+The benches print paper-vs-measured tables to stdout (captured into
+``bench_output.txt``); this renderer keeps them aligned and dependency
+free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+
+def render_table(rows: Iterable[Mapping[str, object]], title: str | None = None) -> str:
+    """Render dict rows as an aligned ASCII table (column order taken
+    from the first row)."""
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    headers = list(rows[0].keys())
+    table = [[str(r.get(h, "")) for h in headers] for r in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in table)) for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in table:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,315 @@
+"""Command-line interface.
+
+Six subcommands mirroring the paper's artifacts::
+
+    python -m repro table1  --n 4096 --m 3072
+    python -m repro design  --n 1024 --m 768 --pin-budget 150
+    python -m repro simulate --switch revsort --n 256 --m 192 --load 0.5
+    python -m repro verify  --switch columnsort --r 64 --s 8 --m 384
+    python -m repro knockout --ports 16 --load 0.9
+    python -m repro reproduce
+
+* ``table1`` prints the Table 1 resource measures for a concrete size;
+* ``design`` sweeps the design space under a pin budget (the
+  `examples/design_explorer.py` workflow);
+* ``simulate`` runs a traffic simulation and reports delivery/loss;
+* ``verify`` randomly checks a switch's partial-concentration contract
+  and measured ε against its theorem bound, exiting nonzero on any
+  violation;
+* ``knockout`` compares analytic and simulated knockout concentrator
+  loss across L;
+* ``reproduce`` runs the full end-to-end reproduction report (same
+  checks as ``examples/reproduce_paper.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro._util.bits import ilg
+from repro._util.rng import default_rng
+from repro.analysis.tables import render_table
+from repro.core.concentration import validate_partial_concentration
+from repro.core.nearsort import nearsortedness
+from repro.errors import ReproError
+from repro.hardware.costs import columnsort_measures, revsort_measures, table1
+
+
+def _build_switch(args: argparse.Namespace):
+    from repro.switches.registry import build_switch
+
+    return build_switch(
+        args.switch, n=args.n, m=args.m, r=args.r, s=args.s, beta=args.beta
+    )
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    rows = [r.as_row() for r in table1(args.n, args.m)]
+    if args.format == "json":
+        import json
+
+        print(json.dumps(rows, indent=2))
+    elif args.format == "csv":
+        import csv
+        import io
+
+        buf = io.StringIO()
+        writer = csv.DictWriter(buf, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+        print(buf.getvalue(), end="")
+    else:
+        print(render_table(rows, title=f"Table 1 at n={args.n}, m={args.m}"))
+    return 0
+
+
+def cmd_design(args: argparse.Namespace) -> int:
+    t = ilg(args.n)
+    rows = []
+    feasible = []
+    designs = [("Revsort", revsort_measures(args.n, args.m))]
+    for a in range((t + 1) // 2, t + 1):
+        beta = a / t
+        designs.append(
+            (f"Columnsort r=2^{a}", columnsort_measures(args.n, args.m, beta))
+        )
+    for name, meas in designs:
+        fits = meas.pins_per_chip <= args.pin_budget
+        rows.append(
+            {
+                "design": name,
+                "pins/chip": meas.pins_per_chip,
+                "chips": meas.chip_count,
+                "alpha": f"{meas.load_ratio:.4f}",
+                "delays": meas.gate_delays,
+                "volume": meas.volume,
+                "fits": "yes" if fits else "NO",
+            }
+        )
+        if fits:
+            feasible.append((name, meas))
+    print(render_table(rows, title=f"designs for (n={args.n}, m={args.m}), budget {args.pin_budget} pins"))
+    if not feasible:
+        print("no design fits the pin budget")
+        return 1
+    feasible.sort(key=lambda d: (-d[1].load_ratio, d[1].gate_delays, d[1].volume))
+    print(f"best feasible design: {feasible[0][0]}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.messages.congestion import BufferPolicy, DropPolicy, ResendPolicy
+    from repro.network.simulate import SwitchSimulation
+    from repro.network.traffic import BernoulliTraffic
+
+    switch = _build_switch(args)
+    policy = {
+        "drop": DropPolicy,
+        "buffer": BufferPolicy,
+        "resend": ResendPolicy,
+    }[args.policy]()
+    traffic = BernoulliTraffic(switch.n, p=args.load, seed=args.seed)
+    summary = SwitchSimulation(switch, traffic, policy, seed=args.seed).run(
+        rounds=args.rounds
+    )
+    print(
+        render_table(
+            [
+                {
+                    "switch": repr(switch),
+                    "rounds": summary.rounds,
+                    "offered": summary.offered,
+                    "delivered": summary.delivered,
+                    "lost": summary.lost,
+                    "loss rate": f"{summary.loss_rate:.4f}",
+                }
+            ],
+            title="simulation summary",
+        )
+    )
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    switch = _build_switch(args)
+    rng = default_rng(args.seed)
+    spec = switch.spec
+    worst_eps = 0
+    for _ in range(args.trials):
+        valid = rng.random(switch.n) < rng.random()
+        routing = switch.setup(valid)
+        validate_partial_concentration(spec, valid, routing.input_to_output)
+        if hasattr(switch, "final_positions"):
+            final = switch.final_positions(valid)
+            out = np.zeros(switch.n, dtype=np.int8)
+            out[final] = valid.astype(np.int8)
+            worst_eps = max(worst_eps, nearsortedness(out))
+    bound = getattr(switch, "epsilon_bound", None)
+    print(
+        render_table(
+            [
+                {
+                    "switch": repr(switch),
+                    "trials": args.trials,
+                    "alpha": f"{spec.alpha:.4f}",
+                    "worst eps": worst_eps,
+                    "eps bound": bound if bound is not None else "-",
+                    "verdict": "OK",
+                }
+            ],
+            title="contract verification",
+        )
+    )
+    if bound is not None and worst_eps > bound:
+        print("ERROR: measured epsilon exceeds the theorem bound", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_knockout(args: argparse.Namespace) -> int:
+    from repro.network.analytic import knockout_loss_analytic
+    from repro.network.knockout import knockout_loss_curve
+
+    l_values = [1, 2, 4, 8]
+    sim = knockout_loss_curve(
+        args.ports,
+        loads=[args.load],
+        l_values=l_values,
+        slots=args.slots,
+        seed=args.seed,
+    )
+    rows = []
+    for L in l_values:
+        rows.append(
+            {
+                "L": L,
+                "analytic loss": f"{knockout_loss_analytic(args.ports, args.load, L):.5f}",
+                "simulated loss": f"{sim[(args.load, L)]:.5f}",
+            }
+        )
+    print(
+        render_table(
+            rows,
+            title=f"knockout concentrator loss (N={args.ports}, load={args.load})",
+        )
+    )
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    import importlib.util
+    from pathlib import Path
+
+    script = Path(__file__).resolve().parents[2] / "examples" / "reproduce_paper.py"
+    if not script.exists():
+        print("error: examples/reproduce_paper.py not found", file=sys.stderr)
+        return 2
+    spec = importlib.util.spec_from_file_location("reproduce_paper", script)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+
+    output = getattr(args, "output", None)
+    if output:
+        import contextlib
+        import io
+
+        buffer = io.StringIO()
+        try:
+            with contextlib.redirect_stdout(buffer):
+                module.main()
+            code = 0
+        except SystemExit as exc:
+            code = int(exc.code) if exc.code else 1
+        text = buffer.getvalue()
+        print(text, end="")
+
+        from repro.analysis.reporting import ReportBuilder
+
+        builder = ReportBuilder(
+            title="Reproduction report — Cormen 1987, multichip partial "
+            "concentrator switches"
+        )
+        builder.add_text("Full run transcript", f"```\n{text.strip()}\n```")
+        builder.add_text(
+            "Verdict",
+            "All checks passed." if code == 0 else "SOME CHECKS FAILED.",
+        )
+        path = builder.write(output)
+        print(f"report written to {path}")
+        return code
+
+    try:
+        module.main()
+    except SystemExit as exc:
+        return int(exc.code) if exc.code else 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multichip partial concentrator switches (Cormen 1987)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="print Table 1 for a concrete size")
+    p.add_argument("--n", type=int, default=4096)
+    p.add_argument("--m", type=int, default=3072)
+    p.add_argument("--format", choices=["table", "json", "csv"], default="table")
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("design", help="sweep designs under a pin budget")
+    p.add_argument("--n", type=int, default=1024)
+    p.add_argument("--m", type=int, default=768)
+    p.add_argument("--pin-budget", type=int, default=150)
+    p.set_defaults(func=cmd_design)
+
+    for name, func in (("simulate", cmd_simulate), ("verify", cmd_verify)):
+        p = sub.add_parser(name)
+        from repro.switches.registry import available
+
+        p.add_argument("--switch", choices=available(), default="revsort")
+        p.add_argument("--n", type=int, default=256)
+        p.add_argument("--m", type=int, default=192)
+        p.add_argument("--r", type=int, default=0)
+        p.add_argument("--s", type=int, default=0)
+        p.add_argument("--beta", type=float, default=0.75)
+        p.add_argument("--seed", type=int, default=0)
+        if name == "simulate":
+            p.add_argument("--load", type=float, default=0.5)
+            p.add_argument("--rounds", type=int, default=50)
+            p.add_argument(
+                "--policy", choices=["drop", "buffer", "resend"], default="drop"
+            )
+        else:
+            p.add_argument("--trials", type=int, default=100)
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("knockout", help="analytic vs simulated knockout loss")
+    p.add_argument("--ports", type=int, default=16)
+    p.add_argument("--load", type=float, default=0.9)
+    p.add_argument("--slots", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_knockout)
+
+    p = sub.add_parser("reproduce", help="run the full reproduction report")
+    p.add_argument("--output", default=None, help="also write a Markdown report here")
+    p.set_defaults(func=cmd_reproduce)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""The paper's theoretical core: ε-nearsorting and partial concentration.
+
+* :mod:`repro.core.nearsort` — ε-nearsortedness of 0/1 sequences and the
+  structural **Lemma 1** (clean 1s / ≤2ε dirty / clean 0s).
+* :mod:`repro.core.concentration` — concentrator switch specifications,
+  behavioural validators, the key **Lemma 2** (an ε-nearsorter restricted
+  to its first m outputs is an (n, m, 1 − ε/m) partial concentrator),
+  and the **Figure 2** construction showing the converse fails.
+"""
+
+from repro.core.concentration import (
+    ConcentratorSpec,
+    figure2_counterexample,
+    lemma2_load_ratio,
+    lemma2_spec,
+    validate_hyperconcentration,
+    validate_partial_concentration,
+    validate_perfect_concentration,
+    validate_routing_disjoint,
+)
+from repro.core.nearsort import (
+    DirtyDecomposition,
+    decompose_dirty_window,
+    is_nearsorted,
+    lemma1_epsilon_from_window,
+    lemma1_window_from_epsilon,
+    nearsortedness,
+)
+
+__all__ = [
+    "ConcentratorSpec",
+    "DirtyDecomposition",
+    "decompose_dirty_window",
+    "figure2_counterexample",
+    "is_nearsorted",
+    "lemma1_epsilon_from_window",
+    "lemma1_window_from_epsilon",
+    "lemma2_load_ratio",
+    "lemma2_spec",
+    "nearsortedness",
+    "validate_hyperconcentration",
+    "validate_partial_concentration",
+    "validate_perfect_concentration",
+    "validate_routing_disjoint",
+]

@@ -1,0 +1,199 @@
+"""ε-nearsortedness of 0/1 sequences (Section 3 of the paper).
+
+A sequence is *ε-nearsorted* when "each element in the sequence is
+within ε positions of where it belongs in the fully sorted sequence"
+(nonincreasing order).  For 0/1 sequences — the only ones the switches
+care about, since only valid bits are nearsorted — a value 1 *belongs*
+anywhere in the leading block of k positions and a 0 anywhere in the
+trailing block.  This per-value reading is the one the paper's proofs
+of Lemma 1 and Lemma 2 use ("each 1 appears within the first k + ε
+positions, and each 0 appears within the last n − k + ε positions"), so
+it is the operative definition here:
+
+    ε(seq) = max( last_one_pos − (k−1),  k − first_zero_pos,  0 )
+
+:func:`nearsortedness_strict` additionally implements the stricter
+order-preserving-assignment notion (the t-th 1 belongs exactly at
+position t); it upper-bounds the operative ε and is reported by the
+benches for comparison.
+
+**Lemma 1.**  A sequence of n bits with k 1s is ε-nearsorted iff it
+consists of a clean run of ≥ k − ε 1s, then a dirty window of ≤ 2ε
+bits, then a clean run of ≥ n − k − ε 0s.  Both directions are
+implemented and property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _as_bits(sequence: np.ndarray) -> np.ndarray:
+    arr = np.asarray(sequence)
+    if arr.ndim != 1:
+        raise ConfigurationError(f"expected a 1-D bit sequence, got shape {arr.shape}")
+    arr = arr.astype(np.int8)
+    if arr.size and (arr.min() < 0 or arr.max() > 1):
+        raise ConfigurationError("sequence must contain only 0/1 values")
+    return arr
+
+
+def nearsortedness(sequence: np.ndarray) -> int:
+    """The exact (smallest) ε for which ``sequence`` is ε-nearsorted
+    under the paper's per-value notion.
+
+    Equal to ``max(last 1 position − (k−1), k − first 0 position, 0)``;
+    a fully sorted sequence returns 0.
+    """
+    bits = _as_bits(sequence)
+    k = int(bits.sum())
+    ones = np.flatnonzero(bits == 1)
+    zeros = np.flatnonzero(bits == 0)
+    eps = 0
+    if ones.size:
+        eps = max(eps, int(ones[-1]) - (k - 1))
+    if zeros.size:
+        eps = max(eps, k - int(zeros[0]))
+    return max(eps, 0)
+
+
+def nearsortedness_strict(sequence: np.ndarray) -> int:
+    """ε under the stricter order-preserving assignment: the t-th 1
+    (left to right) belongs at position t, the t-th 0 at position k + t.
+
+    Always ≥ :func:`nearsortedness`; useful as a conservative check.
+    """
+    bits = _as_bits(sequence)
+    k = int(bits.sum())
+    ones = np.flatnonzero(bits == 1)
+    zeros = np.flatnonzero(bits == 0)
+    eps = 0
+    if ones.size:
+        eps = max(eps, int(np.abs(ones - np.arange(ones.size)).max()))
+    if zeros.size:
+        eps = max(eps, int(np.abs(zeros - (k + np.arange(zeros.size))).max()))
+    return eps
+
+
+def is_nearsorted(sequence: np.ndarray, epsilon: int) -> bool:
+    """True iff ``sequence`` is ε-nearsorted for the given ε."""
+    if epsilon < 0:
+        raise ConfigurationError(f"epsilon must be non-negative, got {epsilon}")
+    return nearsortedness(sequence) <= epsilon
+
+
+@dataclass(frozen=True)
+class DirtyDecomposition:
+    """The Figure 1 structure of a bit sequence.
+
+    ``clean_ones`` leading 1s, then a ``dirty`` window (the minimal
+    mixed region, empty when sorted), then ``clean_zeros`` trailing 0s.
+    ``dirty_start`` is the index of the first dirty position.
+    """
+
+    n: int
+    k: int
+    clean_ones: int
+    dirty_start: int
+    dirty_length: int
+    clean_zeros: int
+
+    @property
+    def is_sorted(self) -> bool:
+        return self.dirty_length == 0
+
+
+def decompose_dirty_window(sequence: np.ndarray) -> DirtyDecomposition:
+    """Split a bit sequence into leading clean 1s, a dirty window, and
+    trailing clean 0s (the Figure 1 picture).
+
+    The dirty window is the minimal contiguous region outside of which
+    the sequence looks fully sorted: from the first 0 to the last 1
+    (when that last 1 lies after the first 0).
+    """
+    bits = _as_bits(sequence)
+    n = bits.size
+    k = int(bits.sum())
+    zeros = np.flatnonzero(bits == 0)
+    ones = np.flatnonzero(bits == 1)
+    first_zero = int(zeros[0]) if zeros.size else n
+    last_one = int(ones[-1]) if ones.size else -1
+    if last_one < first_zero:  # fully sorted
+        return DirtyDecomposition(
+            n=n, k=k, clean_ones=k, dirty_start=k, dirty_length=0, clean_zeros=n - k
+        )
+    dirty_start = first_zero
+    dirty_end = last_one  # inclusive
+    return DirtyDecomposition(
+        n=n,
+        k=k,
+        clean_ones=dirty_start,
+        dirty_start=dirty_start,
+        dirty_length=dirty_end - dirty_start + 1,
+        clean_zeros=n - dirty_end - 1,
+    )
+
+
+def lemma1_window_from_epsilon(n: int, k: int, epsilon: int) -> tuple[int, int, int]:
+    """Lemma 1, (⇒) direction: the structural guarantees on an
+    ε-nearsorted sequence of ``k`` 1s among ``n`` bits.
+
+    Returns ``(min_clean_ones, max_dirty, min_clean_zeros)`` =
+    ``(k − ε, 2ε, n − k − ε)`` clamped to feasible ranges.
+    """
+    if not 0 <= k <= n:
+        raise ConfigurationError(f"k={k} out of range for n={n}")
+    if epsilon < 0:
+        raise ConfigurationError(f"epsilon must be non-negative, got {epsilon}")
+    return (max(0, k - epsilon), min(n, 2 * epsilon), max(0, n - k - epsilon))
+
+
+def lemma1_epsilon_from_window(decomposition: DirtyDecomposition) -> int:
+    """Lemma 1, (⇐) direction: an ε making the decomposed sequence
+    ε-nearsorted, derived from the dirty window alone.
+
+    The window spans positions ``[dirty_start, dirty_start + d)``; every
+    1 lies before its end and every 0 after its start, so
+    ``ε = max(dirty_end − k + 1, k − dirty_start, 0)`` ≤ d works.  This
+    is the bound the Revsort switch analysis uses: a dirty window of
+    ``O(n^{3/4})`` flat positions yields ε = O(n^{3/4}).
+    """
+    d = decomposition.dirty_length
+    if d == 0:
+        return 0
+    k = decomposition.k
+    dirty_end = decomposition.dirty_start + d - 1
+    return max(dirty_end - k + 1, k - decomposition.dirty_start, 0)
+
+
+def random_epsilon_nearsorted(
+    n: int,
+    k: int,
+    epsilon: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample a sequence of ``k`` 1s among ``n`` bits that is
+    ε-nearsorted (used by tests/benches to exercise Lemma 1 ⇒).
+
+    Construction: all 1s before position ``k − ε``, all 0s after
+    position ``k + ε``, the window in between filled randomly — exactly
+    the Figure 1 structure, hence ε-nearsorted by Lemma 1 (⇐).
+    """
+    if not 0 <= k <= n:
+        raise ConfigurationError(f"k={k} out of range for n={n}")
+    if epsilon < 0:
+        raise ConfigurationError(f"epsilon must be non-negative, got {epsilon}")
+    lo = max(0, k - epsilon)
+    hi = min(n, k + epsilon)
+    bits = np.zeros(n, dtype=np.int8)
+    bits[:lo] = 1
+    window = hi - lo
+    ones_in_window = k - lo
+    if window > 0 and ones_in_window > 0:
+        pos = rng.choice(window, size=ones_in_window, replace=False)
+        bits[lo + np.sort(pos)] = 1
+    return bits

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-specific failures derive from :class:`ReproError` so callers
+can catch one base class.  Configuration problems (bad switch sizes,
+non-power-of-two inputs, invalid Columnsort shapes) raise
+:class:`ConfigurationError`; violations of a switch's behavioural
+contract detected at runtime raise :class:`ConcentrationError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A switch, mesh, or circuit was constructed with invalid parameters.
+
+    Examples: a Revsort switch whose ``n`` is not an even power of two, a
+    Columnsort switch whose ``s`` does not divide ``r``, or a partial
+    concentrator with ``m > n``.
+    """
+
+
+class ConcentrationError(ReproError, AssertionError):
+    """A switch violated its concentration contract.
+
+    Raised by the validators in :mod:`repro.core.concentration` when a
+    routing fails the perfect/partial concentrator property, e.g. a valid
+    message was dropped while the switch was lightly loaded.
+    """
+
+
+class RoutingError(ReproError, RuntimeError):
+    """An internal routing invariant was violated (non-disjoint paths,
+    out-of-range output index, or a message sent through a switch whose
+    paths were never set up)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """A clocked bit-serial simulation entered an inconsistent state,
+    e.g. payload bits arriving before the setup cycle completed."""
+
+
+class CircuitError(ReproError, ValueError):
+    """A gate-level netlist is malformed: combinational cycle, dangling
+    wire, duplicate driver, or evaluation of an undriven input."""

@@ -1,0 +1,125 @@
+"""Reusable combinational builders.
+
+These are the circuit idioms the hyperconcentrator netlist is made of:
+balanced OR/AND trees (logarithmic depth), ripple-carry and conditional
+-sum adders, a parallel-prefix population counter (the rank network of
+the setup logic), and constant-equality decoders (the crosspoint
+controls).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CircuitError
+from repro.gates.netlist import Circuit, Op
+
+
+def balanced_tree(circuit: Circuit, op: Op, wires: list[int]) -> int:
+    """Reduce ``wires`` with a balanced tree of 2-input ``op`` gates
+    (depth ``⌈lg len⌉``).  A single wire passes through unchanged."""
+    if not wires:
+        raise CircuitError("cannot reduce an empty wire list")
+    level = list(wires)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(circuit.add_gate(op, level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def or_tree(circuit: Circuit, wires: list[int]) -> int:
+    return balanced_tree(circuit, Op.OR, wires)
+
+
+def and_tree(circuit: Circuit, wires: list[int]) -> int:
+    return balanced_tree(circuit, Op.AND, wires)
+
+
+def half_adder(circuit: Circuit, a: int, b: int) -> tuple[int, int]:
+    """(sum, carry) of two bits."""
+    return circuit.add_gate(Op.XOR, a, b), circuit.add_gate(Op.AND, a, b)
+
+
+def full_adder(circuit: Circuit, a: int, b: int, c: int) -> tuple[int, int]:
+    """(sum, carry) of three bits."""
+    s1, c1 = half_adder(circuit, a, b)
+    s2, c2 = half_adder(circuit, s1, c)
+    return s2, circuit.add_gate(Op.OR, c1, c2)
+
+
+def ripple_add(circuit: Circuit, a: list[int], b: list[int]) -> list[int]:
+    """Add two little-endian binary numbers; result has
+    ``max(len) + 1`` bits.  Simple and compact; the prefix counter uses
+    it pairwise so overall depth stays O(lg² n), which the delay bench
+    reports alongside the paper's idealised 2 lg n."""
+    width = max(len(a), len(b))
+    a = a + [circuit.const(False)] * (width - len(a))
+    b = b + [circuit.const(False)] * (width - len(b))
+    out: list[int] = []
+    carry: int | None = None
+    for bit_a, bit_b in zip(a, b):
+        if carry is None:
+            s, carry = half_adder(circuit, bit_a, bit_b)
+        else:
+            s, carry = full_adder(circuit, bit_a, bit_b, carry)
+        out.append(s)
+    out.append(carry)
+    return out
+
+
+def popcount(circuit: Circuit, wires: list[int]) -> list[int]:
+    """Population count of ``wires`` as a little-endian binary number,
+    via a balanced adder tree (Wallace-style)."""
+    if not wires:
+        return [circuit.const(False)]
+    numbers: list[list[int]] = [[w] for w in wires]
+    while len(numbers) > 1:
+        nxt = []
+        for i in range(0, len(numbers) - 1, 2):
+            nxt.append(ripple_add(circuit, numbers[i], numbers[i + 1]))
+        if len(numbers) % 2:
+            nxt.append(numbers[-1])
+        numbers = nxt
+    return numbers[0]
+
+
+def prefix_popcounts(circuit: Circuit, wires: list[int]) -> list[list[int]]:
+    """Inclusive prefix population counts: result[i] is the binary count
+    of 1s among ``wires[0..i]``.
+
+    Built with the Sklansky parallel-prefix pattern over binary
+    addition: ``⌈lg n⌉`` combine levels, each a ripple adder.  This is
+    the *rank network* of the hyperconcentrator setup logic.
+    """
+    n = len(wires)
+    if n == 0:
+        return []
+    counts: list[list[int]] = [[w] for w in wires]
+    span = 1
+    while span < n:
+        updated = list(counts)
+        for block in range(0, n, 2 * span):
+            pivot = block + span - 1  # last index of the left half
+            if pivot >= n:
+                continue
+            for i in range(pivot + 1, min(block + 2 * span, n)):
+                updated[i] = ripple_add(circuit, counts[pivot], counts[i])
+        counts = updated
+        span *= 2
+    return counts
+
+
+def equals_const(circuit: Circuit, bits: list[int], value: int) -> int:
+    """A wire that is high iff the little-endian ``bits`` equal the
+    constant ``value`` (an AND over literals — the crosspoint decode)."""
+    if value < 0 or value >= (1 << len(bits)):
+        raise CircuitError(f"constant {value} does not fit in {len(bits)} bits")
+    literals = []
+    for pos, wire in enumerate(bits):
+        if (value >> pos) & 1:
+            literals.append(wire)
+        else:
+            literals.append(circuit.add_gate(Op.NOT, wire))
+    return and_tree(circuit, literals)

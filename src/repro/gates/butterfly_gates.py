@@ -1,0 +1,96 @@
+"""Gate-level datapath of the prefix + butterfly hyperconcentrator.
+
+The Section 1 alternative switch is "not combinational": its 2×2
+switches are *set* by sequential control once per setup, then message
+bits stream through pure mux logic.  This module builds that datapath
+as a netlist — ``lg n`` stages of 2×2 crossbar cells, each cell two
+2:1 muxes sharing one latched setting bit — so the streaming phase can
+be simulated and timed at the gate level.
+
+Inputs: data wires ``d{i}`` and one setting wire ``set_{t}_{p}`` per
+stage t and pair p (driven externally from
+:meth:`repro.switches.prefix_butterfly.PrefixButterflyHyperconcentrator.
+switch_settings`).  Outputs ``y{i}``.
+
+A message bit traverses one mux (2 gate levels) per stage: ``2 lg n``
+gate delays — interestingly, the same constant as the paper's
+combinational chip, the difference being the latched control state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.bits import ilg
+from repro.errors import ConfigurationError
+from repro.gates.evaluate import evaluate
+from repro.gates.netlist import Circuit, Op
+
+
+def _mux(circuit: Circuit, sel: int, a: int, b: int) -> int:
+    """2:1 mux: sel ? b : a  (two gate levels: AND plane + OR)."""
+    nsel = circuit.add_gate(Op.NOT, sel)
+    take_a = circuit.add_gate(Op.AND, nsel, a)
+    take_b = circuit.add_gate(Op.AND, sel, b)
+    return circuit.add_gate(Op.OR, take_a, take_b)
+
+
+def build_butterfly_datapath(n: int) -> Circuit:
+    """The reverse-butterfly mux datapath for ``n = 2^q`` wires."""
+    if n < 2:
+        raise ConfigurationError(f"butterfly datapath needs n >= 2, got {n}")
+    q = ilg(n)
+    circuit = Circuit()
+    wires = [circuit.input(name=f"d{i}") for i in range(n)]
+    settings: list[list[int]] = []
+    for t in range(q):
+        stage = [
+            circuit.input(name=f"set_{t}_{p}") for p in range(n // 2)
+        ]
+        settings.append(stage)
+
+    for t in range(q):
+        bit = 1 << t
+        new_wires = list(wires)
+        pair_index = 0
+        for lo in range(n):
+            if lo & bit:
+                continue
+            hi = lo | bit
+            sel = settings[t][pair_index]
+            # crossed (sel=1): lo gets hi's data and vice versa.
+            new_wires[lo] = _mux(circuit, sel, wires[lo], wires[hi])
+            new_wires[hi] = _mux(circuit, sel, wires[hi], wires[lo])
+            pair_index += 1
+        wires = new_wires
+
+    for i, wire in enumerate(wires):
+        circuit.set_name(f"y{i}", circuit.add_gate(Op.BUF, wire))
+    return circuit
+
+
+def stream_bit(
+    circuit: Circuit,
+    n: int,
+    data: np.ndarray,
+    settings: list[np.ndarray],
+) -> np.ndarray:
+    """Evaluate one data cycle through the latched-settings datapath."""
+    q = ilg(n)
+    if len(settings) != q:
+        raise ConfigurationError(f"expected {q} setting stages, got {len(settings)}")
+    inputs = [np.asarray(data, dtype=bool)]
+    for stage in settings:
+        inputs.append(np.asarray(stage, dtype=bool))
+    flat = np.concatenate(inputs)
+    values = evaluate(circuit, flat)
+    return np.array([values[circuit.wire(f"y{i}")] for i in range(n)], dtype=bool)
+
+
+def datapath_delay(circuit: Circuit, n: int) -> int:
+    """Measured gate delays from data inputs to data outputs."""
+    from repro.gates.depth import critical_path_length
+
+    sources = [circuit.wire(f"d{i}") for i in range(n)]
+    sinks = [circuit.wire(f"y{i}") for i in range(n)]
+    return critical_path_length(circuit, sources, sinks)

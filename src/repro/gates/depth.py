@@ -1,0 +1,62 @@
+"""Gate-delay (critical path) analysis.
+
+The paper states its delay results in *gate delays* — e.g. a message
+incurs exactly ``2 lg n`` gate delays through the hyperconcentrator
+chip and ``3 lg n + O(1)`` through the Revsort switch.  These helpers
+measure the same quantity on our netlists: the longest gate-weighted
+path, optionally restricted to paths that start at a chosen set of
+source wires (so the *data-path* delay can be separated from the
+*setup/control* depth).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gates.netlist import Circuit
+
+
+def wire_depths(circuit: Circuit, sources: list[int] | None = None) -> np.ndarray:
+    """Longest gate-delay path ending at each wire.
+
+    With ``sources`` given, only paths originating at those wires count;
+    wires unreachable from any source get depth −1 (their value is
+    fixed once setup settles, so they add no delay to a message).
+    Without ``sources``, every INPUT/CONST wire is a source at depth 0.
+    """
+    n = circuit.n_wires
+    depth = np.full(n, -1, dtype=np.int64)
+    if sources is None:
+        for gate in circuit.gates:
+            if not gate.inputs:
+                depth[gate.output] = 0
+    else:
+        for wire in sources:
+            depth[wire] = 0
+    for gate in circuit.gates:
+        if not gate.inputs:
+            continue
+        best = -1
+        for src in gate.inputs:
+            if depth[src] > best:
+                best = depth[src]
+        if best >= 0:
+            candidate = best + gate.op.delay
+            if candidate > depth[gate.output]:
+                depth[gate.output] = candidate
+    return depth
+
+
+def critical_path_length(
+    circuit: Circuit,
+    sources: list[int] | None = None,
+    sinks: list[int] | None = None,
+) -> int:
+    """The longest gate-delay path from ``sources`` to ``sinks``
+    (defaults: all inputs/constants to all wires)."""
+    depth = wire_depths(circuit, sources)
+    if sinks is None:
+        return int(depth.max(initial=0))
+    reached = depth[sinks]
+    reached = reached[reached >= 0]
+    return int(reached.max(initial=0))

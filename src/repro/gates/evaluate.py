@@ -1,0 +1,78 @@
+"""Topological evaluation of combinational netlists.
+
+Circuits are stored in topological order, so evaluation is a single
+pass.  :func:`evaluate` is vectorised over input *batches*: passing a
+``(batch, n_inputs)`` bool array simulates every pattern in one sweep,
+which is how the exhaustive small-n equivalence tests stay fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CircuitError
+from repro.gates.netlist import Circuit, Op
+
+
+def evaluate(circuit: Circuit, inputs: np.ndarray) -> np.ndarray:
+    """Evaluate every wire of ``circuit``.
+
+    ``inputs`` is a bool array of shape ``(n_inputs,)`` or
+    ``(batch, n_inputs)`` giving values for the INPUT wires in creation
+    order.  Returns a bool array of shape ``(n_wires,)`` or
+    ``(batch, n_wires)`` with the value of every wire.
+    """
+    arr = np.asarray(inputs, dtype=bool)
+    squeeze = arr.ndim == 1
+    if squeeze:
+        arr = arr[None, :]
+    input_wires = circuit.input_wires()
+    if arr.shape[1] != len(input_wires):
+        raise CircuitError(
+            f"circuit has {len(input_wires)} inputs, got {arr.shape[1]} values"
+        )
+    batch = arr.shape[0]
+    values = np.zeros((batch, circuit.n_wires), dtype=bool)
+    next_input = 0
+    for gate in circuit.gates:
+        op = gate.op
+        out = gate.output
+        if op is Op.INPUT:
+            values[:, out] = arr[:, next_input]
+            next_input += 1
+        elif op is Op.CONST0:
+            values[:, out] = False
+        elif op is Op.CONST1:
+            values[:, out] = True
+        elif op in (Op.BUF,):
+            values[:, out] = values[:, gate.inputs[0]]
+        elif op is Op.NOT:
+            values[:, out] = ~values[:, gate.inputs[0]]
+        elif op in (Op.AND, Op.NAND):
+            acc = values[:, gate.inputs[0]].copy()
+            for src in gate.inputs[1:]:
+                acc &= values[:, src]
+            values[:, out] = ~acc if op is Op.NAND else acc
+        elif op in (Op.OR, Op.NOR):
+            acc = values[:, gate.inputs[0]].copy()
+            for src in gate.inputs[1:]:
+                acc |= values[:, src]
+            values[:, out] = ~acc if op is Op.NOR else acc
+        elif op is Op.XOR:
+            acc = values[:, gate.inputs[0]].copy()
+            for src in gate.inputs[1:]:
+                acc ^= values[:, src]
+            values[:, out] = acc
+        else:  # pragma: no cover - exhaustive over Op
+            raise CircuitError(f"unknown op {op}")
+    return values[0] if squeeze else values
+
+
+def evaluate_wires(
+    circuit: Circuit, inputs: np.ndarray, wires: list[int]
+) -> np.ndarray:
+    """Evaluate and project onto a wire subset (same batch semantics)."""
+    values = evaluate(circuit, inputs)
+    if values.ndim == 1:
+        return values[wires]
+    return values[:, wires]

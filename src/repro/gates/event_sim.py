@@ -1,0 +1,145 @@
+"""Event-driven timing simulation of combinational netlists.
+
+The paper's delay claims ("a message incurs 3 lg n + O(1) gate
+delays") are statements about when outputs *settle* after inputs
+change.  The static analyzer in :mod:`repro.gates.depth` bounds this
+by the critical path; this module actually simulates the transient:
+every gate re-evaluates ``delay`` time units after an input edge, so
+the simulation reports the true settle time (= the longest *sensitised*
+path, ≤ the static critical path) and the glitch activity on each wire.
+
+Used by the tests to confirm that the static gate-delay accounting the
+hardware model relies on is an upper bound that the dynamic behaviour
+actually meets.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CircuitError
+from repro.gates.netlist import Circuit, Op
+
+
+@dataclass
+class TimingResult:
+    """Outcome of one input transition."""
+
+    settle_time: int
+    final_values: np.ndarray
+    transitions_per_wire: np.ndarray
+
+    @property
+    def total_transitions(self) -> int:
+        return int(self.transitions_per_wire.sum())
+
+    def glitches(self) -> int:
+        """Extra transitions beyond the single final edge each changed
+        wire needs (a proxy for dynamic power)."""
+        extra = self.transitions_per_wire - 1
+        return int(extra[extra > 0].sum())
+
+
+def _gate_output(op: Op, in_values: list[bool]) -> bool:
+    if op is Op.BUF:
+        return in_values[0]
+    if op is Op.NOT:
+        return not in_values[0]
+    if op is Op.AND:
+        return all(in_values)
+    if op is Op.NAND:
+        return not all(in_values)
+    if op is Op.OR:
+        return any(in_values)
+    if op is Op.NOR:
+        return not any(in_values)
+    if op is Op.XOR:
+        acc = False
+        for v in in_values:
+            acc ^= v
+        return acc
+    raise CircuitError(f"gate op {op} has no evaluation rule")
+
+
+class EventSimulator:
+    """Unit-delay event-driven simulator for a :class:`Circuit`."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self._fanout: list[list[int]] = [[] for _ in range(circuit.n_wires)]
+        for gate in circuit.gates:
+            for src in gate.inputs:
+                self._fanout[src].append(gate.output)
+        self._input_wires = circuit.input_wires()
+
+    def _initial_values(self, inputs: np.ndarray) -> np.ndarray:
+        from repro.gates.evaluate import evaluate
+
+        return evaluate(self.circuit, inputs)
+
+    def transition(
+        self, old_inputs: np.ndarray, new_inputs: np.ndarray
+    ) -> TimingResult:
+        """Settle the circuit on ``old_inputs``, switch to
+        ``new_inputs`` at t = 0, and propagate events until quiescent.
+        """
+        old = np.asarray(old_inputs, dtype=bool)
+        new = np.asarray(new_inputs, dtype=bool)
+        if old.shape != new.shape or old.size != len(self._input_wires):
+            raise CircuitError("input vectors must match the circuit's inputs")
+
+        values = self._initial_values(old).copy()
+        transitions = np.zeros(self.circuit.n_wires, dtype=np.int64)
+
+        gates_by_output = {g.output: g for g in self.circuit.gates}
+        forced = {
+            wire: bool(bit) for wire, bit in zip(self._input_wires, new)
+        }
+
+        # (time, wire) re-evaluation events; gate outputs are computed
+        # at *fire* time so late-arriving input changes are honoured.
+        queue: list[tuple[int, int]] = []
+        for wire, bit in forced.items():
+            if values[wire] != bit:
+                heapq.heappush(queue, (0, wire))
+
+        settle = 0
+        while queue:
+            time, wire = heapq.heappop(queue)
+            gate = gates_by_output[wire]
+            if gate.op is Op.INPUT:
+                value = forced[wire]
+            elif gate.op in (Op.CONST0, Op.CONST1):
+                continue
+            else:
+                value = _gate_output(
+                    gate.op, [bool(values[s]) for s in gate.inputs]
+                )
+            if values[wire] == value:
+                continue  # glitch cancelled before it happened
+            values[wire] = value
+            transitions[wire] += 1
+            settle = max(settle, time)
+            for sink in self._fanout[wire]:
+                sink_gate = gates_by_output[sink]
+                heapq.heappush(queue, (time + sink_gate.op.delay, sink))
+        return TimingResult(
+            settle_time=settle,
+            final_values=values,
+            transitions_per_wire=transitions,
+        )
+
+    def measure_settle_time(self, trials: int, rng: np.random.Generator) -> int:
+        """Worst observed settle time over random input transitions."""
+        n_inputs = len(self._input_wires)
+        worst = 0
+        previous = rng.random(n_inputs) < 0.5
+        for _ in range(trials):
+            nxt = rng.random(n_inputs) < 0.5
+            result = self.transition(previous, nxt)
+            worst = max(worst, result.settle_time)
+            previous = nxt
+        return worst

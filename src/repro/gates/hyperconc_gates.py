@@ -1,0 +1,151 @@
+"""Gate-level hyperconcentrator netlist (the single-chip building block).
+
+The exact Cormen–Leiserson schematic (ICPP 1986) is not in the paper
+text, so this is a functionally equivalent **rank crossbar** with the
+same headline characteristics: a highly regular Θ(n²)-component layout
+and a logarithmic-depth data path (DESIGN.md records the substitution).
+
+Structure
+---------
+* **setup logic** — a parallel-prefix population counter computes each
+  input's *rank* (number of valid bits among inputs 0..i); a per-
+  crosspoint decoder raises ``route[i][j]`` iff input i is valid and
+  its rank equals j+1, i.e. input i owns output j.  This happens once
+  per setup cycle.
+* **data path** — output ``Y_j = OR_i (D_i AND route[i][j])``: one AND
+  per crosspoint plus a balanced OR tree, so a *message bit* incurs
+  ``1 + ⌈lg n⌉`` gate delays after setup — the same Θ(lg n) scaling as
+  the paper's ``2 lg n`` figure (the delay bench reports both).
+
+Wire-name conventions: valid inputs ``v{i}``, data inputs ``d{i}``,
+crosspoint controls ``route_{i}_{j}``, outputs ``y{j}`` and output
+valid bits ``yv{j}``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.concentration import ConcentratorSpec
+from repro.errors import ConfigurationError
+from repro.gates.builders import equals_const, or_tree, prefix_popcounts
+from repro.gates.depth import critical_path_length
+from repro.gates.evaluate import evaluate
+from repro.gates.netlist import Circuit, Op
+from repro.switches.base import ConcentratorSwitch, Routing
+
+
+def build_hyperconcentrator(n: int, *, with_datapath: bool = True) -> Circuit:
+    """Build the n-by-n hyperconcentrator netlist.
+
+    ``with_datapath=False`` builds only the setup logic (valid bits in,
+    crosspoint controls and output valid bits out), which is enough for
+    routing extraction and keeps exhaustive tests cheap.
+    """
+    if n < 1:
+        raise ConfigurationError(f"size must be positive, got {n}")
+    circuit = Circuit()
+    valid = [circuit.input(name=f"v{i}") for i in range(n)]
+    data = (
+        [circuit.input(name=f"d{i}") for i in range(n)] if with_datapath else []
+    )
+
+    ranks = prefix_popcounts(circuit, valid)
+
+    # Crosspoint controls: route_{i}_{j} = valid_i AND (rank_i == j+1).
+    route: list[list[int]] = []
+    for i in range(n):
+        row = []
+        for j in range(min(i + 1, n)):  # rank_i <= i+1, so j+1 <= i+1
+            eq = equals_const(circuit, ranks[i], j + 1)
+            row.append(
+                circuit.add_gate(Op.AND, valid[i], eq, name=f"route_{i}_{j}")
+            )
+        # Crosspoints with j >= i+1 can never fire; tie them low so the
+        # crossbar stays a full, regular n x n array.
+        for j in range(i + 1, n):
+            row.append(circuit.const(False, name=f"route_{i}_{j}"))
+        route.append(row)
+
+    # Output valid bits: yv_j = OR_i route_{i}_{j}.
+    for j in range(n):
+        or_wire = or_tree(circuit, [route[i][j] for i in range(n)])
+        circuit.set_name(f"yv{j}", or_wire)
+
+    # Data path: y_j = OR_i (d_i AND route_{i}_{j}).
+    if with_datapath:
+        for j in range(n):
+            terms = [
+                circuit.add_gate(Op.AND, data[i], route[i][j]) for i in range(n)
+            ]
+            circuit.set_name(f"y{j}", or_tree(circuit, terms))
+    return circuit
+
+
+class GateHyperconcentrator(ConcentratorSwitch):
+    """A hyperconcentrator switch backed by actual netlist simulation.
+
+    Functionally interchangeable with
+    :class:`repro.switches.hyperconcentrator.Hyperconcentrator`; the
+    tests verify the two agree on every valid-bit pattern for small n.
+    """
+
+    def __init__(self, n: int, *, with_datapath: bool = False):
+        self.n = n
+        self.m = n
+        self.with_datapath = with_datapath
+        self.circuit = build_hyperconcentrator(n, with_datapath=with_datapath)
+        self._route_wires = np.array(
+            [
+                [self.circuit.wire(f"route_{i}_{j}") for j in range(n)]
+                for i in range(n)
+            ],
+            dtype=np.int64,
+        )
+
+    @property
+    def spec(self) -> ConcentratorSpec:
+        return ConcentratorSpec(n=self.n, m=self.n, alpha=1.0)
+
+    def _simulate(self, valid: np.ndarray) -> np.ndarray:
+        inputs = valid.astype(bool)
+        if self.with_datapath:
+            # Data inputs don't influence the controls; drive them low.
+            inputs = np.concatenate([inputs, np.zeros(self.n, dtype=bool)])
+        return evaluate(self.circuit, inputs)
+
+    def setup(self, valid: np.ndarray) -> Routing:
+        valid = self._check_valid(valid)
+        values = self._simulate(valid)
+        controls = values[self._route_wires]  # (n, n) crosspoint matrix
+        routing = np.full(self.n, -1, dtype=np.int64)
+        rows, cols = np.nonzero(controls)
+        routing[rows] = cols
+        return Routing(
+            n_inputs=self.n, n_outputs=self.n, valid=valid, input_to_output=routing
+        )
+
+    # -- measured delay/cost figures -------------------------------------
+
+    def datapath_delay(self) -> int:
+        """Measured gate delays a message bit incurs (paths from data
+        inputs to data outputs only)."""
+        if not self.with_datapath:
+            raise ConfigurationError("built without a datapath")
+        sources = [self.circuit.wire(f"d{i}") for i in range(self.n)]
+        sinks = [self.circuit.wire(f"y{j}") for j in range(self.n)]
+        return critical_path_length(self.circuit, sources, sinks)
+
+    def setup_delay(self) -> int:
+        """Measured gate delays for the setup logic to settle (valid
+        inputs to crosspoint controls)."""
+        sources = [self.circuit.wire(f"v{i}") for i in range(self.n)]
+        sinks = [int(w) for w in self._route_wires.reshape(-1)]
+        return critical_path_length(self.circuit, sources, sinks)
+
+    @property
+    def component_count(self) -> int:
+        return self.circuit.n_logic_gates
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"GateHyperconcentrator(n={self.n})"

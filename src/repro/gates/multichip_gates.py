@@ -1,0 +1,189 @@
+"""Whole multichip switches assembled at the gate level.
+
+For small n, the entire Revsort or Columnsort switch can be elaborated
+into one flat combinational netlist — every hyperconcentrator chip as a
+rank-crossbar sub-netlist, every wiring layer as named inter-chip
+connections — and simulated gate by gate.  The tests check that this
+"silicon" view agrees with the fast functional switches on every input,
+closing the loop between the paper's circuit-level claims and the
+library's model-level simulations.
+
+Naming: chip (l, c) of a stage layout has inputs ``s{l}c{c}v{i}`` and
+setup outputs ``s{l}c{c}yv{i}``; the final layer's outputs are also
+aliased ``out{p}`` by flat matrix position.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gates.builders import equals_const, or_tree, prefix_popcounts
+from repro.gates.evaluate import evaluate
+from repro.gates.netlist import Circuit, Op
+
+
+def _chip_valid_sorter(
+    circuit: Circuit, inputs: list[int], tag: str
+) -> list[int]:
+    """Instantiate one hyperconcentrator chip's *setup plane*: given
+    valid-bit wires, return the chip's output valid-bit wires (the
+    sorted valid bits).  ``yv_j = [rank of last input ≥ j+1]``."""
+    w = len(inputs)
+    ranks = prefix_popcounts(circuit, inputs)
+    outputs: list[int] = []
+    for j in range(w):
+        # yv_j is high iff at least j+1 inputs are valid:
+        # OR over i of (rank_i == j+1) — matches the crossbar chip.
+        terms = []
+        for i in range(j, w):  # rank_i <= i+1, so need i >= j
+            terms.append(equals_const(circuit, ranks[i], j + 1))
+        wire = or_tree(circuit, terms)
+        circuit.set_name(f"{tag}yv{j}", wire)
+        outputs.append(wire)
+    return outputs
+
+
+def _chip_crosspoints(
+    circuit: Circuit, inputs: list[int], tag: str
+) -> list[list[int]]:
+    """One chip's full crosspoint control plane: ``route[i][j]`` high
+    iff chip input i owns chip output j (valid, rank i == j+1)."""
+    w = len(inputs)
+    ranks = prefix_popcounts(circuit, inputs)
+    route: list[list[int]] = []
+    for i in range(w):
+        row = []
+        for j in range(w):
+            if j <= i:
+                eq = equals_const(circuit, ranks[i], j + 1)
+                row.append(circuit.add_gate(Op.AND, inputs[i], eq))
+            else:
+                row.append(circuit.const(False))
+        route.append(row)
+    # Idle outputs: invalid inputs fill the trailing wires in order so
+    # the chip is a permutation (mirrors concentrate_permutation).
+    # For valid-bit and data propagation only the valid crosspoints
+    # matter; idle outputs carry 0.
+    for j in range(w):
+        yv = or_tree(circuit, [route[i][j] for i in range(w)])
+        circuit.set_name(f"{tag}yv{j}", yv)
+    return route
+
+
+def build_gate_level_switch(
+    stage_groups: list[list[np.ndarray]],
+    wirings: list[np.ndarray | None],
+    n: int,
+    *,
+    with_datapath: bool = False,
+) -> tuple[Circuit, list[int]]:
+    """Elaborate a multichip switch into one netlist.
+
+    ``stage_groups[l]`` lists the wire-position groups (chips) of chip
+    layer ``l``; ``wirings[l]`` is the position permutation applied
+    *after* layer ``l`` (None = identity; the last entry is usually
+    None).  Returns the circuit and the wires carrying the final valid
+    bits by flat position (also named ``out{p}``).
+
+    With ``with_datapath=True`` the circuit additionally carries data
+    inputs ``d{i}`` whose bits ride the same crosspoints (one AND-OR
+    crossbar per chip), emerging as ``dout{p}`` — the complete
+    silicon-level message path of the multichip switch.
+    """
+    if len(wirings) != len(stage_groups):
+        raise ConfigurationError("need exactly one wiring slot per chip layer")
+    circuit = Circuit()
+    position_wires = [circuit.input(name=f"v{i}") for i in range(n)]
+    data_wires = (
+        [circuit.input(name=f"d{i}") for i in range(n)] if with_datapath else []
+    )
+
+    for layer, groups in enumerate(stage_groups):
+        new_wires = list(position_wires)
+        new_data = list(data_wires)
+        for chip_index, group in enumerate(groups):
+            chip_inputs = [position_wires[p] for p in group]
+            tag = f"s{layer}c{chip_index}"
+            if with_datapath:
+                route = _chip_crosspoints(circuit, chip_inputs, tag)
+                w = len(group)
+                for j, p in enumerate(group):
+                    new_wires[p] = circuit.wire(f"{tag}yv{j}")
+                    terms = [
+                        circuit.add_gate(
+                            Op.AND, data_wires[group[i]], route[i][j]
+                        )
+                        for i in range(w)
+                    ]
+                    new_data[p] = or_tree(circuit, terms)
+            else:
+                chip_outputs = _chip_valid_sorter(circuit, chip_inputs, tag)
+                for wire, p in zip(chip_outputs, group):
+                    new_wires[p] = wire
+        position_wires = new_wires
+        data_wires = new_data
+        wiring = wirings[layer]
+        if wiring is not None:
+            moved = list(position_wires)
+            moved_data = list(data_wires)
+            for old_pos in range(n):
+                moved[int(wiring[old_pos])] = position_wires[old_pos]
+                if with_datapath:
+                    moved_data[int(wiring[old_pos])] = data_wires[old_pos]
+            position_wires = moved
+            data_wires = moved_data
+
+    for p, wire in enumerate(position_wires):
+        circuit.set_name(f"out{p}", circuit.add_gate(Op.BUF, wire))
+    if with_datapath:
+        for p, wire in enumerate(data_wires):
+            circuit.set_name(f"dout{p}", circuit.add_gate(Op.BUF, wire))
+    outs = [circuit.wire(f"out{p}") for p in range(n)]
+    return circuit, outs
+
+
+def build_revsort_switch_gates(
+    n: int, *, with_datapath: bool = False
+) -> tuple[Circuit, list[int]]:
+    """The full Section 4 switch as one netlist (setup plane, plus the
+    message datapath when requested)."""
+    from repro.mesh.order import rev_rotate_permutation
+    from repro.switches.revsort_switch import RevsortSwitch
+
+    switch = RevsortSwitch(n, n)
+    side = switch.side
+    from repro.switches.wiring import column_groups, row_groups
+
+    stage_groups = [
+        column_groups(side, side),
+        row_groups(side, side),
+        column_groups(side, side),
+    ]
+    wirings = [None, rev_rotate_permutation(side), None]
+    return build_gate_level_switch(
+        stage_groups, wirings, n, with_datapath=with_datapath
+    )
+
+
+def build_columnsort_switch_gates(
+    r: int, s: int, *, with_datapath: bool = False
+) -> tuple[Circuit, list[int]]:
+    """The full Section 5 switch as one netlist."""
+    from repro.mesh.order import cm_to_rm_permutation
+    from repro.switches.wiring import column_groups
+
+    n = r * s
+    stage_groups = [column_groups(r, s), column_groups(r, s)]
+    wirings = [cm_to_rm_permutation(r, s), None]
+    return build_gate_level_switch(
+        stage_groups, wirings, n, with_datapath=with_datapath
+    )
+
+
+def simulate_valid_bits(
+    circuit: Circuit, outs: list[int], valid: np.ndarray
+) -> np.ndarray:
+    """Evaluate the setup plane: final valid bit at each flat position."""
+    values = evaluate(circuit, np.asarray(valid, dtype=bool))
+    return values[outs]

@@ -1,0 +1,66 @@
+"""Hardware cost and packaging models.
+
+The paper's evaluation (Table 1, Figures 3–4 and 6–8) is stated in
+terms of chip/board/stack inventories: data pins per chip, chip counts,
+2-D layout area, 3-D packaging volume, and gate delays.  This package
+computes those quantities from the switch constructions so the benches
+can regenerate Table 1 and the packaging claims.
+
+Units: areas are in crosspoint-cell units (a ``w``-by-``w``
+hyperconcentrator chip has area ``w²``), board thickness is 1, so a
+stack's volume equals the sum of its board areas.
+"""
+
+from repro.hardware.board import Board, Stack
+from repro.hardware.chip import BarrelShifterChip, HyperconcentratorChip
+from repro.hardware.costs import (
+    ResourceMeasures,
+    columnsort_measures,
+    revsort_measures,
+    table1,
+)
+from repro.hardware.floorplan import (
+    Floorplan,
+    Rect,
+    columnsort_floorplan,
+    revsort_floorplan,
+)
+from repro.hardware.partition import (
+    PartitionPlan,
+    columnsort_partition,
+    monolithic_partition,
+    partition_comparison,
+    revsort_partition,
+)
+from repro.hardware.package import (
+    InterstackConnector,
+    columnsort_layout_2d,
+    columnsort_packaging_3d,
+    revsort_layout_2d,
+    revsort_packaging_3d,
+)
+
+__all__ = [
+    "BarrelShifterChip",
+    "Floorplan",
+    "Rect",
+    "columnsort_floorplan",
+    "revsort_floorplan",
+    "PartitionPlan",
+    "columnsort_partition",
+    "monolithic_partition",
+    "partition_comparison",
+    "revsort_partition",
+    "Board",
+    "HyperconcentratorChip",
+    "InterstackConnector",
+    "ResourceMeasures",
+    "Stack",
+    "columnsort_layout_2d",
+    "columnsort_measures",
+    "columnsort_packaging_3d",
+    "revsort_layout_2d",
+    "revsort_measures",
+    "revsort_packaging_3d",
+    "table1",
+]

@@ -1,0 +1,58 @@
+"""Boards and stacks for the 3-D packagings (Figures 4 and 7).
+
+A board carries one or more chips plus fixed permutation wiring; its
+area is the sum of its parts.  A stack is a pile of boards (thickness
+1 each), so its volume equals the total board area.  Board *types*
+matter to the paper ("we use only two board types"), so boards carry a
+type label and stacks can report their type inventory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Board:
+    """One circuit board: a type label, chip areas, and wiring area."""
+
+    board_type: str
+    chip_areas: tuple[int, ...]
+    wiring_area: int = 0
+
+    def __post_init__(self) -> None:
+        if any(a < 0 for a in self.chip_areas) or self.wiring_area < 0:
+            raise ConfigurationError("areas must be non-negative")
+
+    @property
+    def area(self) -> int:
+        return sum(self.chip_areas) + self.wiring_area
+
+    @property
+    def chip_count(self) -> int:
+        return len(self.chip_areas)
+
+
+@dataclass
+class Stack:
+    """A pile of boards; volume = total board area (unit thickness)."""
+
+    name: str
+    boards: list[Board] = field(default_factory=list)
+
+    @property
+    def board_count(self) -> int:
+        return len(self.boards)
+
+    @property
+    def chip_count(self) -> int:
+        return sum(b.chip_count for b in self.boards)
+
+    @property
+    def volume(self) -> int:
+        return sum(b.area for b in self.boards)
+
+    def board_types(self) -> set[str]:
+        return {b.board_type for b in self.boards}

@@ -1,0 +1,83 @@
+"""Chip-level cost models.
+
+Two chip types appear in the paper's constructions:
+
+* the ``w``-by-``w`` hyperconcentrator chip — ``2w`` data pins, Θ(w²)
+  area, ``2⌈lg w⌉ + O(1)`` gate delays;
+* the ``w``-bit barrel shifter with hardwired control — ``2w`` data
+  pins plus ``⌈lg w⌉`` control pins, O(1) gate delays once hardwired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util.bits import ceil_lg
+from repro.errors import ConfigurationError
+from repro.switches.hyperconcentrator import PAD_DELAY
+
+
+@dataclass(frozen=True)
+class HyperconcentratorChip:
+    """Packaged w-by-w hyperconcentrator chip."""
+
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ConfigurationError(f"chip size must be positive, got {self.size}")
+
+    @property
+    def data_pins(self) -> int:
+        return 2 * self.size
+
+    @property
+    def pins(self) -> int:
+        """Data pins plus setup-control and power pins (constant)."""
+        return self.data_pins + 3  # setup signal, power, ground
+
+    @property
+    def area(self) -> int:
+        """Θ(w²) regular crosspoint layout."""
+        return self.size * self.size
+
+    @property
+    def gate_delays(self) -> int:
+        """``2⌈lg w⌉`` plus I/O pad circuitry."""
+        return (2 * ceil_lg(self.size) if self.size > 1 else 0) + PAD_DELAY
+
+
+@dataclass(frozen=True)
+class BarrelShifterChip:
+    """Packaged w-bit barrel shifter; control bits hardwired after
+    fabrication (Section 4)."""
+
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ConfigurationError(f"chip size must be positive, got {self.size}")
+
+    @property
+    def control_bits(self) -> int:
+        return ceil_lg(self.size) if self.size > 1 else 0
+
+    @property
+    def data_pins(self) -> int:
+        """``2w + ⌈lg w⌉``: the paper counts the hardwired control bits
+        among the data pins (its ``2√n + ⌈(lg n)/2⌉`` figure)."""
+        return 2 * self.size + self.control_bits
+
+    @property
+    def pins(self) -> int:
+        return self.data_pins + 2  # power, ground
+
+    @property
+    def area(self) -> int:
+        """Θ(w·lg w) mux array."""
+        return self.size * max(self.control_bits, 1)
+
+    @property
+    def gate_delays(self) -> int:
+        """Constant: the shift amount never changes."""
+        return 1

@@ -1,0 +1,113 @@
+"""Table 1 resource-measure calculator.
+
+Table 1 of the paper compares the Revsort-based switch against the
+Columnsort-based switch at β ∈ {1/2, 5/8, 3/4} on five resource
+measures: pins per chip, chip count, load ratio, gate delays, volume.
+:func:`table1` computes those measures for concrete instances; the
+bench fits exponents across an n-sweep to check the Θ(n^x) claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.chip import BarrelShifterChip, HyperconcentratorChip
+from repro.hardware.package import (
+    columnsort_packaging_3d,
+    revsort_packaging_3d,
+)
+from repro.switches.columnsort_switch import ColumnsortSwitch
+from repro.switches.revsort_switch import RevsortSwitch
+
+#: The β sample points of Table 1.
+TABLE1_BETAS = (0.5, 0.625, 0.75)
+
+
+@dataclass(frozen=True)
+class ResourceMeasures:
+    """One column of Table 1 for a concrete switch instance."""
+
+    label: str
+    n: int
+    m: int
+    pins_per_chip: int
+    chip_count: int
+    epsilon: int
+    load_ratio: float
+    gate_delays: int
+    volume: int
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "switch": self.label,
+            "n": self.n,
+            "m": self.m,
+            "pins/chip": self.pins_per_chip,
+            "chips": self.chip_count,
+            "epsilon": self.epsilon,
+            "load ratio": round(self.load_ratio, 4),
+            "gate delays": self.gate_delays,
+            "volume": self.volume,
+        }
+
+
+def revsort_measures(n: int, m: int) -> ResourceMeasures:
+    """Table 1, Revsort column, for a concrete (n, m)."""
+    switch = RevsortSwitch(n, m)
+    packaging = revsort_packaging_3d(switch)
+    barrel = BarrelShifterChip(switch.side)
+    return ResourceMeasures(
+        label="Revsort",
+        n=n,
+        m=m,
+        pins_per_chip=max(HyperconcentratorChip(switch.side).data_pins, barrel.data_pins),
+        chip_count=switch.chip_count,
+        epsilon=switch.epsilon_bound,
+        load_ratio=switch.spec.alpha,
+        gate_delays=switch.gate_delays,
+        volume=packaging.volume,
+    )
+
+
+def columnsort_measures(n: int, m: int, beta: float) -> ResourceMeasures:
+    """Table 1, Columnsort column at the given β, for a concrete (n, m)."""
+    switch = ColumnsortSwitch.from_beta(n, beta, m)
+    packaging = columnsort_packaging_3d(switch)
+    return ResourceMeasures(
+        label=f"Columnsort b={beta:g}",
+        n=n,
+        m=m,
+        pins_per_chip=HyperconcentratorChip(switch.r).data_pins,
+        chip_count=switch.chip_count,
+        epsilon=switch.epsilon_bound,
+        load_ratio=switch.spec.alpha,
+        gate_delays=switch.gate_delays,
+        volume=packaging.volume,
+    )
+
+
+def table1(n: int, m: int, betas: tuple[float, ...] = TABLE1_BETAS) -> list[ResourceMeasures]:
+    """All Table 1 columns for a concrete (n, m): Revsort plus one
+    Columnsort instance per β sample point."""
+    rows = [revsort_measures(n, m)]
+    rows.extend(columnsort_measures(n, m, beta) for beta in betas)
+    return rows
+
+
+#: Paper-claimed asymptotic exponents (power of n) per Table 1 measure,
+#: used by the bench to compare fitted slopes.  Load ratio is expressed
+#: via ε = Θ(n^x): the table's ``1 − O(n^x/m)`` entries.
+TABLE1_CLAIMED_EXPONENTS = {
+    "Revsort": {"pins": 0.5, "chips": 0.5, "epsilon": 0.75, "volume": 1.5},
+    "Columnsort b=0.5": {"pins": 0.5, "chips": 0.5, "epsilon": 1.0, "volume": 1.5},
+    "Columnsort b=0.625": {"pins": 0.625, "chips": 0.375, "epsilon": 0.75, "volume": 1.625},
+    "Columnsort b=0.75": {"pins": 0.75, "chips": 0.25, "epsilon": 0.5, "volume": 1.75},
+}
+
+#: Paper-claimed gate-delay slopes (coefficient of lg n).
+TABLE1_CLAIMED_DELAY_SLOPES = {
+    "Revsort": 3.0,
+    "Columnsort b=0.5": 2.0,
+    "Columnsort b=0.625": 2.5,
+    "Columnsort b=0.75": 3.0,
+}

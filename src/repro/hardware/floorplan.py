@@ -1,0 +1,145 @@
+"""Deterministic 2-D floorplans for the switch layouts of Figures 3/6.
+
+Places every chip and crossbar wiring channel of the 2-D layouts on an
+integer grid: stages become columns of chips, with an ``n × n``
+crossbar channel between consecutive stages.  The resulting geometry
+reproduces the figures' area arithmetic (crossbar channels dominate)
+and can be rendered as ASCII art for documentation.
+
+Coordinates: x grows left→right through the pipeline, y top→bottom
+across the wires.  All rectangles are axis-aligned, non-overlapping,
+and the bounding-box area is the layout's 2-D area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.switches.columnsort_switch import ColumnsortSwitch
+from repro.switches.revsort_switch import RevsortSwitch
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned placement: [x, x+w) × [y, y+h)."""
+
+    name: str
+    kind: str  # "chip" | "crossbar"
+    x: int
+    y: int
+    w: int
+    h: int
+
+    @property
+    def area(self) -> int:
+        return self.w * self.h
+
+    def overlaps(self, other: "Rect") -> bool:
+        return not (
+            self.x + self.w <= other.x
+            or other.x + other.w <= self.x
+            or self.y + self.h <= other.y
+            or other.y + other.h <= self.y
+        )
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """A placed 2-D layout."""
+
+    rects: tuple[Rect, ...]
+
+    @property
+    def width(self) -> int:
+        return max((r.x + r.w for r in self.rects), default=0)
+
+    @property
+    def height(self) -> int:
+        return max((r.y + r.h for r in self.rects), default=0)
+
+    @property
+    def bounding_area(self) -> int:
+        return self.width * self.height
+
+    @property
+    def chip_area(self) -> int:
+        return sum(r.area for r in self.rects if r.kind == "chip")
+
+    @property
+    def crossbar_area(self) -> int:
+        return sum(r.area for r in self.rects if r.kind == "crossbar")
+
+    def validate(self) -> None:
+        """No two placements may overlap."""
+        rects = self.rects
+        for i in range(len(rects)):
+            for j in range(i + 1, len(rects)):
+                if rects[i].overlaps(rects[j]):
+                    raise ConfigurationError(
+                        f"floorplan overlap: {rects[i].name} and {rects[j].name}"
+                    )
+
+    def ascii_art(self, scale: int = 8) -> str:
+        """Coarse ASCII rendering (one character per ``scale`` units).
+        Chips render as their stage digit, crossbars as ``#``."""
+        cols = max(1, -(-self.width // scale))
+        rows = max(1, -(-self.height // scale))
+        grid = [["." for _ in range(cols)] for _ in range(rows)]
+        for rect in self.rects:
+            mark = "#" if rect.kind == "crossbar" else rect.name[1]
+            for y in range(rect.y // scale, min(rows, -(-(rect.y + rect.h) // scale))):
+                for x in range(
+                    rect.x // scale, min(cols, -(-(rect.x + rect.w) // scale))
+                ):
+                    grid[y][x] = mark
+        return "\n".join("".join(row) for row in grid)
+
+
+def _pipeline_floorplan(
+    stage_chip_counts: list[int], chip_side: int, n: int
+) -> Floorplan:
+    """Generic pipeline: columns of square chips separated by n×n
+    crossbar channels."""
+    rects: list[Rect] = []
+    x = 0
+    for stage, count in enumerate(stage_chip_counts):
+        # Chips stacked vertically, evenly spaced over the n wires.
+        pitch = max(chip_side, n // max(count, 1))
+        for c in range(count):
+            rects.append(
+                Rect(
+                    name=f"s{stage}c{c}",
+                    kind="chip",
+                    x=x,
+                    y=c * pitch,
+                    w=chip_side,
+                    h=chip_side,
+                )
+            )
+        x += chip_side
+        if stage + 1 < len(stage_chip_counts):
+            rects.append(
+                Rect(name=f"x{stage}", kind="crossbar", x=x, y=0, w=n, h=n)
+            )
+            x += n
+    return Floorplan(rects=tuple(rects))
+
+
+def revsort_floorplan(switch: RevsortSwitch) -> Floorplan:
+    """Figure 3's geometry: three columns of √n chips with two n×n
+    crossbar channels."""
+    side = switch.side
+    plan = _pipeline_floorplan([side, side, side], chip_side=side, n=switch.n)
+    plan.validate()
+    return plan
+
+
+def columnsort_floorplan(switch: ColumnsortSwitch) -> Floorplan:
+    """Figure 6's geometry: two columns of s chips (r-by-r each) with
+    one n×n crossbar channel."""
+    plan = _pipeline_floorplan(
+        [switch.s, switch.s], chip_side=switch.r, n=switch.n
+    )
+    plan.validate()
+    return plan

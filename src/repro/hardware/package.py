@@ -1,0 +1,166 @@
+"""2-D layouts and 3-D packagings of the two multichip switches.
+
+Reproduces the packaging arithmetic of the paper:
+
+* **Figure 3 / Section 4** — 2-D Revsort layout: ``3√n`` chips in three
+  columns with ``n × n`` crossbar wiring between stages; the Θ(n²)
+  crossbars dominate the Θ(n^{3/2}) of chip area.
+* **Figure 4** — 3-D Revsort packaging: three stacks of ``√n`` boards;
+  stage-2 boards add a barrel shifter; two board types; Θ(n^{3/2})
+  volume.
+* **Figure 6 / Section 5** — 2-D Columnsort layout: ``2s`` chips with
+  ``n × n`` crossbar wiring, O(n²) area.
+* **Figure 7** — 3-D Columnsort packaging: two stacks of ``s`` boards
+  (one r-by-r chip each plus O(r²) permutation wiring); ``s²``
+  wiring-only interstack connectors, each transposing ``r/s`` wires in
+  Θ((r/s)²) volume (**Figure 8**); Θ(n^{1+β}) total volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.board import Board, Stack
+from repro.hardware.chip import BarrelShifterChip, HyperconcentratorChip
+from repro.switches.columnsort_switch import ColumnsortSwitch
+from repro.switches.revsort_switch import RevsortSwitch
+
+
+@dataclass(frozen=True)
+class InterstackConnector:
+    """Figure 8: ``w`` wires transposed from vertical to horizontal
+    alignment in Θ(w²) volume, wiring only (no active components)."""
+
+    wires: int
+
+    def __post_init__(self) -> None:
+        if self.wires < 1:
+            raise ConfigurationError(f"connector needs >= 1 wire, got {self.wires}")
+
+    @property
+    def volume(self) -> int:
+        return self.wires * self.wires
+
+
+@dataclass(frozen=True)
+class Layout2D:
+    """A 2-D layout summary: chips plus crossbar wiring."""
+
+    chip_count: int
+    chip_area: int
+    crossbar_count: int
+    crossbar_area: int
+
+    @property
+    def area(self) -> int:
+        return self.chip_area + self.crossbar_area
+
+
+@dataclass(frozen=True)
+class Packaging3D:
+    """A 3-D packaging summary.
+
+    Interstack connectors are all identical (Figure 8 parts), so they
+    are stored as one exemplar plus a count — a Columnsort switch at
+    large β can need millions of them.
+    """
+
+    stacks: tuple[Stack, ...]
+    connector: InterstackConnector | None = None
+    connector_count: int = 0
+
+    @property
+    def connector_volume(self) -> int:
+        if self.connector is None:
+            return 0
+        return self.connector_count * self.connector.volume
+
+    @property
+    def volume(self) -> int:
+        return sum(s.volume for s in self.stacks) + self.connector_volume
+
+    @property
+    def board_count(self) -> int:
+        return sum(s.board_count for s in self.stacks)
+
+    @property
+    def chip_count(self) -> int:
+        return sum(s.chip_count for s in self.stacks)
+
+    def board_types(self) -> set[str]:
+        types: set[str] = set()
+        for s in self.stacks:
+            types |= s.board_types()
+        return types
+
+
+# ---------------------------------------------------------------------------
+# Revsort switch packagings (Section 4)
+# ---------------------------------------------------------------------------
+
+
+def revsort_layout_2d(switch: RevsortSwitch) -> Layout2D:
+    """Figure 3: three columns of √n chips, two n×n crossbars."""
+    chip = HyperconcentratorChip(switch.side)
+    chips = switch.chip_count
+    crossbars = switch.STAGES - 1
+    return Layout2D(
+        chip_count=chips,
+        chip_area=chips * chip.area,
+        crossbar_count=crossbars,
+        crossbar_area=crossbars * switch.n * switch.n,
+    )
+
+
+def revsort_packaging_3d(switch: RevsortSwitch) -> Packaging3D:
+    """Figure 4: three stacks of √n boards; stage-2 boards carry a
+    hyperconcentrator chip *and* a hardwired barrel shifter."""
+    side = switch.side
+    hyper = HyperconcentratorChip(side)
+    barrel = BarrelShifterChip(side)
+
+    plain = Board("hyper-only", (hyper.area,))
+    shifted = Board("hyper+barrel", (hyper.area, barrel.area))
+
+    stacks = (
+        Stack("stage1", [plain] * side),
+        Stack("stage2", [shifted] * side),
+        Stack("stage3", [plain] * side),
+    )
+    return Packaging3D(stacks=stacks)
+
+
+# ---------------------------------------------------------------------------
+# Columnsort switch packagings (Section 5)
+# ---------------------------------------------------------------------------
+
+
+def columnsort_layout_2d(switch: ColumnsortSwitch) -> Layout2D:
+    """Figure 6: two columns of s chips, one n×n crossbar."""
+    chip = HyperconcentratorChip(switch.r)
+    chips = switch.chip_count
+    return Layout2D(
+        chip_count=chips,
+        chip_area=chips * chip.area,
+        crossbar_count=1,
+        crossbar_area=switch.n * switch.n,
+    )
+
+
+def columnsort_packaging_3d(switch: ColumnsortSwitch) -> Packaging3D:
+    """Figure 7: two stacks of s boards (one r-by-r chip plus O(r²)
+    permutation wiring each) and s² interstack connectors of r/s wires
+    each (Figure 8)."""
+    r, s = switch.r, switch.s
+    chip = HyperconcentratorChip(r)
+    board = Board("hyper+perm", (chip.area,), wiring_area=chip.area)
+    stacks = (
+        Stack("stage1", [board] * s),
+        Stack("stage2", [board] * s),
+    )
+    return Packaging3D(
+        stacks=stacks,
+        connector=InterstackConnector(max(1, r // s)),
+        connector_count=s * s,
+    )

@@ -1,0 +1,117 @@
+"""Chip-partitioning cost model (the Section 1 motivation).
+
+"Partitioning this hyperconcentrator switch among multiple chips with
+p pins each requires Ω((n/p)²) chips, since each p-pin chip has area
+O(p²) and there are Θ(n²) components to partition."  And, for the
+partial concentrators: "given chips with p pins, we can partition
+n-input partial concentrator switches using only Θ(n/p) chips."
+
+This module turns those two sentences into a calculator so the benches
+can regenerate the motivating comparison: the chip counts of
+
+* naively partitioning the monolithic Θ(n²) crossbar,
+* the Revsort switch (p = Θ(√n) pins fixed by the design),
+* the Columnsort switch at the β matching a given pin budget,
+
+as a function of the pin budget p.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro._util.bits import ceil_div, ilg
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Outcome of partitioning a switch across p-pin chips."""
+
+    strategy: str
+    n: int
+    pin_budget: int
+    chips: int
+    pins_used_per_chip: int
+    note: str = ""
+
+
+def monolithic_partition(n: int, pin_budget: int) -> PartitionPlan:
+    """Naive partition of the Θ(n²)-component crossbar hyperconcentrator
+    across p-pin chips: area O(p²) per chip ⇒ ≥ (n/p)² chips, and the
+    chip count is also wire-limited to ≥ 2n/p (every input and output
+    must cross some chip boundary)."""
+    if pin_budget < 4:
+        raise ConfigurationError("need at least 4 pins per chip")
+    area_limited = ceil_div(n, pin_budget) ** 2
+    wire_limited = ceil_div(2 * n, pin_budget)
+    return PartitionPlan(
+        strategy="monolithic crossbar",
+        n=n,
+        pin_budget=pin_budget,
+        chips=max(area_limited, wire_limited, 1),
+        pins_used_per_chip=pin_budget,
+        note="Omega((n/p)^2) area-limited",
+    )
+
+
+def revsort_partition(n: int, pin_budget: int) -> PartitionPlan | None:
+    """The Revsort switch needs ``2√n + ⌈(lg n)/2⌉`` pins; feasible only
+    when the budget covers that (its chip size is fixed by the design).
+    Returns None when infeasible."""
+    side = math.isqrt(n)
+    if side * side != n:
+        raise ConfigurationError(f"Revsort needs square n, got {n}")
+    needed = 2 * side + (ilg(side) if side > 1 else 0)
+    if needed > pin_budget:
+        return None
+    return PartitionPlan(
+        strategy="Revsort switch",
+        n=n,
+        pin_budget=pin_budget,
+        chips=3 * side,
+        pins_used_per_chip=needed,
+        note="Theta(sqrt(n)) chips",
+    )
+
+
+def columnsort_partition(n: int, pin_budget: int) -> PartitionPlan | None:
+    """The best Columnsort switch under the budget: the largest
+    power-of-two chip size r with ``2r ≤ p`` (larger r ⇒ better load
+    ratio); chips = 2s = 2n/r.  None when even r = s = √n is too big.
+    """
+    ilg(n)
+    r = 1
+    while 2 * (r * 2) <= pin_budget and (r * 2) <= n:
+        r *= 2
+    s = n // r
+    if s > r:  # paper requires s | r with r >= s
+        return None
+    return PartitionPlan(
+        strategy="Columnsort switch",
+        n=n,
+        pin_budget=pin_budget,
+        chips=2 * s,
+        pins_used_per_chip=2 * r,
+        note=f"beta={math.log2(r) / math.log2(n):.3f}",
+    )
+
+
+def partition_comparison(n: int, pin_budgets: list[int]) -> list[dict[str, object]]:
+    """The Section 1 comparison table across pin budgets."""
+    rows: list[dict[str, object]] = []
+    for p in pin_budgets:
+        mono = monolithic_partition(n, p)
+        rev = revsort_partition(n, p)
+        col = columnsort_partition(n, p)
+        rows.append(
+            {
+                "pin budget p": p,
+                "monolithic chips": mono.chips,
+                "Revsort chips": rev.chips if rev else "(needs more pins)",
+                "Columnsort chips": col.chips if col else "(infeasible)",
+                "n/p": ceil_div(n, p),
+            }
+        )
+    return rows

@@ -1,0 +1,120 @@
+"""Reliability modelling for the multichip switches.
+
+A multichip design trades pins and volume against *part count*, and
+part count drives field reliability: under the standard
+independent-failure model (the rare-event approximation — the system
+fails if any part fails), the system failure rate is the sum of part
+failure rates.  This module attaches that model to the paper's
+designs so the Table 1 tradeoff can be read in MTBF terms as well:
+more, smaller chips (low β) are cheaper per chip but multiply the
+part count.
+
+Rates are relative: one "unit" is the failure rate of a reference
+chip of area 1; a chip of area A has rate ``A^area_exponent`` (larger
+dies fail more, sublinearly by default), solder/connector joints add a
+per-pin term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.chip import BarrelShifterChip, HyperconcentratorChip
+from repro.switches.columnsort_switch import ColumnsortSwitch
+from repro.switches.revsort_switch import RevsortSwitch
+
+
+@dataclass(frozen=True)
+class ReliabilityModel:
+    """Relative failure-rate model.
+
+    ``chip_base``: rate of a unit-area chip; ``area_exponent``: die
+    rate scales as area^e (0 ≤ e ≤ 1; defects ∝ area gives e = 1,
+    burn-in screening flattens it); ``pin_rate``: per soldered pin.
+    """
+
+    chip_base: float = 1.0
+    area_exponent: float = 0.5
+    pin_rate: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.chip_base <= 0 or self.pin_rate < 0:
+            raise ConfigurationError("rates must be positive")
+        if not 0.0 <= self.area_exponent <= 1.0:
+            raise ConfigurationError("area_exponent must be in [0, 1]")
+
+    def chip_rate(self, area: int, pins: int) -> float:
+        """Relative failure rate of one packaged chip."""
+        if area < 1 or pins < 0:
+            raise ConfigurationError("area must be >= 1, pins >= 0")
+        return self.chip_base * (area**self.area_exponent) + self.pin_rate * pins
+
+
+@dataclass(frozen=True)
+class SystemReliability:
+    """Summed relative failure rate of a switch's parts."""
+
+    label: str
+    chips: int
+    chip_rate_total: float
+    pin_joints: int
+
+    @property
+    def system_rate(self) -> float:
+        return self.chip_rate_total
+
+    @property
+    def relative_mtbf(self) -> float:
+        """1 / rate — the comparison number (bigger = better)."""
+        return 1.0 / self.system_rate if self.system_rate > 0 else float("inf")
+
+
+def revsort_reliability(
+    n: int, model: ReliabilityModel | None = None
+) -> SystemReliability:
+    """Failure-rate roll-up for the Revsort switch's 3√n chips + √n
+    barrel shifters."""
+    model = model or ReliabilityModel()
+    switch = RevsortSwitch(n, max(1, n // 2))
+    hyper = HyperconcentratorChip(switch.side)
+    barrel = BarrelShifterChip(switch.side)
+    total = 3 * switch.side * model.chip_rate(hyper.area, hyper.pins)
+    total += switch.side * model.chip_rate(barrel.area, barrel.pins)
+    pins = 3 * switch.side * hyper.pins + switch.side * barrel.pins
+    return SystemReliability(
+        label=f"Revsort n={n}",
+        chips=4 * switch.side,
+        chip_rate_total=total,
+        pin_joints=pins,
+    )
+
+
+def columnsort_reliability(
+    n: int, beta: float, model: ReliabilityModel | None = None
+) -> SystemReliability:
+    """Failure-rate roll-up for the Columnsort switch's 2s chips."""
+    model = model or ReliabilityModel()
+    switch = ColumnsortSwitch.from_beta(n, beta, max(1, n // 2))
+    chip = HyperconcentratorChip(switch.r)
+    total = switch.chip_count * model.chip_rate(chip.area, chip.pins)
+    return SystemReliability(
+        label=f"Columnsort n={n} b={beta:g}",
+        chips=switch.chip_count,
+        chip_rate_total=total,
+        pin_joints=switch.chip_count * chip.pins,
+    )
+
+
+def monolithic_reliability(
+    n: int, model: ReliabilityModel | None = None
+) -> SystemReliability:
+    """The single Θ(n²)-area chip, for contrast (one huge die)."""
+    model = model or ReliabilityModel()
+    chip = HyperconcentratorChip(n)
+    return SystemReliability(
+        label=f"monolithic n={n}",
+        chips=1,
+        chip_rate_total=model.chip_rate(chip.area, chip.pins),
+        pin_joints=chip.pins,
+    )

@@ -1,0 +1,89 @@
+"""Mesh-sorting substrate.
+
+The multichip switches of Sections 4 and 5 are wirings of
+hyperconcentrator chips whose combined behaviour equals the first steps
+of two mesh-sorting algorithms:
+
+* :mod:`repro.mesh.revsort` — Schnorr–Shamir's Revsort (Algorithm 1 of
+  the paper is its first 1½ iterations).
+* :mod:`repro.mesh.columnsort` — Leighton's Columnsort (Algorithm 2 is
+  its first 3 steps).
+* :mod:`repro.mesh.shearsort` — Shearsort, used by the Section 6 full
+  Revsort hyperconcentrator to finish a nearly sorted matrix.
+
+All algorithms here operate on 0/1 matrices (valid bits), sorted into
+*nonincreasing* order per the paper's Section 2 convention (1s first).
+"""
+
+from repro.mesh.analysis import count_dirty_rows, dirty_row_span, is_row_major_sorted
+from repro.mesh.columnsort import (
+    columnsort_full,
+    columnsort_nearsort,
+    columnsort_shape_for_beta,
+    validate_columnsort_shape,
+)
+from repro.mesh.generic import (
+    columnsort as generic_columnsort,
+    revsort as generic_revsort,
+    shearsort as generic_shearsort,
+)
+from repro.mesh.oddeven import (
+    oddeven_sort_rounds,
+    weak_columnsort_pass,
+    weak_revsort_pass,
+)
+from repro.mesh.grid import (
+    sort_columns,
+    sort_rows,
+    sort_rows_snake,
+)
+from repro.mesh.order import (
+    cm_index,
+    cm_to_rm_permutation,
+    column_major_matrix,
+    rev_rotate_permutation,
+    rm_index,
+    rm_inverse,
+    row_major_matrix,
+    snake_index,
+    transpose_permutation,
+)
+from repro.mesh.revsort import (
+    revsort_dirty_row_bound,
+    revsort_full,
+    revsort_nearsort,
+)
+from repro.mesh.shearsort import shearsort, shearsort_iteration
+
+__all__ = [
+    "cm_index",
+    "generic_columnsort",
+    "generic_revsort",
+    "generic_shearsort",
+    "oddeven_sort_rounds",
+    "weak_columnsort_pass",
+    "weak_revsort_pass",
+    "cm_to_rm_permutation",
+    "column_major_matrix",
+    "columnsort_full",
+    "columnsort_nearsort",
+    "columnsort_shape_for_beta",
+    "count_dirty_rows",
+    "dirty_row_span",
+    "is_row_major_sorted",
+    "rev_rotate_permutation",
+    "revsort_dirty_row_bound",
+    "revsort_full",
+    "revsort_nearsort",
+    "rm_index",
+    "rm_inverse",
+    "row_major_matrix",
+    "shearsort",
+    "shearsort_iteration",
+    "snake_index",
+    "sort_columns",
+    "sort_rows",
+    "sort_rows_snake",
+    "transpose_permutation",
+    "validate_columnsort_shape",
+]

@@ -1,0 +1,79 @@
+"""Cleanliness/dirtiness analysis of 0/1 meshes (Theorem 3/4 metrics).
+
+A row is *clean* if all its entries are equal (all 0s or all 1s) and
+*dirty* otherwise; Theorem 3 bounds the number of dirty rows left by
+Algorithm 1, and Lemma 1 converts a bounded dirty window into an
+ε-nearsortedness guarantee for the row-major reading.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _as_matrix(matrix: np.ndarray) -> np.ndarray:
+    arr = np.asarray(matrix)
+    if arr.ndim != 2:
+        raise ConfigurationError(f"expected a 2-D matrix, got shape {arr.shape}")
+    return arr
+
+
+def dirty_rows_mask(matrix: np.ndarray) -> np.ndarray:
+    """Boolean mask over rows; True where the row is dirty (mixed)."""
+    arr = _as_matrix(matrix)
+    if arr.shape[1] == 0:
+        return np.zeros(arr.shape[0], dtype=bool)
+    first = arr[:, :1]
+    return ~(arr == first).all(axis=1)
+
+
+def count_dirty_rows(matrix: np.ndarray) -> int:
+    """Number of dirty (mixed 0/1) rows."""
+    return int(dirty_rows_mask(matrix).sum())
+
+
+def dirty_row_span(matrix: np.ndarray) -> int:
+    """Length of the contiguous row window covering all dirty rows
+    (0 if every row is clean).  The nearsorting arguments need the
+    *span*, not just the count, since ε is driven by the window."""
+    mask = dirty_rows_mask(matrix)
+    idx = np.flatnonzero(mask)
+    if idx.size == 0:
+        return 0
+    return int(idx[-1] - idx[0] + 1)
+
+
+def is_block_sorted(matrix: np.ndarray) -> bool:
+    """True iff the matrix is clean 1-rows on top, then (possibly) dirty
+    rows, then clean 0-rows — the structure Theorem 3 guarantees."""
+    arr = _as_matrix(matrix)
+    mask = dirty_rows_mask(arr)
+    ones_row = np.zeros(arr.shape[0], dtype=np.int8)
+    for i in range(arr.shape[0]):
+        if mask[i]:
+            ones_row[i] = 1  # dirty
+        elif arr.shape[1] and arr[i, 0]:
+            ones_row[i] = 0  # clean 1s
+        else:
+            ones_row[i] = 2  # clean 0s
+    # Row classes must be nondecreasing: 0s (clean ones), 1s (dirty), 2s.
+    return bool((np.diff(ones_row) >= 0).all())
+
+
+def is_row_major_sorted(matrix: np.ndarray) -> bool:
+    """True iff the flat row-major reading is nonincreasing (fully
+    sorted per the Section 2 convention)."""
+    flat = _as_matrix(matrix).reshape(-1)
+    if flat.size <= 1:
+        return True
+    return bool((flat[:-1] >= flat[1:]).all())
+
+
+def is_column_major_sorted(matrix: np.ndarray) -> bool:
+    """True iff the flat column-major reading is nonincreasing."""
+    flat = _as_matrix(matrix).T.reshape(-1)
+    if flat.size <= 1:
+        return True
+    return bool((flat[:-1] >= flat[1:]).all())

@@ -1,0 +1,155 @@
+"""Columnsort (Leighton) on 0/1 meshes.
+
+Section 5 of the paper builds its 2-stage multichip partial concentrator
+from **Algorithm 2**, the first three steps of Columnsort on an
+``r × s`` matrix (``n = r·s``, ``s | r``):
+
+1. Fully sort the columns.
+2. Convert the matrix from column-major to row-major order: the element
+   in row ``i``, column ``j`` moves to row ``⌊(r·j+i)/s⌋``, column
+   ``(r·j+i) mod s``.
+3. Fully sort the columns.
+
+Theorem 4 (via Leighton): the result, read in row-major order, is
+``(s−1)²``-nearsorted.
+
+Section 6 mentions simulating *all eight* steps of Columnsort to obtain
+a full multichip hyperconcentrator; :func:`columnsort_full` implements
+the complete algorithm (steps 4–8: untranspose, sort, half-column shift
+with sentinels, sort, unshift), valid when ``r ≥ 2(s−1)²``.  Following
+Leighton's presentation the fully sorted result is read in
+*column-major* order; :func:`columnsort_full_flat` returns that flat
+sorted sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mesh.grid import sort_columns
+
+
+def validate_columnsort_shape(r: int, s: int, *, full: bool = False) -> None:
+    """Check the shape constraints of the paper (``s | r``) and, when
+    ``full`` is True, Leighton's full-sort condition ``r ≥ 2(s−1)²``."""
+    if r < 1 or s < 1:
+        raise ConfigurationError(f"matrix shape must be positive, got {r}x{s}")
+    if r % s != 0:
+        raise ConfigurationError(
+            f"Columnsort requires s to evenly divide r (got r={r}, s={s})"
+        )
+    if full and r < 2 * (s - 1) ** 2:
+        raise ConfigurationError(
+            f"full Columnsort requires r >= 2(s-1)^2 (got r={r}, s={s}, "
+            f"need r >= {2 * (s - 1) ** 2})"
+        )
+
+
+def cm_to_rm_reshape(matrix: np.ndarray) -> np.ndarray:
+    """Step 2: pick entries up in column-major order, lay them down in
+    row-major order (same ``r × s`` shape)."""
+    arr = np.asarray(matrix)
+    r, s = arr.shape
+    validate_columnsort_shape(r, s)
+    return arr.T.reshape(r, s)
+
+
+def rm_to_cm_reshape(matrix: np.ndarray) -> np.ndarray:
+    """Step 4 ("untranspose"): inverse of :func:`cm_to_rm_reshape`."""
+    arr = np.asarray(matrix)
+    r, s = arr.shape
+    validate_columnsort_shape(r, s)
+    return arr.reshape(s, r).T.copy()
+
+
+def columnsort_nearsort(matrix: np.ndarray) -> np.ndarray:
+    """Algorithm 2 (steps 1–3): the nearsorting pass the
+    Columnsort-based switch realises in hardware."""
+    arr = np.asarray(matrix)
+    r, s = arr.shape
+    validate_columnsort_shape(r, s)
+    arr = sort_columns(arr)
+    arr = cm_to_rm_reshape(arr)
+    return sort_columns(arr)
+
+
+def columnsort_epsilon_bound(s: int) -> int:
+    """Theorem 4's exact nearsorting bound ``(s−1)²`` for an ``r × s``
+    Columnsort pass."""
+    if s < 1:
+        raise ConfigurationError(f"s must be positive, got {s}")
+    return (s - 1) ** 2
+
+
+def columnsort_full(matrix: np.ndarray) -> np.ndarray:
+    """All eight Columnsort steps on a 0/1 matrix.
+
+    Steps 6–8 use the sentinel formulation: the matrix is shifted down
+    ``⌊r/2⌋`` positions in column-major order into an ``r × (s+1)``
+    matrix whose vacated top half-column is filled with 1s (maximal
+    sentinels for our nonincreasing convention) and whose trailing half
+    column is filled with 0s; the sentinels are stripped by the unshift.
+
+    The fully sorted sequence is the result read in **column-major**
+    order (use :func:`columnsort_full_flat`).
+    """
+    arr = np.asarray(matrix)
+    r, s = arr.shape
+    validate_columnsort_shape(r, s, full=True)
+    half = r // 2
+
+    arr = sort_columns(arr)                      # step 1
+    arr = cm_to_rm_reshape(arr)                  # step 2
+    arr = sort_columns(arr)                      # step 3
+    arr = rm_to_cm_reshape(arr)                  # step 4
+    arr = sort_columns(arr)                      # step 5
+
+    # step 6: shift down half a column (in column-major order) into an
+    # r x (s+1) matrix, sentinel-padded.
+    flat = arr.T.reshape(-1)                     # column-major flattening
+    padded = np.concatenate(
+        [
+            np.ones(half, dtype=flat.dtype),     # maximal sentinels on top
+            flat,
+            np.zeros(r - half, dtype=flat.dtype),  # minimal sentinels below
+        ]
+    )
+    wide = padded.reshape(s + 1, r).T            # r x (s+1), column-major refill
+
+    wide = sort_columns(wide)                    # step 7
+
+    # step 8: unshift — drop the sentinels, restoring the r x s shape.
+    flat = wide.T.reshape(-1)[half : half + r * s]
+    return flat.reshape(s, r).T.copy()
+
+
+def columnsort_full_flat(matrix: np.ndarray) -> np.ndarray:
+    """Run the full Columnsort and return the flat column-major reading,
+    which is the fully (nonincreasing) sorted sequence."""
+    out = columnsort_full(matrix)
+    return out.T.reshape(-1).copy()
+
+
+def columnsort_shape_for_beta(n: int, beta: float) -> tuple[int, int]:
+    """Choose an ``r × s`` shape realising the paper's β-parametrisation:
+    ``r = Θ(n^β)`` rows, ``s = Θ(n^{1−β})`` columns, with ``n = r·s``,
+    ``s | r``, for ``1/2 ≤ β ≤ 1``.
+
+    ``n`` must be a power of two; ``r`` is taken as the power of two
+    nearest ``n^β`` that keeps ``s ≤ r`` (ensuring divisibility since
+    both are powers of two).
+    """
+    from repro._util.bits import ilg
+
+    if not 0.5 <= beta <= 1.0:
+        raise ConfigurationError(f"beta must lie in [1/2, 1], got {beta}")
+    t = ilg(n)
+    # r = 2^a with a = round(beta * t), clamped so that s <= r.
+    a = round(beta * t)
+    a = max(a, (t + 1) // 2)  # enforce r >= s, i.e. a >= t - a
+    a = min(a, t)
+    r = 1 << a
+    s = n // r
+    validate_columnsort_shape(r, s)
+    return r, s

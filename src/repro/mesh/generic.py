@@ -1,0 +1,116 @@
+"""Generic-key mesh sorting.
+
+The concentrator switches only ever sort valid *bits*, but the
+algorithms they borrow — Revsort (Schnorr–Shamir), Columnsort
+(Leighton), Shearsort — are general mesh sorts.  This module provides
+the arbitrary-key versions, both as substrate completeness and as an
+independent check: every pipeline here is an *oblivious* sequence of
+row/column sorts and fixed permutations, so by the 0–1 principle the
+exhaustive 0/1 verification in :mod:`repro.mesh` transfers to
+arbitrary keys; the hypothesis tests confirm it directly.
+
+All sorts follow the paper's nonincreasing convention (largest keys
+first in row-major order).  Keys may be any real numeric dtype; ±∞
+sentinels are used where the 0/1 versions used hardwired 0/1 wires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mesh.columnsort import validate_columnsort_shape
+from repro.mesh.grid import sort_columns, sort_rows, sort_rows_snake
+from repro.mesh.revsort import (
+    _check_square_pow2,
+    rev_rotate_rows,
+    revsort_repetitions,
+)
+
+
+def _as_float(matrix: np.ndarray) -> np.ndarray:
+    arr = np.asarray(matrix)
+    if arr.ndim != 2:
+        raise ConfigurationError(f"expected a 2-D matrix, got shape {arr.shape}")
+    if not np.issubdtype(arr.dtype, np.number):
+        raise ConfigurationError(f"keys must be numeric, got dtype {arr.dtype}")
+    return arr.astype(np.float64)
+
+
+def revsort(matrix: np.ndarray) -> np.ndarray:
+    """Full Revsort of arbitrary keys on a ``2^q × 2^q`` mesh:
+    ``⌈lg lg √n⌉`` repetitions of (sort columns, sort rows, rev-rotate),
+    a completing column sort, three Shearsort iterations, and the final
+    row sort — the same pipeline :func:`repro.mesh.revsort.revsort_full`
+    runs on valid bits."""
+    arr = _as_float(matrix)
+    side = _check_square_pow2(arr)
+    for _ in range(revsort_repetitions(side)):
+        arr = sort_columns(arr)
+        arr = sort_rows(arr)
+        arr = rev_rotate_rows(arr)
+    arr = sort_columns(arr)
+    for _ in range(3):
+        arr = sort_columns(sort_rows_snake(arr))
+    return sort_rows(arr)
+
+
+def columnsort(matrix: np.ndarray) -> np.ndarray:
+    """Full 8-step Columnsort of arbitrary keys on an ``r × s`` mesh
+    (``s | r``, ``r ≥ 2(s−1)²``); the sorted sequence is the
+    column-major readout (Leighton's convention), available via
+    :func:`columnsort_flat`."""
+    arr = _as_float(matrix)
+    r, s = arr.shape
+    validate_columnsort_shape(r, s, full=True)
+    half = r // 2
+
+    arr = sort_columns(arr)                  # step 1
+    arr = arr.T.reshape(r, s)                # step 2 (CM -> RM)
+    arr = sort_columns(arr)                  # step 3
+    arr = arr.reshape(s, r).T.copy()         # step 4 (RM -> CM)
+    arr = sort_columns(arr)                  # step 5
+
+    flat = arr.T.reshape(-1)                 # step 6: half-column shift
+    padded = np.concatenate(
+        [np.full(half, np.inf), flat, np.full(r - half, -np.inf)]
+    )
+    wide = padded.reshape(s + 1, r).T
+    wide = sort_columns(wide)                # step 7
+    flat = wide.T.reshape(-1)[half : half + r * s]  # step 8: unshift
+    return flat.reshape(s, r).T.copy()
+
+
+def columnsort_flat(matrix: np.ndarray) -> np.ndarray:
+    """Run :func:`columnsort` and return the flat column-major
+    (nonincreasing sorted) sequence."""
+    return columnsort(matrix).T.reshape(-1).copy()
+
+
+def shearsort(matrix: np.ndarray) -> np.ndarray:
+    """Full Shearsort of arbitrary keys into row-major nonincreasing
+    order: ``⌈lg r⌉ + 1`` snake iterations plus the final row sort."""
+    from repro._util.bits import ceil_lg
+
+    arr = _as_float(matrix)
+    rows = arr.shape[0]
+    iterations = ceil_lg(rows) + 1 if rows > 1 else 1
+    for _ in range(iterations):
+        arr = sort_columns(sort_rows_snake(arr))
+    return sort_rows(arr)
+
+
+def is_sorted_row_major(matrix: np.ndarray) -> bool:
+    """Nonincreasing in row-major order?"""
+    flat = np.asarray(matrix).reshape(-1)
+    if flat.size <= 1:
+        return True
+    return bool((flat[:-1] >= flat[1:]).all())
+
+
+def is_sorted_column_major(matrix: np.ndarray) -> bool:
+    """Nonincreasing in column-major order?"""
+    flat = np.asarray(matrix).T.reshape(-1)
+    if flat.size <= 1:
+        return True
+    return bool((flat[:-1] >= flat[1:]).all())

@@ -1,0 +1,75 @@
+"""Row/column sorting primitives on 0/1 meshes.
+
+Per Section 2 of the paper, "a sequence of values is *sorted* if it is
+in nonincreasing order" — so a sorted column of valid bits has its 1s at
+the top and a sorted row has its 1s at the left.  Each full sort of a
+row or column is exactly what one hyperconcentrator chip does to its
+valid bits, which is why these primitives model the chips' aggregate
+behaviour.
+
+Matrices here are numpy arrays with dtype bool or small integers; all
+operations return new arrays (the switch stages are distinct chips, not
+in-place updates).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _as_matrix(matrix: np.ndarray) -> np.ndarray:
+    arr = np.asarray(matrix)
+    if arr.ndim != 2:
+        raise ConfigurationError(f"expected a 2-D matrix, got shape {arr.shape}")
+    return arr
+
+
+def sort_columns(matrix: np.ndarray) -> np.ndarray:
+    """Fully sort every column into nonincreasing order (1s at top)."""
+    arr = _as_matrix(matrix)
+    # np.sort is ascending; flip rows to get nonincreasing columns.
+    return np.sort(arr, axis=0)[::-1].copy()
+
+
+def sort_rows(matrix: np.ndarray) -> np.ndarray:
+    """Fully sort every row into nonincreasing order (1s at left)."""
+    arr = _as_matrix(matrix)
+    return np.sort(arr, axis=1)[:, ::-1].copy()
+
+
+def sort_rows_snake(matrix: np.ndarray) -> np.ndarray:
+    """Sort rows in alternating directions (Shearsort's row phase):
+    even-numbered rows nonincreasing, odd-numbered rows nondecreasing.
+    """
+    arr = _as_matrix(matrix)
+    out = np.sort(arr, axis=1)
+    out[::2] = out[::2, ::-1]
+    return out.copy()
+
+
+def column_counts(matrix: np.ndarray) -> np.ndarray:
+    """Number of 1s in each column (used by analysis and tests)."""
+    return np.count_nonzero(_as_matrix(matrix), axis=0)
+
+
+def row_counts(matrix: np.ndarray) -> np.ndarray:
+    """Number of 1s in each row."""
+    return np.count_nonzero(_as_matrix(matrix), axis=1)
+
+
+def is_sorted_columns(matrix: np.ndarray) -> bool:
+    """True iff every column is nonincreasing."""
+    arr = _as_matrix(matrix)
+    if arr.shape[0] <= 1:
+        return True
+    return bool((arr[:-1] >= arr[1:]).all())
+
+
+def is_sorted_rows(matrix: np.ndarray) -> bool:
+    """True iff every row is nonincreasing."""
+    arr = _as_matrix(matrix)
+    if arr.shape[1] <= 1:
+        return True
+    return bool((arr[:, :-1] >= arr[:, 1:]).all())

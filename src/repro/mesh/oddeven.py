@@ -1,0 +1,74 @@
+"""Odd-even transposition sorting — the "cheap chip" alternative.
+
+The paper's chips fully sort their valid bits (a w-by-w
+hyperconcentrator per row/column).  A cheaper chip could run only T
+rounds of odd-even transposition (T = w fully sorts; smaller T gives a
+partial sorter with shallower logic).  This module provides the
+truncated sorter and a variant of Algorithm 1/2's stages built from
+it, so the ablation bench can measure how the switch's nearsorting
+quality degrades when the per-chip sorter is weakened — a design-space
+question the paper's framework makes answerable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def oddeven_sort_rounds(bits: np.ndarray, rounds: int) -> np.ndarray:
+    """Run ``rounds`` odd-even transposition rounds on each row of a
+    (batch, width) 0/1 array, sorting *nonincreasing* (1s leftward).
+
+    ``rounds >= width`` fully sorts (the classical bound).
+    """
+    arr = np.asarray(bits, dtype=np.int8)
+    if arr.ndim == 1:
+        arr = arr[None, :]
+        squeeze = True
+    else:
+        squeeze = False
+    if rounds < 0:
+        raise ConfigurationError(f"rounds must be non-negative, got {rounds}")
+    arr = arr.copy()
+    width = arr.shape[1]
+    for t in range(rounds):
+        start = t % 2
+        left = arr[:, start : width - 1 : 2]
+        right = arr[:, start + 1 : width : 2]
+        # Nonincreasing: larger value to the left.
+        swap = left < right
+        left[swap], right[swap] = right[swap], left[swap]
+    return arr[0] if squeeze else arr
+
+
+def weak_column_sort(matrix: np.ndarray, rounds: int) -> np.ndarray:
+    """Sort each column with ``rounds`` odd-even rounds (1s rise)."""
+    arr = np.asarray(matrix, dtype=np.int8)
+    return oddeven_sort_rounds(arr.T, rounds).T.copy()
+
+
+def weak_row_sort(matrix: np.ndarray, rounds: int) -> np.ndarray:
+    """Sort each row with ``rounds`` odd-even rounds (1s leftward)."""
+    return oddeven_sort_rounds(np.asarray(matrix, dtype=np.int8), rounds)
+
+
+def weak_revsort_pass(matrix: np.ndarray, rounds: int) -> np.ndarray:
+    """Algorithm 1 with weakened chips: every full sort replaced by a
+    ``rounds``-round odd-even sorter."""
+    from repro.mesh.revsort import rev_rotate_rows
+
+    arr = weak_column_sort(matrix, rounds)
+    arr = weak_row_sort(arr, rounds)
+    arr = rev_rotate_rows(arr)
+    return weak_column_sort(arr, rounds)
+
+
+def weak_columnsort_pass(matrix: np.ndarray, rounds: int) -> np.ndarray:
+    """Algorithm 2 with weakened chips."""
+    arr = np.asarray(matrix, dtype=np.int8)
+    r, s = arr.shape
+    arr = weak_column_sort(arr, rounds)
+    arr = arr.T.reshape(r, s)
+    return weak_column_sort(arr, rounds)

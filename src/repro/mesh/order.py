@@ -1,0 +1,191 @@
+"""Matrix position numberings and the wiring-level permutations.
+
+Section 5 of the paper (Figure 5) defines the row-major and column-major
+positions of an ``r × s`` matrix entry:
+
+* ``RM(i, j) = s·i + j``
+* ``CM(i, j) = r·j + i``
+* ``RM⁻¹(x) = (⌊x/s⌋, x mod s)``
+
+and the switch wirings are compositions of these maps plus the
+``rev(i)``-rotation of Section 4.  This module exposes the numberings
+and, crucially, each inter-stage wiring as an explicit permutation array
+``perm`` with the convention::
+
+    new_flat_position = perm[old_flat_position]
+
+where flat positions are row-major indices of the underlying matrix.
+The switch constructions consume these arrays directly as pin-to-pin
+wire lists, so correctness here *is* correctness of the physical wiring.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.bits import bit_reverse, ilg
+from repro.errors import ConfigurationError
+
+
+def rm_index(i: int, j: int, r: int, s: int) -> int:
+    """Row-major position ``RM(i, j) = s·i + j`` of entry (i, j) in an
+    ``r × s`` matrix."""
+    _check_entry(i, j, r, s)
+    return s * i + j
+
+
+def cm_index(i: int, j: int, r: int, s: int) -> int:
+    """Column-major position ``CM(i, j) = r·j + i``."""
+    _check_entry(i, j, r, s)
+    return r * j + i
+
+
+def rm_inverse(x: int, r: int, s: int) -> tuple[int, int]:
+    """``RM⁻¹(x) = (⌊x/s⌋, x mod s)``: the (row, column) of row-major
+    position ``x``."""
+    if not 0 <= x < r * s:
+        raise ConfigurationError(f"row-major position {x} out of range for {r}x{s}")
+    return x // s, x % s
+
+
+def snake_index(i: int, j: int, r: int, s: int) -> int:
+    """Snake-order (boustrophedon) position: row-major but with
+    odd-numbered rows traversed right-to-left.  Used by Shearsort."""
+    _check_entry(i, j, r, s)
+    return s * i + (j if i % 2 == 0 else s - 1 - j)
+
+
+def row_major_matrix(r: int, s: int) -> np.ndarray:
+    """The ``r × s`` matrix whose entries are their row-major positions
+    (left half of the paper's Figure 5)."""
+    return np.arange(r * s, dtype=np.int64).reshape(r, s)
+
+
+def column_major_matrix(r: int, s: int) -> np.ndarray:
+    """The ``r × s`` matrix whose entries are their column-major
+    positions (right half of Figure 5)."""
+    return np.arange(r * s, dtype=np.int64).reshape(s, r).T
+
+
+# ---------------------------------------------------------------------------
+# Wiring permutations (flat row-major position -> flat row-major position)
+# ---------------------------------------------------------------------------
+
+
+def transpose_permutation(r: int, s: int) -> np.ndarray:
+    """Permutation realised by the stage-1→2 wiring of the Revsort switch.
+
+    Element at (i, j) of an ``r × s`` matrix moves to (j, i) of the
+    transposed ``s × r`` matrix.  Returned as flat row-major positions:
+    ``perm[RM_{r×s}(i,j)] = RM_{s×r}(j,i)``.
+    """
+    perm = np.empty(r * s, dtype=np.int64)
+    for i in range(r):
+        for j in range(s):
+            perm[s * i + j] = r * j + i
+    return perm
+
+
+def rev_rotate_permutation(side: int) -> np.ndarray:
+    """Permutation of the Section 4 rotation step (Algorithm 1, step 3).
+
+    For a ``side × side`` matrix with ``side = 2^q``, row ``i`` is
+    cyclically rotated ``rev(i)`` places to the *right*: the element in
+    row ``i``, column ``j`` moves to row ``i``, column
+    ``(rev(i) + j) mod side``.
+    """
+    q = ilg(side)
+    perm = np.empty(side * side, dtype=np.int64)
+    for i in range(side):
+        shift = bit_reverse(i, q)
+        for j in range(side):
+            perm[side * i + j] = side * i + (shift + j) % side
+    return perm
+
+
+def cm_to_rm_permutation(r: int, s: int) -> np.ndarray:
+    """Permutation of Columnsort step 2 (Algorithm 2, step 2).
+
+    "Convert the matrix from column-major to row-major order": the
+    element in row ``i`` and column ``j`` moves to row ``⌊(r·j+i)/s⌋``
+    and column ``(r·j+i) mod s`` — i.e. its new row-major position is
+    its old column-major position, ``perm = RM⁻¹ ∘ CM`` in the paper's
+    notation.
+    """
+    if r % s != 0:
+        raise ConfigurationError(
+            f"cm_to_rm wiring requires s | r (got r={r}, s={s}); "
+            "the paper's Columnsort switch assumes s evenly divides r"
+        )
+    perm = np.empty(r * s, dtype=np.int64)
+    for i in range(r):
+        for j in range(s):
+            perm[s * i + j] = r * j + i
+    return perm
+
+
+def rm_to_cm_permutation(r: int, s: int) -> np.ndarray:
+    """Inverse of :func:`cm_to_rm_permutation` (Columnsort step 4,
+    "untranspose"): the element whose row-major position is ``x`` moves
+    so that its *column-major* position becomes ``x``."""
+    forward = cm_to_rm_permutation(r, s)
+    inverse = np.empty_like(forward)
+    inverse[forward] = np.arange(forward.size, dtype=np.int64)
+    return inverse
+
+
+def shift_down_permutation(r: int, s: int, amount: int) -> np.ndarray:
+    """Columnsort steps 6/8 helper: shift the column-major order of an
+    ``r × s`` matrix forward by ``amount`` positions, cyclically.
+
+    Leighton's step 6 shifts each entry down ⌊r/2⌋ positions within the
+    column-major ordering (entries wrap into the next column, and the
+    last wraps to the first).  The classic presentation pads with ±∞
+    half-columns; for 0/1 inputs the cyclic wrap with a final column
+    re-sort is equivalent for our purposes and keeps the matrix shape.
+    """
+    n = r * s
+    perm = np.empty(n, dtype=np.int64)
+    for i in range(r):
+        for j in range(s):
+            cm_old = r * j + i
+            cm_new = (cm_old + amount) % n
+            i2, j2 = cm_new % r, cm_new // r
+            perm[s * i + j] = s * i2 + j2
+    return perm
+
+
+def apply_position_permutation(matrix: np.ndarray, perm: np.ndarray) -> np.ndarray:
+    """Move matrix elements: the element at flat position ``p`` of
+    ``matrix`` lands at flat position ``perm[p]`` of the result.
+
+    The result is reshaped back to ``matrix.shape`` unless the
+    permutation length implies a transpose, in which case callers
+    reshape explicitly.
+    """
+    flat = matrix.reshape(-1)
+    if perm.size != flat.size:
+        raise ConfigurationError(
+            f"permutation of length {perm.size} applied to matrix of size {flat.size}"
+        )
+    out = np.empty_like(flat)
+    out[perm] = flat
+    return out.reshape(matrix.shape)
+
+
+def is_permutation(perm: np.ndarray) -> bool:
+    """True iff ``perm`` is a bijection of ``range(len(perm))``.  Wiring
+    validity check: every output pin driven by exactly one input pin."""
+    n = perm.size
+    if n == 0:
+        return True
+    seen = np.zeros(n, dtype=bool)
+    if perm.min() < 0 or perm.max() >= n:
+        return False
+    seen[perm] = True
+    return bool(seen.all())
+
+
+def _check_entry(i: int, j: int, r: int, s: int) -> None:
+    if not (0 <= i < r and 0 <= j < s):
+        raise ConfigurationError(f"entry ({i}, {j}) out of range for a {r}x{s} matrix")

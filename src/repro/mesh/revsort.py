@@ -1,0 +1,142 @@
+"""Revsort (Schnorr–Shamir) on 0/1 meshes.
+
+Section 4 of the paper builds its multichip partial concentrator from
+**Algorithm 1**, the first 1½ iterations of Revsort on a ``√n × √n``
+matrix with ``√n = 2^q``:
+
+1. Fully sort the columns.
+2. Fully sort the rows.
+3. For ``0 ≤ i < √n``, cyclically rotate row ``i`` by ``rev(i)`` places
+   to the right.
+4. Fully sort the columns.
+
+Theorem 3 (via Schnorr–Shamir): afterwards the matrix consists of clean
+rows of 1s on top, clean rows of 0s at the bottom, and at most
+``2⌈n^{1/4}⌉ − 1`` dirty rows in the middle, i.e. the row-major reading
+is ``O(n^{3/4})``-nearsorted.
+
+Section 6 additionally uses the *full* Revsort: repeating steps 1–3
+``⌈lg lg √n⌉`` times leaves at most eight dirty rows, after which three
+Shearsort iterations complete the sort.  :func:`revsort_full` implements
+that pipeline (with the standard final row-sort stage that converts the
+snake-sorted single dirty row into row-major order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.bits import bit_reverse, ceil_div, ilg
+from repro.errors import ConfigurationError
+from repro.mesh.grid import sort_columns, sort_rows
+from repro.mesh.shearsort import shearsort_iteration
+
+
+def _check_square_pow2(matrix: np.ndarray) -> int:
+    arr = np.asarray(matrix)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ConfigurationError(f"Revsort requires a square matrix, got shape {arr.shape}")
+    side = arr.shape[0]
+    ilg(side)  # raises if not a power of two (the paper requires √n = 2^q)
+    return side
+
+
+def rev_rotate_rows(matrix: np.ndarray) -> np.ndarray:
+    """Step 3 of Algorithm 1: rotate row ``i`` right by ``rev(i)``."""
+    side = _check_square_pow2(matrix)
+    q = ilg(side)
+    out = np.empty_like(np.asarray(matrix))
+    for i in range(side):
+        out[i] = np.roll(np.asarray(matrix)[i], bit_reverse(i, q))
+    return out
+
+
+def revsort_nearsort(matrix: np.ndarray) -> np.ndarray:
+    """Algorithm 1 (steps 1–4): the nearsorting pass the Revsort-based
+    switch realises in hardware.  Returns the transformed matrix."""
+    arr = np.asarray(matrix)
+    _check_square_pow2(arr)
+    arr = sort_columns(arr)
+    arr = sort_rows(arr)
+    arr = rev_rotate_rows(arr)
+    arr = sort_columns(arr)
+    return arr
+
+
+def revsort_reduce(matrix: np.ndarray, repetitions: int) -> np.ndarray:
+    """Repeat steps 1–3 of Algorithm 1 ``repetitions`` times, then apply
+    the final column sort (step 4).
+
+    With ``repetitions = ⌈lg lg √n⌉`` Schnorr–Shamir show the result has
+    at most eight dirty rows (Section 6 of the paper).
+    """
+    if repetitions < 1:
+        raise ConfigurationError("revsort_reduce requires at least one repetition")
+    arr = np.asarray(matrix)
+    _check_square_pow2(arr)
+    for _ in range(repetitions):
+        arr = sort_columns(arr)
+        arr = sort_rows(arr)
+        arr = rev_rotate_rows(arr)
+    return sort_columns(arr)
+
+
+def revsort_repetitions(side: int) -> int:
+    """The Section 6 repetition count ``⌈lg lg √n⌉`` for a ``side×side``
+    matrix (``side = √n``), with a floor of 1 for tiny meshes."""
+    q = ilg(side)  # lg √n
+    if q <= 1:
+        return 1
+    # ⌈lg q⌉ computed exactly on the integer q.
+    return max(1, (q - 1).bit_length())
+
+
+def revsort_full(matrix: np.ndarray) -> np.ndarray:
+    """Full Revsort pipeline of Section 6: ``⌈lg lg √n⌉`` repetitions of
+    steps 1–3 (+ column sort), then three Shearsort iterations, then a
+    final row sort to convert snake order into row-major order.
+
+    For 0/1 inputs the result is fully sorted when read row-major.
+    """
+    arr = np.asarray(matrix)
+    side = _check_square_pow2(arr)
+    arr = revsort_reduce(arr, revsort_repetitions(side))
+    for _ in range(3):
+        arr = shearsort_iteration(arr)
+    return sort_rows(arr)
+
+
+def revsort_dirty_row_bound(n: int) -> int:
+    """Theorem 3's dirty-row bound ``2⌈n^{1/4}⌉ − 1`` for an n-input
+    Revsort-based switch (matrix is ``√n × √n``)."""
+    if n < 1:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    fourth_root = _ceil_fourth_root(n)
+    return 2 * fourth_root - 1
+
+
+def revsort_epsilon_bound(n: int) -> int:
+    """A concrete ε such that Algorithm 1's row-major output is
+    ε-nearsorted: the dirty window spans at most
+    ``(2⌈n^{1/4}⌉ − 1)·√n`` flat positions, and a dirty window of length
+    d makes the sequence d-nearsorted (Lemma 1, ⇐ direction)."""
+    side = _isqrt_exact(n)
+    return revsort_dirty_row_bound(n) * side
+
+
+def _ceil_fourth_root(n: int) -> int:
+    root = round(n ** 0.25)
+    while root**4 < n:
+        root += 1
+    while root >= 1 and (root - 1) ** 4 >= n:
+        root -= 1
+    return root
+
+
+def _isqrt_exact(n: int) -> int:
+    import math
+
+    side = math.isqrt(n)
+    if side * side != n:
+        raise ConfigurationError(f"n={n} is not a perfect square (Revsort needs √n integral)")
+    return side

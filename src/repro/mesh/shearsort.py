@@ -1,0 +1,43 @@
+"""Shearsort iterations on 0/1 meshes.
+
+Used by the Section 6 full-Revsort multichip hyperconcentrator: after
+``⌈lg lg √n⌉`` Revsort repetitions leave at most eight dirty rows,
+"three iterations of the Shearsort algorithm" (Scherson–Sen–Shamir)
+complete the sort.  One iteration is a snake-wise row sort (alternating
+directions) followed by a column sort; each iteration at least halves
+the number of dirty rows of a 0/1 matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.bits import ceil_lg
+from repro.errors import ConfigurationError
+from repro.mesh.grid import sort_columns, sort_rows, sort_rows_snake
+
+
+def shearsort_iteration(matrix: np.ndarray) -> np.ndarray:
+    """One Shearsort iteration: snake row sort, then column sort."""
+    arr = np.asarray(matrix)
+    if arr.ndim != 2:
+        raise ConfigurationError(f"expected a 2-D matrix, got shape {arr.shape}")
+    return sort_columns(sort_rows_snake(arr))
+
+
+def shearsort(matrix: np.ndarray) -> np.ndarray:
+    """Full Shearsort of a 0/1 matrix into row-major nonincreasing order.
+
+    Runs ``⌈lg r⌉ + 1`` iterations (sufficient for 0/1 inputs by the
+    halving argument) followed by a final plain row sort that converts
+    the at-most-one remaining snake-sorted dirty row into row-major
+    order.
+    """
+    arr = np.asarray(matrix)
+    if arr.ndim != 2:
+        raise ConfigurationError(f"expected a 2-D matrix, got shape {arr.shape}")
+    rows = arr.shape[0]
+    iterations = ceil_lg(rows) + 1 if rows > 1 else 1
+    for _ in range(iterations):
+        arr = shearsort_iteration(arr)
+    return sort_rows(arr)

@@ -1,0 +1,29 @@
+"""Bit-serial message format and clocked simulation (Section 2).
+
+Messages arrive one bit per clock cycle; the first bit at each input
+wire is the *valid bit*, presented during the externally signalled
+**setup** cycle.  Bits on later cycles follow the electrical paths the
+valid bits established.  Unsuccessfully routed messages are handled by
+a congestion policy: buffer, misroute-free drop, or drop-with-resend
+(Section 1 lists these as the typical options; the switch designs are
+compatible with any of them).
+"""
+
+from repro.messages.congestion import (
+    BufferPolicy,
+    CongestionPolicy,
+    DropPolicy,
+    ResendPolicy,
+)
+from repro.messages.message import Message
+from repro.messages.serial_sim import BitSerialSimulator, TransitRecord
+
+__all__ = [
+    "BitSerialSimulator",
+    "BufferPolicy",
+    "CongestionPolicy",
+    "DropPolicy",
+    "Message",
+    "ResendPolicy",
+    "TransitRecord",
+]

@@ -1,0 +1,151 @@
+"""Congestion-control policies (Section 1).
+
+"Typical ways of handling unsuccessfully routed messages in a routing
+network are to buffer them, to misroute them, or to simply drop them
+and rely on a higher-level acknowledgment protocol to detect this
+situation and resend them.  The switch designs in this paper are
+compatible with any of these congestion control methods."
+
+A policy consumes the messages a switch failed to route in one round
+and decides what re-enters on later rounds.  The network simulator
+drives rounds; policies keep their own state.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass
+
+from repro.messages.message import Message
+
+
+@dataclass
+class PolicyStats:
+    """Counters every policy maintains."""
+
+    offered: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    retried: int = 0
+
+    @property
+    def loss_rate(self) -> float:
+        return self.dropped / self.offered if self.offered else 0.0
+
+
+class CongestionPolicy(ABC):
+    """Decides the fate of unrouted messages between rounds."""
+
+    def __init__(self) -> None:
+        self.stats = PolicyStats()
+
+    @abstractmethod
+    def on_unrouted(self, messages: list[Message], round_index: int) -> None:
+        """Called with the messages the switch failed to route."""
+
+    @abstractmethod
+    def backlog(self) -> list[Message]:
+        """Messages this policy wants re-injected next round."""
+
+    def on_offered(self, count: int) -> None:
+        self.stats.offered += count
+
+    def on_delivered(self, count: int) -> None:
+        self.stats.delivered += count
+
+
+class DropPolicy(CongestionPolicy):
+    """Drop unrouted messages outright (loss is permanent)."""
+
+    def on_unrouted(self, messages: list[Message], round_index: int) -> None:
+        self.stats.dropped += len(messages)
+
+    def backlog(self) -> list[Message]:
+        return []
+
+
+class BufferPolicy(CongestionPolicy):
+    """Buffer unrouted messages at the inputs and retry next round.
+
+    ``capacity`` bounds the queue; overflow is dropped (queue-overflow
+    is exactly the scenario the paper's BTR section handles with its
+    emergency network).
+    """
+
+    def __init__(self, capacity: int | None = None):
+        super().__init__()
+        self.capacity = capacity
+        self._queue: deque[Message] = deque()
+        #: queue depth sampled at the end of every round with losses —
+        #: by Little's law, mean depth / throughput approximates the
+        #: mean extra waiting time buffering introduces.
+        self.depth_history: list[int] = []
+
+    def on_unrouted(self, messages: list[Message], round_index: int) -> None:
+        for msg in messages:
+            if self.capacity is not None and len(self._queue) >= self.capacity:
+                self.stats.dropped += 1
+            else:
+                self._queue.append(msg)
+                self.stats.retried += 1
+        self.depth_history.append(len(self._queue))
+
+    def backlog(self) -> list[Message]:
+        out = list(self._queue)
+        self._queue.clear()
+        return out
+
+    @property
+    def mean_queue_depth(self) -> float:
+        if not self.depth_history:
+            return 0.0
+        return sum(self.depth_history) / len(self.depth_history)
+
+    @property
+    def peak_queue_depth(self) -> int:
+        return max(self.depth_history, default=0)
+
+
+@dataclass
+class _Pending:
+    message: Message
+    resend_round: int
+
+
+class ResendPolicy(CongestionPolicy):
+    """Drop-and-resend: the sender detects a missing acknowledgment
+    after ``ack_timeout`` rounds and retransmits, up to ``max_retries``
+    per message (then the message is declared lost)."""
+
+    def __init__(self, ack_timeout: int = 1, max_retries: int = 8):
+        super().__init__()
+        self.ack_timeout = ack_timeout
+        self.max_retries = max_retries
+        self._pending: list[_Pending] = []
+        self._attempts: dict[int, int] = {}
+
+    def on_unrouted(self, messages: list[Message], round_index: int) -> None:
+        for msg in messages:
+            attempts = self._attempts.get(msg.tag, 0) + 1
+            self._attempts[msg.tag] = attempts
+            if attempts > self.max_retries:
+                self.stats.dropped += 1
+            else:
+                self._pending.append(
+                    _Pending(message=msg, resend_round=round_index + self.ack_timeout)
+                )
+                self.stats.retried += 1
+
+    def backlog(self) -> list[Message]:
+        # Called at the start of a round; release everything due.  The
+        # network simulator passes the round index via ``due_round``.
+        ready = [p.message for p in self._pending]
+        self._pending.clear()
+        return ready
+
+    def backlog_due(self, round_index: int) -> list[Message]:
+        """Release only the retransmissions whose timeout has expired."""
+        due = [p.message for p in self._pending if p.resend_round <= round_index]
+        self._pending = [p for p in self._pending if p.resend_round > round_index]
+        return due

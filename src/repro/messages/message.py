@@ -1,0 +1,64 @@
+"""The bit-serial message format of Section 2.
+
+"Each message is formed by a stream of bits arriving at a wire at the
+rate of one bit per clock cycle.  The first bit of each message that
+arrives at an input wire is the valid bit."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+_serial = count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """One bit-serial message.
+
+    ``payload`` is the bit stream that follows the valid bit.  An
+    *invalid* message (valid bit 0) is represented by ``None`` at the
+    switch interfaces rather than by a Message object; every Message is
+    a valid message.  ``tag`` identifies the message across hops for
+    the network simulations (auto-assigned when omitted).
+    """
+
+    payload: tuple[int, ...]
+    tag: int = field(default_factory=lambda: next(_serial))
+
+    def __post_init__(self) -> None:
+        if any(bit not in (0, 1) for bit in self.payload):
+            raise ConfigurationError("payload must contain only 0/1 bits")
+
+    @classmethod
+    def from_int(cls, value: int, width: int, tag: int | None = None) -> "Message":
+        """Encode an integer little-endian into a ``width``-bit payload."""
+        if value < 0 or value >= (1 << width):
+            raise ConfigurationError(f"{value} does not fit in {width} bits")
+        bits = tuple((value >> i) & 1 for i in range(width))
+        return cls(payload=bits) if tag is None else cls(payload=bits, tag=tag)
+
+    def to_int(self) -> int:
+        """Decode the little-endian payload back to an integer."""
+        return sum(bit << i for i, bit in enumerate(self.payload))
+
+    @property
+    def length(self) -> int:
+        """Payload bits (excluding the valid bit)."""
+        return len(self.payload)
+
+    def wire_stream(self) -> np.ndarray:
+        """The full bit stream as seen on a wire: valid bit 1, then the
+        payload bits."""
+        return np.array((1,) + self.payload, dtype=np.int8)
+
+
+def invalid_wire_stream(length: int) -> np.ndarray:
+    """The stream an idle wire presents: valid bit 0 then don't-care
+    (zero) filler for ``length`` cycles."""
+    return np.zeros(length + 1, dtype=np.int8)

@@ -1,0 +1,72 @@
+"""Routing-network application substrate.
+
+The paper's introduction motivates concentrators as components of the
+message-routing networks of parallel computers: many input lines carry
+relatively few messages that must be funneled onto fewer output links.
+This package provides the synthetic workloads and round-based network
+simulations that exercise that use case:
+
+* :mod:`repro.network.traffic` — Bernoulli, fixed-k, and hot-spot
+  workload generators;
+* :mod:`repro.network.simulate` — single-switch and two-level
+  concentration-tree simulations under a congestion policy, with
+  throughput/loss statistics (the light-load equivalence experiment of
+  Section 1 lives here).
+"""
+
+from repro.network.analytic import (
+    knockout_l_for_target_loss,
+    knockout_loss_analytic,
+)
+from repro.network.fattree import (
+    FatTree,
+    Routed,
+    constant_capacity,
+    full_bisection_capacity,
+    random_permutation_round,
+    universal_capacity,
+)
+from repro.network.funnel import FunnelNetwork, LevelStats
+from repro.network.knockout import (
+    KnockoutSwitch,
+    Packet,
+    knockout_loss_curve,
+    uniform_packet_traffic,
+)
+from repro.network.simulate import (
+    ConcentrationTree,
+    RoundResult,
+    SwitchSimulation,
+    compare_partial_vs_perfect,
+)
+from repro.network.traffic import (
+    BernoulliTraffic,
+    FixedKTraffic,
+    HotSpotTraffic,
+    TrafficGenerator,
+)
+
+__all__ = [
+    "BernoulliTraffic",
+    "FatTree",
+    "Routed",
+    "constant_capacity",
+    "full_bisection_capacity",
+    "knockout_l_for_target_loss",
+    "knockout_loss_analytic",
+    "random_permutation_round",
+    "universal_capacity",
+    "FunnelNetwork",
+    "KnockoutSwitch",
+    "LevelStats",
+    "Packet",
+    "knockout_loss_curve",
+    "uniform_packet_traffic",
+    "ConcentrationTree",
+    "FixedKTraffic",
+    "HotSpotTraffic",
+    "RoundResult",
+    "SwitchSimulation",
+    "TrafficGenerator",
+    "compare_partial_vs_perfect",
+]

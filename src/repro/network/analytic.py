@@ -1,0 +1,69 @@
+"""Analytic loss models for concentrator-based switches.
+
+The knockout concentrator admits a clean closed form under uniform
+traffic: with N inputs each holding a packet with probability p and
+destinations uniform, the number of packets contending for one output
+in a slot is A ~ Binomial(N, p/N).  An N-to-L concentrator drops
+``max(0, A − L)``, so
+
+    loss(L) = E[max(0, A − L)] / E[A].
+
+Comparing this curve with the event-level simulation
+(:mod:`repro.network.knockout`) is a strong cross-check: two completely
+independent routes to the same number.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+
+def binomial_pmf(n: int, k: int, p: float) -> float:
+    """P[Binomial(n, p) = k] (exact, via lgamma for stability)."""
+    if not 0 <= k <= n:
+        return 0.0
+    if p <= 0.0:
+        return 1.0 if k == 0 else 0.0
+    if p >= 1.0:
+        return 1.0 if k == n else 0.0
+    log_choose = (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    )
+    return math.exp(log_choose + k * math.log(p) + (n - k) * math.log(1 - p))
+
+
+def knockout_loss_analytic(ports: int, load: float, concentrator_outputs: int) -> float:
+    """Expected knockout loss rate for an N-port switch with N-to-L
+    concentrators under uniform Bernoulli(p) traffic."""
+    if ports < 1:
+        raise ConfigurationError(f"ports must be positive, got {ports}")
+    if not 0.0 <= load <= 1.0:
+        raise ConfigurationError(f"load must be in [0, 1], got {load}")
+    if not 1 <= concentrator_outputs <= ports:
+        raise ConfigurationError("need 1 <= L <= N")
+    p_hit = load / ports  # P[a given input sends to a given output]
+    expected_arrivals = load  # N * p_hit
+    if expected_arrivals == 0.0:
+        return 0.0
+    expected_overflow = 0.0
+    for a in range(concentrator_outputs + 1, ports + 1):
+        expected_overflow += (a - concentrator_outputs) * binomial_pmf(
+            ports, a, p_hit
+        )
+    return expected_overflow / expected_arrivals
+
+
+def knockout_l_for_target_loss(
+    ports: int, load: float, target: float
+) -> int:
+    """Smallest L whose analytic loss is at or below ``target`` — the
+    design question the knockout concentrator answers ('L = 8 suffices
+    for negligible loss')."""
+    if target <= 0.0:
+        raise ConfigurationError("target loss must be positive")
+    for L in range(1, ports + 1):
+        if knockout_loss_analytic(ports, load, L) <= target:
+            return L
+    return ports

@@ -1,0 +1,213 @@
+"""A knockout-style packet switch built from concentrators.
+
+The paper's introduction places concentrators inside "the switches
+that route messages [in] many parallel computing systems".  The
+canonical such design, contemporaneous with the paper, is the knockout
+switch (Yeh–Hluchyj–Acampora, 1987): an N-port output-buffered packet
+switch in which every output port listens to all N inputs through an
+**N-to-L concentrator** — at most L packets per slot reach the output
+buffers and the rest are "knocked out".  The concentrator is exactly
+the component this library builds, so :class:`KnockoutSwitch` wires
+any of our concentrator switches into that role and measures the loss
+the design is famous for (loss falls off steeply in L and is nearly
+independent of N).
+
+Packets are (destination, payload) pairs; one slot routes at most one
+packet per input.  Each output port has an N-input concentrator with
+``L`` outputs feeding a FIFO of configurable depth, drained at one
+packet per slot (the output line rate).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.switches.base import ConcentratorSwitch
+from repro.switches.perfect import PerfectConcentrator
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One fixed-size packet."""
+
+    source: int
+    destination: int
+    slot: int
+
+
+@dataclass
+class KnockoutStats:
+    """Loss accounting for a run."""
+
+    offered: int = 0
+    knocked_out: int = 0      # lost in a concentrator (arrivals > L)
+    buffer_overflow: int = 0  # lost to a full output FIFO
+    delivered: int = 0
+    per_output_delivered: list[int] = field(default_factory=list)
+
+    @property
+    def lost(self) -> int:
+        return self.knocked_out + self.buffer_overflow
+
+    @property
+    def loss_rate(self) -> float:
+        return self.lost / self.offered if self.offered else 0.0
+
+
+class KnockoutSwitch:
+    """An N-port output-buffered switch with per-output N-to-L
+    concentrators.
+
+    Parameters
+    ----------
+    ports:
+        Number of input (and output) ports N.
+    concentrator_outputs:
+        L, the concentrator fan-in limit per output per slot.
+    buffer_depth:
+        Output FIFO capacity (packets); drained 1/slot.
+    concentrator_factory:
+        Builds the N-to-L concentrator for each output; defaults to
+        the perfect concentrator.  Passing a partial-concentrator
+        factory reproduces the paper's cheaper switches in the role.
+    """
+
+    def __init__(
+        self,
+        ports: int,
+        concentrator_outputs: int,
+        *,
+        buffer_depth: int = 16,
+        concentrator_factory: Callable[[int, int], ConcentratorSwitch] | None = None,
+    ):
+        if ports < 1:
+            raise ConfigurationError(f"ports must be positive, got {ports}")
+        if not 1 <= concentrator_outputs <= ports:
+            raise ConfigurationError(
+                f"need 1 <= L <= N, got L={concentrator_outputs}, N={ports}"
+            )
+        if buffer_depth < 1:
+            raise ConfigurationError("buffer_depth must be positive")
+        self.ports = ports
+        self.L = concentrator_outputs
+        self.buffer_depth = buffer_depth
+        factory = concentrator_factory or PerfectConcentrator
+        self.concentrators = [
+            factory(ports, concentrator_outputs) for _ in range(ports)
+        ]
+        for conc in self.concentrators:
+            if conc.n != ports or conc.m != concentrator_outputs:
+                raise ConfigurationError(
+                    "concentrator_factory must build an N-to-L switch "
+                    f"(got {conc.n}-to-{conc.m})"
+                )
+        self._fifos: list[deque[Packet]] = [deque() for _ in range(ports)]
+        self.stats = KnockoutStats(per_output_delivered=[0] * ports)
+
+    def step(self, packets: list[Packet | None]) -> list[Packet | None]:
+        """Advance one slot: admit ``packets`` (one per input, None =
+        idle), run every output's concentrator, enqueue survivors, and
+        drain one packet per output.  Returns the packets leaving on
+        each output line this slot."""
+        if len(packets) != self.ports:
+            raise ConfigurationError(
+                f"expected {self.ports} input slots, got {len(packets)}"
+            )
+        self.stats.offered += sum(1 for p in packets if p is not None)
+
+        for out_port, conc in enumerate(self.concentrators):
+            valid = np.array(
+                [p is not None and p.destination == out_port for p in packets],
+                dtype=bool,
+            )
+            k = int(valid.sum())
+            if k == 0:
+                continue
+            routing = conc.setup(valid)
+            winners = [
+                packets[i]
+                for i in np.flatnonzero(valid)
+                if routing.input_to_output[i] >= 0
+            ]
+            self.stats.knocked_out += k - len(winners)
+            fifo = self._fifos[out_port]
+            for packet in winners:
+                if len(fifo) >= self.buffer_depth:
+                    self.stats.buffer_overflow += 1
+                else:
+                    fifo.append(packet)
+
+        outputs: list[Packet | None] = [None] * self.ports
+        for out_port, fifo in enumerate(self._fifos):
+            if fifo:
+                outputs[out_port] = fifo.popleft()
+                self.stats.delivered += 1
+                self.stats.per_output_delivered[out_port] += 1
+        return outputs
+
+    def queue_lengths(self) -> list[int]:
+        return [len(f) for f in self._fifos]
+
+    def drain(self) -> list[Packet]:
+        """Drain all FIFOs (end of a run); counts as delivered."""
+        leftovers: list[Packet] = []
+        for out_port, fifo in enumerate(self._fifos):
+            while fifo:
+                leftovers.append(fifo.popleft())
+                self.stats.delivered += 1
+                self.stats.per_output_delivered[out_port] += 1
+        return leftovers
+
+
+def uniform_packet_traffic(
+    ports: int, p: float, slots: int, seed: int | None = None
+):
+    """Generator of per-slot packet lists: each input holds a packet
+    with probability ``p``, destination uniform over outputs."""
+    from repro._util.rng import default_rng
+
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"p must be in [0, 1], got {p}")
+    rng = default_rng(seed)
+    for slot in range(slots):
+        packets: list[Packet | None] = [None] * ports
+        active = np.flatnonzero(rng.random(ports) < p)
+        destinations = rng.integers(0, ports, size=active.size)
+        for src, dst in zip(active, destinations):
+            packets[int(src)] = Packet(source=int(src), destination=int(dst), slot=slot)
+        yield packets
+
+
+def knockout_loss_curve(
+    ports: int,
+    loads: list[float],
+    l_values: list[int],
+    *,
+    slots: int = 200,
+    buffer_depth: int = 64,
+    concentrator_factory=None,
+    seed: int | None = None,
+) -> dict[tuple[float, int], float]:
+    """Measure concentrator (knockout) loss rate for each (load, L)."""
+    results: dict[tuple[float, int], float] = {}
+    for p in loads:
+        for L in l_values:
+            switch = KnockoutSwitch(
+                ports,
+                L,
+                buffer_depth=buffer_depth,
+                concentrator_factory=concentrator_factory,
+            )
+            for packets in uniform_packet_traffic(ports, p, slots, seed=seed):
+                switch.step(packets)
+            switch.drain()
+            offered = switch.stats.offered
+            results[(p, L)] = (
+                switch.stats.knocked_out / offered if offered else 0.0
+            )
+    return results

@@ -1,0 +1,211 @@
+"""Round-based network simulations built around concentrator switches.
+
+Two scenarios:
+
+* :class:`SwitchSimulation` — a single switch fed by a traffic
+  generator under a congestion policy; measures delivered/lost/retried
+  messages per round.  This is the intro's "concentrate few messages on
+  many lines onto fewer output lines" setting.
+* :class:`ConcentrationTree` — a two-level funnel of switches: a bank
+  of first-level switches whose outputs feed one second-level switch,
+  modelling a fan-in stage of a larger routing network.
+
+:func:`compare_partial_vs_perfect` reproduces the Section 1 claim that
+an ``(n/α, m/α, α)`` partial concentrator can stand in for an n-by-m
+perfect concentrator: under any k ≤ m offered messages both route
+everything; past m, both saturate at m.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util.rng import default_rng
+from repro.errors import ConfigurationError
+from repro.messages.congestion import CongestionPolicy, DropPolicy, ResendPolicy
+from repro.messages.message import Message
+from repro.switches.base import ConcentratorSwitch
+
+
+@dataclass(frozen=True)
+class RoundResult:
+    """Outcome of one simulated round."""
+
+    round_index: int
+    offered: int
+    injected: int
+    delivered: int
+    unrouted: int
+
+
+@dataclass
+class SimulationSummary:
+    """Aggregate statistics over a run."""
+
+    rounds: int = 0
+    offered: int = 0
+    delivered: int = 0
+    lost: int = 0
+    per_round: list[RoundResult] = field(default_factory=list)
+
+    @property
+    def delivery_rate(self) -> float:
+        return self.delivered / self.offered if self.offered else 1.0
+
+    @property
+    def loss_rate(self) -> float:
+        return self.lost / self.offered if self.offered else 0.0
+
+
+class SwitchSimulation:
+    """Drive one switch with a traffic generator and congestion policy."""
+
+    def __init__(
+        self,
+        switch: ConcentratorSwitch,
+        traffic,
+        policy: CongestionPolicy | None = None,
+        seed: int | None = None,
+    ):
+        if traffic.n != switch.n:
+            raise ConfigurationError(
+                f"traffic width {traffic.n} != switch inputs {switch.n}"
+            )
+        self.switch = switch
+        self.traffic = traffic
+        self.policy = policy if policy is not None else DropPolicy()
+        self.rng = default_rng(seed)
+
+    def run(self, rounds: int) -> SimulationSummary:
+        summary = SimulationSummary()
+        for round_index in range(rounds):
+            fresh = self.traffic.next_round()
+            offered = sum(1 for msg in fresh if msg is not None)
+            self.policy.on_offered(offered)
+
+            # Merge the policy's backlog into idle input slots.
+            if isinstance(self.policy, ResendPolicy):
+                backlog = self.policy.backlog_due(round_index)
+            else:
+                backlog = self.policy.backlog()
+            injected = list(fresh)
+            overflow: list[Message] = []
+            if backlog:
+                idle = [i for i, msg in enumerate(injected) if msg is None]
+                self.rng.shuffle(idle)
+                for msg, slot in zip(backlog, idle):
+                    injected[slot] = msg
+                overflow = backlog[len(idle):]
+
+            valid = np.array([msg is not None for msg in injected], dtype=bool)
+            routing = self.switch.setup(valid)
+            unrouted = [
+                injected[i]
+                for i in np.flatnonzero(valid)
+                if routing.input_to_output[i] < 0
+            ] + overflow
+            # ``unrouted`` contains the switch failures plus the backlog
+            # overflow that never found an idle slot this round.
+            delivered = int(valid.sum()) - (len(unrouted) - len(overflow))
+
+            self.policy.on_delivered(delivered)
+            self.policy.on_unrouted(unrouted, round_index)
+
+            summary.rounds += 1
+            summary.offered += offered
+            summary.delivered += delivered
+            summary.per_round.append(
+                RoundResult(
+                    round_index=round_index,
+                    offered=offered,
+                    injected=int(valid.sum()),
+                    delivered=delivered,
+                    unrouted=len(unrouted),
+                )
+            )
+        summary.lost = self.policy.stats.dropped
+        return summary
+
+
+class ConcentrationTree:
+    """A two-level funnel: ``fan_in`` leaf switches feed one root.
+
+    Each leaf concentrates its n inputs onto m outputs; the root
+    concentrates the concatenated leaf outputs onto its own m outputs.
+    Models a fan-in stage of a multistage routing network.
+    """
+
+    def __init__(self, leaves: list[ConcentratorSwitch], root: ConcentratorSwitch):
+        total = sum(leaf.m for leaf in leaves)
+        if total != root.n:
+            raise ConfigurationError(
+                f"root expects {root.n} inputs but leaves deliver {total}"
+            )
+        self.leaves = leaves
+        self.root = root
+
+    @property
+    def n(self) -> int:
+        return sum(leaf.n for leaf in self.leaves)
+
+    @property
+    def m(self) -> int:
+        return self.root.m
+
+    def route(self, messages: list[Message | None]) -> tuple[list[Message | None], int]:
+        """Route one message set through both levels; returns the root
+        outputs and the count of messages lost inside the tree."""
+        if len(messages) != self.n:
+            raise ConfigurationError(f"expected {self.n} messages, got {len(messages)}")
+        lost = 0
+        mid: list[Message | None] = []
+        offset = 0
+        for leaf in self.leaves:
+            chunk = messages[offset : offset + leaf.n]
+            offset += leaf.n
+            outputs = leaf.route(chunk)
+            lost += sum(1 for msg in chunk if msg is not None) - sum(
+                1 for msg in outputs if msg is not None
+            )
+            mid.extend(outputs)
+        root_out = self.root.route(mid)
+        lost += sum(1 for msg in mid if msg is not None) - sum(
+            1 for msg in root_out if msg is not None
+        )
+        return root_out, lost
+
+
+def compare_partial_vs_perfect(
+    perfect: ConcentratorSwitch,
+    partial: ConcentratorSwitch,
+    k_values: list[int],
+    trials: int = 20,
+    seed: int | None = None,
+) -> dict[int, dict[str, float]]:
+    """The Section 1 substitution experiment.
+
+    For each offered k, draw ``trials`` random k-subsets and record the
+    mean routed count for the n-by-m perfect concentrator and for the
+    (n/α, m/α, α) partial concentrator standing in for it.  The paper's
+    claim: for k ≤ m both route k; for k > m both route (at least) m.
+    """
+    rng = default_rng(seed)
+    results: dict[int, dict[str, float]] = {}
+    for k in k_values:
+        routed_perfect = []
+        routed_partial = []
+        for _ in range(trials):
+            vp = np.zeros(perfect.n, dtype=bool)
+            vp[rng.choice(perfect.n, size=min(k, perfect.n), replace=False)] = True
+            routed_perfect.append(perfect.setup(vp).routed_count)
+
+            vq = np.zeros(partial.n, dtype=bool)
+            vq[rng.choice(partial.n, size=min(k, partial.n), replace=False)] = True
+            routed_partial.append(partial.setup(vq).routed_count)
+        results[k] = {
+            "perfect": float(np.mean(routed_perfect)),
+            "partial": float(np.mean(routed_partial)),
+        }
+    return results

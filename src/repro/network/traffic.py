@@ -1,0 +1,104 @@
+"""Synthetic workload generators.
+
+Each generator produces, per round, the set of input wires that carry a
+valid message (and the message payloads).  These play the role of the
+parallel computer's traffic that the paper's switches would see.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro._util.rng import default_rng
+from repro.errors import ConfigurationError
+from repro.messages.message import Message
+
+
+class TrafficGenerator(ABC):
+    """Produces one message set (length-n list of Message/None) per
+    round."""
+
+    def __init__(self, n: int, payload_bits: int = 8, seed: int | None = None):
+        if n < 1:
+            raise ConfigurationError(f"n must be positive, got {n}")
+        if payload_bits < 0:
+            raise ConfigurationError("payload_bits must be non-negative")
+        self.n = n
+        self.payload_bits = payload_bits
+        self.rng = default_rng(seed)
+
+    @abstractmethod
+    def active_inputs(self) -> np.ndarray:
+        """Indices of inputs carrying a valid message this round."""
+
+    def next_round(self) -> list[Message | None]:
+        messages: list[Message | None] = [None] * self.n
+        for i in self.active_inputs():
+            value = int(self.rng.integers(0, 1 << self.payload_bits)) if self.payload_bits else 0
+            messages[int(i)] = Message.from_int(value, self.payload_bits)
+        return messages
+
+
+class BernoulliTraffic(TrafficGenerator):
+    """Each input independently carries a message with probability
+    ``p`` (the offered load per wire)."""
+
+    def __init__(self, n: int, p: float, payload_bits: int = 8, seed: int | None = None):
+        super().__init__(n, payload_bits, seed)
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"p must be in [0, 1], got {p}")
+        self.p = p
+
+    def active_inputs(self) -> np.ndarray:
+        return np.flatnonzero(self.rng.random(self.n) < self.p)
+
+
+class FixedKTraffic(TrafficGenerator):
+    """Exactly ``k`` uniformly chosen inputs carry messages — the load
+    model of the paper's k-message analyses."""
+
+    def __init__(self, n: int, k: int, payload_bits: int = 8, seed: int | None = None):
+        super().__init__(n, payload_bits, seed)
+        if not 0 <= k <= n:
+            raise ConfigurationError(f"k={k} out of range for n={n}")
+        self.k = k
+
+    def active_inputs(self) -> np.ndarray:
+        return self.rng.choice(self.n, size=self.k, replace=False)
+
+
+class HotSpotTraffic(TrafficGenerator):
+    """A contiguous band of inputs is hot (per-wire probability
+    ``p_hot``) while the rest stay at ``p_cold`` — stresses the switch
+    with spatially clustered valid bits, the adversarial pattern for
+    mesh-based nearsorters."""
+
+    def __init__(
+        self,
+        n: int,
+        hot_fraction: float = 0.25,
+        p_hot: float = 0.9,
+        p_cold: float = 0.05,
+        payload_bits: int = 8,
+        seed: int | None = None,
+    ):
+        super().__init__(n, payload_bits, seed)
+        if not 0.0 < hot_fraction <= 1.0:
+            raise ConfigurationError("hot_fraction must be in (0, 1]")
+        for name, p in (("p_hot", p_hot), ("p_cold", p_cold)):
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {p}")
+        self.hot_count = max(1, int(round(hot_fraction * n)))
+        self.p_hot = p_hot
+        self.p_cold = p_cold
+
+    def active_inputs(self) -> np.ndarray:
+        start = int(self.rng.integers(0, self.n))
+        hot = (np.arange(self.hot_count) + start) % self.n
+        mask = np.zeros(self.n, dtype=bool)
+        mask[hot] = self.rng.random(self.hot_count) < self.p_hot
+        cold = np.setdiff1d(np.arange(self.n), hot, assume_unique=False)
+        mask[cold] = self.rng.random(cold.size) < self.p_cold
+        return np.flatnonzero(mask)

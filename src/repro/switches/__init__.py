@@ -1,0 +1,57 @@
+"""Concentrator switch implementations.
+
+Single-chip building block:
+
+* :class:`~repro.switches.hyperconcentrator.Hyperconcentrator` — the
+  Cormen–Leiserson n-by-n hyperconcentrator (functional model; the
+  gate-level netlist lives in :mod:`repro.gates.hyperconc_gates`).
+* :class:`~repro.switches.perfect.PerfectConcentrator` — n-by-m perfect
+  concentrator obtained by keeping the first m hyperconcentrator
+  outputs (Section 1).
+
+Multichip partial concentrators (the paper's contribution):
+
+* :class:`~repro.switches.revsort_switch.RevsortSwitch` — Section 4's
+  3-stage switch based on Algorithm 1 (first 1½ Revsort iterations).
+* :class:`~repro.switches.columnsort_switch.ColumnsortSwitch` —
+  Section 5's 2-stage switch based on Algorithm 2 (first 3 Columnsort
+  steps), β-parametrised.
+
+Multichip hyperconcentrators (Section 6):
+
+* :class:`~repro.switches.multichip_hyper.FullRevsortHyperconcentrator`
+* :class:`~repro.switches.multichip_hyper.FullColumnsortHyperconcentrator`
+"""
+
+from repro.switches.arbitration import RotatingPriorityConcentrator
+from repro.switches.base import ConcentratorSwitch, Routing
+from repro.switches.bitonic import BitonicHyperconcentrator, TruncatedBitonicSwitch
+from repro.switches.cascade import CascadeSwitch, cascade_spec
+from repro.switches.columnsort_switch import ColumnsortSwitch
+from repro.switches.hyperconcentrator import Hyperconcentrator
+from repro.switches.iterated_columnsort import IteratedColumnsortSwitch
+from repro.switches.multichip_hyper import (
+    FullColumnsortHyperconcentrator,
+    FullRevsortHyperconcentrator,
+)
+from repro.switches.perfect import PerfectConcentrator
+from repro.switches.prefix_butterfly import PrefixButterflyHyperconcentrator
+from repro.switches.revsort_switch import RevsortSwitch
+
+__all__ = [
+    "BitonicHyperconcentrator",
+    "RotatingPriorityConcentrator",
+    "CascadeSwitch",
+    "cascade_spec",
+    "ColumnsortSwitch",
+    "ConcentratorSwitch",
+    "FullColumnsortHyperconcentrator",
+    "FullRevsortHyperconcentrator",
+    "Hyperconcentrator",
+    "IteratedColumnsortSwitch",
+    "PerfectConcentrator",
+    "PrefixButterflyHyperconcentrator",
+    "RevsortSwitch",
+    "Routing",
+    "TruncatedBitonicSwitch",
+]

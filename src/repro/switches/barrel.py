@@ -1,0 +1,76 @@
+"""√n-bit barrel shifter with hardwired control (Section 4, Figure 4).
+
+Each stage-2 board of the 3-D Revsort packaging follows its
+hyperconcentrator chip with a barrel shifter that cyclically rotates
+the row by ``rev(i)`` places to the right; the ``⌈lg √n⌉`` control
+bits are hardwired per board after fabrication.  Because the shift
+amount never changes, the shifter contributes only a constant number of
+gate delays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.bits import ceil_lg
+from repro.errors import ConfigurationError
+
+#: Gate delays through a hardwired barrel shifter (the paper: "only a
+#: constant number of gate delays"); one pass-transistor/mux level.
+BARREL_DELAY = 1
+
+
+class BarrelShifter:
+    """A ``width``-bit barrel shifter with a hardwired rotation amount.
+
+    ``shift`` is the number of places each wire is rotated to the
+    *right*: input wire ``j`` drives output wire ``(shift + j) mod
+    width``.
+    """
+
+    def __init__(self, width: int, shift: int):
+        if width < 1:
+            raise ConfigurationError(f"barrel width must be positive, got {width}")
+        self.width = width
+        self.shift = shift % width
+
+    @property
+    def control_bits(self) -> int:
+        """``⌈lg width⌉`` hardwired control pins."""
+        return ceil_lg(self.width) if self.width > 1 else 0
+
+    @property
+    def data_pins(self) -> int:
+        """Input + output data pins."""
+        return 2 * self.width
+
+    @property
+    def pins(self) -> int:
+        """Total pins: data plus hardwired control."""
+        return self.data_pins + self.control_bits
+
+    @property
+    def area(self) -> int:
+        """Θ(width·lg width) mux cells (width per control level)."""
+        return self.width * max(self.control_bits, 1)
+
+    @property
+    def gate_delays(self) -> int:
+        return BARREL_DELAY
+
+    def permutation(self) -> np.ndarray:
+        """Wire map: ``out[j] = (shift + j) mod width`` (the Section 4
+        rotation convention for row entries)."""
+        return (self.shift + np.arange(self.width, dtype=np.int64)) % self.width
+
+    def apply(self, bits: np.ndarray) -> np.ndarray:
+        """Rotate a wire vector right by ``shift`` places."""
+        arr = np.asarray(bits)
+        if arr.shape != (self.width,):
+            raise ConfigurationError(
+                f"expected {self.width} wires, got shape {arr.shape}"
+            )
+        return np.roll(arr, self.shift)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"BarrelShifter(width={self.width}, shift={self.shift})"

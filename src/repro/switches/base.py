@@ -1,0 +1,125 @@
+"""Common switch interface and routing representation.
+
+Per Section 2 of the paper, a switch operates in two phases:
+
+* **setup**: every input presents its valid bit in the same clock
+  cycle; the combinational logic establishes disjoint electrical paths
+  from valid inputs to outputs;
+* **streaming**: subsequent message bits follow the established paths,
+  one bit per clock cycle.
+
+:meth:`ConcentratorSwitch.setup` models the first phase, returning a
+:class:`Routing`; :meth:`ConcentratorSwitch.route` models an entire
+message transit (setup from the messages' valid bits, then payload
+delivery).  Bit-level clocked streaming lives in
+:mod:`repro.messages.serial_sim`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.concentration import ConcentratorSpec, validate_routing_disjoint
+from repro.errors import ConfigurationError, RoutingError
+
+
+@dataclass(frozen=True)
+class Routing:
+    """The electrical paths established during one setup cycle.
+
+    ``input_to_output[i]`` is the output wire carrying input ``i``'s
+    message (−1 when input ``i`` has no path).  Only valid inputs are
+    given paths; paths are always disjoint.
+    """
+
+    n_inputs: int
+    n_outputs: int
+    valid: np.ndarray
+    input_to_output: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.valid.shape != (self.n_inputs,):
+            raise ConfigurationError("valid bits shape mismatch")
+        if self.input_to_output.shape != (self.n_inputs,):
+            raise ConfigurationError("routing shape mismatch")
+        validate_routing_disjoint(self.input_to_output, self.n_outputs)
+
+    @property
+    def routed_count(self) -> int:
+        """Number of valid messages with an established path."""
+        return int((self.input_to_output[self.valid] >= 0).sum())
+
+    @property
+    def dropped_inputs(self) -> np.ndarray:
+        """Indices of valid inputs that failed to get a path."""
+        return np.flatnonzero(self.valid & (self.input_to_output < 0))
+
+    def output_to_input(self) -> np.ndarray:
+        """Inverse map: for each output wire, the input it carries
+        (−1 when idle)."""
+        inv = np.full(self.n_outputs, -1, dtype=np.int64)
+        for i in np.flatnonzero(self.input_to_output >= 0):
+            inv[self.input_to_output[i]] = i
+        return inv
+
+    def output_valid_bits(self) -> np.ndarray:
+        """The valid bits as seen on the output wires."""
+        out = np.zeros(self.n_outputs, dtype=bool)
+        targets = self.input_to_output[self.valid]
+        out[targets[targets >= 0]] = True
+        return out
+
+
+class ConcentratorSwitch(ABC):
+    """Abstract base for every concentrator switch in the library."""
+
+    #: Subclasses set these in ``__init__``.
+    n: int
+    m: int
+
+    @property
+    @abstractmethod
+    def spec(self) -> ConcentratorSpec:
+        """The (n, m, α) specification this switch guarantees."""
+
+    @abstractmethod
+    def setup(self, valid: np.ndarray) -> Routing:
+        """Establish paths for one setup cycle of valid bits."""
+
+    def _check_valid(self, valid: np.ndarray) -> np.ndarray:
+        arr = np.asarray(valid)
+        if arr.shape != (self.n,):
+            raise ConfigurationError(
+                f"expected {self.n} valid bits, got shape {arr.shape}"
+            )
+        return arr.astype(bool)
+
+    def route(self, messages: Sequence[object | None]) -> list[object | None]:
+        """Route whole messages: ``messages[i]`` is input i's payload or
+        None for an invalid message.  Returns the m output slots."""
+        if len(messages) != self.n:
+            raise RoutingError(f"expected {self.n} input messages, got {len(messages)}")
+        valid = np.array([msg is not None for msg in messages], dtype=bool)
+        routing = self.setup(valid)
+        outputs: list[object | None] = [None] * self.m
+        for i in np.flatnonzero(valid):
+            target = int(routing.input_to_output[i])
+            if target >= 0:
+                outputs[target] = messages[i]
+        return outputs
+
+
+@dataclass
+class StageReport:
+    """Bookkeeping for one stage of a multichip switch (used by the
+    hardware model and the 2-D/3-D layout reproductions)."""
+
+    name: str
+    chip_count: int
+    chip_inputs: int
+    wiring: str = "identity"
+    extras: dict = field(default_factory=dict)

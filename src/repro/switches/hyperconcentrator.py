@@ -1,0 +1,112 @@
+"""The single-chip n-by-n hyperconcentrator (functional model).
+
+The building block of every multichip switch in the paper: a
+combinational circuit that, for any 1 ≤ k ≤ n, establishes disjoint
+electrical paths from its k valid inputs to its *first* k outputs
+(Cormen & Leiserson, ICPP 1986).  A signal incurs 2⌈lg n⌉ + O(1) gate
+delays and the regular layout uses Θ(n²) components.
+
+This module is the fast functional model used inside the multichip
+switch simulations: routing is **order-preserving by rank** — the t-th
+valid input (in wire order) is routed to output t, which is how the
+rank-crossbar netlist in :mod:`repro.gates.hyperconc_gates` behaves.
+The two implementations are cross-checked exhaustively in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.bits import ceil_lg
+from repro.core.concentration import ConcentratorSpec
+from repro.errors import ConfigurationError
+from repro.switches.base import ConcentratorSwitch, Routing
+
+#: Extra gate delays contributed by I/O pad circuitry per chip
+#: (the paper's "+O(1)"; one concrete constant for the delay model).
+PAD_DELAY = 2
+
+
+def concentrate_permutation(valid: np.ndarray) -> np.ndarray:
+    """The full wire permutation of one hyperconcentrator chip.
+
+    Valid inputs go to the leading outputs and invalid inputs to the
+    trailing outputs, each group in wire order.  (Physically the chip
+    only promises paths for the valid inputs; extending to a full
+    permutation simply names the idle outputs, which makes multichip
+    stage composition a chain of permutations.)
+    """
+    valid = np.asarray(valid, dtype=bool)
+    n = valid.size
+    perm = np.empty(n, dtype=np.int64)
+    k = int(valid.sum())
+    perm[valid] = np.arange(k)
+    perm[~valid] = np.arange(k, n)
+    return perm
+
+
+def hyperconcentrate_routing(valid: np.ndarray) -> np.ndarray:
+    """Paths for valid inputs only: the t-th valid input (wire order)
+    gets output t; invalid inputs get −1."""
+    valid = np.asarray(valid, dtype=bool)
+    routing = np.full(valid.size, -1, dtype=np.int64)
+    k = int(valid.sum())
+    routing[valid] = np.arange(k)
+    return routing
+
+
+class Hyperconcentrator(ConcentratorSwitch):
+    """An n-by-n hyperconcentrator switch on a single chip.
+
+    Parameters
+    ----------
+    n:
+        Number of input (and output) wires.  Any positive size is
+        accepted by the functional model; the multichip constructions
+        instantiate powers of two.
+    """
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ConfigurationError(f"hyperconcentrator size must be positive, got {n}")
+        self.n = n
+        self.m = n
+
+    @property
+    def spec(self) -> ConcentratorSpec:
+        return ConcentratorSpec(n=self.n, m=self.n, alpha=1.0)
+
+    def setup(self, valid: np.ndarray) -> Routing:
+        valid = self._check_valid(valid)
+        return Routing(
+            n_inputs=self.n,
+            n_outputs=self.n,
+            valid=valid,
+            input_to_output=hyperconcentrate_routing(valid),
+        )
+
+    # -- delay/cost model (paper's Section 1 figures for this chip) ----
+
+    @property
+    def gate_delays(self) -> int:
+        """Gate delays a signal incurs through the chip, including pad
+        circuitry: ``2⌈lg n⌉ + O(1)``."""
+        return 2 * ceil_lg(self.n) + PAD_DELAY if self.n > 1 else PAD_DELAY
+
+    @property
+    def data_pins(self) -> int:
+        """Data pins on the chip package: n inputs + n outputs."""
+        return 2 * self.n
+
+    @property
+    def component_count(self) -> int:
+        """Θ(n²) components of the regular layout."""
+        return self.n * self.n
+
+    @property
+    def area(self) -> int:
+        """Θ(n²) layout area (unit: one crosspoint cell)."""
+        return self.n * self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Hyperconcentrator(n={self.n})"

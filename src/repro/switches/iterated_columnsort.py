@@ -1,0 +1,201 @@
+"""Multi-pass Columnsort switches — exploring Section 6's open question.
+
+"Rather than wondering how fast a multichip hyperconcentrator switch we
+can build, we might ask for what functions f(p) can we build an
+(Ω(f(p)), m, 1 − o(p/m)) partial concentrator switch, given chips with
+p pins and using only two stages of chips.  The Columnsort-based
+construction, for example, gives us f(p) = p^{2−ε} for any 0 < ε ≤ 1.
+Can we achieve f(p) = Ω(p²)?  In general, how large a function f(p)
+can we achieve with k stages?"
+
+:class:`IteratedColumnsortSwitch` generalises the Section 5 switch to
+``k`` passes, alternating Columnsort's two reshuffles (pass 1 uses
+CM→RM, pass 2 RM→CM, pass 3 CM→RM, …) with a column-sort chip stage
+before each and one after — ``k+1`` chip stages total.  The outputs
+are read in row-major order after an odd number of passes and
+column-major order after an even number (following the last
+reshuffle's orientation).  Each extra pass sharply reduces the
+worst-case nearsortedness ε of the output (measured by
+``bench_open_question.py``: e.g. r=64, s=8 gives ε = 41, 34, 7, 4 for
+k = 1..4 against Theorem 4's 49), so for a fixed pin count p = 2r,
+more stages buy a larger realisable n at the same load-ratio slack —
+a concrete data point for the open question.
+
+Repeating the *same* reshuffle instead of alternating does NOT
+converge (ε oscillates); the regression test pins this down.
+
+The ``k = 1`` instance is exactly the Section 5 two-stage switch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.concentration import ConcentratorSpec, lemma2_load_ratio
+from repro.core.nearsort import nearsortedness
+from repro.errors import ConfigurationError
+from repro.mesh.columnsort import validate_columnsort_shape
+from repro.mesh.grid import sort_columns
+from repro.mesh.order import cm_to_rm_permutation
+from repro.switches.base import ConcentratorSwitch, Routing
+from repro.switches.hyperconcentrator import Hyperconcentrator
+from repro.switches.wiring import apply_chip_layer, column_groups, compose
+
+
+class IteratedColumnsortSwitch(ConcentratorSwitch):
+    """A ``k``-pass Columnsort partial concentrator: ``k`` rounds of
+    (column-sort stage, CM→RM wiring) followed by one final
+    column-sort stage — ``k+1`` chip stages, ``k`` wiring layers.
+
+    Parameters
+    ----------
+    r, s:
+        Matrix shape, ``s | r``.
+    m:
+        Output wires.
+    passes:
+        ``k ≥ 1``; ``k = 1`` reproduces :class:`ColumnsortSwitch`.
+    """
+
+    def __init__(self, r: int, s: int, m: int, passes: int = 1):
+        validate_columnsort_shape(r, s)
+        if passes < 1:
+            raise ConfigurationError(f"need at least one pass, got {passes}")
+        n = r * s
+        if not 1 <= m <= n:
+            raise ConfigurationError(f"need 1 <= m <= n, got n={n}, m={m}")
+        self.r = r
+        self.s = s
+        self.n = n
+        self.m = m
+        self.passes = passes
+        self._chip = Hyperconcentrator(r)
+        self._groups_cache: list | None = None
+        self._reshuffle_cache = None
+
+    @property
+    def _groups(self) -> list:
+        if self._groups_cache is None:
+            self._groups_cache = column_groups(self.r, self.s)
+        return self._groups_cache
+
+    @property
+    def _reshuffle(self):
+        """The two alternating reshuffles: index 0 = CM→RM (odd
+        passes), index 1 = RM→CM (even passes)."""
+        if self._reshuffle_cache is None:
+            fwd = cm_to_rm_permutation(self.r, self.s)
+            inv = np.empty_like(fwd)
+            inv[fwd] = np.arange(fwd.size, dtype=np.int64)
+            self._reshuffle_cache = (fwd, inv)
+        return self._reshuffle_cache
+
+    @property
+    def readout(self) -> str:
+        """Output ordering: ``"rm"`` after an odd number of passes
+        (last reshuffle was CM→RM), ``"cm"`` after an even number."""
+        return "rm" if self.passes % 2 == 1 else "cm"
+
+    # -- behaviour ------------------------------------------------------
+
+    def matrix_pipeline(self, matrix: np.ndarray) -> np.ndarray:
+        """The algorithmic view: k × (sort columns; alternating
+        reshuffle) + final column sort, on an ``r × s`` 0/1 matrix."""
+        arr = np.asarray(matrix)
+        r, s = self.r, self.s
+        for k in range(self.passes):
+            arr = sort_columns(arr)
+            if k % 2 == 0:
+                arr = arr.T.reshape(r, s)         # CM -> RM
+            else:
+                arr = arr.reshape(s, r).T.copy()  # RM -> CM
+        return sort_columns(arr)
+
+    def output_sequence(self, matrix: np.ndarray) -> np.ndarray:
+        """The flat output-wire reading of the pipeline result (row- or
+        column-major per :attr:`readout`)."""
+        out = self.matrix_pipeline(matrix)
+        return (out if self.readout == "rm" else out.T).reshape(-1)
+
+    def stage_permutations(self, valid: np.ndarray) -> list[np.ndarray]:
+        valid = self._check_valid(valid)
+        perms: list[np.ndarray] = []
+        current = valid.copy()
+        for k in range(self.passes):
+            p = apply_chip_layer(current, self._groups)
+            out = np.empty_like(current)
+            out[p] = current
+            current = out
+            perms.append(p)
+
+            shuffle = self._reshuffle[k % 2]
+            perms.append(shuffle)
+            out = np.empty_like(current)
+            out[shuffle] = current
+            current = out
+        perms.append(apply_chip_layer(current, self._groups))
+        return perms
+
+    def final_positions(self, valid: np.ndarray) -> np.ndarray:
+        """Final *output-wire index* of each input: the flat matrix
+        position converted to the readout ordering."""
+        flat = compose(self.stage_permutations(valid))
+        if self.readout == "rm":
+            return flat
+        # Convert flat row-major position p = s·i + j to CM = r·j + i.
+        i, j = flat // self.s, flat % self.s
+        return self.r * j + i
+
+    def setup(self, valid: np.ndarray) -> Routing:
+        valid = self._check_valid(valid)
+        final = self.final_positions(valid)
+        routing = np.where(valid & (final < self.m), final, -1)
+        return Routing(
+            n_inputs=self.n, n_outputs=self.m, valid=valid, input_to_output=routing
+        )
+
+    def measured_epsilon(self, trials: int, rng: np.random.Generator) -> int:
+        """Worst output-order nearsortedness over random inputs — the
+        empirical ε this switch would plug into Lemma 2."""
+        worst = 0
+        for _ in range(trials):
+            valid = rng.random(self.n) < rng.random()
+            seq = self.output_sequence(valid.astype(np.int8).reshape(self.r, self.s))
+            worst = max(worst, nearsortedness(seq))
+        return worst
+
+    @property
+    def epsilon_bound(self) -> int:
+        """Theorem 4's bound applies to the FIRST pass; further passes
+        only improve it, so (s−1)² remains a safe bound."""
+        return (self.s - 1) ** 2
+
+    @property
+    def spec(self) -> ConcentratorSpec:
+        return ConcentratorSpec(
+            n=self.n, m=self.m, alpha=lemma2_load_ratio(self.m, self.epsilon_bound)
+        )
+
+    # -- resource model ---------------------------------------------------
+
+    @property
+    def chip_stages(self) -> int:
+        return self.passes + 1
+
+    @property
+    def chip_count(self) -> int:
+        return self.chip_stages * self.s
+
+    @property
+    def data_pins_per_chip(self) -> int:
+        return 2 * self.r
+
+    @property
+    def gate_delays(self) -> int:
+        return self.chip_stages * self._chip.gate_delays
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"IteratedColumnsortSwitch(r={self.r}, s={self.s}, m={self.m}, "
+            f"passes={self.passes})"
+        )

@@ -1,0 +1,241 @@
+"""Multichip hyperconcentrators from the *full* sorting algorithms
+(Section 6 of the paper).
+
+"Rather than simulating just the first steps of Revsort and Columnsort,
+one could simulate the full algorithms to fully sort the valid bits and
+thus build multichip hyperconcentrator switches."
+
+* :class:`FullRevsortHyperconcentrator` — ``⌈lg lg √n⌉`` repetitions of
+  stacks 1 and 2 (Algorithm 1, steps 1–3), the completing column sort,
+  then three Shearsort iteration stacks (snake row sort + column sort;
+  the snake orientation is fixed permutation wiring around ordinary
+  hyperconcentrator chips), plus the standard final row stack that
+  converts the last snake-sorted dirty row into row-major order.
+  A signal passes through ``2⌈lg lg √n⌉ + O(1)`` chip pairs for
+  ``4 lg n lg lg n + 8 lg n + O(lg lg n)`` gate delays, using
+  ``Θ(√n lg lg n)`` chips in volume ``Θ(n^{3/2} lg lg n)``.
+
+* :class:`FullColumnsortHyperconcentrator` — all eight Columnsort steps
+  (requires ``r ≥ 2(s−1)²``).  Steps 6–8 are realised with sentinel
+  wires: the vacated top half-column is hardwired valid and the
+  trailing half column hardwired invalid, exactly like padding the
+  matrix with ±∞ entries.  A signal passes through four chips for
+  ``8β lg n + O(1)`` gate delays; chip count and volume match the
+  Section 5 partial concentrator.  The fully sorted output is read in
+  column-major order (Leighton's convention).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._util.bits import ilg
+from repro.core.concentration import ConcentratorSpec
+from repro.errors import ConfigurationError, RoutingError
+from repro.mesh.columnsort import validate_columnsort_shape
+from repro.mesh.order import rev_rotate_permutation
+from repro.mesh.revsort import revsort_repetitions
+from repro.switches.base import ConcentratorSwitch, Routing
+from repro.switches.hyperconcentrator import Hyperconcentrator
+from repro.switches.wiring import (
+    apply_chip_layer,
+    column_groups,
+    compose,
+    row_groups,
+)
+
+
+def _permute_bits(bits: np.ndarray, perm: np.ndarray) -> np.ndarray:
+    out = np.empty_like(bits)
+    out[perm] = bits
+    return out
+
+
+class FullRevsortHyperconcentrator(ConcentratorSwitch):
+    """n-by-n multichip hyperconcentrator from the full Revsort
+    (Section 6)."""
+
+    def __init__(self, n: int):
+        side = math.isqrt(n)
+        if side * side != n:
+            raise ConfigurationError(f"requires square n, got {n}")
+        ilg(side)
+        self.n = n
+        self.m = n
+        self.side = side
+        self.repetitions = revsort_repetitions(side)
+        self._cols = column_groups(side, side)
+        self._rows = row_groups(side, side)
+        self._rows_snake = row_groups(side, side, reverse_odd=True)
+        self._rotate = rev_rotate_permutation(side)
+        self._chip = Hyperconcentrator(side)
+
+    @property
+    def spec(self) -> ConcentratorSpec:
+        return ConcentratorSpec(n=self.n, m=self.n, alpha=1.0)
+
+    def final_positions(self, valid: np.ndarray) -> np.ndarray:
+        """Row-major position of each input after the full pipeline."""
+        valid = self._check_valid(valid)
+        perms: list[np.ndarray] = []
+        current = valid.copy()
+
+        def chip_layer(groups: list[np.ndarray]) -> None:
+            nonlocal current
+            p = apply_chip_layer(current, groups)
+            current = _permute_bits(current, p)
+            perms.append(p)
+
+        for _ in range(self.repetitions):
+            chip_layer(self._cols)          # sort columns
+            chip_layer(self._rows)          # sort rows
+            perms.append(self._rotate)      # rev(i) rotation wiring
+            current = _permute_bits(current, self._rotate)
+        chip_layer(self._cols)              # completing column sort
+
+        for _ in range(3):                  # three Shearsort iterations
+            chip_layer(self._rows_snake)
+            chip_layer(self._cols)
+        chip_layer(self._rows)              # final row-major fixup
+
+        return compose(perms)
+
+    def setup(self, valid: np.ndarray) -> Routing:
+        valid = self._check_valid(valid)
+        final = self.final_positions(valid)
+        routing = np.where(valid, final, -1)
+        return Routing(
+            n_inputs=self.n, n_outputs=self.n, valid=valid, input_to_output=routing
+        )
+
+    # -- resource model --------------------------------------------------
+
+    @property
+    def chips_on_signal_path(self) -> int:
+        """Hyperconcentrator chips a signal traverses:
+        2 per repetition + completing sort + 2×3 Shearsort + final row
+        stack (the paper's ``2 lg lg n + O(1)``)."""
+        return 2 * self.repetitions + 1 + 6 + 1
+
+    @property
+    def chip_count(self) -> int:
+        """Total chips: √n per stack, one stack per chip layer —
+        ``Θ(√n lg lg n)``."""
+        return self.chips_on_signal_path * self.side
+
+    @property
+    def gate_delays(self) -> int:
+        """``4 lg n lg lg n + 8 lg n + O(lg lg n)`` asymptotically; here
+        computed exactly from the construction."""
+        return self.chips_on_signal_path * self._chip.gate_delays
+
+    @property
+    def volume(self) -> int:
+        """``Θ(n^{3/2} lg lg n)``: one Θ(n) board per chip."""
+        return self.chip_count * self.side * self.side
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"FullRevsortHyperconcentrator(n={self.n})"
+
+
+class FullColumnsortHyperconcentrator(ConcentratorSwitch):
+    """n-by-n multichip hyperconcentrator from all eight Columnsort
+    steps (Section 6); requires ``r ≥ 2(s−1)²``."""
+
+    def __init__(self, r: int, s: int):
+        validate_columnsort_shape(r, s, full=True)
+        self.r = r
+        self.s = s
+        self.n = r * s
+        self.m = self.n
+        self.half = r // 2
+        self._groups = column_groups(r, s)
+        self._groups_ext = column_groups(r, s + 1)
+        self._chip = Hyperconcentrator(r)
+
+    @property
+    def spec(self) -> ConcentratorSpec:
+        return ConcentratorSpec(n=self.n, m=self.n, alpha=1.0)
+
+    def final_positions(self, valid: np.ndarray) -> np.ndarray:
+        """Column-major output index of each input after all 8 steps."""
+        valid = self._check_valid(valid)
+        r, s, n, half = self.r, self.s, self.n, self.half
+
+        # pos[i] = current flat row-major position of input i.
+        pos = np.arange(n, dtype=np.int64)
+
+        def chip_layer(groups: list[np.ndarray], size: int) -> None:
+            nonlocal pos
+            bits = np.zeros(size, dtype=bool)
+            bits[pos] = valid
+            perm = apply_chip_layer(bits, groups)
+            pos = perm[pos]
+
+        def wire(perm: np.ndarray) -> None:
+            nonlocal pos
+            pos = perm[pos]
+
+        from repro.mesh.order import cm_to_rm_permutation, rm_to_cm_permutation
+
+        chip_layer(self._groups, n)                    # step 1
+        wire(cm_to_rm_permutation(r, s))               # step 2
+        chip_layer(self._groups, n)                    # step 3
+        wire(rm_to_cm_permutation(r, s))               # step 4
+        chip_layer(self._groups, n)                    # step 5
+
+        # step 6: shift down half a column into the r x (s+1) space.
+        i, j = pos // s, pos % s
+        cm_ext = (r * j + i) + half
+        pos_ext = (s + 1) * (cm_ext % r) + cm_ext // r
+
+        # step 7: sort columns of the extended matrix, with sentinel
+        # wires: top half-column of column 0 hardwired valid, trailing
+        # half column of column s hardwired invalid.
+        bits_ext = np.zeros(n + r, dtype=bool)
+        bits_ext[pos_ext] = valid
+        for t in range(half):                          # valid sentinels
+            bits_ext[(s + 1) * t] = True
+        perm_ext = apply_chip_layer(bits_ext, self._groups_ext)
+        pos_ext = perm_ext[pos_ext]
+
+        # step 8: unshift — strip sentinels; the output index is the
+        # real column-major position x = x' − half.
+        i2, j2 = pos_ext // (s + 1), pos_ext % (s + 1)
+        x = (r * j2 + i2) - half
+        if x.size and ((x < 0) | (x >= n)).any():
+            raise RoutingError(
+                "a message landed in a sentinel slot during Columnsort step 8"
+            )
+        return x
+
+    def setup(self, valid: np.ndarray) -> Routing:
+        valid = self._check_valid(valid)
+        final = self.final_positions(valid)
+        routing = np.where(valid, final, -1)
+        return Routing(
+            n_inputs=self.n, n_outputs=self.n, valid=valid, input_to_output=routing
+        )
+
+    # -- resource model --------------------------------------------------
+
+    @property
+    def chips_on_signal_path(self) -> int:
+        """Four chips per signal (steps 1, 3, 5, 7)."""
+        return 4
+
+    @property
+    def chip_count(self) -> int:
+        """``3s + (s+1)`` chips: stages for steps 1/3/5 have s chips,
+        the extended step-7 stage has s+1 — still ``Θ(n^{1−β})``."""
+        return 3 * self.s + (self.s + 1)
+
+    @property
+    def gate_delays(self) -> int:
+        """``8β lg n + O(1)``: four chips at ``2⌈lg r⌉ + O(1)`` each."""
+        return self.chips_on_signal_path * self._chip.gate_delays
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"FullColumnsortHyperconcentrator(r={self.r}, s={self.s})"

@@ -1,0 +1,208 @@
+"""The prefix + butterfly hyperconcentrator (Section 1's alternative).
+
+"A different hyperconcentrator switch, comprised of a parallel prefix
+circuit and a butterfly network, can be built in volume Θ(n^{3/2})
+with O(n lg n) chips and as few as four data pins per chip, but this
+switch is not combinational.  Although its sequential control is not
+very complex, it is not as simple as that of a combinational circuit."
+
+This module implements that switch faithfully at the functional level:
+
+* a **parallel prefix circuit** computes each valid input's rank
+  (``rank_i`` = number of valid bits among inputs 0..i);
+* a **reverse butterfly network** of lg n stages of 2×2 switches routes
+  input i to output ``rank_i − 1``.  Because the destination sequence
+  of the active inputs is monotone increasing and contiguous from 0,
+  this *concentration* pattern is routable with no conflicts — the
+  classical reverse-banyan concentrator result, which
+  :func:`butterfly_route` realises stage by stage and the tests verify
+  exhaustively for small n.
+
+The sequential control the paper alludes to is the per-setup
+computation of the switch settings (one bit per 2×2 switch per setup);
+:class:`PrefixButterflyHyperconcentrator` exposes those settings so the
+cost of control state can be accounted (``n/2 · lg n`` bits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.bits import ceil_lg, ilg
+from repro.core.concentration import ConcentratorSpec
+from repro.errors import ConfigurationError, RoutingError
+from repro.switches.base import ConcentratorSwitch, Routing
+
+
+def prefix_ranks(valid: np.ndarray) -> np.ndarray:
+    """The parallel prefix circuit: inclusive popcount prefix.  Rank of
+    input i (1-based among valid inputs); 0 where invalid."""
+    valid = np.asarray(valid, dtype=bool)
+    return np.cumsum(valid.astype(np.int64)) * valid
+
+
+def butterfly_route(
+    destinations: np.ndarray,
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Route packets through a reverse butterfly by destination address.
+
+    ``destinations[i]`` is input i's target output (−1 = no packet).
+    Stage t (t = 0..lg n −1) pairs positions differing in bit t and
+    sets each 2×2 switch so every packet moves to a position agreeing
+    with its destination in bits 0..t.  Returns the final positions
+    and the per-stage switch settings (True = crossed).
+
+    Raises :class:`RoutingError` on a conflict (two packets needing the
+    same port) — which never happens for monotone concentration
+    patterns; the tests assert this exhaustively.
+    """
+    dest = np.asarray(destinations, dtype=np.int64)
+    n = dest.size
+    q = ilg(n)
+    # Packet i starts at position i; position_of tracks it per stage.
+    position_of = np.arange(n, dtype=np.int64)
+    occupant = np.full(n, -1, dtype=np.int64)  # position -> packet
+    settings: list[np.ndarray] = []
+
+    for t in range(q):
+        bit = 1 << t
+        stage_setting = np.zeros(n // 2, dtype=bool)
+        occupant[:] = -1
+        for i in range(n):
+            if dest[i] >= 0:
+                occupant[position_of[i]] = i
+        new_position = position_of.copy()
+        pair_index = 0
+        for p in range(n):
+            if p & bit:
+                continue  # handle each pair once, from its low member
+            lo, hi = p, p | bit
+            # Each packet must move to the member of the pair matching
+            # its destination's bit t.
+            want_hi = []
+            want_lo = []
+            for packet in (occupant[lo], occupant[hi]):
+                if packet < 0:
+                    continue
+                if dest[packet] & bit:
+                    want_hi.append(packet)
+                else:
+                    want_lo.append(packet)
+            if len(want_hi) > 1 or len(want_lo) > 1:
+                raise RoutingError(
+                    f"butterfly conflict at stage {t}, pair ({lo},{hi})"
+                )
+            crossed = bool(
+                (want_hi and position_of[want_hi[0]] == lo)
+                or (want_lo and position_of[want_lo[0]] == hi)
+            )
+            for packet in want_hi:
+                new_position[packet] = hi
+            for packet in want_lo:
+                new_position[packet] = lo
+            stage_setting[pair_index] = crossed
+            pair_index += 1
+        position_of = new_position
+        settings.append(stage_setting)
+
+    final = np.full(n, -1, dtype=np.int64)
+    for i in range(n):
+        if dest[i] >= 0:
+            if position_of[i] != dest[i]:
+                raise RoutingError(
+                    f"packet {i} ended at {position_of[i]}, wanted {dest[i]}"
+                )
+            final[i] = position_of[i]
+    return final, settings
+
+
+class PrefixButterflyHyperconcentrator(ConcentratorSwitch):
+    """Section 1's non-combinational hyperconcentrator: parallel prefix
+    rank computation + reverse butterfly routing.
+
+    Functionally identical to
+    :class:`repro.switches.hyperconcentrator.Hyperconcentrator`; the
+    difference is the implementation technology and its cost profile
+    (few pins, many small chips, sequential control).
+    """
+
+    #: Data pins per chip in the minimal packaging the paper cites.
+    MIN_DATA_PINS = 4
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ConfigurationError(f"size must be positive, got {n}")
+        if n > 1:
+            ilg(n)  # butterfly needs a power of two
+        self.n = n
+        self.m = n
+        self._last_settings: list[np.ndarray] | None = None
+
+    @property
+    def spec(self) -> ConcentratorSpec:
+        return ConcentratorSpec(n=self.n, m=self.n, alpha=1.0)
+
+    def setup(self, valid: np.ndarray) -> Routing:
+        valid = self._check_valid(valid)
+        ranks = prefix_ranks(valid)
+        destinations = np.where(valid, ranks - 1, -1)
+        if self.n == 1:
+            routing = np.where(valid, 0, -1).astype(np.int64)
+            self._last_settings = []
+        else:
+            routing, settings = butterfly_route(destinations)
+            self._last_settings = settings
+        return Routing(
+            n_inputs=self.n, n_outputs=self.n, valid=valid, input_to_output=routing
+        )
+
+    def switch_settings(self) -> list[np.ndarray]:
+        """Per-stage 2×2 switch settings of the last setup — the
+        sequential control state the paper mentions (``(n/2)·lg n``
+        bits)."""
+        if self._last_settings is None:
+            raise RoutingError("no setup has been performed yet")
+        return self._last_settings
+
+    # -- cost model (the Section 1 figures for this alternative) --------
+
+    @property
+    def stages(self) -> int:
+        return ceil_lg(self.n) if self.n > 1 else 0
+
+    @property
+    def switch_count(self) -> int:
+        """2×2 switches in the butterfly: (n/2)·lg n."""
+        return (self.n // 2) * self.stages
+
+    @property
+    def control_bits(self) -> int:
+        """Sequential control state: one bit per 2×2 switch."""
+        return self.switch_count
+
+    @property
+    def chip_count(self) -> int:
+        """O(n lg n) chips in the minimal 4-data-pin packaging: one
+        2×2 switch per chip, plus n prefix nodes."""
+        return self.switch_count + self.n
+
+    @property
+    def data_pins_per_chip(self) -> int:
+        """As few as four data pins per chip (one 2×2 switch: 2 in +
+        2 out)."""
+        return self.MIN_DATA_PINS
+
+    @property
+    def volume(self) -> int:
+        """Θ(n^{3/2}): the paper's cited packaging volume."""
+        import math
+
+        return int(self.n * math.isqrt(self.n))
+
+    @property
+    def is_combinational(self) -> bool:
+        """False: settings must be computed and latched each setup."""
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"PrefixButterflyHyperconcentrator(n={self.n})"

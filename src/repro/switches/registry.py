@@ -1,0 +1,118 @@
+"""Name-based switch registry.
+
+One place mapping design names to constructors, shared by the CLI, the
+examples, and downstream tooling.  Each entry documents its parameter
+requirements; :func:`build_switch` validates and instantiates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.switches.base import ConcentratorSwitch
+
+
+@dataclass(frozen=True)
+class SwitchEntry:
+    """Registry entry: a builder plus its human description."""
+
+    name: str
+    description: str
+    build: Callable[..., ConcentratorSwitch]
+
+
+def _build_revsort(*, n: int, m: int, **_: object) -> ConcentratorSwitch:
+    from repro.switches.revsort_switch import RevsortSwitch
+
+    return RevsortSwitch(n, m)
+
+
+def _build_columnsort(
+    *, n: int = 0, m: int, r: int = 0, s: int = 0, beta: float = 0.75, **_: object
+) -> ConcentratorSwitch:
+    from repro.switches.columnsort_switch import ColumnsortSwitch
+
+    if r and s:
+        return ColumnsortSwitch(r, s, m)
+    if not n:
+        raise ConfigurationError("columnsort needs either (r, s) or (n, beta)")
+    return ColumnsortSwitch.from_beta(n, beta, m)
+
+
+def _build_hyper(*, n: int, **_: object) -> ConcentratorSwitch:
+    from repro.switches.hyperconcentrator import Hyperconcentrator
+
+    return Hyperconcentrator(n)
+
+
+def _build_perfect(*, n: int, m: int, **_: object) -> ConcentratorSwitch:
+    from repro.switches.perfect import PerfectConcentrator
+
+    return PerfectConcentrator(n, m)
+
+
+def _build_butterfly(*, n: int, **_: object) -> ConcentratorSwitch:
+    from repro.switches.prefix_butterfly import PrefixButterflyHyperconcentrator
+
+    return PrefixButterflyHyperconcentrator(n)
+
+
+def _build_bitonic(*, n: int, **_: object) -> ConcentratorSwitch:
+    from repro.switches.bitonic import BitonicHyperconcentrator
+
+    return BitonicHyperconcentrator(n)
+
+
+def _build_fullrevsort(*, n: int, **_: object) -> ConcentratorSwitch:
+    from repro.switches.multichip_hyper import FullRevsortHyperconcentrator
+
+    return FullRevsortHyperconcentrator(n)
+
+
+REGISTRY: dict[str, SwitchEntry] = {
+    "revsort": SwitchEntry(
+        "revsort", "Section 4 three-stage Revsort partial concentrator", _build_revsort
+    ),
+    "columnsort": SwitchEntry(
+        "columnsort",
+        "Section 5 two-stage Columnsort partial concentrator (by (r,s) or (n,beta))",
+        _build_columnsort,
+    ),
+    "hyper": SwitchEntry(
+        "hyper", "single-chip n-by-n hyperconcentrator (functional model)", _build_hyper
+    ),
+    "perfect": SwitchEntry(
+        "perfect", "n-by-m perfect concentrator from a hyperconcentrator", _build_perfect
+    ),
+    "butterfly": SwitchEntry(
+        "butterfly",
+        "Section 1 prefix+butterfly hyperconcentrator (not combinational)",
+        _build_butterfly,
+    ),
+    "bitonic": SwitchEntry(
+        "bitonic", "bitonic sorting network as a hyperconcentrator", _build_bitonic
+    ),
+    "fullrevsort": SwitchEntry(
+        "fullrevsort",
+        "Section 6 full-Revsort multichip hyperconcentrator",
+        _build_fullrevsort,
+    ),
+}
+
+
+def available() -> list[str]:
+    """Registered design names."""
+    return sorted(REGISTRY)
+
+
+def build_switch(name: str, **params: object) -> ConcentratorSwitch:
+    """Instantiate a registered design by name."""
+    try:
+        entry = REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown switch {name!r}; available: {', '.join(available())}"
+        ) from None
+    return entry.build(**params)

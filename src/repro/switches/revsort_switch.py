@@ -1,0 +1,209 @@
+"""The Revsort-based multichip partial concentrator switch (Section 4).
+
+An ``(n, m, 1 − O(n^{3/4}/m))`` partial concentrator built from three
+stages of ``√n`` hyperconcentrator chips each (``√n = 2^q``):
+
+* **stage 1** — one ``√n``-by-``√n`` chip per matrix *column*; sorts
+  the valid bits of each column (Algorithm 1, step 1);
+* **transpose wiring** — output ``Y_{1,j,i}`` → input ``X_{2,i,j}``
+  (chips switch from columns to rows; matrix entries do not move);
+* **stage 2** — one chip per matrix *row* (step 2);
+* **rotate+transpose wiring** — ``Y_{2,i,j}`` →
+  ``X_{3,(rev(i)+j) mod √n, i}`` (step 3's ``rev(i)`` cyclic rotation
+  composed with the transpose back to columns);
+* **stage 3** — one chip per column (step 4).
+
+The m output wires are the first m final matrix positions in row-major
+order.  By Theorem 3 the valid bits end up with at most
+``2⌈n^{1/4}⌉ − 1`` dirty rows, so the row-major reading is
+``O(n^{3/4})``-nearsorted and Lemma 2 gives the load ratio.
+
+Resource figures (reproduced by :mod:`repro.hardware`): 3√n chips with
+``2√n`` data pins each (stage-2 boards add a barrel shifter with
+``2√n + ⌈(lg n)/2⌉`` pins), 2-D area Θ(n²), 3-D volume Θ(n^{3/2}),
+message delay ``3 lg n + O(1)`` gates.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._util.bits import bit_reverse, ceil_lg, ilg
+from repro.core.concentration import ConcentratorSpec, lemma2_load_ratio
+from repro.errors import ConfigurationError
+from repro.mesh.order import rev_rotate_permutation
+from repro.mesh.revsort import revsort_dirty_row_bound, revsort_epsilon_bound
+from repro.switches.barrel import BarrelShifter
+from repro.switches.base import ConcentratorSwitch, Routing, StageReport
+from repro.switches.hyperconcentrator import Hyperconcentrator
+from repro.switches.wiring import apply_chip_layer, column_groups, compose, row_groups
+
+
+class RevsortSwitch(ConcentratorSwitch):
+    """Section 4's three-stage Revsort-based partial concentrator.
+
+    Parameters
+    ----------
+    n:
+        Number of input wires; must be an even power of two so that
+        ``√n = 2^q`` (the Revsort rotation needs q-bit reversals).
+    m:
+        Number of output wires, ``1 ≤ m ≤ n``.
+    """
+
+    STAGES = 3
+
+    def __init__(self, n: int, m: int):
+        side = math.isqrt(n)
+        if side * side != n:
+            raise ConfigurationError(f"RevsortSwitch requires square n, got {n}")
+        ilg(side)  # √n must be a power of two
+        if not 1 <= m <= n:
+            raise ConfigurationError(f"need 1 <= m <= n, got n={n}, m={m}")
+        self.n = n
+        self.m = m
+        self.side = side
+        self._chip = Hyperconcentrator(side)
+        # Wiring structures are built lazily: resource-model queries on
+        # very large switches must not allocate the O(n) wire arrays.
+        self._col_groups_cache: list | None = None
+        self._row_groups_cache: list | None = None
+        self._rotate_perm_cache = None
+
+    @property
+    def _col_groups(self) -> list:
+        if self._col_groups_cache is None:
+            self._col_groups_cache = column_groups(self.side, self.side)
+        return self._col_groups_cache
+
+    @property
+    def _row_groups(self) -> list:
+        if self._row_groups_cache is None:
+            self._row_groups_cache = row_groups(self.side, self.side)
+        return self._row_groups_cache
+
+    @property
+    def _rotate_perm(self):
+        if self._rotate_perm_cache is None:
+            self._rotate_perm_cache = rev_rotate_permutation(self.side)
+        return self._rotate_perm_cache
+
+    # -- behaviour ------------------------------------------------------
+
+    @property
+    def epsilon_bound(self) -> int:
+        """Theorem 3's nearsorting bound: the dirty window spans at most
+        ``(2⌈n^{1/4}⌉ − 1)·√n`` row-major positions."""
+        return revsort_epsilon_bound(self.n)
+
+    @property
+    def dirty_row_bound(self) -> int:
+        """Theorem 3's bound on dirty rows after Algorithm 1."""
+        return revsort_dirty_row_bound(self.n)
+
+    @property
+    def spec(self) -> ConcentratorSpec:
+        """The guaranteed (n, m, 1 − ε/m) spec via Lemma 2 (α clamped to
+        0 when the small-n bound is vacuous)."""
+        return ConcentratorSpec(
+            n=self.n, m=self.m, alpha=lemma2_load_ratio(self.m, self.epsilon_bound)
+        )
+
+    def stage_permutations(self, valid: np.ndarray) -> list[np.ndarray]:
+        """The per-layer position permutations for one setup: stage-1
+        chips, stage-2 chips, the rotate wiring, stage-3 chips.  (The
+        stage-1→2 transpose moves chips, not matrix entries, so it is
+        the identity on flat positions.)"""
+        valid = self._check_valid(valid)
+        perms: list[np.ndarray] = []
+        current = valid.copy()
+
+        p1 = apply_chip_layer(current, self._col_groups)
+        current = _permute_bits(current, p1)
+        perms.append(p1)
+
+        p2 = apply_chip_layer(current, self._row_groups)
+        current = _permute_bits(current, p2)
+        perms.append(p2)
+
+        perms.append(self._rotate_perm)
+        current = _permute_bits(current, self._rotate_perm)
+
+        p3 = apply_chip_layer(current, self._col_groups)
+        perms.append(p3)
+        return perms
+
+    def final_positions(self, valid: np.ndarray) -> np.ndarray:
+        """Flat row-major matrix position of each input after all three
+        stages (before the output restriction)."""
+        return compose(self.stage_permutations(valid))
+
+    def setup(self, valid: np.ndarray) -> Routing:
+        valid = self._check_valid(valid)
+        final = self.final_positions(valid)
+        routing = np.where(valid & (final < self.m), final, -1)
+        return Routing(
+            n_inputs=self.n, n_outputs=self.m, valid=valid, input_to_output=routing
+        )
+
+    # -- resource model (Section 4 figures) -----------------------------
+
+    @property
+    def chip_count(self) -> int:
+        """``3√n`` hyperconcentrator chips (plus √n barrel shifters in
+        the 3-D packaging, reported separately)."""
+        return self.STAGES * self.side
+
+    @property
+    def barrel_shifters(self) -> list[BarrelShifter]:
+        """The √n hardwired barrel shifters of the stage-2 boards; board
+        ``i`` is hardwired to rotate by ``rev(i)``."""
+        q = ilg(self.side)
+        return [
+            BarrelShifter(self.side, bit_reverse(i, q)) for i in range(self.side)
+        ]
+
+    @property
+    def data_pins_per_chip(self) -> int:
+        """``2√n`` data pins on each hyperconcentrator chip."""
+        return 2 * self.side
+
+    @property
+    def max_pins_per_chip(self) -> int:
+        """``2√n + ⌈(lg n)/2⌉``: the barrel shifters' pin count
+        dominates (data pins plus hardwired control bits)."""
+        return 2 * self.side + ceil_lg(self.side)
+
+    @property
+    def gate_delays(self) -> int:
+        """Message delay through the switch: three chips at
+        ``2⌈lg √n⌉ + O(1)`` each, plus the constant-delay barrel
+        shifter — ``3 lg n + O(1)`` total."""
+        shifter = self.barrel_shifters[0].gate_delays
+        return self.STAGES * self._chip.gate_delays + shifter
+
+    def stage_reports(self) -> list[StageReport]:
+        """Inventory of the three stages for the hardware model."""
+        return [
+            StageReport("stage1-columns", self.side, self.side, wiring="transpose"),
+            StageReport(
+                "stage2-rows",
+                self.side,
+                self.side,
+                wiring="rev-rotate+transpose",
+                extras={"barrel_shifters": self.side},
+            ),
+            StageReport("stage3-columns", self.side, self.side, wiring="output"),
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"RevsortSwitch(n={self.n}, m={self.m})"
+
+
+def _permute_bits(bits: np.ndarray, perm: np.ndarray) -> np.ndarray:
+    """Move bit at position p to position perm[p]."""
+    out = np.empty_like(bits)
+    out[perm] = bits
+    return out

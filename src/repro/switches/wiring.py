@@ -1,0 +1,119 @@
+"""Stage machinery for multichip switches.
+
+A multichip switch is a pipeline alternating two kinds of layers:
+
+* **chip layers** — a bank of hyperconcentrator chips, each sorting the
+  valid bits of one *group* of wire positions (a matrix row or column);
+* **wiring layers** — fixed pin-to-pin permutations between stages
+  (transpose, ``rev(i)`` rotation, ``RM⁻¹∘CM`` reshuffle).
+
+Both are represented uniformly as permutations of the flat wire-position
+space, so the whole switch composes into a single permutation per setup
+(plus the fixed output restriction).  This module builds the group
+index sets and applies the chip-layer concentration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.switches.hyperconcentrator import concentrate_permutation
+
+
+def column_groups(rows: int, cols: int, *, reverse_odd: bool = False) -> list[np.ndarray]:
+    """Wire-position groups for a chip layer that sorts each *column*
+    of an ``rows × cols`` matrix: group ``j`` lists flat positions
+    ``cols·i + j`` for ``i = 0..rows−1`` (chip wire 0 = top of column).
+    """
+    _check_shape(rows, cols)
+    groups = [np.arange(rows, dtype=np.int64) * cols + j for j in range(cols)]
+    if reverse_odd:
+        groups = [g[::-1] if j % 2 else g for j, g in enumerate(groups)]
+    return groups
+
+
+def row_groups(rows: int, cols: int, *, reverse_odd: bool = False) -> list[np.ndarray]:
+    """Groups for a chip layer that sorts each *row*: group ``i`` lists
+    flat positions ``cols·i + j`` for ``j = 0..cols−1`` (chip wire 0 =
+    left end of the row).
+
+    ``reverse_odd=True`` yields the snake orientation used by the
+    Shearsort stacks of Section 6: odd rows are wired to their chips in
+    reversed order, so the chip's leading outputs land at the row's
+    *right* end.
+    """
+    _check_shape(rows, cols)
+    groups = [np.arange(cols, dtype=np.int64) + cols * i for i in range(rows)]
+    if reverse_odd:
+        groups = [g[::-1] if i % 2 else g for i, g in enumerate(groups)]
+    return groups
+
+
+def apply_chip_layer(
+    valid_by_pos: np.ndarray, groups: list[np.ndarray]
+) -> np.ndarray:
+    """One bank of hyperconcentrator chips as a position permutation.
+
+    ``valid_by_pos[p]`` is the valid bit currently on wire position
+    ``p``.  Each group is fed to one chip; the chip moves its valid
+    inputs to its leading wires (order-preserving).  Returns ``perm``
+    with ``new_position = perm[old_position]``.  Positions not covered
+    by any group stay put; groups must be disjoint.
+
+    When the groups form a rectangular bank (equal sizes), the whole
+    layer is computed with one batched stable argsort — the hot path of
+    every multichip setup (see :func:`apply_chip_layer_batched`).
+    """
+    n = valid_by_pos.size
+    sizes = {g.size for g in groups}
+    if len(sizes) == 1 and groups and sum(g.size for g in groups) <= n:
+        stacked = np.stack(groups)  # (chips, width)
+        seen = np.zeros(n, dtype=bool)
+        flat = stacked.reshape(-1)
+        seen[flat] = True
+        if seen.sum() != flat.size:
+            raise ConfigurationError("chip groups overlap: a wire feeds two chips")
+        perm = np.arange(n, dtype=np.int64)
+        local = apply_chip_layer_batched(valid_by_pos[stacked])
+        perm[flat] = np.take_along_axis(stacked, local, axis=1).reshape(-1)
+        return perm
+
+    perm = np.arange(n, dtype=np.int64)
+    seen = np.zeros(n, dtype=bool)
+    for group in groups:
+        if seen[group].any():
+            raise ConfigurationError("chip groups overlap: a wire feeds two chips")
+        seen[group] = True
+        local = concentrate_permutation(valid_by_pos[group])
+        perm[group] = group[local]
+    return perm
+
+
+def apply_chip_layer_batched(valid_rows: np.ndarray) -> np.ndarray:
+    """Vectorised order-preserving concentration for a bank of
+    equal-width chips: ``valid_rows`` is (chips, width); returns
+    ``local`` with ``local[c, w]`` = the chip-local output wire of chip
+    c's input wire w (valid inputs to the leading wires, stable)."""
+    order = np.argsort(~valid_rows, axis=1, kind="stable")  # winners first
+    local = np.empty_like(order)
+    np.put_along_axis(
+        local, order, np.broadcast_to(np.arange(valid_rows.shape[1]), order.shape).copy(), axis=1
+    )
+    return local
+
+
+def compose(perms: list[np.ndarray]) -> np.ndarray:
+    """Compose position permutations applied left to right:
+    ``result[p] = perms[-1][...perms[0][p]...]``."""
+    if not perms:
+        raise ConfigurationError("cannot compose an empty permutation list")
+    out = perms[0].copy()
+    for perm in perms[1:]:
+        out = perm[out]
+    return out
+
+
+def _check_shape(rows: int, cols: int) -> None:
+    if rows < 1 or cols < 1:
+        raise ConfigurationError(f"matrix shape must be positive, got {rows}x{cols}")

@@ -1,0 +1,134 @@
+"""Public test helpers for downstream users.
+
+A project embedding these switches (or implementing new concentrator
+designs against :class:`~repro.switches.base.ConcentratorSwitch`) can
+verify its implementation with one call::
+
+    from repro.testing import check_concentrator
+    report = check_concentrator(my_switch, trials=200, seed=0)
+    assert report.ok, report.failures
+
+The checker exercises the behavioural contract (disjoint paths, no
+ghost routes, the (n, m, α) guarantees at and beyond capacity),
+determinism, and — when the switch exposes ``final_positions`` and
+``epsilon_bound`` — the measured nearsortedness against the claimed
+bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util.rng import default_rng
+from repro.core.concentration import validate_partial_concentration
+from repro.core.nearsort import nearsortedness
+from repro.errors import ReproError
+from repro.switches.base import ConcentratorSwitch
+
+
+@dataclass
+class ContractReport:
+    """Result of :func:`check_concentrator`."""
+
+    switch: str
+    trials: int
+    failures: list[str] = field(default_factory=list)
+    worst_epsilon: int | None = None
+    epsilon_bound: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def random_valid_bits(
+    n: int, k: int | None = None, *, p: float = 0.5, seed: int | None = None
+) -> np.ndarray:
+    """Random valid-bit vector (exactly ``k`` valid when given)."""
+    from repro._util.rng import random_valid_bits as _impl
+
+    return _impl(n, k, p=p, rng=default_rng(seed))
+
+
+def adversarial_valid_bits(switch: ConcentratorSwitch, seed: int | None = None) -> np.ndarray:
+    """A worst-case-ish pattern for ``switch`` found by hill climbing
+    on the routing-failure count (falls back to a random overload when
+    the switch has no slack to exploit)."""
+    from repro.analysis.adversarial import drop_objective, hill_climb
+
+    result = hill_climb(
+        switch.n, drop_objective(switch), iterations=200, restarts=3, seed=seed
+    )
+    return result.best_input
+
+
+def check_concentrator(
+    switch: ConcentratorSwitch,
+    *,
+    trials: int = 100,
+    seed: int | None = None,
+) -> ContractReport:
+    """Exercise a switch's full behavioural contract.
+
+    Checks per random pattern: the (n, m, α) contract (via the library
+    validators), determinism of setup, and input immutability.  If the
+    switch exposes ``final_positions``/``epsilon_bound``, the measured
+    ε is compared against the bound.  Returns a report rather than
+    raising, so callers can aggregate.
+    """
+    rng = default_rng(seed)
+    report = ContractReport(switch=repr(switch), trials=trials)
+    spec = switch.spec
+    has_nearsort = hasattr(switch, "final_positions") and hasattr(
+        switch, "epsilon_bound"
+    )
+    worst_eps = 0
+
+    for trial in range(trials):
+        # Mix load regimes: light, capacity, overload, uniform random.
+        kind = trial % 4
+        if kind == 0:
+            valid = random_valid_bits(switch.n, p=float(rng.random()), seed=int(rng.integers(1 << 31)))
+        elif kind == 1 and spec.guaranteed_capacity > 0:
+            valid = random_valid_bits(
+                switch.n, k=spec.guaranteed_capacity, seed=int(rng.integers(1 << 31))
+            )
+        elif kind == 2:
+            valid = np.ones(switch.n, dtype=bool)
+        else:
+            valid = random_valid_bits(switch.n, p=0.9, seed=int(rng.integers(1 << 31)))
+
+        before = valid.copy()
+        try:
+            routing = switch.setup(valid)
+        except ReproError as exc:
+            report.failures.append(f"trial {trial}: setup raised {exc!r}")
+            continue
+
+        if not np.array_equal(valid, before):
+            report.failures.append(f"trial {trial}: setup mutated its input")
+        try:
+            validate_partial_concentration(spec, valid, routing.input_to_output)
+        except ReproError as exc:
+            report.failures.append(f"trial {trial}: contract violation: {exc}")
+
+        again = switch.setup(valid)
+        if not np.array_equal(routing.input_to_output, again.input_to_output):
+            report.failures.append(f"trial {trial}: setup is nondeterministic")
+
+        if has_nearsort:
+            final = switch.final_positions(valid)
+            out = np.zeros(switch.n, dtype=np.int8)
+            out[final] = valid.astype(np.int8)
+            worst_eps = max(worst_eps, nearsortedness(out))
+
+    if has_nearsort:
+        report.worst_epsilon = worst_eps
+        report.epsilon_bound = int(switch.epsilon_bound)
+        if worst_eps > switch.epsilon_bound:
+            report.failures.append(
+                f"measured epsilon {worst_eps} exceeds bound {switch.epsilon_bound}"
+            )
+    return report

@@ -1,0 +1,85 @@
+"""Tests for the adversarial input search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.adversarial import (
+    drop_objective,
+    epsilon_objective,
+    hill_climb,
+)
+from repro.errors import ConfigurationError
+from repro.switches.columnsort_switch import ColumnsortSwitch
+from repro.switches.revsort_switch import RevsortSwitch
+
+
+class TestHillClimb:
+    def test_finds_known_optimum(self):
+        """Objective = popcount: the search must find all-ones."""
+        result = hill_climb(
+            16, lambda v: int(v.sum()), iterations=300, restarts=2, seed=1
+        )
+        assert result.best_score == 16
+        assert result.best_input.all()
+
+    def test_deterministic(self):
+        a = hill_climb(12, lambda v: int(v.sum()), iterations=50, restarts=1, seed=3)
+        b = hill_climb(12, lambda v: int(v.sum()), iterations=50, restarts=1, seed=3)
+        assert a.best_score == b.best_score
+        assert np.array_equal(a.best_input, b.best_input)
+
+    def test_counts_evaluations(self):
+        result = hill_climb(8, lambda v: 0, iterations=10, restarts=2, seed=4)
+        assert result.evaluations == 2 * 11
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            hill_climb(0, lambda v: 0)
+        with pytest.raises(ConfigurationError):
+            hill_climb(4, lambda v: 0, iterations=0)
+
+
+class TestEpsilonObjective:
+    def test_adversarial_beats_random_sampling(self):
+        """Hill climbing on ε must do at least as well as the best of
+        an equal random sample — and stays within the theorem bound."""
+        switch = ColumnsortSwitch(16, 4, 64)
+        objective = epsilon_objective(switch)
+
+        result = hill_climb(64, objective, iterations=150, restarts=2, seed=5)
+
+        rng = np.random.default_rng(5)
+        random_best = max(
+            objective(rng.random(64) < rng.random()) for _ in range(302)
+        )
+        assert result.best_score >= random_best
+        assert result.best_score <= switch.epsilon_bound
+
+    def test_revsort_adversarial_within_bound(self):
+        switch = RevsortSwitch(64, 64)
+        result = hill_climb(
+            64, epsilon_objective(switch), iterations=150, restarts=2, seed=6
+        )
+        assert 0 < result.best_score <= switch.epsilon_bound
+
+
+class TestDropObjective:
+    def test_finds_dropping_inputs_on_tight_switch(self):
+        """With m close to n and ε > 0 an adversary can force drops."""
+        switch = ColumnsortSwitch(16, 4, 60)
+        result = hill_climb(
+            64, drop_objective(switch), iterations=200, restarts=2, seed=7
+        )
+        assert result.best_score > 0
+
+    def test_never_violates_floor(self):
+        """Even the adversarial worst case must respect αm."""
+        switch = ColumnsortSwitch(16, 4, 60)
+        result = hill_climb(
+            64, drop_objective(switch), iterations=200, restarts=2, seed=8
+        )
+        valid = result.best_input
+        routed = switch.setup(valid).routed_count
+        assert routed >= min(int(valid.sum()), switch.spec.guaranteed_capacity)

@@ -1,0 +1,120 @@
+"""Tests for the analysis helpers (exponent fitting, tables, sweeps)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.asymptotics import fit_exponent, fit_log_slope
+from repro.analysis.sweep import sweep
+from repro.analysis.tables import render_table
+from repro.errors import ConfigurationError
+
+
+class TestFitExponent:
+    def test_exact_power_law(self):
+        ns = [2**k for k in range(4, 10)]
+        values = [7.0 * n**1.5 for n in ns]
+        assert fit_exponent(ns, values) == pytest.approx(1.5)
+
+    def test_linear(self):
+        ns = [10, 100, 1000]
+        assert fit_exponent(ns, [2 * n for n in ns]) == pytest.approx(1.0)
+
+    def test_noise_tolerance(self, rng):
+        ns = [2**k for k in range(6, 14)]
+        values = [n**0.75 * (1 + 0.05 * rng.standard_normal()) for n in ns]
+        assert abs(fit_exponent(ns, values) - 0.75) < 0.1
+
+    def test_rejects_short_input(self):
+        with pytest.raises(ConfigurationError):
+            fit_exponent([4], [2.0])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            fit_exponent([4, 8], [0.0, 1.0])
+
+
+class TestFitLogSlope:
+    def test_exact_line(self):
+        ns = [2**k for k in range(4, 12)]
+        values = [3.0 * k + 5.0 for k in range(4, 12)]
+        a, b = fit_log_slope(ns, values)
+        assert a == pytest.approx(3.0)
+        assert b == pytest.approx(5.0)
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            fit_log_slope([2, 4], [1.0])
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        out = render_table(
+            [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "22" in lines[4]
+
+    def test_empty(self):
+        assert "(no rows)" in render_table([], title="T")
+
+    def test_missing_keys_blank(self):
+        out = render_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert out.splitlines()[-1].startswith("3")
+
+
+class TestSweep:
+    def test_collects_rows(self):
+        rows = sweep([1, 2, 3], lambda v: {"square": v * v})
+        assert [r["param"] for r in rows] == [1, 2, 3]
+        assert [r["square"] for r in rows] == [1, 4, 9]
+
+
+class TestEndToEndExponentChecks:
+    """The Table 1 Θ(n^x) claims, verified by fitting across an n
+    sweep (the bench prints these; here we assert them)."""
+
+    NS = [1 << t for t in (8, 10, 12, 14, 16)]
+
+    def test_revsort_exponents(self):
+        from repro.hardware.costs import revsort_measures
+
+        rows = [revsort_measures(n, n // 2) for n in self.NS]
+        assert abs(fit_exponent(self.NS, [r.pins_per_chip for r in rows]) - 0.5) < 0.1
+        assert abs(fit_exponent(self.NS, [r.chip_count for r in rows]) - 0.5) < 0.05
+        assert abs(fit_exponent(self.NS, [r.epsilon for r in rows]) - 0.75) < 0.05
+        assert abs(fit_exponent(self.NS, [r.volume for r in rows]) - 1.5) < 0.1
+
+    @pytest.mark.parametrize(
+        # Use n = 2^t with β·t integral so the power-of-two shape
+        # rounding does not stair-step the fit.
+        "beta,eps_exp,ts",
+        [
+            (0.5, 1.0, (8, 10, 12, 14, 16)),
+            (0.625, 0.75, (8, 16, 24, 32)),
+            (0.75, 0.5, (8, 12, 16, 20, 24)),
+        ],
+    )
+    def test_columnsort_exponents(self, beta, eps_exp, ts):
+        from repro.hardware.costs import columnsort_measures
+
+        ns = [1 << t for t in ts]
+        rows = [columnsort_measures(n, n // 2, beta) for n in ns]
+        assert abs(fit_exponent(ns, [r.pins_per_chip for r in rows]) - beta) < 0.05
+        assert abs(fit_exponent(ns, [r.chip_count for r in rows]) - (1 - beta)) < 0.05
+        assert abs(fit_exponent(ns, [r.epsilon for r in rows]) - eps_exp) < 0.1
+        assert abs(fit_exponent(ns, [r.volume for r in rows]) - (1 + beta)) < 0.05
+
+    def test_delay_slopes(self):
+        from repro.hardware.costs import columnsort_measures, revsort_measures
+
+        rev = [revsort_measures(n, n // 2).gate_delays for n in self.NS]
+        a, _ = fit_log_slope(self.NS, rev)
+        assert abs(a - 3.0) < 0.2
+
+        col = [columnsort_measures(n, n // 2, 0.5).gate_delays for n in self.NS]
+        a, _ = fit_log_slope(self.NS, col)
+        assert abs(a - 2.0) < 0.2

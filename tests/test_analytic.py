@@ -1,0 +1,83 @@
+"""Tests for the analytic knockout loss model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.analytic import (
+    binomial_pmf,
+    knockout_l_for_target_loss,
+    knockout_loss_analytic,
+)
+from repro.network.knockout import knockout_loss_curve
+
+
+class TestBinomialPmf:
+    def test_sums_to_one(self):
+        total = sum(binomial_pmf(20, k, 0.3) for k in range(21))
+        assert total == pytest.approx(1.0)
+
+    def test_matches_closed_form_small(self):
+        # P[Bin(3, 0.5) = 2] = 3/8.
+        assert binomial_pmf(3, 2, 0.5) == pytest.approx(0.375)
+
+    def test_edges(self):
+        assert binomial_pmf(5, 0, 0.0) == 1.0
+        assert binomial_pmf(5, 5, 1.0) == 1.0
+        assert binomial_pmf(5, 6, 0.5) == 0.0
+
+
+class TestKnockoutLossAnalytic:
+    def test_l_equals_n_is_lossless(self):
+        assert knockout_loss_analytic(16, 0.9, 16) == pytest.approx(0.0)
+
+    def test_monotone_decreasing_in_l(self):
+        losses = [knockout_loss_analytic(16, 0.9, L) for L in range(1, 9)]
+        assert losses == sorted(losses, reverse=True)
+
+    def test_monotone_increasing_in_load(self):
+        losses = [knockout_loss_analytic(16, p, 2) for p in (0.2, 0.5, 0.9)]
+        assert losses == sorted(losses)
+
+    def test_zero_load(self):
+        assert knockout_loss_analytic(16, 0.0, 1) == 0.0
+
+    def test_matches_simulation(self):
+        """The event-level simulator and the closed form agree — two
+        independent routes to the same number."""
+        sim = knockout_loss_curve(
+            16, loads=[0.9], l_values=[1, 2, 4], slots=600, seed=41
+        )
+        for L in (1, 2, 4):
+            analytic = knockout_loss_analytic(16, 0.9, L)
+            measured = sim[(0.9, L)]
+            assert measured == pytest.approx(analytic, abs=0.02)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            knockout_loss_analytic(0, 0.5, 1)
+        with pytest.raises(ConfigurationError):
+            knockout_loss_analytic(8, 1.5, 1)
+        with pytest.raises(ConfigurationError):
+            knockout_loss_analytic(8, 0.5, 9)
+
+
+class TestDesignHelper:
+    def test_small_l_suffices(self):
+        """The knockout headline: single-digit L reaches tiny loss even
+        at full load, independent of N."""
+        for ports in (16, 32, 64):
+            L = knockout_l_for_target_loss(ports, 1.0, 1e-6)
+            assert L <= 12
+
+    def test_monotone_in_target(self):
+        strict = knockout_l_for_target_loss(32, 0.9, 1e-8)
+        loose = knockout_l_for_target_loss(32, 0.9, 1e-2)
+        assert strict >= loose
+
+    def test_rejects_zero_target(self):
+        with pytest.raises(ConfigurationError):
+            knockout_l_for_target_loss(8, 0.5, 0.0)

@@ -1,0 +1,89 @@
+"""Tests for rotating-priority arbitration and the fairness metric."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.concentration import validate_perfect_concentration
+from repro.errors import ConfigurationError
+from repro.switches.arbitration import (
+    RotatingPriorityConcentrator,
+    starvation_profile,
+)
+from repro.switches.perfect import PerfectConcentrator
+from tests.conftest import random_bits
+
+
+class TestContract:
+    def test_exhaustive_small(self):
+        switch = RotatingPriorityConcentrator(4, 2)
+        for bits in itertools.product([False, True], repeat=4):
+            valid = np.array(bits, dtype=bool)
+            routing = switch.setup(valid)
+            validate_perfect_concentration(4, 2, valid, routing.input_to_output)
+
+    def test_random_large(self, rng):
+        switch = RotatingPriorityConcentrator(64, 32)
+        for _ in range(60):
+            valid = random_bits(rng, 64)
+            routing = switch.setup(valid)
+            validate_perfect_concentration(64, 32, valid, routing.input_to_output)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            RotatingPriorityConcentrator(4, 5)
+        with pytest.raises(ConfigurationError):
+            RotatingPriorityConcentrator(4, 2, stride=-1)
+
+
+class TestRotation:
+    def test_offset_advances(self):
+        switch = RotatingPriorityConcentrator(8, 4, stride=3)
+        assert switch.offset == 0
+        switch.setup(np.zeros(8, dtype=bool))
+        assert switch.offset == 3
+        switch.setup(np.zeros(8, dtype=bool))
+        assert switch.offset == 6
+
+    def test_losers_rotate_under_full_load(self):
+        """With every input valid, the winner set shifts each setup."""
+        switch = RotatingPriorityConcentrator(8, 4, stride=1)
+        valid = np.ones(8, dtype=bool)
+        first = set(np.flatnonzero(switch.setup(valid).input_to_output >= 0))
+        second = set(np.flatnonzero(switch.setup(valid).input_to_output >= 0))
+        assert first != second
+
+    def test_stride_zero_is_fixed_priority(self):
+        switch = RotatingPriorityConcentrator(8, 4, stride=0)
+        valid = np.ones(8, dtype=bool)
+        a = switch.setup(valid).input_to_output
+        b = switch.setup(valid).input_to_output
+        assert np.array_equal(a, b)
+
+
+class TestFairness:
+    def test_fixed_priority_starves_high_indices(self, rng):
+        fixed = PerfectConcentrator(16, 8)
+        profile = starvation_profile(fixed, rounds=200, load=0.9, rng=rng)
+        # Low-index inputs almost never lose; high-index inputs lose a lot.
+        assert profile[:4].sum() < profile[-4:].sum() / 4
+
+    def test_rotation_flattens_profile(self, rng):
+        rotating = RotatingPriorityConcentrator(16, 8)
+        profile = starvation_profile(rotating, rounds=200, load=0.9, rng=rng)
+        assert profile.min() > 0  # everyone loses sometimes
+        assert profile.max() < 3 * max(profile.min(), 1)  # roughly flat
+
+    def test_total_losses_identical_across_policies(self, rng):
+        """Arbitration redistributes losses; it cannot reduce them."""
+        seeds = np.random.default_rng(5)
+        fixed = PerfectConcentrator(16, 8)
+        rotating = RotatingPriorityConcentrator(16, 8)
+        rng_a = np.random.default_rng(6)
+        rng_b = np.random.default_rng(6)
+        lost_a = starvation_profile(fixed, 100, 0.9, rng_a).sum()
+        lost_b = starvation_profile(rotating, 100, 0.9, rng_b).sum()
+        assert lost_a == lost_b

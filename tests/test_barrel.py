@@ -1,0 +1,54 @@
+"""Tests for the hardwired barrel shifter (Section 4, Figure 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.switches.barrel import BarrelShifter
+
+
+class TestBarrelShifter:
+    def test_rotation(self):
+        b = BarrelShifter(4, 1)
+        assert list(b.apply(np.array([1, 2, 3, 4]))) == [4, 1, 2, 3]
+
+    def test_zero_shift(self):
+        b = BarrelShifter(4, 0)
+        data = np.array([1, 0, 1, 0])
+        assert np.array_equal(b.apply(data), data)
+
+    def test_shift_wraps(self):
+        assert BarrelShifter(4, 5).shift == 1
+
+    def test_permutation_matches_apply(self, rng):
+        b = BarrelShifter(8, 3)
+        data = rng.integers(0, 2, size=8)
+        perm = b.permutation()
+        out = np.empty(8, dtype=data.dtype)
+        out[perm] = data
+        assert np.array_equal(out, b.apply(data))
+
+    def test_pins(self):
+        # 2w data pins + ⌈lg w⌉ hardwired control bits.
+        b = BarrelShifter(16, 5)
+        assert b.data_pins == 32
+        assert b.control_bits == 4
+        assert b.pins == 36
+
+    def test_width_one(self):
+        b = BarrelShifter(1, 0)
+        assert b.control_bits == 0
+        assert list(b.apply(np.array([1]))) == [1]
+
+    def test_constant_delay(self):
+        assert BarrelShifter(4, 1).gate_delays == BarrelShifter(1024, 999).gate_delays
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            BarrelShifter(0, 0)
+
+    def test_rejects_bad_input_shape(self):
+        with pytest.raises(ConfigurationError):
+            BarrelShifter(4, 1).apply(np.zeros(5))

@@ -1,0 +1,142 @@
+"""Tests for the bitonic-network concentrators (Section 6's last open
+question: Lemma 2 applied to non-mesh nearsorters)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro._util.bits import ilg
+from repro._util.rng import default_rng
+from repro.core.concentration import (
+    validate_hyperconcentration,
+    validate_partial_concentration,
+)
+from repro.errors import ConfigurationError
+from repro.switches.bitonic import (
+    BitonicHyperconcentrator,
+    TruncatedBitonicSwitch,
+    apply_comparator_stages,
+    bitonic_stages,
+)
+from tests.conftest import random_bits
+
+
+class TestBitonicStages:
+    def test_stage_count(self):
+        # q(q+1)/2 stages for n = 2^q.
+        for q in range(1, 7):
+            n = 1 << q
+            assert len(bitonic_stages(n)) == q * (q + 1) // 2
+
+    def test_comparators_per_stage(self):
+        for stage in bitonic_stages(16):
+            assert len(stage) == 8  # n/2
+            wires = [w for comp in stage for w in comp]
+            assert len(set(wires)) == 16  # parallel: no wire reused
+
+    def test_sorts_all_01_inputs(self):
+        """0–1 principle check for n = 8: the network fully sorts."""
+        n = 8
+        stages = bitonic_stages(n)
+        for bits in itertools.product([0, 1], repeat=n):
+            valid = np.array(bits, dtype=bool)
+            final = apply_comparator_stages(valid, stages)
+            out = np.zeros(n, dtype=np.int8)
+            out[final] = valid.astype(np.int8)
+            assert (out[:-1] >= out[1:]).all(), bits
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ConfigurationError):
+            bitonic_stages(6)
+
+
+class TestApplyComparatorStages:
+    def test_returns_permutation(self, rng):
+        stages = bitonic_stages(16)
+        final = apply_comparator_stages(random_bits(rng, 16), stages)
+        assert sorted(final) == list(range(16))
+
+    def test_no_exchange_on_ties(self):
+        """All-equal inputs never move: messages don't swap gratuitously."""
+        stages = bitonic_stages(8)
+        for fill in (0, 1):
+            valid = np.full(8, fill, dtype=bool)
+            final = apply_comparator_stages(valid, stages)
+            assert list(final) == list(range(8))
+
+
+class TestBitonicHyperconcentrator:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8])
+    def test_exhaustive_contract(self, n):
+        switch = BitonicHyperconcentrator(n)
+        for bits in itertools.product([False, True], repeat=n):
+            valid = np.array(bits, dtype=bool)
+            routing = switch.setup(valid)
+            validate_hyperconcentration(n, valid, routing.input_to_output)
+
+    def test_random_contract_large(self, rng):
+        switch = BitonicHyperconcentrator(128)
+        for _ in range(40):
+            valid = random_bits(rng, 128)
+            routing = switch.setup(valid)
+            validate_hyperconcentration(128, valid, routing.input_to_output)
+
+    def test_depth_quadratic_in_lg_n(self):
+        """The reason the paper builds a dedicated chip: bitonic depth
+        is lg n (lg n + 1)/2 stages vs the chip's 2 lg n gate delays."""
+        for n in (16, 64, 256):
+            q = ilg(n)
+            switch = BitonicHyperconcentrator(n)
+            assert switch.comparator_stages == q * (q + 1) // 2
+            assert switch.gate_delays > 2 * q  # strictly worse for q > 3
+
+    def test_comparator_count(self):
+        sw = BitonicHyperconcentrator(16)
+        assert sw.comparator_count == 8 * 10
+
+
+class TestTruncatedBitonic:
+    def test_calibration_monotone_decreasing_overall(self):
+        """ε at the full depth is 0 and at depth 0 is ~n; the truncated
+        prefix only becomes a useful nearsorter in the final merge."""
+        n = 64
+        full = len(bitonic_stages(n))
+        eps_start = TruncatedBitonicSwitch.calibrate_epsilon(
+            n, 0, 100, default_rng(1)
+        )
+        eps_late = TruncatedBitonicSwitch.calibrate_epsilon(
+            n, full - 3, 100, default_rng(1)
+        )
+        eps_full = TruncatedBitonicSwitch.calibrate_epsilon(
+            n, full, 100, default_rng(1)
+        )
+        assert eps_start > n // 2
+        assert eps_late < n // 4
+        assert eps_full == 0
+
+    def test_contract_with_calibrated_epsilon(self, rng):
+        n = 64
+        full = len(bitonic_stages(n))
+        stages = full - 3
+        eps = TruncatedBitonicSwitch.calibrate_epsilon(n, stages, 300, default_rng(2))
+        switch = TruncatedBitonicSwitch(n, 48, stages, eps)
+        spec = switch.spec
+        for _ in range(60):
+            valid = random_bits(rng, n)
+            routing = switch.setup(valid)
+            validate_partial_concentration(spec, valid, routing.input_to_output)
+
+    def test_stage_bounds_checked(self):
+        with pytest.raises(ConfigurationError):
+            TruncatedBitonicSwitch(8, 4, stages=99, epsilon=0)
+        with pytest.raises(ConfigurationError):
+            TruncatedBitonicSwitch(8, 4, stages=2, epsilon=-1)
+
+    def test_zero_stages_is_identity_wiring(self, rng):
+        switch = TruncatedBitonicSwitch(8, 8, stages=0, epsilon=8)
+        valid = random_bits(rng, 8)
+        final = switch.final_positions(valid)
+        assert list(final) == list(range(8))

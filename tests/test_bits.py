@@ -1,0 +1,101 @@
+"""Unit and property tests for repro._util.bits."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util.bits import bit_reverse, ceil_div, ceil_lg, ilg, is_pow2, lg_star
+from repro.errors import ConfigurationError
+
+
+class TestIsPow2:
+    def test_powers(self):
+        for q in range(20):
+            assert is_pow2(1 << q)
+
+    def test_non_powers(self):
+        for x in (0, -1, -2, 3, 5, 6, 7, 9, 12, 100, 1023):
+            assert not is_pow2(x)
+
+
+class TestIlg:
+    def test_exact(self):
+        for q in range(16):
+            assert ilg(1 << q) == q
+
+    @pytest.mark.parametrize("bad", [0, -4, 3, 6, 100])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ConfigurationError):
+            ilg(bad)
+
+
+class TestCeilLg:
+    def test_small(self):
+        assert ceil_lg(1) == 0
+        assert ceil_lg(2) == 1
+        assert ceil_lg(3) == 2
+        assert ceil_lg(4) == 2
+        assert ceil_lg(5) == 3
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_matches_math(self, x):
+        assert ceil_lg(x) == math.ceil(math.log2(x))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            ceil_lg(0)
+
+
+class TestCeilDiv:
+    @given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=1, max_value=10**4))
+    def test_matches_math(self, a, b):
+        assert ceil_div(a, b) == math.ceil(a / b)
+
+    def test_rejects_bad_divisor(self):
+        with pytest.raises(ConfigurationError):
+            ceil_div(3, 0)
+
+
+class TestBitReverse:
+    def test_paper_example(self):
+        # Section 4: "when √n = 16, rev(3) is 12" (q = 4 bits).
+        assert bit_reverse(3, 4) == 12
+
+    def test_zero_width(self):
+        assert bit_reverse(0, 0) == 0
+
+    @given(st.integers(min_value=0, max_value=12))
+    def test_involution(self, q):
+        for i in range(min(1 << q, 256)):
+            assert bit_reverse(bit_reverse(i, q), q) == i
+
+    @given(st.integers(min_value=1, max_value=12))
+    def test_is_permutation(self, q):
+        size = 1 << q
+        if size > 4096:
+            return
+        seen = {bit_reverse(i, q) for i in range(size)}
+        assert seen == set(range(size))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            bit_reverse(4, 2)
+        with pytest.raises(ConfigurationError):
+            bit_reverse(1, -1)
+
+
+class TestLgStar:
+    def test_values(self):
+        assert lg_star(1) == 0
+        assert lg_star(2) == 0
+        assert lg_star(4) == 1
+        assert lg_star(16) == 2
+        assert lg_star(65536) == 3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            lg_star(0)

@@ -1,0 +1,68 @@
+"""Tests for the gate-level butterfly datapath."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gates.butterfly_gates import (
+    build_butterfly_datapath,
+    datapath_delay,
+    stream_bit,
+)
+from repro.switches.prefix_butterfly import PrefixButterflyHyperconcentrator
+from tests.conftest import random_bits
+
+
+class TestDatapath:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_streams_match_functional_routing(self, rng, n):
+        """Latch the functional model's switch settings into the gate
+        datapath and verify a streamed bit lands exactly where the
+        routing says it should."""
+        circuit = build_butterfly_datapath(n)
+        switch = PrefixButterflyHyperconcentrator(n)
+        for _ in range(25):
+            valid = random_bits(rng, n)
+            routing = switch.setup(valid)
+            settings = switch.switch_settings()
+            data = random_bits(rng, n) & valid  # payload on valid wires
+            out = stream_bit(circuit, n, data, settings)
+            for i in np.flatnonzero(valid):
+                target = routing.input_to_output[i]
+                assert out[target] == data[i], (n, i)
+
+    def test_identity_settings_pass_through(self):
+        n = 8
+        circuit = build_butterfly_datapath(n)
+        settings = [np.zeros(n // 2, dtype=bool) for _ in range(3)]
+        data = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=bool)
+        out = stream_bit(circuit, n, data, settings)
+        assert np.array_equal(out, data)
+
+    def test_single_stage_cross(self):
+        n = 2
+        circuit = build_butterfly_datapath(n)
+        out = stream_bit(
+            circuit, n, np.array([True, False]), [np.array([True])]
+        )
+        assert list(out) == [False, True]  # crossed
+
+    def test_delay_is_two_gates_per_stage(self):
+        """Streaming delay = 2 lg n — the same constant as the paper's
+        combinational chip, with the control latched instead."""
+        for n in (4, 8, 16, 32):
+            circuit = build_butterfly_datapath(n)
+            assert datapath_delay(circuit, n) == 2 * int(math.log2(n))
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ConfigurationError):
+            build_butterfly_datapath(1)
+
+    def test_rejects_wrong_setting_count(self):
+        circuit = build_butterfly_datapath(4)
+        with pytest.raises(ConfigurationError):
+            stream_bit(circuit, 4, np.zeros(4, dtype=bool), [np.zeros(2, dtype=bool)])

@@ -1,0 +1,105 @@
+"""Tests for cascaded concentrator switches and the spec algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.concentration import (
+    ConcentratorSpec,
+    validate_partial_concentration,
+)
+from repro.errors import ConfigurationError
+from repro.switches.cascade import CascadeSwitch, cascade_spec
+from repro.switches.columnsort_switch import ColumnsortSwitch
+from repro.switches.perfect import PerfectConcentrator
+from repro.switches.revsort_switch import RevsortSwitch
+from tests.conftest import random_bits
+
+
+class TestCascadeSpec:
+    def test_perfect_chain(self):
+        a = ConcentratorSpec(n=32, m=16, alpha=1.0)
+        b = ConcentratorSpec(n=16, m=8, alpha=1.0)
+        spec = cascade_spec(a, b)
+        assert (spec.n, spec.m) == (32, 8)
+        assert spec.guaranteed_capacity == 8
+
+    def test_bottleneck_is_min(self):
+        a = ConcentratorSpec(n=64, m=32, alpha=0.5)   # cap 16
+        b = ConcentratorSpec(n=32, m=24, alpha=1.0)   # cap 24
+        spec = cascade_spec(a, b)
+        assert spec.guaranteed_capacity == 16
+
+    def test_width_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            cascade_spec(
+                ConcentratorSpec(n=8, m=4, alpha=1.0),
+                ConcentratorSpec(n=8, m=4, alpha=1.0),
+            )
+
+
+class TestCascadeSwitch:
+    def _cascade(self) -> CascadeSwitch:
+        # Sizes chosen so both stages carry non-vacuous guarantees:
+        # Revsort (256, 192, 0.417) -> Columnsort (192, 96, 1-9/96).
+        return CascadeSwitch(
+            RevsortSwitch(256, 192), ColumnsortSwitch(48, 4, 96)
+        )
+
+    def test_composed_contract_random(self, rng):
+        cascade = self._cascade()
+        spec = cascade.spec
+        for _ in range(60):
+            valid = random_bits(rng, cascade.n)
+            routing = cascade.setup(valid)
+            validate_partial_concentration(spec, valid, routing.input_to_output)
+
+    def test_light_load_end_to_end(self, rng):
+        cascade = self._cascade()
+        cap = cascade.spec.guaranteed_capacity
+        assert cap > 0
+        for _ in range(30):
+            valid = random_bits(rng, cascade.n, cap)
+            assert cascade.setup(valid).routed_count == cap
+
+    def test_delay_is_sum(self):
+        cascade = self._cascade()
+        assert (
+            cascade.gate_delays
+            == RevsortSwitch(256, 192).gate_delays
+            + ColumnsortSwitch(48, 4, 96).gate_delays
+        )
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CascadeSwitch(PerfectConcentrator(16, 8), PerfectConcentrator(16, 8))
+
+    def test_three_deep_composition(self, rng):
+        """Cascades nest: ((A → B) → C) still satisfies its derived
+        contract."""
+        inner = CascadeSwitch(PerfectConcentrator(32, 16), PerfectConcentrator(16, 8))
+        outer = CascadeSwitch(inner, PerfectConcentrator(8, 4))
+        spec = outer.spec
+        assert (spec.n, spec.m) == (32, 4)
+        assert spec.guaranteed_capacity == 4
+        for _ in range(30):
+            valid = random_bits(rng, 32)
+            routing = outer.setup(valid)
+            validate_partial_concentration(spec, valid, routing.input_to_output)
+
+    @given(st.integers(min_value=0, max_value=32))
+    @settings(max_examples=25)
+    def test_routed_counts_monotone_composition(self, k):
+        """The cascade never routes more than either stage allows."""
+        rng = np.random.default_rng(1)
+        cascade = CascadeSwitch(
+            PerfectConcentrator(32, 16), PerfectConcentrator(16, 8)
+        )
+        valid = np.zeros(32, dtype=bool)
+        if k:
+            valid[rng.choice(32, size=k, replace=False)] = True
+        routed = cascade.setup(valid).routed_count
+        assert routed == min(k, 8)

@@ -1,0 +1,157 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTable1Command:
+    def test_prints_all_switches(self, capsys):
+        assert main(["table1", "--n", "1024", "--m", "768"]) == 0
+        out = capsys.readouterr().out
+        assert "Revsort" in out
+        assert "Columnsort b=0.5" in out
+        assert "Columnsort b=0.75" in out
+
+    def test_bad_size_is_an_error(self, capsys):
+        assert main(["table1", "--n", "1000", "--m", "500"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestDesignCommand:
+    def test_finds_feasible_design(self, capsys):
+        assert main(["design", "--n", "256", "--m", "192", "--pin-budget", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "best feasible design" in out
+
+    def test_infeasible_budget(self, capsys):
+        assert main(["design", "--n", "256", "--m", "192", "--pin-budget", "3"]) == 1
+        assert "no design fits" in capsys.readouterr().out
+
+
+class TestSimulateCommand:
+    def test_revsort_light_load(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--switch",
+                "revsort",
+                "--n",
+                "256",
+                "--m",
+                "192",
+                "--load",
+                "0.3",
+                "--rounds",
+                "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "loss rate" in out
+        assert "0.0000" in out  # below capacity: no loss
+
+    def test_columnsort_by_shape(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--switch",
+                "columnsort",
+                "--r",
+                "64",
+                "--s",
+                "4",
+                "--m",
+                "192",
+                "--load",
+                "0.4",
+                "--rounds",
+                "5",
+            ]
+        )
+        assert code == 0
+
+    def test_policies(self, capsys):
+        for policy in ("drop", "buffer", "resend"):
+            code = main(
+                [
+                    "simulate",
+                    "--n",
+                    "64",
+                    "--m",
+                    "48",
+                    "--load",
+                    "0.9",
+                    "--rounds",
+                    "5",
+                    "--policy",
+                    policy,
+                ]
+            )
+            assert code == 0
+
+
+class TestVerifyCommand:
+    def test_revsort_contract(self, capsys):
+        code = main(
+            ["verify", "--switch", "revsort", "--n", "256", "--m", "192", "--trials", "20"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+
+    def test_columnsort_beta(self, capsys):
+        code = main(
+            [
+                "verify",
+                "--switch",
+                "columnsort",
+                "--n",
+                "256",
+                "--m",
+                "192",
+                "--beta",
+                "0.75",
+                "--trials",
+                "20",
+            ]
+        )
+        assert code == 0
+
+
+class TestKnockoutCommand:
+    def test_analytic_and_simulated_close(self, capsys):
+        assert main(["knockout", "--ports", "16", "--load", "0.9", "--slots", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "analytic loss" in out and "simulated loss" in out
+
+
+class TestReproduceCommand:
+    def test_full_report_passes(self, capsys):
+        assert main(["reproduce"]) == 0
+        out = capsys.readouterr().out
+        assert "All reproduction checks passed." in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestTable1Formats:
+    def test_json(self, capsys):
+        import json
+
+        assert main(["table1", "--n", "256", "--m", "192", "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["switch"] == "Revsort"
+        assert len(rows) == 4
+
+    def test_csv(self, capsys):
+        assert main(["table1", "--n", "256", "--m", "192", "--format", "csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("switch,")
+        assert len(lines) == 5

@@ -1,0 +1,76 @@
+"""Tests for the pipelined wave simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.messages.clock import WavePipeline
+from repro.messages.congestion import BufferPolicy, DropPolicy
+from repro.network.traffic import BernoulliTraffic, FixedKTraffic
+from repro.switches.perfect import PerfectConcentrator
+from repro.switches.revsort_switch import RevsortSwitch
+
+
+class TestWavePipeline:
+    def test_cycles_per_wave(self):
+        pipe = WavePipeline(PerfectConcentrator(8, 4), payload_bits=8)
+        assert pipe.cycles_per_wave == 9
+
+    def test_light_load_throughput(self):
+        switch = RevsortSwitch(64, 48)
+        pipe = WavePipeline(switch, payload_bits=4, seed=1)
+        traffic = FixedKTraffic(64, k=10, payload_bits=4, seed=2)
+        summary = pipe.run(traffic, waves=12)
+        assert summary.delivered == 12 * 10
+        assert summary.total_cycles == 12 * 5
+        assert summary.throughput() == pytest.approx(10 / 5)
+        assert summary.payload_bits_delivered == 12 * 10 * 4
+
+    def test_wave_records(self):
+        pipe = WavePipeline(PerfectConcentrator(16, 8), payload_bits=2, seed=3)
+        traffic = FixedKTraffic(16, k=4, payload_bits=2, seed=4)
+        summary = pipe.run(traffic, waves=3)
+        assert [w.start_cycle for w in summary.waves] == [0, 3, 6]
+        assert all(w.delivered == 4 for w in summary.waves)
+
+    def test_overload_with_buffer_recovers(self):
+        switch = PerfectConcentrator(32, 8)
+
+        class Bursty(FixedKTraffic):
+            def __init__(self):
+                super().__init__(32, k=0, payload_bits=2, seed=5)
+                self._wave = 0
+
+            def active_inputs(self):
+                self._wave += 1
+                k = 16 if self._wave == 1 else 0
+                return self.rng.choice(32, size=k, replace=False)
+
+        pipe = WavePipeline(switch, payload_bits=2, policy=BufferPolicy(), seed=6)
+        summary = pipe.run(Bursty(), waves=4)
+        assert summary.delivered == 16  # burst drained over later waves
+        assert pipe.policy.stats.dropped == 0
+
+    def test_wall_time_uses_critical_path(self):
+        switch = RevsortSwitch(64, 48)
+        pipe = WavePipeline(switch, payload_bits=7)
+        assert pipe.wall_time(waves=2) == 2 * 8 * switch.gate_delays
+        assert pipe.wall_time(waves=2, delay_per_gate=0.5) == pytest.approx(
+            8 * switch.gate_delays
+        )
+
+    def test_traffic_width_mismatch(self):
+        pipe = WavePipeline(PerfectConcentrator(8, 4), payload_bits=4)
+        with pytest.raises(SimulationError):
+            pipe.run(BernoulliTraffic(16, p=0.5, payload_bits=4), waves=1)
+
+    def test_payload_width_mismatch(self):
+        pipe = WavePipeline(PerfectConcentrator(8, 4), payload_bits=4)
+        with pytest.raises(SimulationError):
+            pipe.run(BernoulliTraffic(8, p=0.5, payload_bits=2), waves=1)
+
+    def test_rejects_negative_payload(self):
+        with pytest.raises(ConfigurationError):
+            WavePipeline(PerfectConcentrator(8, 4), payload_bits=-1)

@@ -1,0 +1,185 @@
+"""Tests for the Columnsort-based multichip partial concentrator
+(Section 5): behaviour, equivalence with Algorithm 2, Theorem 4's
+contract, the Figure 6 instance, and the β continuum."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.concentration import validate_partial_concentration
+from repro.core.nearsort import nearsortedness
+from repro.errors import ConfigurationError
+from repro.mesh.columnsort import columnsort_nearsort
+from repro.switches.columnsort_switch import ColumnsortSwitch
+from tests.conftest import random_bits
+
+
+class TestConstruction:
+    def test_rejects_non_divisible(self):
+        with pytest.raises(ConfigurationError):
+            ColumnsortSwitch(8, 3, 12)
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ConfigurationError):
+            ColumnsortSwitch(8, 4, 0)
+        with pytest.raises(ConfigurationError):
+            ColumnsortSwitch(8, 4, 33)
+
+    def test_from_beta(self):
+        switch = ColumnsortSwitch.from_beta(4096, 0.75, 2048)
+        assert switch.r == 512 and switch.s == 8
+        assert switch.beta == pytest.approx(0.75)
+
+
+class TestEquivalenceWithAlgorithm2:
+    @pytest.mark.parametrize("r,s", [(4, 2), (8, 4), (16, 4), (32, 8)])
+    def test_output_bits_match(self, rng, r, s):
+        n = r * s
+        switch = ColumnsortSwitch(r, s, n)
+        for _ in range(30):
+            valid = random_bits(rng, n)
+            final = switch.final_positions(valid)
+            out = np.zeros(n, dtype=np.int8)
+            out[final] = valid.astype(np.int8)
+            expect = columnsort_nearsort(
+                valid.astype(np.int8).reshape(r, s)
+            ).reshape(-1)
+            assert np.array_equal(out, expect)
+
+    def test_final_positions_is_permutation(self, rng):
+        switch = ColumnsortSwitch(8, 4, 32)
+        final = switch.final_positions(random_bits(rng, 32))
+        assert sorted(final) == list(range(32))
+
+
+class TestConcentrationContract:
+    @pytest.mark.parametrize("r,s", [(16, 4), (64, 4), (64, 8)])
+    def test_partial_contract_random(self, rng, r, s):
+        n = r * s
+        switch = ColumnsortSwitch(r, s, max(1, int(0.8 * n)))
+        spec = switch.spec
+        for _ in range(40):
+            valid = random_bits(rng, n)
+            routing = switch.setup(valid)
+            validate_partial_concentration(spec, valid, routing.input_to_output)
+
+    def test_light_load_routes_everything(self, rng):
+        r, s = 64, 4
+        n = r * s
+        switch = ColumnsortSwitch(r, s, 200)
+        cap = switch.spec.guaranteed_capacity
+        assert cap == 200 - 9
+        for k in (1, cap // 2, cap):
+            valid = random_bits(rng, n, k)
+            assert switch.setup(valid).routed_count == k
+
+    def test_guarantee_is_sharp_at_capacity_plus_dirt(self, rng):
+        """Past αm the switch may (and eventually does) drop messages —
+        the partial-concentrator contract only promises αm paths."""
+        r, s = 16, 4
+        n = r * s
+        m = 16
+        switch = ColumnsortSwitch(r, s, m)
+        cap = switch.spec.guaranteed_capacity  # m − (s−1)² = 7
+        dropped_seen = False
+        for _ in range(300):
+            valid = random_bits(rng, n, m)  # overload beyond cap
+            routing = switch.setup(valid)
+            assert routing.routed_count >= cap
+            if routing.routed_count < m:
+                dropped_seen = True
+        assert dropped_seen, "overload never caused a drop; ε bound suspiciously slack"
+
+    def test_measured_epsilon_within_bound(self, rng):
+        r, s = 32, 8
+        n = r * s
+        switch = ColumnsortSwitch(r, s, n)
+        worst = 0
+        for _ in range(60):
+            valid = random_bits(rng, n)
+            final = switch.final_positions(valid)
+            out = np.zeros(n, dtype=np.int8)
+            out[final] = valid
+            worst = max(worst, nearsortedness(out))
+        assert worst <= switch.epsilon_bound
+
+
+class TestFigure6Instance:
+    """The paper's Figure 6: n = 32, m = 18, r = 8, s = 4, 14 valid."""
+
+    def test_dimensions(self):
+        switch = ColumnsortSwitch(8, 4, 18)
+        assert switch.n == 32
+        assert switch.chip_count == 8  # 2 stages of 4 chips
+        assert switch.data_pins_per_chip == 16  # 2r
+
+    def test_output_wires_per_chip(self):
+        """m = 18 = first five output wires of chips H2,0 and H2,1 plus
+        first four of H2,2 and H2,3."""
+        per_chip = [0] * 4
+        for w in range(18):
+            per_chip[w % 4] += 1
+        assert per_chip == [5, 5, 4, 4]
+
+    def test_14_messages_routed(self, rng):
+        """Figure 6 shows 14 valid messages all routed to 18 outputs;
+        14 ≤ m − ε = 18 − 9 = 9 fails, so this is NOT guaranteed — but
+        the figure's point is a concrete routable instance.  Verify the
+        guarantee level and that typical instances route ≥ αm."""
+        switch = ColumnsortSwitch(8, 4, 18)
+        cap = switch.spec.guaranteed_capacity
+        assert cap == 9
+        fully_routed = 0
+        for _ in range(100):
+            valid = random_bits(rng, 32, 14)
+            routed = switch.setup(valid).routed_count
+            assert routed >= min(14, cap)
+            if routed == 14:
+                fully_routed += 1
+        # The overwhelming majority of 14-message instances route fully
+        # (the figure draws one of them).
+        assert fully_routed >= 60
+
+
+class TestBetaContinuum:
+    """Table 1's tradeoff: increasing β raises pins and volume but
+    improves the load ratio and lowers the chip count."""
+
+    def test_monotone_tradeoffs(self):
+        n, m = 1 << 14, 3 << 12  # n=16384, m=12288
+        betas = (0.5, 0.625, 0.75, 0.875, 1.0)
+        switches = [ColumnsortSwitch.from_beta(n, b, m) for b in betas]
+        pins = [sw.data_pins_per_chip for sw in switches]
+        chips = [sw.chip_count for sw in switches]
+        eps = [sw.epsilon_bound for sw in switches]
+        assert pins == sorted(pins)
+        assert chips == sorted(chips, reverse=True)
+        assert eps == sorted(eps, reverse=True)
+
+    def test_beta_one_is_single_stage_pair(self):
+        switch = ColumnsortSwitch.from_beta(256, 1.0, 128)
+        assert switch.s == 1
+        assert switch.epsilon_bound == 0  # a perfect concentrator
+        assert switch.spec.alpha == 1.0
+
+    def test_beta_one_acts_perfectly(self, rng):
+        switch = ColumnsortSwitch.from_beta(64, 1.0, 32)
+        for _ in range(30):
+            valid = random_bits(rng, 64, 32)
+            assert switch.setup(valid).routed_count == 32
+
+
+class TestResourceModel:
+    def test_gate_delays_scale(self):
+        """Delay = 2·(2 lg r + pads) = 4β lg n + O(1)."""
+        switch = ColumnsortSwitch(512, 8, 2048)  # n=4096, β=0.75
+        assert switch.gate_delays == 2 * (2 * 9 + 2)
+
+    def test_interstack_connectors(self):
+        assert ColumnsortSwitch(8, 4, 18).interstack_connectors == 16
+
+    def test_stage_reports(self):
+        reports = ColumnsortSwitch(8, 4, 18).stage_reports()
+        assert len(reports) == 2
+        assert all(r.chip_count == 4 for r in reports)

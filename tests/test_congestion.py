@@ -1,0 +1,92 @@
+"""Tests for the congestion-control policies (Section 1's buffer /
+drop / resend options)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.messages.congestion import BufferPolicy, DropPolicy, ResendPolicy
+from repro.messages.message import Message
+
+
+def msgs(k: int) -> list[Message]:
+    return [Message.from_int(i % 16, 4) for i in range(k)]
+
+
+class TestDropPolicy:
+    def test_drops_permanently(self):
+        policy = DropPolicy()
+        policy.on_offered(5)
+        policy.on_unrouted(msgs(3), round_index=0)
+        assert policy.backlog() == []
+        assert policy.stats.dropped == 3
+        assert policy.stats.loss_rate == pytest.approx(0.6)
+
+    def test_no_traffic_no_loss(self):
+        assert DropPolicy().stats.loss_rate == 0.0
+
+
+class TestBufferPolicy:
+    def test_requeues(self):
+        policy = BufferPolicy()
+        lost = msgs(3)
+        policy.on_unrouted(lost, round_index=0)
+        assert policy.backlog() == lost
+        assert policy.backlog() == []  # drained
+        assert policy.stats.retried == 3
+        assert policy.stats.dropped == 0
+
+    def test_capacity_overflow_drops(self):
+        policy = BufferPolicy(capacity=2)
+        policy.on_unrouted(msgs(5), round_index=0)
+        assert len(policy.backlog()) == 2
+        assert policy.stats.dropped == 3
+
+    def test_fifo_order(self):
+        policy = BufferPolicy()
+        first, second = msgs(2)
+        policy.on_unrouted([first], 0)
+        policy.on_unrouted([second], 1)
+        assert policy.backlog() == [first, second]
+
+    def test_queue_depth_telemetry(self):
+        policy = BufferPolicy()
+        policy.on_unrouted(msgs(3), 0)
+        policy.on_unrouted(msgs(2), 1)
+        assert policy.depth_history == [3, 5]
+        assert policy.mean_queue_depth == pytest.approx(4.0)
+        assert policy.peak_queue_depth == 5
+        policy.backlog()
+        policy.on_unrouted([], 2)
+        assert policy.depth_history[-1] == 0
+
+    def test_depth_empty_history(self):
+        policy = BufferPolicy()
+        assert policy.mean_queue_depth == 0.0
+        assert policy.peak_queue_depth == 0
+
+
+class TestResendPolicy:
+    def test_resends_after_timeout(self):
+        policy = ResendPolicy(ack_timeout=2, max_retries=3)
+        lost = msgs(2)
+        policy.on_unrouted(lost, round_index=0)
+        # Not due yet at round 1.
+        assert policy.backlog_due(1) == []
+        # Due at round 2.
+        assert policy.backlog_due(2) == lost
+        assert policy.backlog_due(3) == []
+
+    def test_gives_up_after_max_retries(self):
+        policy = ResendPolicy(ack_timeout=1, max_retries=2)
+        msg = msgs(1)
+        for round_index in range(3):
+            policy.on_unrouted(msg, round_index)
+        assert policy.stats.dropped == 1
+        assert policy.stats.retried == 2
+
+    def test_backlog_without_round_releases_everything(self):
+        policy = ResendPolicy(ack_timeout=5)
+        lost = msgs(2)
+        policy.on_unrouted(lost, 0)
+        assert policy.backlog() == lost

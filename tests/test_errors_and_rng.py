@@ -1,0 +1,75 @@
+"""Tests for the exception hierarchy and deterministic RNG helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util.rng import DEFAULT_SEED, default_rng, random_valid_bits
+from repro.errors import (
+    CircuitError,
+    ConcentrationError,
+    ConfigurationError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            ConfigurationError,
+            ConcentrationError,
+            RoutingError,
+            SimulationError,
+            CircuitError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_stdlib_compatibility(self):
+        """Each error doubles as the stdlib family callers expect."""
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(ConcentrationError, AssertionError)
+        assert issubclass(RoutingError, RuntimeError)
+        assert issubclass(SimulationError, RuntimeError)
+        assert issubclass(CircuitError, ValueError)
+
+    def test_one_except_catches_all(self):
+        with pytest.raises(ReproError):
+            raise CircuitError("boom")
+
+
+class TestDefaultRng:
+    def test_none_seed_is_fixed(self):
+        a = default_rng().random(8)
+        b = default_rng().random(8)
+        assert np.array_equal(a, b)
+
+    def test_explicit_seed(self):
+        assert not np.array_equal(
+            default_rng(1).random(8), default_rng(2).random(8)
+        )
+
+    def test_default_seed_constant(self):
+        assert DEFAULT_SEED == 0x1987  # the repo-wide seed; changing it
+        # invalidates the golden corpus, so it is pinned here.
+
+
+class TestRandomValidBits:
+    def test_exact_k(self):
+        bits = random_valid_bits(64, k=13, rng=default_rng(3))
+        assert bits.sum() == 13
+        assert bits.dtype == bool
+
+    def test_k_zero_and_full(self):
+        assert random_valid_bits(8, k=0, rng=default_rng(4)).sum() == 0
+        assert random_valid_bits(8, k=8, rng=default_rng(4)).sum() == 8
+
+    def test_p_extremes(self):
+        assert random_valid_bits(32, p=0.0, rng=default_rng(5)).sum() == 0
+        assert random_valid_bits(32, p=1.0, rng=default_rng(5)).sum() == 32
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            random_valid_bits(4, k=5, rng=default_rng(6))

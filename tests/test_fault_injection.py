@@ -1,0 +1,134 @@
+"""Fault-injection tests: the behavioural validators must *detect*
+broken hardware, not just bless working hardware.
+
+Each test deliberately miswires or damages a switch and asserts that
+the relevant validator (or invariants test) catches the fault — the
+reproduction's guarantees are only as good as its checkers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.concentration import (
+    validate_hyperconcentration,
+    validate_partial_concentration,
+)
+from repro.core.nearsort import nearsortedness
+from repro.errors import ConcentrationError
+from repro.mesh.order import rev_rotate_permutation
+from repro.switches.base import Routing
+from repro.switches.revsort_switch import RevsortSwitch
+from tests.conftest import random_bits
+
+
+class BrokenRotationSwitch(RevsortSwitch):
+    """A Revsort switch whose rotation wiring has two swapped wires on
+    every row — a plausible fabrication/wiring fault."""
+
+    def __init__(self, n: int, m: int):
+        super().__init__(n, m)
+        perm = rev_rotate_permutation(self.side).copy()
+        for i in range(self.side):
+            a, b = self.side * i, self.side * i + self.side // 2
+            perm[[a, b]] = perm[[b, a]]
+        self._rotate_perm_cache = perm
+
+
+class DroppingChipSwitch(RevsortSwitch):
+    """A switch with one dead output wire: anything routed to flat
+    position 0 is lost."""
+
+    def setup(self, valid: np.ndarray) -> Routing:
+        routing = super().setup(valid)
+        broken = routing.input_to_output.copy()
+        broken[broken == 0] = -1
+        return Routing(
+            n_inputs=self.n,
+            n_outputs=self.m,
+            valid=routing.valid,
+            input_to_output=broken,
+        )
+
+
+class TestWiringFaults:
+    def test_identity_instead_of_rotation_degrades_epsilon(self, rng):
+        """Ablation-style fault: removing the rev(i) rotation entirely
+        makes Algorithm 1 collapse (columns sorted twice + row sort);
+        worst-case ε degrades measurably versus the healthy switch."""
+        n = 1024
+        healthy = RevsortSwitch(n, n)
+        broken = RevsortSwitch(n, n)
+        broken._rotate_perm_cache = np.arange(n, dtype=np.int64)
+
+        def worst_eps(switch):
+            worst = 0
+            for _ in range(40):
+                valid = random_bits(rng, n)
+                final = switch.final_positions(valid)
+                out = np.zeros(n, dtype=np.int8)
+                out[final] = valid
+                worst = max(worst, nearsortedness(out))
+            return worst
+
+        assert worst_eps(broken) > 1.5 * worst_eps(healthy)
+
+    def test_swapped_wires_still_permutation_but_worse(self, rng):
+        """Swapped wires keep paths disjoint (no validator trip) but
+        hurt nearsorting quality — quality checks are what catch it."""
+        n = 256
+        broken = BrokenRotationSwitch(n, n)
+        healthy = RevsortSwitch(n, n)
+        worst_broken = worst_healthy = 0
+        for _ in range(60):
+            valid = random_bits(rng, n)
+            fb = broken.final_positions(valid)
+            fh = healthy.final_positions(valid)
+            ob = np.zeros(n, dtype=np.int8)
+            ob[fb] = valid
+            oh = np.zeros(n, dtype=np.int8)
+            oh[fh] = valid
+            worst_broken = max(worst_broken, nearsortedness(ob))
+            worst_healthy = max(worst_healthy, nearsortedness(oh))
+        assert worst_broken >= worst_healthy
+
+
+class TestDeadOutputFault:
+    def test_validator_catches_dropped_message(self, rng):
+        switch = DroppingChipSwitch(256, 192)
+        spec = switch.spec
+        caught = False
+        for _ in range(60):
+            valid = random_bits(rng, 256, spec.guaranteed_capacity)
+            routing = switch.setup(valid)
+            try:
+                validate_partial_concentration(
+                    spec, valid, routing.input_to_output
+                )
+            except ConcentrationError:
+                caught = True
+                break
+        assert caught, "a dead output wire must eventually trip the validator"
+
+
+class TestValidatorTeeth:
+    """Direct checks that each validator rejects each fault class."""
+
+    def test_duplicate_output(self):
+        valid = np.array([1, 1, 0, 0], dtype=bool)
+        with pytest.raises(ConcentrationError):
+            validate_hyperconcentration(4, valid, np.array([0, 0, -1, -1]))
+
+    def test_gap_in_hyperconcentration(self):
+        valid = np.array([1, 1, 0, 0], dtype=bool)
+        with pytest.raises(ConcentrationError):
+            validate_hyperconcentration(4, valid, np.array([0, 2, -1, -1]))
+
+    def test_ghost_message(self):
+        from repro.core.concentration import ConcentratorSpec
+
+        spec = ConcentratorSpec(n=4, m=4, alpha=1.0)
+        valid = np.array([0, 0, 0, 0], dtype=bool)
+        with pytest.raises(ConcentrationError):
+            validate_partial_concentration(spec, valid, np.array([0, -1, -1, -1]))

@@ -1,0 +1,86 @@
+"""Tests for the 2-D floorplan generator (Figures 3/6 geometry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.floorplan import (
+    Floorplan,
+    Rect,
+    columnsort_floorplan,
+    revsort_floorplan,
+)
+from repro.switches.columnsort_switch import ColumnsortSwitch
+from repro.switches.revsort_switch import RevsortSwitch
+
+
+class TestRect:
+    def test_area(self):
+        assert Rect("a", "chip", 0, 0, 4, 3).area == 12
+
+    def test_overlap_detection(self):
+        a = Rect("a", "chip", 0, 0, 4, 4)
+        assert a.overlaps(Rect("b", "chip", 3, 3, 2, 2))
+        assert not a.overlaps(Rect("c", "chip", 4, 0, 2, 2))
+        assert not a.overlaps(Rect("d", "chip", 0, 4, 2, 2))
+
+
+class TestRevsortFloorplan:
+    def test_structure(self):
+        plan = revsort_floorplan(RevsortSwitch(64, 28))
+        chips = [r for r in plan.rects if r.kind == "chip"]
+        bars = [r for r in plan.rects if r.kind == "crossbar"]
+        assert len(chips) == 24
+        assert len(bars) == 2
+        assert all(r.w == r.h == 8 for r in chips)
+        assert all(r.w == r.h == 64 for r in bars)
+
+    def test_no_overlaps(self):
+        revsort_floorplan(RevsortSwitch(256, 192)).validate()
+
+    def test_crossbars_dominate_area(self):
+        """The Θ(n²) crossbar channels dominate the Θ(n^{3/2}) chips —
+        the Section 4 area argument, now geometric."""
+        plan = revsort_floorplan(RevsortSwitch(256, 192))
+        assert plan.crossbar_area > plan.chip_area
+
+    def test_bounding_area_theta_n_squared(self):
+        small = revsort_floorplan(RevsortSwitch(64, 32)).bounding_area
+        large = revsort_floorplan(RevsortSwitch(256, 128)).bounding_area
+        ratio = large / small
+        assert 10 < ratio < 20  # n² scaling ⇒ ~16× for 4× n
+
+    def test_ascii_art_renders(self):
+        art = revsort_floorplan(RevsortSwitch(64, 28)).ascii_art(scale=8)
+        assert "#" in art  # crossbar visible
+        assert "0" in art and "2" in art  # stage digits
+
+
+class TestColumnsortFloorplan:
+    def test_structure(self):
+        plan = columnsort_floorplan(ColumnsortSwitch(8, 4, 18))
+        chips = [r for r in plan.rects if r.kind == "chip"]
+        bars = [r for r in plan.rects if r.kind == "crossbar"]
+        assert len(chips) == 8
+        assert len(bars) == 1
+        assert all(r.w == r.h == 8 for r in chips)
+
+    def test_no_overlaps_various_shapes(self):
+        for r, s in [(8, 4), (16, 4), (64, 8)]:
+            columnsort_floorplan(ColumnsortSwitch(r, s, r * s // 2)).validate()
+
+    def test_validate_catches_overlap(self):
+        bad = Floorplan(
+            rects=(
+                Rect("a", "chip", 0, 0, 4, 4),
+                Rect("b", "chip", 2, 2, 4, 4),
+            )
+        )
+        with pytest.raises(ConfigurationError):
+            bad.validate()
+
+    def test_empty_plan(self):
+        plan = Floorplan(rects=())
+        assert plan.bounding_area == 0
+        plan.validate()

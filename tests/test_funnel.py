@@ -1,0 +1,138 @@
+"""Tests for the multi-level concentration funnel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.messages.message import Message
+from repro.network.funnel import FunnelNetwork
+from repro.switches.columnsort_switch import ColumnsortSwitch
+from repro.switches.perfect import PerfectConcentrator
+from repro.switches.revsort_switch import RevsortSwitch
+
+
+def messages_at(n: int, positions: list[int]) -> list[Message | None]:
+    out: list[Message | None] = [None] * n
+    for pos in positions:
+        out[pos] = Message.from_int(pos % 256, 8)
+    return out
+
+
+class TestConstruction:
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FunnelNetwork(
+                [[PerfectConcentrator(8, 4)], [PerfectConcentrator(8, 4)]]
+            )
+
+    def test_empty_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FunnelNetwork([[]])
+
+    def test_regular_builder(self):
+        funnel = FunnelNetwork.regular(
+            leaf_factory=lambda: PerfectConcentrator(16, 8),
+            merge_factory=lambda n: PerfectConcentrator(n, n // 2),
+            leaf_count=4,
+            fan_in=2,
+            depth=3,
+        )
+        assert funnel.n == 64
+        assert len(funnel.levels) == 3
+        assert [len(level) for level in funnel.levels] == [4, 2, 1]
+        assert funnel.m == funnel.levels[-1][0].m
+
+    def test_regular_divisibility_check(self):
+        with pytest.raises(ConfigurationError):
+            FunnelNetwork.regular(
+                leaf_factory=lambda: PerfectConcentrator(4, 2),
+                merge_factory=lambda n: PerfectConcentrator(n, n // 2),
+                leaf_count=3,
+                fan_in=2,
+                depth=2,
+            )
+
+
+class TestRouting:
+    def _funnel(self) -> FunnelNetwork:
+        return FunnelNetwork.regular(
+            leaf_factory=lambda: PerfectConcentrator(16, 8),
+            merge_factory=lambda n: PerfectConcentrator(n, n // 2),
+            leaf_count=4,
+            fan_in=2,
+            depth=3,
+        )
+
+    def test_light_load_lossless(self):
+        funnel = self._funnel()
+        messages = messages_at(64, [0, 5, 17, 33, 49])
+        outputs, stats = funnel.route(messages)
+        assert sum(1 for m in outputs if m is not None) == 5
+        assert all(s.lost == 0 for s in stats)
+
+    def test_per_level_stats(self):
+        funnel = self._funnel()
+        messages = messages_at(64, list(range(20)))  # 16 on leaf 0, 4 on leaf 1
+        outputs, stats = funnel.route(messages)
+        assert [s.level for s in stats] == [0, 1, 2]
+        assert stats[0].offered == 20
+        # Leaf 0 caps its 16 at m=8; leaf 1 passes its 4.
+        assert stats[0].delivered == 12
+
+    def test_overload_saturates_at_root(self):
+        funnel = self._funnel()
+        messages = messages_at(64, list(range(64)))
+        outputs, stats = funnel.route(messages)
+        assert sum(1 for m in outputs if m is not None) == funnel.m
+
+    def test_message_identity_preserved(self):
+        funnel = self._funnel()
+        messages = messages_at(64, [3, 20, 40, 60])
+        outputs, _ = funnel.route(messages)
+        got = sorted(m.to_int() for m in outputs if m is not None)
+        assert got == [3, 20, 40, 60]
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._funnel().route([None] * 10)
+
+
+class TestMixedSwitchFunnel:
+    def test_multichip_switches_in_levels(self):
+        """Paper switches as both leaves and merge stages."""
+        funnel = FunnelNetwork.regular(
+            leaf_factory=lambda: RevsortSwitch(64, 32),
+            merge_factory=lambda n: ColumnsortSwitch(n // 4, 4, n // 2),
+            leaf_count=2,
+            fan_in=2,
+            depth=2,
+        )
+        assert funnel.n == 128
+        messages = messages_at(128, list(range(0, 128, 8)))  # 16 messages
+        outputs, stats = funnel.route(messages)
+        assert sum(1 for m in outputs if m is not None) == 16
+        assert all(s.lost == 0 for s in stats)
+
+    def test_gate_delays_sum_over_levels(self):
+        funnel = FunnelNetwork.regular(
+            leaf_factory=lambda: RevsortSwitch(64, 32),
+            merge_factory=lambda n: ColumnsortSwitch(n // 4, 4, n // 2),
+            leaf_count=2,
+            fan_in=2,
+            depth=2,
+        )
+        leaf = RevsortSwitch(64, 32).gate_delays
+        merge = ColumnsortSwitch(16, 4, 32).gate_delays
+        assert funnel.gate_delays == leaf + merge
+
+    def test_capacity_is_tightest_level(self):
+        funnel = FunnelNetwork.regular(
+            leaf_factory=lambda: PerfectConcentrator(16, 8),
+            merge_factory=lambda n: PerfectConcentrator(n, n // 2),
+            leaf_count=4,
+            fan_in=2,
+            depth=3,
+        )
+        # Level capacities: 4*8, 2*8, 1*8 -> min is the root's 8.
+        assert funnel.capacity() == 8

@@ -1,0 +1,115 @@
+"""Tests for the gate-level hyperconcentrator netlist: exhaustive
+equivalence with the functional model, datapath correctness, and the
+measured depth/area figures."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.concentration import validate_hyperconcentration
+from repro.errors import ConfigurationError
+from repro.gates.evaluate import evaluate
+from repro.gates.hyperconc_gates import GateHyperconcentrator, build_hyperconcentrator
+from repro.switches.hyperconcentrator import Hyperconcentrator
+from tests.conftest import random_bits
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8])
+    def test_exhaustive_vs_functional(self, n):
+        gate = GateHyperconcentrator(n)
+        model = Hyperconcentrator(n)
+        for bits in itertools.product([False, True], repeat=n):
+            valid = np.array(bits, dtype=bool)
+            rg = gate.setup(valid)
+            rm = model.setup(valid)
+            assert np.array_equal(rg.input_to_output, rm.input_to_output)
+
+    @pytest.mark.parametrize("n", [12, 16, 24])
+    def test_random_vs_functional(self, rng, n):
+        gate = GateHyperconcentrator(n)
+        model = Hyperconcentrator(n)
+        for _ in range(40):
+            valid = random_bits(rng, n)
+            assert np.array_equal(
+                gate.setup(valid).input_to_output,
+                model.setup(valid).input_to_output,
+            )
+
+    def test_contract(self, rng):
+        n = 16
+        gate = GateHyperconcentrator(n)
+        for _ in range(30):
+            valid = random_bits(rng, n)
+            routing = gate.setup(valid)
+            validate_hyperconcentration(n, valid, routing.input_to_output)
+
+
+class TestOutputValidBits:
+    @pytest.mark.parametrize("n", [4, 8])
+    def test_yv_wires_sorted(self, rng, n):
+        """The output valid bits yv0..yv{n-1} must equal the sorted
+        valid bits: k leading 1s."""
+        circuit = build_hyperconcentrator(n, with_datapath=False)
+        yv = [circuit.wire(f"yv{j}") for j in range(n)]
+        for bits in itertools.product([False, True], repeat=n):
+            vals = evaluate(circuit, np.array(bits, dtype=bool))
+            k = sum(bits)
+            assert [bool(vals[w]) for w in yv] == [True] * k + [False] * (n - k)
+
+
+class TestDatapath:
+    def test_payload_bits_follow_controls(self, rng):
+        n = 8
+        gate = GateHyperconcentrator(n, with_datapath=True)
+        for _ in range(30):
+            valid = random_bits(rng, n)
+            data = random_bits(rng, n)
+            vals = evaluate(gate.circuit, np.concatenate([valid, data]))
+            routing = gate.setup(valid)
+            for i in np.flatnonzero(valid):
+                j = routing.input_to_output[i]
+                assert bool(vals[gate.circuit.wire(f"y{j}")]) == bool(data[i])
+
+    def test_idle_outputs_low(self):
+        n = 4
+        gate = GateHyperconcentrator(n, with_datapath=True)
+        valid = np.array([True, False, False, False])
+        data = np.array([True, True, True, True])
+        vals = evaluate(gate.circuit, np.concatenate([valid, data]))
+        # Only output 0 carries a message; others must be low even
+        # though idle inputs have high data bits.
+        assert bool(vals[gate.circuit.wire("y0")])
+        for j in range(1, n):
+            assert not bool(vals[gate.circuit.wire(f"y{j}")])
+
+    def test_datapath_required(self):
+        with pytest.raises(ConfigurationError):
+            GateHyperconcentrator(4).datapath_delay()
+
+
+class TestMeasuredFigures:
+    def test_datapath_delay_is_logarithmic(self):
+        """Measured datapath delay = 1 + ⌈lg n⌉ — the same Θ(lg n)
+        scaling as the paper's 2 lg n chip figure."""
+        for n in (4, 8, 16, 32):
+            gate = GateHyperconcentrator(n, with_datapath=True)
+            assert gate.datapath_delay() == 1 + math.ceil(math.log2(n))
+
+    def test_component_count_quadratic(self):
+        """Θ(n²) components: doubling n must roughly quadruple gates."""
+        counts = {n: GateHyperconcentrator(n).component_count for n in (8, 16, 32)}
+        assert 3.0 < counts[16] / counts[8] < 6.0
+        assert 3.0 < counts[32] / counts[16] < 6.0
+
+    def test_setup_delay_logarithmic(self):
+        """Measured setup depth is ~4 lg n at these widths (the ripple
+        carries are short enough not to dominate) — the same Θ(lg n)
+        family as the paper's setup claim."""
+        for n in (8, 16, 32, 64):
+            gate = GateHyperconcentrator(n)
+            assert gate.setup_delay() <= 4 * math.ceil(math.log2(n)) + 6

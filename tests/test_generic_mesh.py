@@ -1,0 +1,106 @@
+"""Tests for the generic-key mesh sorts (0–1 principle cross-check)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.mesh.generic import (
+    columnsort,
+    columnsort_flat,
+    is_sorted_column_major,
+    is_sorted_row_major,
+    revsort,
+    shearsort,
+)
+
+
+def int_matrix(r, c, lo=-100, hi=100):
+    return st.lists(
+        st.lists(st.integers(min_value=lo, max_value=hi), min_size=c, max_size=c),
+        min_size=r,
+        max_size=r,
+    ).map(lambda rows: np.array(rows))
+
+
+class TestGenericRevsort:
+    @given(int_matrix(8, 8))
+    @settings(max_examples=30)
+    def test_sorts(self, m):
+        out = revsort(m)
+        assert is_sorted_row_major(out)
+
+    @given(int_matrix(4, 4))
+    @settings(max_examples=30)
+    def test_multiset_preserved(self, m):
+        out = revsort(m)
+        assert sorted(out.reshape(-1)) == sorted(m.reshape(-1).astype(float))
+
+    def test_duplicates(self):
+        m = np.full((8, 8), 7)
+        assert np.array_equal(revsort(m), m.astype(float))
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ConfigurationError):
+            revsort(np.array([["a", "b"], ["c", "d"]]))
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ConfigurationError):
+            revsort(np.zeros((6, 6)))
+
+
+class TestGenericColumnsort:
+    @pytest.mark.parametrize("r,s", [(8, 2), (18, 3), (32, 4)])
+    def test_sorts_random(self, rng, r, s):
+        for _ in range(20):
+            m = rng.integers(-50, 50, size=(r, s))
+            flat = columnsort_flat(m)
+            assert (flat[:-1] >= flat[1:]).all()
+
+    @given(int_matrix(8, 2))
+    @settings(max_examples=30)
+    def test_multiset_preserved(self, m):
+        flat = columnsort_flat(m)
+        assert sorted(flat) == sorted(m.reshape(-1).astype(float))
+
+    def test_column_major_readout(self, rng):
+        out = columnsort(rng.normal(size=(18, 3)))
+        assert is_sorted_column_major(out)
+
+    def test_rejects_shape_violations(self):
+        with pytest.raises(ConfigurationError):
+            columnsort(np.zeros((8, 4)))  # r < 2(s-1)^2
+
+    def test_floats(self, rng):
+        flat = columnsort_flat(rng.normal(size=(32, 4)))
+        assert (flat[:-1] >= flat[1:]).all()
+
+
+class TestGenericShearsort:
+    @pytest.mark.parametrize("shape", [(4, 4), (8, 8), (5, 7), (16, 2)])
+    def test_sorts(self, rng, shape):
+        for _ in range(20):
+            out = shearsort(rng.integers(0, 1000, size=shape))
+            assert is_sorted_row_major(out)
+
+    @given(int_matrix(6, 5))
+    @settings(max_examples=30)
+    def test_multiset_preserved(self, m):
+        out = shearsort(m)
+        assert sorted(out.reshape(-1)) == sorted(m.reshape(-1).astype(float))
+
+
+class TestReadoutPredicates:
+    def test_row_major(self):
+        assert is_sorted_row_major(np.array([[3, 2], [1, 0]]))
+        assert not is_sorted_row_major(np.array([[1, 2], [3, 0]]))
+
+    def test_column_major(self):
+        assert is_sorted_column_major(np.array([[3, 1], [2, 0]]))
+        assert not is_sorted_column_major(np.array([[1, 3], [0, 2]]))
+
+    def test_trivial(self):
+        assert is_sorted_row_major(np.zeros((1, 1)))

@@ -1,0 +1,96 @@
+"""Tests for the 0/1 mesh sorting primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.mesh.grid import (
+    column_counts,
+    is_sorted_columns,
+    is_sorted_rows,
+    row_counts,
+    sort_columns,
+    sort_rows,
+    sort_rows_snake,
+)
+
+matrices = st.integers(min_value=1, max_value=8).flatmap(
+    lambda r: st.integers(min_value=1, max_value=8).flatmap(
+        lambda c: st.lists(
+            st.lists(st.integers(min_value=0, max_value=1), min_size=c, max_size=c),
+            min_size=r,
+            max_size=r,
+        )
+    )
+)
+
+
+class TestSortColumns:
+    def test_ones_rise_to_top(self):
+        m = np.array([[0, 1], [1, 0], [0, 1]])
+        out = sort_columns(m)
+        assert np.array_equal(out, np.array([[1, 1], [0, 1], [0, 0]]))
+
+    @given(matrices)
+    def test_nonincreasing_and_counts_preserved(self, rows):
+        m = np.array(rows)
+        out = sort_columns(m)
+        assert is_sorted_columns(out)
+        assert np.array_equal(column_counts(out), column_counts(m))
+
+    def test_idempotent(self, rng):
+        m = (rng.random((6, 5)) < 0.5).astype(np.int8)
+        once = sort_columns(m)
+        assert np.array_equal(sort_columns(once), once)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ConfigurationError):
+            sort_columns(np.array([1, 0, 1]))
+
+
+class TestSortRows:
+    def test_ones_move_left(self):
+        m = np.array([[0, 1, 1], [1, 0, 0]])
+        out = sort_rows(m)
+        assert np.array_equal(out, np.array([[1, 1, 0], [1, 0, 0]]))
+
+    @given(matrices)
+    def test_nonincreasing_and_counts_preserved(self, rows):
+        m = np.array(rows)
+        out = sort_rows(m)
+        assert is_sorted_rows(out)
+        assert np.array_equal(row_counts(out), row_counts(m))
+
+
+class TestSortRowsSnake:
+    def test_alternating_directions(self):
+        m = np.array([[0, 1, 0, 1], [0, 1, 0, 1], [1, 1, 0, 0]])
+        out = sort_rows_snake(m)
+        assert np.array_equal(out[0], [1, 1, 0, 0])  # even: nonincreasing
+        assert np.array_equal(out[1], [0, 0, 1, 1])  # odd: nondecreasing
+        assert np.array_equal(out[2], [1, 1, 0, 0])
+
+    @given(matrices)
+    def test_counts_preserved(self, rows):
+        m = np.array(rows)
+        assert np.array_equal(row_counts(sort_rows_snake(m)), row_counts(m))
+
+    def test_input_not_mutated(self):
+        m = np.array([[0, 1], [1, 0]])
+        copy = m.copy()
+        sort_rows_snake(m)
+        assert np.array_equal(m, copy)
+
+
+class TestPredicates:
+    def test_single_row_and_column(self):
+        assert is_sorted_columns(np.array([[1, 0, 1]]))
+        assert is_sorted_rows(np.array([[1], [0], [1]]))
+
+    def test_detects_unsorted(self):
+        assert not is_sorted_columns(np.array([[0], [1]]))
+        assert not is_sorted_rows(np.array([[0, 1]]))

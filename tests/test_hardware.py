@@ -1,0 +1,190 @@
+"""Tests for the hardware cost model: chips, boards, stacks, the 2-D
+layouts, the 3-D packagings of Figures 4/7/8, and the Table 1
+calculator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.board import Board, Stack
+from repro.hardware.chip import BarrelShifterChip, HyperconcentratorChip
+from repro.hardware.costs import (
+    TABLE1_BETAS,
+    columnsort_measures,
+    revsort_measures,
+    table1,
+)
+from repro.hardware.package import (
+    InterstackConnector,
+    columnsort_layout_2d,
+    columnsort_packaging_3d,
+    revsort_layout_2d,
+    revsort_packaging_3d,
+)
+from repro.switches.columnsort_switch import ColumnsortSwitch
+from repro.switches.revsort_switch import RevsortSwitch
+
+
+class TestChips:
+    def test_hyper_chip(self):
+        chip = HyperconcentratorChip(16)
+        assert chip.data_pins == 32
+        assert chip.area == 256
+        assert chip.gate_delays == 2 * 4 + 2
+
+    def test_barrel_chip_pins(self):
+        # 2√n + ⌈(lg n)/2⌉ data pins (paper's dominant pin count).
+        chip = BarrelShifterChip(16)
+        assert chip.data_pins == 32 + 4
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            HyperconcentratorChip(0)
+
+
+class TestBoardsAndStacks:
+    def test_board_area(self):
+        board = Board("t", (100, 20), wiring_area=5)
+        assert board.area == 125
+        assert board.chip_count == 2
+
+    def test_stack_volume(self):
+        stack = Stack("s", [Board("t", (10,))] * 4)
+        assert stack.volume == 40
+        assert stack.board_count == 4
+        assert stack.chip_count == 4
+        assert stack.board_types() == {"t"}
+
+    def test_rejects_negative_area(self):
+        with pytest.raises(ConfigurationError):
+            Board("t", (-1,))
+
+
+class TestRevsortPackaging:
+    def test_2d_layout(self):
+        switch = RevsortSwitch(64, 28)
+        layout = revsort_layout_2d(switch)
+        assert layout.chip_count == 24
+        assert layout.crossbar_count == 2
+        # Crossbar wiring Θ(n²) dominates chip area Θ(n^{3/2}).
+        assert layout.crossbar_area == 2 * 64 * 64
+        assert layout.crossbar_area > layout.chip_area
+
+    def test_3d_packaging_structure(self):
+        switch = RevsortSwitch(64, 28)
+        pkg = revsort_packaging_3d(switch)
+        assert len(pkg.stacks) == 3
+        assert pkg.board_count == 3 * 8
+        # 3√n hyperconcentrators + √n barrel shifters.
+        assert pkg.chip_count == 4 * 8
+        # Exactly two board types, as the paper emphasises.
+        assert pkg.board_types() == {"hyper-only", "hyper+barrel"}
+
+    def test_3d_volume_theta_n_1_5(self):
+        """Volume = Θ(n^{3/2}): quadrupling n scales volume by ~8."""
+        v1 = revsort_packaging_3d(RevsortSwitch(256, 128)).volume
+        v2 = revsort_packaging_3d(RevsortSwitch(1024, 512)).volume
+        ratio = v2 / v1
+        assert 6.0 < ratio < 10.0
+
+
+class TestColumnsortPackaging:
+    def test_2d_layout(self):
+        switch = ColumnsortSwitch(8, 4, 18)
+        layout = columnsort_layout_2d(switch)
+        assert layout.chip_count == 8
+        assert layout.crossbar_count == 1
+        assert layout.crossbar_area == 32 * 32
+
+    def test_3d_packaging_structure(self):
+        switch = ColumnsortSwitch(8, 4, 18)
+        pkg = columnsort_packaging_3d(switch)
+        assert len(pkg.stacks) == 2
+        assert pkg.board_count == 8
+        assert pkg.chip_count == 8
+        assert pkg.connector_count == 16  # s²
+        # Each connector transposes r/s = 2 wires (Figure 8).
+        assert pkg.connector.wires == 2
+
+    def test_3d_volume_theta_n_1_plus_beta(self):
+        """At β = 3/4 the volume scales as n^{7/4}."""
+        def volume(n):
+            switch = ColumnsortSwitch.from_beta(n, 0.75, n // 2)
+            return columnsort_packaging_3d(switch).volume
+
+        ratio = volume(1 << 16) / volume(1 << 12)
+        expected = 2 ** (4 * 1.75)
+        assert expected / 2 < ratio < expected * 2
+
+    def test_connector_volume_quadratic(self):
+        """Figure 8: w wires transpose in Θ(w²) volume."""
+        assert InterstackConnector(4).volume == 16
+        assert InterstackConnector(8).volume == 64
+
+    def test_connector_rejects_zero_wires(self):
+        with pytest.raises(ConfigurationError):
+            InterstackConnector(0)
+
+    def test_interstack_volume_does_not_dominate(self):
+        """Section 5: total interstack volume O(n^{2β}) ≤ O(n^{1+β})
+        since β ≤ 1."""
+        switch = ColumnsortSwitch.from_beta(1 << 14, 0.625, 1 << 13)
+        pkg = columnsort_packaging_3d(switch)
+        stack_volume = sum(s.volume for s in pkg.stacks)
+        assert pkg.connector_volume < stack_volume
+
+
+class TestTable1:
+    def test_all_columns_present(self):
+        rows = table1(1 << 12, 3 << 10)
+        labels = [r.label for r in rows]
+        assert labels[0] == "Revsort"
+        assert len(rows) == 1 + len(TABLE1_BETAS)
+
+    def test_revsort_column_values(self):
+        n = 1 << 12  # 4096, √n = 64
+        meas = revsort_measures(n, n // 2)
+        assert meas.pins_per_chip == 2 * 64 + 6  # barrel dominates
+        assert meas.chip_count == 3 * 64
+        assert meas.epsilon == (2 * math.ceil(n ** 0.25) - 1) * 64
+
+    def test_columnsort_beta_half_equals_revsort_shape(self):
+        """At β = 1/2 the Columnsort switch matches Revsort's pins and
+        chip count asymptotically (Table 1, column 2)."""
+        n = 1 << 12
+        rev = revsort_measures(n, n // 2)
+        col = columnsort_measures(n, n // 2, 0.5)
+        assert col.pins_per_chip <= rev.pins_per_chip
+        assert abs(col.chip_count - rev.chip_count) <= rev.chip_count
+
+    def test_tradeoff_direction_across_betas(self):
+        """Table 1's monotone tradeoffs across β = 1/2, 5/8, 3/4."""
+        n, m = 1 << 12, 3 << 10
+        cols = [columnsort_measures(n, m, b) for b in TABLE1_BETAS]
+        pins = [c.pins_per_chip for c in cols]
+        chips = [c.chip_count for c in cols]
+        eps = [c.epsilon for c in cols]
+        delays = [c.gate_delays for c in cols]
+        volumes = [c.volume for c in cols]
+        assert pins == sorted(pins)
+        assert chips == sorted(chips, reverse=True)
+        assert eps == sorted(eps, reverse=True)
+        assert delays == sorted(delays)
+        assert volumes == sorted(volumes)
+
+    def test_revsort_delay_between_beta_half_and_beta_34(self):
+        """Table 1: Revsort's 3 lg n sits between Columnsort's 2 lg n
+        (β=1/2) and equals the 3 lg n of β=3/4."""
+        n, m = 1 << 12, 3 << 10
+        rev = revsort_measures(n, m)
+        col_half = columnsort_measures(n, m, 0.5)
+        col_34 = columnsort_measures(n, m, 0.75)
+        assert col_half.gate_delays < rev.gate_delays
+        assert abs(rev.gate_delays - col_34.gate_delays) <= 8
+
+    def test_as_row_keys(self):
+        row = revsort_measures(256, 128).as_row()
+        assert set(row) >= {"switch", "pins/chip", "chips", "load ratio", "volume"}

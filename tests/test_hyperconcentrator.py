@@ -1,0 +1,112 @@
+"""Tests for the functional single-chip hyperconcentrator."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.concentration import validate_hyperconcentration
+from repro.errors import ConfigurationError
+from repro.switches.hyperconcentrator import (
+    Hyperconcentrator,
+    concentrate_permutation,
+    hyperconcentrate_routing,
+)
+
+valid_vectors = st.lists(st.booleans(), min_size=1, max_size=64).map(
+    lambda xs: np.array(xs, dtype=bool)
+)
+
+
+class TestConcentratePermutation:
+    @given(valid_vectors)
+    def test_is_permutation(self, valid):
+        perm = concentrate_permutation(valid)
+        assert sorted(perm) == list(range(valid.size))
+
+    @given(valid_vectors)
+    def test_valids_lead(self, valid):
+        perm = concentrate_permutation(valid)
+        k = int(valid.sum())
+        assert set(perm[valid]) == set(range(k))
+
+    @given(valid_vectors)
+    def test_order_preserving(self, valid):
+        perm = concentrate_permutation(valid)
+        v_targets = perm[valid]
+        assert list(v_targets) == sorted(v_targets)
+        i_targets = perm[~valid]
+        assert list(i_targets) == sorted(i_targets)
+
+
+class TestRouting:
+    @given(valid_vectors)
+    def test_contract(self, valid):
+        routing = hyperconcentrate_routing(valid)
+        validate_hyperconcentration(valid.size, valid, routing)
+
+    @given(valid_vectors)
+    def test_invalid_gets_no_path(self, valid):
+        routing = hyperconcentrate_routing(valid)
+        assert (routing[~valid] == -1).all()
+
+
+class TestHyperconcentratorSwitch:
+    def test_exhaustive_small(self):
+        for n in range(1, 7):
+            switch = Hyperconcentrator(n)
+            for bits in itertools.product([False, True], repeat=n):
+                valid = np.array(bits, dtype=bool)
+                routing = switch.setup(valid)
+                validate_hyperconcentration(n, valid, routing.input_to_output)
+
+    def test_spec(self):
+        switch = Hyperconcentrator(8)
+        assert switch.spec.n == switch.spec.m == 8
+        assert switch.spec.alpha == 1.0
+
+    def test_routing_object(self):
+        switch = Hyperconcentrator(4)
+        valid = np.array([True, False, True, False])
+        routing = switch.setup(valid)
+        assert routing.routed_count == 2
+        assert list(routing.dropped_inputs) == []
+        out_valid = routing.output_valid_bits()
+        assert list(out_valid) == [True, True, False, False]
+        inv = routing.output_to_input()
+        assert inv[0] == 0 and inv[1] == 2 and inv[2] == -1
+
+    def test_route_messages(self):
+        switch = Hyperconcentrator(4)
+        outputs = switch.route(["a", None, "b", None])
+        assert outputs == ["a", "b", None, None]
+
+    def test_route_wrong_length(self):
+        from repro.errors import RoutingError
+
+        with pytest.raises(RoutingError):
+            Hyperconcentrator(4).route(["a"])
+
+    def test_wrong_valid_shape(self):
+        with pytest.raises(ConfigurationError):
+            Hyperconcentrator(4).setup(np.zeros(5, dtype=bool))
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ConfigurationError):
+            Hyperconcentrator(0)
+
+    def test_resource_model(self):
+        switch = Hyperconcentrator(16)
+        assert switch.data_pins == 32
+        assert switch.component_count == 256
+        assert switch.area == 256
+        # 2⌈lg n⌉ + pads
+        assert switch.gate_delays == 2 * 4 + 2
+
+    def test_delay_monotone_in_n(self):
+        delays = [Hyperconcentrator(1 << q).gate_delays for q in range(1, 8)]
+        assert delays == sorted(delays)

@@ -1,0 +1,74 @@
+"""Tests for the dirty-row analysis helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mesh.analysis import (
+    count_dirty_rows,
+    dirty_row_span,
+    dirty_rows_mask,
+    is_block_sorted,
+    is_column_major_sorted,
+    is_row_major_sorted,
+)
+
+
+class TestDirtyRows:
+    def test_clean_matrix(self):
+        m = np.array([[1, 1], [0, 0]])
+        assert count_dirty_rows(m) == 0
+        assert dirty_row_span(m) == 0
+
+    def test_mixed_rows(self):
+        m = np.array([[1, 1], [1, 0], [0, 0]])
+        assert count_dirty_rows(m) == 1
+        assert dirty_row_span(m) == 1
+        assert list(dirty_rows_mask(m)) == [False, True, False]
+
+    def test_span_exceeds_count_with_gap(self):
+        # Dirty rows 0 and 2 with a clean row between: span 3, count 2.
+        m = np.array([[1, 0], [1, 1], [0, 1]])
+        assert count_dirty_rows(m) == 2
+        assert dirty_row_span(m) == 3
+
+    def test_empty_columns(self):
+        m = np.zeros((3, 0), dtype=np.int8)
+        assert count_dirty_rows(m) == 0
+
+
+class TestIsBlockSorted:
+    def test_accepts_canonical(self):
+        m = np.array([[1, 1], [1, 0], [0, 0]])
+        assert is_block_sorted(m)
+
+    def test_accepts_all_clean(self):
+        assert is_block_sorted(np.array([[1, 1], [0, 0]]))
+        assert is_block_sorted(np.ones((3, 3), dtype=np.int8))
+        assert is_block_sorted(np.zeros((3, 3), dtype=np.int8))
+
+    def test_rejects_zeros_above_ones(self):
+        assert not is_block_sorted(np.array([[0, 0], [1, 1]]))
+
+    def test_rejects_dirty_before_clean_ones(self):
+        assert not is_block_sorted(np.array([[1, 0], [1, 1]]))
+
+    def test_accepts_multiple_dirty_rows(self):
+        m = np.array([[1, 1], [1, 0], [0, 1], [0, 0]])
+        assert is_block_sorted(m)
+
+
+class TestSortedReadouts:
+    def test_row_major(self):
+        assert is_row_major_sorted(np.array([[1, 1], [1, 0]]))
+        assert not is_row_major_sorted(np.array([[1, 0], [1, 0]]))
+
+    def test_column_major(self):
+        assert is_column_major_sorted(np.array([[1, 1], [1, 0]]).T)
+        assert not is_column_major_sorted(np.array([[0, 1], [1, 0]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ConfigurationError):
+            count_dirty_rows(np.array([1, 0]))

@@ -1,0 +1,99 @@
+"""Tests for the step-counted mesh machine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mesh.analysis import is_block_sorted
+from repro.mesh.machine import MeshMachine, mesh_vs_switch_comparison
+from repro.mesh.revsort import revsort_nearsort
+
+
+def random_01(rng, side):
+    return (rng.random((side, side)) < rng.random()).astype(np.int8)
+
+
+class TestPrimitives:
+    def test_sort_rows_steps_and_result(self, rng):
+        machine = MeshMachine(8)
+        m = random_01(rng, 8)
+        run = machine.sort_rows(m)
+        assert run.steps == 8
+        assert (run.matrix[:, :-1] >= run.matrix[:, 1:]).all()
+
+    def test_sort_columns(self, rng):
+        machine = MeshMachine(8)
+        run = machine.sort_columns(random_01(rng, 8))
+        assert run.steps == 8
+        assert (run.matrix[:-1] >= run.matrix[1:]).all()
+
+    def test_snake_rows(self, rng):
+        machine = MeshMachine(4)
+        run = machine.sort_rows_snake(random_01(rng, 4))
+        out = run.matrix
+        assert (out[0, :-1] >= out[0, 1:]).all()   # even row: nonincreasing
+        assert (out[1, :-1] <= out[1, 1:]).all()   # odd row: nondecreasing
+
+    def test_rev_rotate_matches_direct(self, rng):
+        from repro.mesh.revsort import rev_rotate_rows
+
+        machine = MeshMachine(16)
+        m = random_01(rng, 16)
+        run = machine.rev_rotate(m)
+        assert np.array_equal(run.matrix, rev_rotate_rows(m))
+        # Ring distance bound: at most side/2.
+        assert run.steps == 8
+
+
+class TestAlgorithm1OnMesh:
+    def test_matches_numpy_pipeline(self, rng):
+        """The neighbour-only execution reaches exactly the same matrix
+        as the direct Algorithm 1."""
+        machine = MeshMachine(8)
+        for _ in range(30):
+            m = random_01(rng, 8)
+            run = machine.algorithm1(m)
+            assert np.array_equal(run.matrix, revsort_nearsort(m))
+            assert is_block_sorted(run.matrix)
+
+    def test_step_count_theta_sqrt_n(self):
+        """Steps = 3·side + side/2 (three sorts + rotation): Θ(√n)."""
+        for side in (4, 8, 16, 32):
+            machine = MeshMachine(side)
+            probe = np.zeros((side, side), dtype=np.int8)
+            probe[0, 0] = 1
+            assert machine.algorithm1(probe).steps == 3 * side + side // 2
+
+    def test_shape_checked(self):
+        with pytest.raises(ConfigurationError):
+            MeshMachine(8).algorithm1(np.zeros((4, 4), dtype=np.int8))
+
+
+class TestShearsortIteration:
+    def test_step_cost(self, rng):
+        machine = MeshMachine(8)
+        run = machine.shearsort_iteration(random_01(rng, 8))
+        assert run.steps == 16
+
+    def test_matches_direct(self, rng):
+        from repro.mesh.shearsort import shearsort_iteration
+
+        machine = MeshMachine(8)
+        m = random_01(rng, 8)
+        assert np.array_equal(
+            machine.shearsort_iteration(m).matrix, shearsort_iteration(m)
+        )
+
+
+class TestComparison:
+    def test_switch_wins_and_gap_grows(self):
+        small = mesh_vs_switch_comparison(8)
+        large = mesh_vs_switch_comparison(64)
+        assert small["speedup"] > 1
+        assert large["speedup"] > small["speedup"]
+
+    def test_formula_check_field(self):
+        row = mesh_vs_switch_comparison(16)
+        assert row["mesh steps (compare-exchange)"] == row["_formula_check"]

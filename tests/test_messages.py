@@ -1,0 +1,109 @@
+"""Tests for the bit-serial message format and clocked simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.messages.message import Message, invalid_wire_stream
+from repro.messages.serial_sim import BitSerialSimulator
+from repro.switches.hyperconcentrator import Hyperconcentrator
+from repro.switches.perfect import PerfectConcentrator
+from repro.switches.revsort_switch import RevsortSwitch
+
+
+class TestMessage:
+    def test_roundtrip_int(self):
+        msg = Message.from_int(173, 8)
+        assert msg.to_int() == 173
+        assert msg.length == 8
+
+    def test_wire_stream_has_valid_bit_first(self):
+        msg = Message(payload=(0, 1, 1))
+        assert list(msg.wire_stream()) == [1, 0, 1, 1]
+
+    def test_invalid_wire_stream(self):
+        assert list(invalid_wire_stream(3)) == [0, 0, 0, 0]
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ConfigurationError):
+            Message(payload=(0, 2))
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ConfigurationError):
+            Message.from_int(256, 8)
+
+    def test_tags_unique(self):
+        a, b = Message(payload=(1,)), Message(payload=(1,))
+        assert a.tag != b.tag
+
+
+class TestBitSerialSimulator:
+    def test_transit_delivers_payloads(self, rng):
+        switch = Hyperconcentrator(8)
+        sim = BitSerialSimulator(switch)
+        messages = [None] * 8
+        messages[1] = Message.from_int(0x5A, 8)
+        messages[4] = Message.from_int(0xC3, 8)
+        record = sim.transit(messages)
+        assert record.cycles == 9  # setup + 8 payload bits
+        assert record.delivered[0].to_int() == 0x5A
+        assert record.delivered[1].to_int() == 0xC3
+        assert record.dropped == []
+
+    def test_setup_cycle_carries_valid_bits(self):
+        switch = Hyperconcentrator(4)
+        sim = BitSerialSimulator(switch)
+        messages = [Message.from_int(0, 2), None, Message.from_int(3, 2), None]
+        record = sim.transit(messages)
+        # Cycle 0 on outputs: valid bits, concentrated to the left.
+        assert list(record.wire_trace[0]) == [1, 1, 0, 0]
+
+    def test_congestion_drops_reported(self, rng):
+        switch = PerfectConcentrator(4, 2)
+        sim = BitSerialSimulator(switch)
+        messages = [Message.from_int(i, 4) for i in range(4)]
+        record = sim.transit(messages)
+        assert len(record.delivered) == 2
+        assert len(record.dropped) == 2
+
+    def test_misaligned_payloads_rejected(self):
+        switch = Hyperconcentrator(2)
+        sim = BitSerialSimulator(switch)
+        with pytest.raises(SimulationError):
+            sim.transit([Message.from_int(0, 2), Message.from_int(0, 3)])
+
+    def test_wrong_width_rejected(self):
+        sim = BitSerialSimulator(Hyperconcentrator(4))
+        with pytest.raises(SimulationError):
+            sim.transit([None, None])
+
+    def test_empty_payloads(self):
+        """Zero-length payloads: only the setup cycle happens."""
+        sim = BitSerialSimulator(Hyperconcentrator(2))
+        record = sim.transit([Message(payload=()), None])
+        assert record.cycles == 1
+        assert record.delivered[0].length == 0
+
+    def test_min_clock_period(self):
+        sim = BitSerialSimulator(RevsortSwitch(64, 32))
+        assert sim.min_clock_period() == RevsortSwitch(64, 32).gate_delays
+        assert sim.min_clock_period(delay_per_gate=0.5) == pytest.approx(
+            RevsortSwitch(64, 32).gate_delays / 2
+        )
+
+    def test_through_multichip_switch(self, rng):
+        """End-to-end: payload integrity through the Revsort switch."""
+        switch = RevsortSwitch(64, 48)
+        sim = BitSerialSimulator(switch)
+        messages: list[Message | None] = [None] * 64
+        chosen = rng.choice(64, size=30, replace=False)
+        for i in chosen:
+            messages[int(i)] = Message.from_int(int(i) * 3 % 256, 8)
+        record = sim.transit(messages)
+        delivered_values = sorted(m.to_int() for m in record.delivered.values())
+        sent_values = sorted(int(i) * 3 % 256 for i in chosen)
+        dropped_values = sorted(m.to_int() for m in record.dropped)
+        assert sorted(delivered_values + dropped_values) == sent_values
+        assert len(record.delivered) >= switch.spec.guaranteed_capacity or not record.dropped

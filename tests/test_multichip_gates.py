@@ -1,0 +1,157 @@
+"""Tests for the gate-level elaboration of entire multichip switches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gates.depth import critical_path_length
+from repro.gates.multichip_gates import (
+    build_columnsort_switch_gates,
+    build_gate_level_switch,
+    build_revsort_switch_gates,
+    simulate_valid_bits,
+)
+from repro.mesh.columnsort import columnsort_nearsort
+from repro.mesh.revsort import revsort_nearsort
+from repro.switches.wiring import column_groups
+from tests.conftest import random_bits
+
+
+class TestRevsortGateLevel:
+    def test_matches_algorithm1(self, rng):
+        circuit, outs = build_revsort_switch_gates(16)
+        for _ in range(40):
+            valid = random_bits(rng, 16)
+            got = simulate_valid_bits(circuit, outs, valid).astype(np.int8)
+            expect = revsort_nearsort(
+                valid.astype(np.int8).reshape(4, 4)
+            ).reshape(-1)
+            assert np.array_equal(got, expect)
+
+    def test_matches_functional_switch(self, rng):
+        from repro.switches.revsort_switch import RevsortSwitch
+
+        circuit, outs = build_revsort_switch_gates(16)
+        switch = RevsortSwitch(16, 16)
+        for _ in range(30):
+            valid = random_bits(rng, 16)
+            got = simulate_valid_bits(circuit, outs, valid)
+            routing = switch.setup(valid)
+            assert np.array_equal(got, routing.output_valid_bits())
+
+    def test_depth_is_three_chip_stages(self):
+        """End-to-end setup depth ≈ 3 × single-chip setup depth."""
+        from repro.gates.hyperconc_gates import GateHyperconcentrator
+
+        circuit, outs = build_revsort_switch_gates(16)
+        total = critical_path_length(circuit, sinks=outs)
+        single = GateHyperconcentrator(4).setup_delay()
+        # Each stage adds the chip's setup depth plus the output OR plane.
+        assert 2 * single <= total <= 4 * (single + 4)
+
+
+class TestColumnsortGateLevel:
+    @pytest.mark.parametrize("r,s", [(4, 2), (8, 4)])
+    def test_matches_algorithm2(self, rng, r, s):
+        circuit, outs = build_columnsort_switch_gates(r, s)
+        n = r * s
+        for _ in range(40):
+            valid = random_bits(rng, n)
+            got = simulate_valid_bits(circuit, outs, valid).astype(np.int8)
+            expect = columnsort_nearsort(
+                valid.astype(np.int8).reshape(r, s)
+            ).reshape(-1)
+            assert np.array_equal(got, expect)
+
+    def test_gate_count_scales_with_chip_area(self):
+        small, _ = build_columnsort_switch_gates(4, 2)
+        large, _ = build_columnsort_switch_gates(8, 2)
+        # Chips are r-by-r: doubling r should grow gates superlinearly.
+        assert large.n_logic_gates > 2 * small.n_logic_gates
+
+
+class TestEndToEndDatapath:
+    """The complete silicon-level message path: payload bits streamed
+    through every chip crossbar and wiring layer of the multichip
+    switches."""
+
+    def test_revsort_datapath_delivers_payloads(self, rng):
+        from repro.gates.evaluate import evaluate
+        from repro.switches.revsort_switch import RevsortSwitch
+
+        n = 16
+        circuit, _ = build_revsort_switch_gates(n, with_datapath=True)
+        switch = RevsortSwitch(n, n)
+        douts = [circuit.wire(f"dout{p}") for p in range(n)]
+        for _ in range(15):
+            valid = random_bits(rng, n)
+            data = random_bits(rng, n)
+            values = evaluate(circuit, np.concatenate([valid, data]))
+            final = switch.final_positions(valid)
+            for i in np.flatnonzero(valid):
+                assert bool(values[douts[final[i]]]) == bool(data[i]), i
+
+    def test_columnsort_datapath_delivers_payloads(self, rng):
+        from repro.gates.evaluate import evaluate
+        from repro.switches.columnsort_switch import ColumnsortSwitch
+
+        r, s = 4, 2
+        n = r * s
+        circuit, _ = build_columnsort_switch_gates(r, s, with_datapath=True)
+        switch = ColumnsortSwitch(r, s, n)
+        douts = [circuit.wire(f"dout{p}") for p in range(n)]
+        for _ in range(25):
+            valid = random_bits(rng, n)
+            data = random_bits(rng, n)
+            values = evaluate(circuit, np.concatenate([valid, data]))
+            final = switch.final_positions(valid)
+            for i in np.flatnonzero(valid):
+                assert bool(values[douts[final[i]]]) == bool(data[i]), i
+
+    def test_idle_outputs_carry_zero(self, rng):
+        from repro.gates.evaluate import evaluate
+        from repro.switches.columnsort_switch import ColumnsortSwitch
+
+        r, s = 4, 2
+        n = r * s
+        circuit, outs = build_columnsort_switch_gates(r, s, with_datapath=True)
+        switch = ColumnsortSwitch(r, s, n)
+        valid = np.zeros(n, dtype=bool)
+        valid[0] = True
+        data = np.ones(n, dtype=bool)  # garbage high on idle wires
+        values = evaluate(circuit, np.concatenate([valid, data]))
+        final = switch.final_positions(valid)
+        busy = {int(final[0])}
+        for p in range(n):
+            dout = bool(values[circuit.wire(f"dout{p}")])
+            assert dout == (p in busy)
+
+    def test_datapath_depth_logarithmic_per_stage(self):
+        from repro.gates.depth import critical_path_length
+
+        n = 16
+        circuit, _ = build_revsort_switch_gates(n, with_datapath=True)
+        sources = [circuit.wire(f"d{i}") for i in range(n)]
+        sinks = [circuit.wire(f"dout{p}") for p in range(n)]
+        depth = critical_path_length(circuit, sources, sinks)
+        # Three chip crossbars of width 4: (1 + ⌈lg 4⌉) each = 9.
+        assert depth == 3 * 3
+
+
+class TestBuilderValidation:
+    def test_wiring_count_mismatch(self):
+        groups = [column_groups(2, 2)]
+        with pytest.raises(ConfigurationError):
+            build_gate_level_switch(groups, [], 4)
+
+    def test_identity_wiring_layers(self, rng):
+        """A single chip layer over one group is just a sorter."""
+        groups = [[np.arange(4)]]
+        circuit, outs = build_gate_level_switch(groups, [None], 4)
+        for _ in range(10):
+            valid = random_bits(rng, 4)
+            got = simulate_valid_bits(circuit, outs, valid)
+            k = int(valid.sum())
+            assert list(got) == [True] * k + [False] * (4 - k)

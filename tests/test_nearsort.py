@@ -1,0 +1,175 @@
+"""Tests for ε-nearsortedness and Lemma 1 (both directions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.nearsort import (
+    decompose_dirty_window,
+    is_nearsorted,
+    lemma1_epsilon_from_window,
+    lemma1_window_from_epsilon,
+    nearsortedness,
+    nearsortedness_strict,
+    random_epsilon_nearsorted,
+)
+from repro.errors import ConfigurationError
+
+bit_sequences = st.lists(st.integers(min_value=0, max_value=1), min_size=0, max_size=64).map(
+    lambda xs: np.array(xs, dtype=np.int8)
+)
+
+
+class TestNearsortedness:
+    def test_sorted_is_zero(self):
+        assert nearsortedness(np.array([1, 1, 1, 0, 0])) == 0
+        assert nearsortedness(np.array([], dtype=np.int8)) == 0
+        assert nearsortedness(np.ones(5, dtype=np.int8)) == 0
+        assert nearsortedness(np.zeros(5, dtype=np.int8)) == 0
+
+    def test_single_swap(self):
+        # k=1; the 1 at position 1 is 1 past its block.
+        assert nearsortedness(np.array([0, 1])) == 1
+
+    def test_reverse_sorted_is_worst(self):
+        n = 8
+        seq = np.array([0] * 4 + [1] * 4)
+        # k=4: last 1 at position 7, displacement 7-3=4; first 0 at 0,
+        # displacement 4-0=4.
+        assert nearsortedness(seq) == 4
+
+    def test_paperlike_example(self):
+        # 1,0,1 has k=2: last 1 at 2 -> 2-(2-1)=1; first 0 at 1 -> 2-1=1.
+        assert nearsortedness(np.array([1, 0, 1])) == 1
+
+    @given(bit_sequences)
+    def test_weak_leq_strict(self, seq):
+        assert nearsortedness(seq) <= nearsortedness_strict(seq)
+
+    @given(bit_sequences)
+    def test_zero_iff_sorted(self, seq):
+        sorted_flag = bool((seq[:-1] >= seq[1:]).all()) if seq.size > 1 else True
+        assert (nearsortedness(seq) == 0) == sorted_flag
+
+    @given(bit_sequences)
+    def test_bounded_by_n(self, seq):
+        assert 0 <= nearsortedness(seq) <= max(seq.size - 1, 0)
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ConfigurationError):
+            nearsortedness(np.array([0, 2]))
+        with pytest.raises(ConfigurationError):
+            nearsortedness(np.zeros((2, 2)))
+
+
+class TestIsNearsorted:
+    def test_threshold(self):
+        seq = np.array([0, 1, 1, 0])
+        eps = nearsortedness(seq)
+        assert is_nearsorted(seq, eps)
+        assert not is_nearsorted(seq, eps - 1)
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            is_nearsorted(np.array([1, 0]), -1)
+
+
+class TestDirtyDecomposition:
+    def test_sorted(self):
+        d = decompose_dirty_window(np.array([1, 1, 0, 0]))
+        assert d.is_sorted and d.dirty_length == 0
+        assert d.clean_ones == 2 and d.clean_zeros == 2
+
+    def test_window(self):
+        #            0  1  2  3  4  5
+        seq = np.array([1, 0, 1, 1, 0, 0])
+        d = decompose_dirty_window(seq)
+        assert d.clean_ones == 1
+        assert d.dirty_start == 1
+        assert d.dirty_length == 3  # positions 1..3
+        assert d.clean_zeros == 2
+        assert d.k == 3
+
+    def test_all_ones(self):
+        d = decompose_dirty_window(np.ones(4, dtype=np.int8))
+        assert d.is_sorted and d.clean_ones == 4 and d.clean_zeros == 0
+
+    @given(bit_sequences)
+    def test_partition_sums_to_n(self, seq):
+        d = decompose_dirty_window(seq)
+        assert d.clean_ones + d.dirty_length + d.clean_zeros == seq.size
+
+
+class TestLemma1Forward:
+    """(⇒): an ε-nearsorted sequence has clean ≥ k−ε 1s, dirty ≤ 2ε,
+    clean ≥ n−k−ε 0s."""
+
+    @given(bit_sequences)
+    def test_structure_holds_at_exact_epsilon(self, seq):
+        eps = nearsortedness(seq)
+        d = decompose_dirty_window(seq)
+        min_ones, max_dirty, min_zeros = lemma1_window_from_epsilon(
+            seq.size, d.k, eps
+        )
+        assert d.clean_ones >= min_ones
+        assert d.dirty_length <= max_dirty
+        assert d.clean_zeros >= min_zeros
+
+    def test_window_formula(self):
+        assert lemma1_window_from_epsilon(10, 4, 2) == (2, 4, 4)
+        assert lemma1_window_from_epsilon(10, 1, 3) == (0, 6, 6)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            lemma1_window_from_epsilon(4, 5, 0)
+        with pytest.raises(ConfigurationError):
+            lemma1_window_from_epsilon(4, 2, -1)
+
+
+class TestLemma1Backward:
+    """(⇐): the dirty window bounds ε."""
+
+    @given(bit_sequences)
+    def test_window_epsilon_dominates_exact(self, seq):
+        d = decompose_dirty_window(seq)
+        assert nearsortedness(seq) <= max(lemma1_epsilon_from_window(d), 0)
+
+    @given(bit_sequences)
+    def test_window_epsilon_at_most_window_length(self, seq):
+        d = decompose_dirty_window(seq)
+        assert lemma1_epsilon_from_window(d) <= d.dirty_length
+
+    def test_window_epsilon_is_exact(self):
+        # For 0/1 sequences the window-derived ε equals the exact ε.
+        seq = np.array([1, 0, 0, 1, 0])
+        d = decompose_dirty_window(seq)
+        assert lemma1_epsilon_from_window(d) == nearsortedness(seq)
+
+
+class TestRandomEpsilonNearsorted:
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=0, max_value=64),
+        st.integers(min_value=0, max_value=16),
+    )
+    def test_construction_respects_epsilon(self, n, k, eps):
+        if k > n:
+            return
+        rng = np.random.default_rng(1)
+        seq = random_epsilon_nearsorted(n, k, eps, rng)
+        assert seq.size == n
+        assert int(seq.sum()) == k
+        assert nearsortedness(seq) <= eps
+
+    def test_epsilon_zero_gives_sorted(self):
+        rng = np.random.default_rng(2)
+        seq = random_epsilon_nearsorted(10, 4, 0, rng)
+        assert nearsortedness(seq) == 0
+
+    def test_rejects_bad_k(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ConfigurationError):
+            random_epsilon_nearsorted(4, 5, 1, rng)

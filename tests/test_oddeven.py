@@ -1,0 +1,95 @@
+"""Tests for the odd-even transposition sorter and weakened-chip
+pipeline variants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nearsort import nearsortedness
+from repro.errors import ConfigurationError
+from repro.mesh.columnsort import columnsort_nearsort
+from repro.mesh.oddeven import (
+    oddeven_sort_rounds,
+    weak_column_sort,
+    weak_columnsort_pass,
+    weak_revsort_pass,
+    weak_row_sort,
+)
+from repro.mesh.revsort import revsort_nearsort
+
+bit_rows = st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=16).map(
+    lambda xs: np.array(xs, dtype=np.int8)
+)
+
+
+class TestOddEvenRounds:
+    @given(bit_rows)
+    @settings(max_examples=40)
+    def test_full_rounds_fully_sort(self, row):
+        out = oddeven_sort_rounds(row, rounds=row.size)
+        assert (out[:-1] >= out[1:]).all()
+
+    @given(bit_rows)
+    @settings(max_examples=40)
+    def test_counts_preserved(self, row):
+        for rounds in (0, 1, row.size // 2, row.size):
+            out = oddeven_sort_rounds(row, rounds)
+            assert out.sum() == row.sum()
+
+    def test_zero_rounds_identity(self):
+        row = np.array([0, 1, 0, 1], dtype=np.int8)
+        assert np.array_equal(oddeven_sort_rounds(row, 0), row)
+
+    def test_progressive_improvement(self, rng):
+        """More rounds never worsen the row's sortedness (0/1 odd-even
+        is monotone in rounds)."""
+        row = (rng.random(16) < 0.5).astype(np.int8)
+        eps = [
+            nearsortedness(oddeven_sort_rounds(row, t)) for t in range(17)
+        ]
+        assert eps[-1] == 0
+        assert all(a >= b for a, b in zip(eps, eps[1:]))
+
+    def test_batch_shape(self, rng):
+        batch = (rng.random((5, 8)) < 0.5).astype(np.int8)
+        out = oddeven_sort_rounds(batch, 8)
+        assert out.shape == (5, 8)
+        assert (out[:, :-1] >= out[:, 1:]).all()
+
+    def test_rejects_negative_rounds(self):
+        with pytest.raises(ConfigurationError):
+            oddeven_sort_rounds(np.array([1, 0]), -1)
+
+
+class TestWeakSorts:
+    def test_full_rounds_match_true_sorts(self, rng):
+        from repro.mesh.grid import sort_columns, sort_rows
+
+        m = (rng.random((8, 8)) < 0.5).astype(np.int8)
+        assert np.array_equal(weak_column_sort(m, 8), sort_columns(m))
+        assert np.array_equal(weak_row_sort(m, 8), sort_rows(m))
+
+    def test_weak_revsort_with_full_rounds_matches_algorithm1(self, rng):
+        m = (rng.random((8, 8)) < 0.5).astype(np.int8)
+        assert np.array_equal(weak_revsort_pass(m, 8), revsort_nearsort(m))
+
+    def test_weak_columnsort_with_full_rounds_matches_algorithm2(self, rng):
+        m = (rng.random((8, 4)) < 0.5).astype(np.int8)
+        assert np.array_equal(weak_columnsort_pass(m, 8), columnsort_nearsort(m))
+
+    def test_quality_degrades_gracefully(self, rng):
+        """Weakened chips degrade ε monotonically-ish: quarter-strength
+        chips are worse than full, better than zero."""
+        side = 16
+        worst = {}
+        for rounds in (0, side // 4, side):
+            w = 0
+            for _ in range(60):
+                m = (rng.random((side, side)) < rng.random()).astype(np.int8)
+                out = weak_revsort_pass(m, rounds)
+                w = max(w, nearsortedness(out.reshape(-1)))
+            worst[rounds] = w
+        assert worst[side] < worst[side // 4] < worst[0]

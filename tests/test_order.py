@@ -1,0 +1,203 @@
+"""Tests for matrix numberings and wiring permutations (Figure 5 and
+the inter-stage wirings of Sections 4–5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util.bits import bit_reverse, ilg
+from repro.errors import ConfigurationError
+from repro.mesh.order import (
+    apply_position_permutation,
+    cm_index,
+    cm_to_rm_permutation,
+    column_major_matrix,
+    is_permutation,
+    rev_rotate_permutation,
+    rm_index,
+    rm_inverse,
+    rm_to_cm_permutation,
+    row_major_matrix,
+    shift_down_permutation,
+    snake_index,
+    transpose_permutation,
+)
+
+
+class TestFigure5:
+    """The exact 6×3 example of the paper's Figure 5."""
+
+    def test_row_major_matrix(self):
+        expected = np.array(
+            [[0, 1, 2], [3, 4, 5], [6, 7, 8], [9, 10, 11], [12, 13, 14], [15, 16, 17]]
+        )
+        assert np.array_equal(row_major_matrix(6, 3), expected)
+
+    def test_column_major_matrix(self):
+        expected = np.array(
+            [[0, 6, 12], [1, 7, 13], [2, 8, 14], [3, 9, 15], [4, 10, 16], [5, 11, 17]]
+        )
+        assert np.array_equal(column_major_matrix(6, 3), expected)
+
+
+class TestIndexing:
+    def test_rm_formula(self):
+        # RM(i, j) = s·i + j
+        assert rm_index(2, 1, 6, 3) == 7
+
+    def test_cm_formula(self):
+        # CM(i, j) = r·j + i
+        assert cm_index(2, 1, 6, 3) == 8
+
+    def test_rm_inverse_roundtrip(self):
+        r, s = 6, 3
+        for x in range(r * s):
+            i, j = rm_inverse(x, r, s)
+            assert rm_index(i, j, r, s) == x
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            rm_index(6, 0, 6, 3)
+        with pytest.raises(ConfigurationError):
+            rm_inverse(18, 6, 3)
+
+    def test_snake_order(self):
+        # Row 0 left-to-right, row 1 right-to-left.
+        assert snake_index(0, 0, 4, 4) == 0
+        assert snake_index(0, 3, 4, 4) == 3
+        assert snake_index(1, 0, 4, 4) == 7
+        assert snake_index(1, 3, 4, 4) == 4
+
+
+class TestTransposePermutation:
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=8))
+    def test_is_bijection(self, r, s):
+        assert is_permutation(transpose_permutation(r, s))
+
+    def test_moves_entries(self):
+        r, s = 3, 2
+        perm = transpose_permutation(r, s)
+        m = row_major_matrix(r, s)
+        flat = np.empty(r * s, dtype=np.int64)
+        flat[perm] = m.reshape(-1)
+        assert np.array_equal(flat.reshape(s, r), m.T)
+
+    def test_double_transpose_is_identity(self):
+        r, s = 4, 8
+        p1 = transpose_permutation(r, s)
+        p2 = transpose_permutation(s, r)
+        assert np.array_equal(p2[p1], np.arange(r * s))
+
+
+class TestRevRotatePermutation:
+    def test_is_bijection(self):
+        for side in (2, 4, 8, 16):
+            assert is_permutation(rev_rotate_permutation(side))
+
+    def test_matches_formula(self):
+        # Element at (i, j) -> (i, (rev(i)+j) mod side).
+        side = 8
+        q = ilg(side)
+        perm = rev_rotate_permutation(side)
+        for i in range(side):
+            for j in range(side):
+                target = side * i + (bit_reverse(i, q) + j) % side
+                assert perm[side * i + j] == target
+
+    def test_row_zero_unmoved(self):
+        # rev(0) = 0, so row 0 never rotates.
+        side = 16
+        perm = rev_rotate_permutation(side)
+        assert np.array_equal(perm[:side], np.arange(side))
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ConfigurationError):
+            rev_rotate_permutation(6)
+
+
+class TestCmToRmPermutation:
+    def test_matches_paper_formula(self):
+        # Element (i, j) -> row ⌊(rj+i)/s⌋, column (rj+i) mod s.
+        r, s = 8, 4
+        perm = cm_to_rm_permutation(r, s)
+        for i in range(r):
+            for j in range(s):
+                x = r * j + i
+                assert perm[s * i + j] == s * (x // s) + (x % s)
+
+    def test_is_bijection(self):
+        for r, s in [(4, 2), (8, 4), (16, 4), (64, 8)]:
+            assert is_permutation(cm_to_rm_permutation(r, s))
+
+    def test_inverse(self):
+        r, s = 8, 4
+        fwd = cm_to_rm_permutation(r, s)
+        inv = rm_to_cm_permutation(r, s)
+        assert np.array_equal(inv[fwd], np.arange(r * s))
+
+    def test_requires_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            cm_to_rm_permutation(8, 3)
+
+    def test_figure5_semantics(self):
+        # Applying CM->RM to the column-major numbering must produce
+        # the row-major numbering.
+        r, s = 6, 3
+        perm = transpose_permutation(r, s)  # unused guard
+        del perm
+        cm = column_major_matrix(r, s)
+        moved = apply_position_permutation(cm, cm_to_rm_permutation(r, s))
+        assert np.array_equal(moved, row_major_matrix(r, s))
+
+
+class TestShiftDownPermutation:
+    def test_is_bijection(self):
+        for r, s in [(4, 2), (8, 4)]:
+            assert is_permutation(shift_down_permutation(r, s, r // 2))
+
+    def test_shift_by_zero_is_identity(self):
+        r, s = 4, 2
+        assert np.array_equal(shift_down_permutation(r, s, 0), np.arange(r * s))
+
+    def test_shift_moves_cm_positions(self):
+        r, s = 4, 2
+        perm = shift_down_permutation(r, s, 2)
+        # CM position 0 = (0,0) -> CM position 2 = (2,0) = flat 4.
+        assert perm[0] == 4
+
+
+class TestApplyPositionPermutation:
+    def test_identity(self, rng):
+        m = rng.integers(0, 2, size=(4, 4))
+        out = apply_position_permutation(m, np.arange(16))
+        assert np.array_equal(out, m)
+
+    def test_size_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            apply_position_permutation(np.zeros((2, 2)), np.arange(5))
+
+    def test_inverse_recovers(self, rng):
+        m = rng.integers(0, 2, size=(4, 4))
+        perm = rng.permutation(16)
+        moved = apply_position_permutation(m, perm)
+        inv = np.empty(16, dtype=np.int64)
+        inv[perm] = np.arange(16)
+        # Moving back with the inverse permutation restores the matrix.
+        back = apply_position_permutation(moved, inv)
+        assert np.array_equal(back, m)
+
+
+class TestIsPermutation:
+    def test_accepts(self):
+        assert is_permutation(np.array([2, 0, 1]))
+        assert is_permutation(np.arange(0))
+
+    def test_rejects_duplicates(self):
+        assert not is_permutation(np.array([0, 0, 1]))
+
+    def test_rejects_out_of_range(self):
+        assert not is_permutation(np.array([0, 3, 1]))
+        assert not is_permutation(np.array([-1, 0, 1]))

@@ -1,0 +1,90 @@
+"""Tests for the Section 1 partitioning-cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.partition import (
+    columnsort_partition,
+    monolithic_partition,
+    partition_comparison,
+    revsort_partition,
+)
+
+
+class TestMonolithic:
+    def test_area_limited_regime(self):
+        plan = monolithic_partition(1024, 64)
+        assert plan.chips == (1024 // 64) ** 2  # (n/p)^2 = 256
+
+    def test_wire_limited_floor(self):
+        # Huge pins: at least enough chips to carry 2n wires... with
+        # p >= 2n one chip suffices.
+        plan = monolithic_partition(64, 256)
+        assert plan.chips == 1
+
+    def test_quadratic_growth(self):
+        chips = [monolithic_partition(1 << 12, p).chips for p in (64, 128, 256)]
+        assert chips[0] == 4 * chips[1] == 16 * chips[2]
+
+    def test_rejects_tiny_budget(self):
+        with pytest.raises(ConfigurationError):
+            monolithic_partition(64, 2)
+
+
+class TestRevsortPartition:
+    def test_fixed_pin_requirement(self):
+        plan = revsort_partition(1024, 128)
+        assert plan is not None
+        assert plan.pins_used_per_chip == 2 * 32 + 5
+        assert plan.chips == 96
+
+    def test_infeasible_when_budget_too_small(self):
+        assert revsort_partition(1024, 40) is None
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ConfigurationError):
+            revsort_partition(1000, 100)
+
+
+class TestColumnsortPartition:
+    def test_uses_largest_feasible_chip(self):
+        plan = columnsort_partition(1024, 128)
+        assert plan is not None
+        assert plan.pins_used_per_chip <= 128
+        # r = 64 fits (2r = 128): s = 16, chips = 32.
+        assert plan.chips == 32
+
+    def test_infeasible_when_r_below_s(self):
+        # Tiny budget forces r < s = n/r.
+        assert columnsort_partition(1 << 12, 8) is None
+
+    def test_linear_in_inverse_pins(self):
+        chips = [columnsort_partition(1 << 12, p).chips for p in (256, 512, 1024)]
+        assert chips[0] == 2 * chips[1] == 4 * chips[2]
+
+
+class TestComparison:
+    def test_paper_motivation_reproduced(self):
+        """For moderate pin budgets the monolithic split needs far more
+        chips than the paper's designs, and the gap widens as the pin
+        budget shrinks (Ω((n/p)²) vs Θ(n/p))."""
+        rows = partition_comparison(1 << 12, [144, 192, 256])
+        for row in rows:
+            mono = row["monolithic chips"]
+            col = row["Columnsort chips"]
+            assert isinstance(col, int)
+            assert mono > 2 * col
+        # The asymptotic gap: comparing the same relative pin budget at
+        # two sizes, the monolithic/Columnsort ratio grows with n.
+        small = partition_comparison(1 << 10, [128])[0]
+        large = partition_comparison(1 << 14, [512])[0]
+        ratio_small = small["monolithic chips"] / small["Columnsort chips"]
+        ratio_large = large["monolithic chips"] / large["Columnsort chips"]
+        assert ratio_large > ratio_small
+
+    def test_revsort_appears_when_budget_sufficient(self):
+        rows = partition_comparison(1 << 12, [64, 150])
+        assert rows[0]["Revsort chips"] == "(needs more pins)"
+        assert isinstance(rows[1]["Revsort chips"], int)

@@ -1,0 +1,75 @@
+"""Tests for the n-by-m perfect concentrator (Section 1)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.concentration import (
+    validate_partial_concentration,
+    validate_perfect_concentration,
+)
+from repro.errors import ConfigurationError
+from repro.switches.perfect import PerfectConcentrator
+
+
+class TestPerfectConcentrator:
+    def test_exhaustive_small(self):
+        for n in range(1, 7):
+            for m in range(1, n + 1):
+                switch = PerfectConcentrator(n, m)
+                for bits in itertools.product([False, True], repeat=n):
+                    valid = np.array(bits, dtype=bool)
+                    routing = switch.setup(valid)
+                    validate_perfect_concentration(n, m, valid, routing.input_to_output)
+
+    def test_light_load_routes_all(self, rng):
+        switch = PerfectConcentrator(32, 8)
+        valid = np.zeros(32, dtype=bool)
+        valid[rng.choice(32, size=8, replace=False)] = True
+        assert switch.setup(valid).routed_count == 8
+
+    def test_congestion_fills_outputs(self, rng):
+        switch = PerfectConcentrator(32, 8)
+        valid = np.ones(32, dtype=bool)
+        routing = switch.setup(valid)
+        assert routing.routed_count == 8
+        assert routing.output_valid_bits().all()
+        assert len(routing.dropped_inputs) == 24
+
+    def test_priority_is_low_index_first(self):
+        """The hyperconcentrator construction gives the first m valid
+        inputs (in wire order) the paths."""
+        switch = PerfectConcentrator(6, 2)
+        valid = np.array([0, 1, 1, 1, 0, 1], dtype=bool)
+        routing = switch.setup(valid)
+        assert routing.input_to_output[1] == 0
+        assert routing.input_to_output[2] == 1
+        assert (routing.input_to_output[3:] == -1).all()
+
+    def test_spec_alpha_one(self):
+        assert PerfectConcentrator(8, 4).spec.alpha == 1.0
+
+    def test_satisfies_partial_contract_too(self, rng):
+        switch = PerfectConcentrator(16, 8)
+        for _ in range(50):
+            valid = rng.random(16) < rng.random()
+            routing = switch.setup(valid)
+            validate_partial_concentration(switch.spec, valid, routing.input_to_output)
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ConfigurationError):
+            PerfectConcentrator(4, 5)
+        with pytest.raises(ConfigurationError):
+            PerfectConcentrator(4, 0)
+
+    def test_delay_matches_hyperconcentrator(self):
+        switch = PerfectConcentrator(16, 4)
+        assert switch.gate_delays == switch.hyperconcentrator.gate_delays
+
+    def test_route_messages_overflow(self):
+        switch = PerfectConcentrator(4, 2)
+        outputs = switch.route(["a", "b", "c", None])
+        assert outputs == ["a", "b"]

@@ -1,0 +1,67 @@
+"""Cross-module composition tests: wave pipelining over cascades and
+funnels, driving several subsystems together."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.messages.clock import WavePipeline
+from repro.messages.congestion import DropPolicy
+from repro.network.funnel import FunnelNetwork
+from repro.network.traffic import FixedKTraffic
+from repro.switches.cascade import CascadeSwitch
+from repro.switches.perfect import PerfectConcentrator
+from repro.switches.revsort_switch import RevsortSwitch
+
+
+class TestWavesOverCascade:
+    def test_pipeline_accepts_cascade(self):
+        cascade = CascadeSwitch(
+            PerfectConcentrator(32, 16), PerfectConcentrator(16, 8)
+        )
+        pipe = WavePipeline(cascade, payload_bits=4, seed=1)
+        traffic = FixedKTraffic(32, k=6, payload_bits=4, seed=2)
+        summary = pipe.run(traffic, waves=10)
+        assert summary.delivered == 60  # 6 per wave, under every capacity
+
+    def test_min_clock_uses_summed_delays(self):
+        cascade = CascadeSwitch(
+            RevsortSwitch(64, 32), PerfectConcentrator(32, 16)
+        )
+        pipe = WavePipeline(cascade, payload_bits=2)
+        assert pipe.sim.min_clock_period() == cascade.gate_delays
+
+    def test_overload_saturates_at_inner_bottleneck(self):
+        cascade = CascadeSwitch(
+            PerfectConcentrator(32, 16), PerfectConcentrator(16, 4)
+        )
+        pipe = WavePipeline(cascade, payload_bits=2, policy=DropPolicy(), seed=3)
+        traffic = FixedKTraffic(32, k=20, payload_bits=2, seed=4)
+        summary = pipe.run(traffic, waves=5)
+        assert all(w.delivered == 4 for w in summary.waves)
+
+
+class TestFunnelDelayModel:
+    def test_funnel_exposes_summed_delays(self):
+        funnel = FunnelNetwork.regular(
+            leaf_factory=lambda: PerfectConcentrator(16, 8),
+            merge_factory=lambda n: PerfectConcentrator(n, n // 2),
+            leaf_count=2,
+            fan_in=2,
+            depth=2,
+        )
+        leaf = PerfectConcentrator(16, 8).gate_delays
+        merge = PerfectConcentrator(16, 8).gate_delays
+        assert funnel.gate_delays == leaf + merge
+
+    def test_funnel_equivalent_cascade(self):
+        """A 1-wide funnel is exactly a cascade; both views agree on
+        capacity and delay."""
+        funnel = FunnelNetwork(
+            [[PerfectConcentrator(32, 16)], [PerfectConcentrator(16, 8)]]
+        )
+        cascade = CascadeSwitch(
+            PerfectConcentrator(32, 16), PerfectConcentrator(16, 8)
+        )
+        assert funnel.gate_delays == cascade.gate_delays
+        assert funnel.capacity() == cascade.spec.guaranteed_capacity

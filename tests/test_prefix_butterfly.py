@@ -1,0 +1,121 @@
+"""Tests for the Section 1 prefix + butterfly hyperconcentrator."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.concentration import validate_hyperconcentration
+from repro.errors import ConfigurationError, RoutingError
+from repro.switches.hyperconcentrator import Hyperconcentrator
+from repro.switches.prefix_butterfly import (
+    PrefixButterflyHyperconcentrator,
+    butterfly_route,
+    prefix_ranks,
+)
+from tests.conftest import random_bits
+
+
+class TestPrefixRanks:
+    def test_basic(self):
+        valid = np.array([1, 0, 1, 1, 0], dtype=bool)
+        assert list(prefix_ranks(valid)) == [1, 0, 2, 3, 0]
+
+    def test_all_invalid(self):
+        assert list(prefix_ranks(np.zeros(4, dtype=bool))) == [0, 0, 0, 0]
+
+    def test_all_valid(self):
+        assert list(prefix_ranks(np.ones(4, dtype=bool))) == [1, 2, 3, 4]
+
+
+class TestButterflyRoute:
+    def test_identity_routing(self):
+        final, settings = butterfly_route(np.arange(8))
+        assert list(final) == list(range(8))
+        assert len(settings) == 3
+
+    def test_concentration_patterns_conflict_free_exhaustive(self):
+        """Every monotone concentration pattern routes without conflicts
+        (the reverse-banyan concentrator property), n = 8 exhaustive."""
+        n = 8
+        for bits in itertools.product([0, 1], repeat=n):
+            valid = np.array(bits, dtype=bool)
+            ranks = prefix_ranks(valid)
+            dest = np.where(valid, ranks - 1, -1)
+            final, _ = butterfly_route(dest)
+            assert np.array_equal(final[valid], dest[valid])
+
+    def test_reports_conflicts_on_bad_pattern(self):
+        # Two packets to the same destination must conflict eventually.
+        with pytest.raises(RoutingError):
+            butterfly_route(np.array([3, 3, -1, -1]))
+
+    def test_nonmonotone_pattern_may_conflict(self):
+        # The reversal permutation 0..n-1 -> n-1..0 is routable on a
+        # butterfly, but crossing patterns like (1,0,3,2...) with
+        # shared intermediate ports are not guaranteed; we only require
+        # that *concentration* patterns never conflict, so just check
+        # that arbitrary permutations either route correctly or raise.
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            perm = rng.permutation(8)
+            try:
+                final, _ = butterfly_route(perm)
+            except RoutingError:
+                continue
+            assert np.array_equal(final, perm)
+
+
+class TestPrefixButterflySwitch:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8])
+    def test_exhaustive_contract(self, n):
+        switch = PrefixButterflyHyperconcentrator(n)
+        for bits in itertools.product([False, True], repeat=n):
+            valid = np.array(bits, dtype=bool)
+            routing = switch.setup(valid)
+            validate_hyperconcentration(n, valid, routing.input_to_output)
+
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_random_matches_crossbar_model(self, rng, n):
+        """Both chip technologies implement the same function."""
+        butterfly = PrefixButterflyHyperconcentrator(n)
+        crossbar = Hyperconcentrator(n)
+        for _ in range(30):
+            valid = random_bits(rng, n)
+            assert np.array_equal(
+                butterfly.setup(valid).input_to_output,
+                crossbar.setup(valid).input_to_output,
+            )
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ConfigurationError):
+            PrefixButterflyHyperconcentrator(6)
+
+    def test_switch_settings_shape(self, rng):
+        switch = PrefixButterflyHyperconcentrator(16)
+        switch.setup(random_bits(rng, 16))
+        settings = switch.switch_settings()
+        assert len(settings) == 4  # lg 16 stages
+        assert all(s.size == 8 for s in settings)  # n/2 switches each
+
+    def test_settings_require_setup(self):
+        with pytest.raises(RoutingError):
+            PrefixButterflyHyperconcentrator(8).switch_settings()
+
+    def test_cost_profile_vs_crossbar(self):
+        """Section 1's tradeoff: few pins and O(n lg n) chips for the
+        butterfly vs 2n pins and one Θ(n²) chip for the crossbar —
+        and only the crossbar is combinational."""
+        n = 1024
+        butterfly = PrefixButterflyHyperconcentrator(n)
+        crossbar = Hyperconcentrator(n)
+        assert butterfly.data_pins_per_chip == 4
+        assert crossbar.data_pins == 2 * n
+        assert butterfly.chip_count == (n // 2) * 10 + n
+        assert not butterfly.is_combinational
+        assert butterfly.control_bits == (n // 2) * 10
+
+    def test_volume_model(self):
+        assert PrefixButterflyHyperconcentrator(256).volume == 256 * 16

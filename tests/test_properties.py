@@ -1,0 +1,153 @@
+"""Cross-cutting property-based tests: the library-wide invariants that
+must hold for every switch on every input."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.concentration import (
+    validate_partial_concentration,
+    validate_routing_disjoint,
+)
+from repro.core.nearsort import nearsortedness
+from repro.switches.columnsort_switch import ColumnsortSwitch
+from repro.switches.hyperconcentrator import Hyperconcentrator
+from repro.switches.multichip_hyper import FullRevsortHyperconcentrator
+from repro.switches.perfect import PerfectConcentrator
+from repro.switches.revsort_switch import RevsortSwitch
+
+# Strategy: a valid-bit vector for a fixed n.
+def bits(n: int):
+    return st.lists(st.booleans(), min_size=n, max_size=n).map(
+        lambda xs: np.array(xs, dtype=bool)
+    )
+
+
+def _truncated_bitonic() -> "object":
+    from repro.switches.bitonic import TruncatedBitonicSwitch
+
+    # Calibrated offline for n=16, 8 of 10 stages (worst random ε = 4;
+    # use the safe full bound n as the declared ε so the spec is honest).
+    return TruncatedBitonicSwitch(16, 12, stages=8, epsilon=8)
+
+
+SWITCH_FACTORIES = [
+    ("hyper16", lambda: Hyperconcentrator(16)),
+    ("perfect16x8", lambda: PerfectConcentrator(16, 8)),
+    ("revsort16", lambda: RevsortSwitch(16, 12)),
+    ("columnsort8x2", lambda: ColumnsortSwitch(8, 2, 12)),
+    ("fullrev16", lambda: FullRevsortHyperconcentrator(16)),
+    (
+        "bitonic16",
+        lambda: __import__(
+            "repro.switches.bitonic", fromlist=["BitonicHyperconcentrator"]
+        ).BitonicHyperconcentrator(16),
+    ),
+    (
+        "prefixbutterfly16",
+        lambda: __import__(
+            "repro.switches.prefix_butterfly",
+            fromlist=["PrefixButterflyHyperconcentrator"],
+        ).PrefixButterflyHyperconcentrator(16),
+    ),
+    (
+        "iterated8x2",
+        lambda: __import__(
+            "repro.switches.iterated_columnsort",
+            fromlist=["IteratedColumnsortSwitch"],
+        ).IteratedColumnsortSwitch(8, 2, 12, passes=2),
+    ),
+    ("truncbitonic16", _truncated_bitonic),
+]
+
+
+@pytest.mark.parametrize("name,factory", SWITCH_FACTORIES)
+class TestUniversalSwitchInvariants:
+    """Invariants every switch must satisfy for every input pattern."""
+
+    @given(data=st.data())
+    @settings(max_examples=40)
+    def test_paths_disjoint_and_in_range(self, name, factory, data):
+        switch = factory()
+        valid = data.draw(bits(switch.n))
+        routing = switch.setup(valid)
+        validate_routing_disjoint(routing.input_to_output, switch.m)
+
+    @given(data=st.data())
+    @settings(max_examples=40)
+    def test_only_valid_inputs_routed(self, name, factory, data):
+        switch = factory()
+        valid = data.draw(bits(switch.n))
+        routing = switch.setup(valid)
+        assert (routing.input_to_output[~valid] == -1).all()
+
+    @given(data=st.data())
+    @settings(max_examples=40)
+    def test_spec_contract(self, name, factory, data):
+        switch = factory()
+        valid = data.draw(bits(switch.n))
+        routing = switch.setup(valid)
+        validate_partial_concentration(
+            switch.spec, valid, routing.input_to_output
+        )
+
+    @given(data=st.data())
+    @settings(max_examples=40)
+    def test_setup_deterministic(self, name, factory, data):
+        switch = factory()
+        valid = data.draw(bits(switch.n))
+        r1 = switch.setup(valid)
+        r2 = switch.setup(valid)
+        assert np.array_equal(r1.input_to_output, r2.input_to_output)
+
+    @given(data=st.data())
+    @settings(max_examples=40)
+    def test_setup_does_not_mutate_input(self, name, factory, data):
+        switch = factory()
+        valid = data.draw(bits(switch.n))
+        copy = valid.copy()
+        switch.setup(valid)
+        assert np.array_equal(valid, copy)
+
+
+class TestMonotoneLoadBehaviour:
+    """Adding a message never decreases the routed count for the
+    nearsort-based switches (checked empirically — a useful sanity
+    property, though not claimed by the paper)."""
+
+    @given(data=st.data())
+    @settings(max_examples=30)
+    def test_revsort_monotone_in_k(self, data):
+        switch = RevsortSwitch(64, 48)
+        valid = data.draw(bits(64))
+        routed_before = switch.setup(valid).routed_count
+        # Add one message at the first idle wire, if any.
+        idle = np.flatnonzero(~valid)
+        if idle.size == 0:
+            return
+        grown = valid.copy()
+        grown[idle[0]] = True
+        routed_after = switch.setup(grown).routed_count
+        assert routed_after >= routed_before
+
+
+class TestNearsortComposition:
+    """Lemma 2 applied to measured outputs: for any input, the number
+    of 1s among the first m output positions is ≥ min(k, m − ε_meas)."""
+
+    @given(data=st.data())
+    @settings(max_examples=30)
+    def test_output_prefix_density(self, data):
+        switch = ColumnsortSwitch(16, 4, 64)
+        valid = data.draw(bits(64))
+        final = switch.final_positions(valid)
+        out = np.zeros(64, dtype=np.int8)
+        out[final] = valid.astype(np.int8)
+        eps = nearsortedness(out)
+        k = int(valid.sum())
+        for m in (16, 32, 48, 64):
+            routed = int(out[:m].sum())
+            assert routed >= min(k, m - eps)

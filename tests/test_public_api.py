@@ -1,0 +1,36 @@
+"""Tests for the top-level package API and the documented quickstart."""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+
+
+class TestPublicAPI:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_docstring_quickstart(self):
+        switch = repro.RevsortSwitch(n=256, m=192)
+        valid = np.zeros(256, dtype=bool)
+        valid[:100] = True
+        routing = switch.setup(valid)
+        assert routing.routed_count == 100
+
+    def test_switch_family_specs(self):
+        assert repro.Hyperconcentrator(8).spec.alpha == 1.0
+        assert repro.PerfectConcentrator(8, 4).spec.alpha == 1.0
+        assert repro.ColumnsortSwitch(64, 4, 128).spec.alpha < 1.0
+
+    def test_message_round_trip_through_api(self):
+        sim = repro.BitSerialSimulator(repro.Hyperconcentrator(4))
+        record = sim.transit(
+            [repro.Message.from_int(5, 4), None, None, repro.Message.from_int(9, 4)]
+        )
+        assert record.delivered[0].to_int() == 5
+        assert record.delivered[1].to_int() == 9

@@ -1,0 +1,42 @@
+"""Tests for the switch registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.switches.registry import REGISTRY, available, build_switch
+
+
+class TestRegistry:
+    def test_available_names(self):
+        names = available()
+        assert "revsort" in names and "columnsort" in names
+        assert "butterfly" in names and "bitonic" in names
+
+    def test_build_each_design(self):
+        params = {"n": 64, "m": 48, "r": 0, "s": 0, "beta": 0.75}
+        for name in available():
+            switch = build_switch(name, **params)
+            assert switch.n >= 1
+            assert switch.spec is not None
+
+    def test_columnsort_by_shape(self):
+        switch = build_switch("columnsort", n=0, m=16, r=8, s=4, beta=0.75)
+        assert (switch.r, switch.s) == (8, 4)
+
+    def test_columnsort_by_beta(self):
+        switch = build_switch("columnsort", n=256, m=128, r=0, s=0, beta=0.5)
+        assert switch.r == switch.s == 16
+
+    def test_columnsort_requires_some_shape(self):
+        with pytest.raises(ConfigurationError):
+            build_switch("columnsort", n=0, m=16, r=0, s=0, beta=0.75)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            build_switch("warp-drive", n=8, m=4)
+
+    def test_entries_documented(self):
+        for entry in REGISTRY.values():
+            assert entry.description

@@ -1,0 +1,28 @@
+"""Every registered design must pass the full public contract checker
+— the same gate a downstream implementation would face."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.switches.registry import available, build_switch
+from repro.testing import check_concentrator
+
+PARAMS = {"n": 64, "m": 48, "r": 0, "s": 0, "beta": 0.75}
+
+
+@pytest.mark.parametrize("name", available())
+def test_registered_design_passes_contract_checker(name):
+    switch = build_switch(name, **PARAMS)
+    report = check_concentrator(switch, trials=40, seed=0xBEEF)
+    assert report.ok, f"{name}: {report.failures}"
+    if report.epsilon_bound is not None:
+        assert report.worst_epsilon <= report.epsilon_bound
+
+
+def test_checker_reports_are_informative():
+    report = check_concentrator(
+        build_switch("columnsort", **PARAMS), trials=20, seed=1
+    )
+    assert "ColumnsortSwitch" in report.switch
+    assert report.trials == 20

@@ -1,0 +1,66 @@
+"""Tests for the reliability roll-up model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.reliability import (
+    ReliabilityModel,
+    columnsort_reliability,
+    monolithic_reliability,
+    revsort_reliability,
+)
+
+
+class TestReliabilityModel:
+    def test_chip_rate_components(self):
+        model = ReliabilityModel(chip_base=1.0, area_exponent=0.5, pin_rate=0.1)
+        assert model.chip_rate(area=100, pins=10) == pytest.approx(10.0 + 1.0)
+
+    def test_area_exponent_one_is_linear(self):
+        model = ReliabilityModel(area_exponent=1.0, pin_rate=0.0)
+        assert model.chip_rate(200, 0) == pytest.approx(2 * model.chip_rate(100, 0))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ReliabilityModel(chip_base=0.0)
+        with pytest.raises(ConfigurationError):
+            ReliabilityModel(area_exponent=1.5)
+        with pytest.raises(ConfigurationError):
+            ReliabilityModel().chip_rate(0, 4)
+
+
+class TestSystemRollups:
+    def test_revsort_counts(self):
+        rel = revsort_reliability(256)
+        assert rel.chips == 4 * 16
+        assert rel.system_rate > 0
+
+    def test_columnsort_beta_tradeoff(self):
+        """Higher β = fewer, larger chips.  With sublinear die-rate
+        scaling, consolidation wins: β=3/4 beats β=1/2 on MTBF."""
+        low = columnsort_reliability(1 << 12, 0.5)
+        high = columnsort_reliability(1 << 12, 0.75)
+        assert high.chips < low.chips
+        assert high.relative_mtbf > low.relative_mtbf
+
+    def test_linear_area_flattens_the_tradeoff(self):
+        """With defects strictly proportional to silicon area the chip
+        area sums dominate and consolidation no longer helps on die
+        rate — only the pin-joint savings remain."""
+        model = ReliabilityModel(area_exponent=1.0, pin_rate=0.0)
+        low = columnsort_reliability(1 << 12, 0.5, model)
+        high = columnsort_reliability(1 << 12, 0.75, model)
+        # Total silicon area: 2s·r² = 2nr — larger r means MORE total
+        # area, so the big-chip design is *worse* under e = 1.
+        assert high.system_rate > low.system_rate
+
+    def test_monolithic_single_part(self):
+        rel = monolithic_reliability(1 << 10)
+        assert rel.chips == 1
+        assert rel.pin_joints == 2 * (1 << 10) + 3
+
+    def test_relative_mtbf_inverse(self):
+        rel = revsort_reliability(64)
+        assert rel.relative_mtbf == pytest.approx(1.0 / rel.system_rate)

@@ -1,0 +1,59 @@
+"""Tests for the Markdown report builder and the reproduce --output
+CLI path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import ReportBuilder
+from repro.errors import ConfigurationError
+
+
+class TestReportBuilder:
+    def test_render_structure(self):
+        builder = ReportBuilder(title="T")
+        builder.add_text("Intro", "hello")
+        builder.add_table("Data", [{"a": 1, "b": 2}], note="a note")
+        builder.add_checks("Checks", [("first", True), ("second", False)])
+        out = builder.render()
+        assert out.startswith("# T")
+        assert "## Intro" in out and "hello" in out
+        assert "| a | b |" in out and "| 1 | 2 |" in out
+        assert "a note" in out
+        assert "✅ first" in out and "❌ second" in out
+        assert builder.section_count == 3
+
+    def test_empty_table(self):
+        builder = ReportBuilder(title="T")
+        builder.add_table("Nothing", [])
+        assert "_(no rows)_" in builder.render()
+
+    def test_missing_keys_blank(self):
+        builder = ReportBuilder(title="T")
+        builder.add_table("Data", [{"a": 1, "b": 2}, {"a": 3}])
+        assert "| 3 |  |" in builder.render()
+
+    def test_write_roundtrip(self, tmp_path):
+        builder = ReportBuilder(title="T")
+        builder.add_text("S", "body")
+        target = builder.write(tmp_path / "report.md")
+        assert target.read_text(encoding="utf-8") == builder.render()
+
+    def test_write_rejects_directory(self, tmp_path):
+        builder = ReportBuilder(title="T")
+        with pytest.raises(ConfigurationError):
+            builder.write(tmp_path)
+
+
+class TestReproduceOutput:
+    def test_cli_writes_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_file = tmp_path / "repro.md"
+        assert main(["reproduce", "--output", str(out_file)]) == 0
+        content = out_file.read_text(encoding="utf-8")
+        assert content.startswith("# Reproduction report")
+        assert "All reproduction checks passed." in content
+        assert "All checks passed." in content
+        stdout = capsys.readouterr().out
+        assert f"report written to {out_file}" in stdout

@@ -1,0 +1,185 @@
+"""Tests for Algorithm 1 (Revsort nearsort pass) and the full Revsort
+pipeline of Section 6 — Theorem 3's dirty-row bound in particular."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.nearsort import nearsortedness
+from repro.errors import ConfigurationError
+from repro.mesh.analysis import (
+    count_dirty_rows,
+    is_block_sorted,
+    is_row_major_sorted,
+)
+from repro.mesh.grid import column_counts, row_counts
+from repro.mesh.revsort import (
+    rev_rotate_rows,
+    revsort_dirty_row_bound,
+    revsort_epsilon_bound,
+    revsort_full,
+    revsort_nearsort,
+    revsort_reduce,
+    revsort_repetitions,
+)
+
+
+def random_01(rng, side, density=None):
+    p = rng.random() if density is None else density
+    return (rng.random((side, side)) < p).astype(np.int8)
+
+
+class TestRevRotateRows:
+    def test_row_zero_fixed(self, rng):
+        m = random_01(rng, 8)
+        out = rev_rotate_rows(m)
+        assert np.array_equal(out[0], m[0])
+
+    def test_rotation_amounts(self):
+        side = 4  # q = 2: rev = [0, 2, 1, 3]
+        m = np.zeros((side, side), dtype=np.int8)
+        m[:, 0] = 1  # marker in column 0 of every row
+        out = rev_rotate_rows(m)
+        for i, shift in enumerate([0, 2, 1, 3]):
+            assert out[i, shift] == 1
+
+    def test_counts_preserved(self, rng):
+        m = random_01(rng, 16)
+        assert np.array_equal(row_counts(rev_rotate_rows(m)), row_counts(m))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ConfigurationError):
+            rev_rotate_rows(np.zeros((4, 8), dtype=np.int8))
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ConfigurationError):
+            rev_rotate_rows(np.zeros((6, 6), dtype=np.int8))
+
+
+class TestAlgorithm1:
+    """Theorem 3: after Algorithm 1, clean 1-rows on top, clean 0-rows
+    at the bottom, at most 2⌈n^{1/4}⌉−1 dirty rows in the middle."""
+
+    @pytest.mark.parametrize("side", [2, 4, 8, 16, 32])
+    def test_block_structure_random(self, rng, side):
+        for _ in range(40):
+            m = random_01(rng, side)
+            out = revsort_nearsort(m)
+            assert is_block_sorted(out)
+
+    @pytest.mark.parametrize("side", [2, 4, 8, 16, 32])
+    def test_dirty_row_bound_random(self, rng, side):
+        n = side * side
+        bound = revsort_dirty_row_bound(n)
+        for _ in range(40):
+            out = revsort_nearsort(random_01(rng, side))
+            assert count_dirty_rows(out) <= bound
+
+    def test_dirty_row_bound_exhaustive_2x2(self):
+        bound = revsort_dirty_row_bound(4)
+        for bits in itertools.product([0, 1], repeat=4):
+            m = np.array(bits, dtype=np.int8).reshape(2, 2)
+            out = revsort_nearsort(m)
+            assert count_dirty_rows(out) <= bound
+            assert is_block_sorted(out)
+
+    @pytest.mark.parametrize("side", [4, 8, 16])
+    def test_epsilon_bound(self, rng, side):
+        n = side * side
+        bound = revsort_epsilon_bound(n)
+        for _ in range(40):
+            out = revsort_nearsort(random_01(rng, side))
+            assert nearsortedness(out.reshape(-1)) <= bound
+
+    def test_count_preserved(self, rng):
+        m = random_01(rng, 16)
+        out = revsort_nearsort(m)
+        assert out.sum() == m.sum()
+
+    def test_all_ones_and_all_zeros(self):
+        for fill in (0, 1):
+            m = np.full((8, 8), fill, dtype=np.int8)
+            out = revsort_nearsort(m)
+            assert np.array_equal(out, m)
+            assert count_dirty_rows(out) == 0
+
+    def test_adversarial_stripes(self):
+        # Alternating columns: the hardest pattern for column sorting.
+        side = 16
+        m = np.zeros((side, side), dtype=np.int8)
+        m[:, ::2] = 1
+        out = revsort_nearsort(m)
+        assert is_block_sorted(out)
+        assert count_dirty_rows(out) <= revsort_dirty_row_bound(side * side)
+
+    def test_adversarial_checkerboard(self):
+        side = 16
+        m = np.indices((side, side)).sum(axis=0) % 2
+        out = revsort_nearsort(m.astype(np.int8))
+        assert is_block_sorted(out)
+        assert count_dirty_rows(out) <= revsort_dirty_row_bound(side * side)
+
+
+class TestDirtyRowBoundFormula:
+    def test_values(self):
+        # 2⌈n^{1/4}⌉ − 1.
+        assert revsort_dirty_row_bound(16) == 3
+        assert revsort_dirty_row_bound(256) == 7
+        assert revsort_dirty_row_bound(4096) == 15  # ⌈4096^{1/4}⌉ = 8
+        assert revsort_dirty_row_bound(65536) == 31
+
+    def test_epsilon_values(self):
+        assert revsort_epsilon_bound(256) == 7 * 16
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ConfigurationError):
+            revsort_dirty_row_bound(0)
+        with pytest.raises(ConfigurationError):
+            revsort_epsilon_bound(15)  # not a perfect square
+
+
+class TestRevsortReduce:
+    @pytest.mark.parametrize("side", [4, 8, 16, 32])
+    def test_eight_dirty_rows_after_repetitions(self, rng, side):
+        """Section 6: ⌈lg lg √n⌉ repetitions leave at most 8 dirty rows."""
+        reps = revsort_repetitions(side)
+        for _ in range(30):
+            out = revsort_reduce(random_01(rng, side), reps)
+            assert count_dirty_rows(out) <= 8
+
+    def test_requires_a_repetition(self):
+        with pytest.raises(ConfigurationError):
+            revsort_reduce(np.zeros((4, 4), dtype=np.int8), 0)
+
+
+class TestRevsortRepetitions:
+    def test_values(self):
+        assert revsort_repetitions(2) == 1    # q=1
+        assert revsort_repetitions(4) == 1    # q=2, ⌈lg 2⌉=1
+        assert revsort_repetitions(16) == 2   # q=4, ⌈lg 4⌉=2
+        assert revsort_repetitions(256) == 3  # q=8, ⌈lg 8⌉=3
+
+
+class TestRevsortFull:
+    @pytest.mark.parametrize("side", [2, 4, 8, 16, 32])
+    def test_fully_sorts_random(self, rng, side):
+        for _ in range(30):
+            out = revsort_full(random_01(rng, side))
+            assert is_row_major_sorted(out)
+
+    def test_fully_sorts_exhaustive_4x4_single_ones(self):
+        # Every single-1 matrix must sort to 1 in the top-left corner.
+        side = 4
+        for pos in range(side * side):
+            m = np.zeros(side * side, dtype=np.int8)
+            m[pos] = 1
+            out = revsort_full(m.reshape(side, side))
+            assert out[0, 0] == 1 and out.sum() == 1
+            assert is_row_major_sorted(out)
+
+    def test_count_preserved(self, rng):
+        m = random_01(rng, 16)
+        assert revsort_full(m).sum() == m.sum()

@@ -1,0 +1,190 @@
+"""Tests for the Revsort-based multichip partial concentrator
+(Section 4): behaviour, equivalence with Algorithm 1, Theorem 3's
+contract, the Figure 3 instance, and the resource model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util.bits import bit_reverse, ilg
+from repro.core.concentration import validate_partial_concentration
+from repro.core.nearsort import nearsortedness
+from repro.errors import ConfigurationError
+from repro.mesh.revsort import revsort_nearsort
+from repro.switches.revsort_switch import RevsortSwitch
+from tests.conftest import random_bits
+
+
+class TestConstruction:
+    def test_rejects_non_square(self):
+        with pytest.raises(ConfigurationError):
+            RevsortSwitch(60, 30)
+
+    def test_rejects_square_of_non_pow2(self):
+        with pytest.raises(ConfigurationError):
+            RevsortSwitch(36, 18)  # √36 = 6 not a power of two
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ConfigurationError):
+            RevsortSwitch(16, 0)
+        with pytest.raises(ConfigurationError):
+            RevsortSwitch(16, 17)
+
+    def test_side(self):
+        assert RevsortSwitch(64, 32).side == 8
+
+
+class TestEquivalenceWithAlgorithm1:
+    """The physical switch and Algorithm 1 move valid bits identically."""
+
+    @pytest.mark.parametrize("n", [4, 16, 64, 256])
+    def test_output_bits_match(self, rng, n):
+        switch = RevsortSwitch(n, n)
+        side = switch.side
+        for _ in range(30):
+            valid = random_bits(rng, n)
+            final = switch.final_positions(valid)
+            out = np.zeros(n, dtype=np.int8)
+            out[final] = valid.astype(np.int8)
+            expect = revsort_nearsort(
+                valid.astype(np.int8).reshape(side, side)
+            ).reshape(-1)
+            assert np.array_equal(out, expect)
+
+    def test_final_positions_is_permutation(self, rng):
+        switch = RevsortSwitch(64, 64)
+        valid = random_bits(rng, 64)
+        final = switch.final_positions(valid)
+        assert sorted(final) == list(range(64))
+
+
+class TestConcentrationContract:
+    @pytest.mark.parametrize("n,m", [(64, 48), (256, 200), (1024, 800)])
+    def test_partial_contract_random(self, rng, n, m):
+        switch = RevsortSwitch(n, m)
+        spec = switch.spec
+        for _ in range(40):
+            valid = random_bits(rng, n)
+            routing = switch.setup(valid)
+            validate_partial_concentration(spec, valid, routing.input_to_output)
+
+    @pytest.mark.parametrize("n,m", [(256, 200), (1024, 700)])
+    def test_light_load_routes_everything(self, rng, n, m):
+        """At k ≤ αm every valid message must get a path (Theorem 3 +
+        Lemma 2)."""
+        switch = RevsortSwitch(n, m)
+        cap = switch.spec.guaranteed_capacity
+        assert cap > 0, "test sizes must give a non-vacuous guarantee"
+        for k in {1, cap // 2, cap}:
+            if k < 1:
+                continue
+            valid = random_bits(rng, n, k)
+            assert switch.setup(valid).routed_count == k
+
+    def test_measured_epsilon_within_bound(self, rng):
+        n = 1024
+        switch = RevsortSwitch(n, n)
+        worst = 0
+        for _ in range(60):
+            valid = random_bits(rng, n)
+            final = switch.final_positions(valid)
+            out = np.zeros(n, dtype=np.int8)
+            out[final] = valid
+            worst = max(worst, nearsortedness(out))
+        assert worst <= switch.epsilon_bound
+
+    def test_full_and_empty_loads(self):
+        switch = RevsortSwitch(64, 32)
+        assert switch.setup(np.ones(64, dtype=bool)).routed_count == 32
+        assert switch.setup(np.zeros(64, dtype=bool)).routed_count == 0
+
+
+class TestFigure3Instance:
+    """The paper's Figure 3: n = 64, m = 28, 24 valid messages."""
+
+    def test_dimensions(self):
+        switch = RevsortSwitch(64, 28)
+        assert switch.side == 8
+        assert switch.chip_count == 24  # 3 stages of 8 chips
+        assert switch.data_pins_per_chip == 16  # 2√n
+
+    def test_figure3_instance_routes_fully(self):
+        """Figure 3 draws a concrete instance in which all 24 valid
+        messages reach the 28 outputs.  A deterministic such instance:
+        the 24 messages on the first three matrix rows stay within the
+        first 28 row-major positions after nearsorting."""
+        switch = RevsortSwitch(64, 28)
+        valid = np.zeros(64, dtype=bool)
+        valid[:24] = True
+        assert switch.setup(valid).routed_count == 24
+
+    def test_24_messages_mostly_routed(self, rng):
+        """Random 24-message instances route nearly all messages (the
+        figure's k=24 < m=28 regime); none may drop below the measured
+        dirty-window floor."""
+        switch = RevsortSwitch(64, 28)
+        routed = [
+            switch.setup(random_bits(rng, 64, 24)).routed_count for _ in range(200)
+        ]
+        assert min(routed) >= 20
+        assert max(routed) == 24  # fully routed instances exist
+        assert float(np.mean(routed)) > 22
+
+    def test_output_wires_per_chip(self):
+        """m = 28 = 4 wires from each of chips H3,0..H3,3 plus 3 wires
+        from each of H3,4..H3,7 (row-major restriction)."""
+        # Output wire index w < 28 corresponds to matrix position w:
+        # row i = w // 8 taken fully for i < 3, and row 3 partially.
+        per_chip = [0] * 8
+        for w in range(28):
+            chip = w % 8  # stage-3 chip j holds column j
+            per_chip[chip] += 1
+        assert per_chip == [4, 4, 4, 4, 3, 3, 3, 3]
+
+
+class TestResourceModel:
+    def test_pins_formula(self):
+        # 2√n + ⌈(lg n)/2⌉ (the barrel shifter's pins dominate).
+        switch = RevsortSwitch(256, 128)
+        assert switch.max_pins_per_chip == 2 * 16 + 4
+
+    def test_chip_count(self):
+        assert RevsortSwitch(256, 128).chip_count == 48  # 3·16
+
+    def test_barrel_shifters_hardwired_to_rev(self):
+        switch = RevsortSwitch(64, 32)
+        q = ilg(switch.side)
+        shifts = [b.shift for b in switch.barrel_shifters]
+        assert shifts == [bit_reverse(i, q) for i in range(switch.side)]
+
+    def test_gate_delays_scale(self):
+        """Delay = 3·(2 lg √n + pads) + barrel = 3 lg n + O(1)."""
+        import math
+
+        for n in (64, 256, 1024, 4096):
+            switch = RevsortSwitch(n, n // 2)
+            lg_n = int(math.log2(n))
+            assert switch.gate_delays == 3 * lg_n + 7  # 3 pads·2 + barrel
+
+    def test_stage_reports(self):
+        reports = RevsortSwitch(64, 32).stage_reports()
+        assert [r.name for r in reports] == [
+            "stage1-columns",
+            "stage2-rows",
+            "stage3-columns",
+        ]
+        assert all(r.chip_count == 8 for r in reports)
+        assert reports[1].extras["barrel_shifters"] == 8
+
+
+class TestMessageRouting:
+    def test_payloads_follow_paths(self, rng):
+        switch = RevsortSwitch(64, 48)
+        payloads: list[object | None] = [None] * 64
+        chosen = rng.choice(64, size=20, replace=False)
+        for i in chosen:
+            payloads[int(i)] = f"msg{i}"
+        outputs = switch.route(payloads)
+        delivered = [msg for msg in outputs if msg is not None]
+        assert sorted(delivered) == sorted(f"msg{i}" for i in chosen)

@@ -1,0 +1,84 @@
+"""Tests for the clocked setup controller of the prefix+butterfly
+switch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.switches.prefix_butterfly import PrefixButterflyHyperconcentrator
+from repro.switches.sequential_control import (
+    SequentialController,
+    setup_latency_comparison,
+)
+from tests.conftest import random_bits
+
+
+class TestController:
+    def test_setup_cycles_formula(self):
+        assert SequentialController(16).setup_cycles == 2 * 4 + 2
+        assert SequentialController(64).setup_cycles == 2 * 6 + 2
+
+    def test_prefix_sweep_converges(self, rng):
+        controller = SequentialController(32)
+        valid = random_bits(rng, 32)
+        trace = controller.run_setup(valid)
+        # Final snapshot is the inclusive prefix popcount.
+        expected = np.cumsum(valid.astype(np.int64))
+        assert np.array_equal(trace.rank_snapshots[-1], expected)
+
+    def test_intermediate_snapshots_are_windowed_counts(self, rng):
+        """After cycle t, counts[i] = popcount of window (i−2^t, i]."""
+        controller = SequentialController(16)
+        valid = random_bits(rng, 16)
+        trace = controller.run_setup(valid)
+        v = valid.astype(np.int64)
+        for t, snapshot in enumerate(trace.rank_snapshots):
+            width = 1 << (t + 1)
+            for i in range(16):
+                lo = max(0, i - width + 1)
+                assert snapshot[i] == v[lo : i + 1].sum(), (t, i)
+
+    def test_settings_match_functional_switch(self, rng):
+        n = 16
+        controller = SequentialController(n)
+        switch = PrefixButterflyHyperconcentrator(n)
+        for _ in range(20):
+            valid = random_bits(rng, n)
+            trace = controller.run_setup(valid)
+            switch.setup(valid)
+            for mine, theirs in zip(trace.settings, switch.switch_settings()):
+                assert np.array_equal(mine, theirs)
+
+    def test_trace_cycles(self, rng):
+        controller = SequentialController(8)
+        trace = controller.run_setup(random_bits(rng, 8))
+        assert trace.cycles == controller.setup_cycles
+        assert len(trace.rank_snapshots) == 3
+        assert len(trace.settings) == 3
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            SequentialController(1)
+        with pytest.raises(ConfigurationError):
+            SequentialController(12)
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(SimulationError):
+            SequentialController(8).run_setup(np.zeros(4, dtype=bool))
+
+
+class TestLatencyComparison:
+    def test_table_shape(self):
+        rows = setup_latency_comparison([16, 64, 256])
+        assert [r["n"] for r in rows] == [16, 64, 256]
+        for row in rows:
+            assert row["combinational chip setup cycles"] == 1
+            assert row["prefix+butterfly setup cycles"] > 1
+
+    def test_latency_grows_logarithmically(self):
+        rows = setup_latency_comparison([16, 256])
+        # lg 256 / lg 16 = 2: cycles 2q+2 go from 10 to 18.
+        assert rows[0]["prefix+butterfly setup cycles"] == 10
+        assert rows[1]["prefix+butterfly setup cycles"] == 18

@@ -1,0 +1,69 @@
+"""Tests for Shearsort (the Section 6 finishing stage)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mesh.analysis import count_dirty_rows, is_row_major_sorted
+from repro.mesh.shearsort import shearsort, shearsort_iteration
+
+
+def random_01(rng, r, c):
+    return (rng.random((r, c)) < rng.random()).astype(np.int8)
+
+
+class TestShearsortIteration:
+    def test_count_preserved(self, rng):
+        m = random_01(rng, 8, 8)
+        assert shearsort_iteration(m).sum() == m.sum()
+
+    def test_halves_dirty_rows(self, rng):
+        """For a matrix already in shearsort form (one iteration done),
+        each further iteration at least halves the dirty rows — the
+        classical halving argument, checked empirically."""
+        for _ in range(40):
+            m = shearsort_iteration(random_01(rng, 16, 16))
+            before = count_dirty_rows(m)
+            after = count_dirty_rows(shearsort_iteration(m))
+            assert after <= max(1, -(-before // 2))
+
+    def test_three_iterations_clean_eight_dirty_rows(self, rng):
+        """Section 6: three iterations finish a matrix with ≤8 dirty
+        rows (modulo the final row-direction fixup)."""
+        side = 16
+        for _ in range(40):
+            # Construct: clean 1-rows, 8 random rows, clean 0-rows.
+            ones = int(rng.integers(0, side - 8))
+            m = np.zeros((side, side), dtype=np.int8)
+            m[:ones] = 1
+            m[ones:ones + 8] = (rng.random((8, side)) < rng.random()).astype(np.int8)
+            out = m
+            for _ in range(3):
+                out = shearsort_iteration(out)
+            assert count_dirty_rows(out) <= 1
+
+    def test_rejects_1d(self):
+        with pytest.raises(ConfigurationError):
+            shearsort_iteration(np.array([1, 0]))
+
+
+class TestShearsort:
+    @pytest.mark.parametrize("shape", [(4, 4), (8, 8), (16, 16), (8, 4), (5, 7)])
+    def test_fully_sorts(self, rng, shape):
+        for _ in range(30):
+            out = shearsort(random_01(rng, *shape))
+            assert is_row_major_sorted(out)
+
+    def test_single_row(self, rng):
+        out = shearsort(random_01(rng, 1, 8))
+        assert is_row_major_sorted(out)
+
+    def test_single_column(self, rng):
+        out = shearsort(random_01(rng, 8, 1))
+        assert is_row_major_sorted(out)
+
+    def test_count_preserved(self, rng):
+        m = random_01(rng, 8, 8)
+        assert shearsort(m).sum() == m.sum()

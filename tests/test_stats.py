@@ -1,0 +1,93 @@
+"""Tests for the statistical helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    Interval,
+    bootstrap_mean,
+    proportions_differ,
+    wilson_interval,
+)
+from repro.errors import ConfigurationError
+
+
+class TestWilson:
+    def test_contains_true_proportion_typically(self, rng):
+        """Coverage sanity: ~95% of intervals contain the truth."""
+        p_true = 0.3
+        hits = 0
+        runs = 200
+        for _ in range(runs):
+            successes = int((rng.random(100) < p_true).sum())
+            if wilson_interval(successes, 100).contains(p_true):
+                hits += 1
+        assert hits / runs > 0.85
+
+    def test_zero_successes_includes_zero_but_not_half(self):
+        iv = wilson_interval(0, 50)
+        assert iv.low == 0.0
+        assert iv.high < 0.15
+
+    def test_all_successes(self):
+        iv = wilson_interval(50, 50)
+        assert iv.high == 1.0
+        assert iv.low > 0.85
+
+    def test_width_shrinks_with_trials(self):
+        small = wilson_interval(5, 10)
+        large = wilson_interval(500, 1000)
+        assert large.width < small.width
+
+    def test_higher_confidence_wider(self):
+        assert (
+            wilson_interval(30, 100, 0.99).width
+            > wilson_interval(30, 100, 0.90).width
+        )
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            wilson_interval(1, 0)
+        with pytest.raises(ConfigurationError):
+            wilson_interval(5, 4)
+        with pytest.raises(ConfigurationError):
+            wilson_interval(1, 10, confidence=0.5)
+
+
+class TestBootstrap:
+    def test_contains_mean_of_tight_data(self):
+        data = np.array([10.0, 10.1, 9.9, 10.05, 9.95] * 10)
+        iv = bootstrap_mean(data, seed=1)
+        assert iv.contains(10.0)
+        assert iv.width < 0.2
+
+    def test_deterministic_given_seed(self):
+        data = np.arange(20, dtype=float)
+        a = bootstrap_mean(data, seed=2)
+        b = bootstrap_mean(data, seed=2)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_rejects_tiny_samples(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean(np.array([1.0]))
+
+
+class TestProportionsDiffer:
+    def test_clearly_different(self):
+        assert proportions_differ(5, 1000, 300, 1000)
+
+    def test_identical_not_different(self):
+        assert not proportions_differ(100, 1000, 100, 1000)
+
+    def test_small_samples_inconclusive(self):
+        # 1/10 vs 3/10: intervals overlap, so no claim.
+        assert not proportions_differ(1, 10, 3, 10)
+
+
+class TestInterval:
+    def test_contains(self):
+        iv = Interval(estimate=0.5, low=0.4, high=0.6, confidence=0.95)
+        assert iv.contains(0.4) and iv.contains(0.6)
+        assert not iv.contains(0.61)

@@ -1,0 +1,107 @@
+"""Tests for the public repro.testing helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.switches.base import Routing
+from repro.switches.columnsort_switch import ColumnsortSwitch
+from repro.switches.hyperconcentrator import Hyperconcentrator
+from repro.switches.perfect import PerfectConcentrator
+from repro.switches.revsort_switch import RevsortSwitch
+from repro.testing import (
+    adversarial_valid_bits,
+    check_concentrator,
+    random_valid_bits,
+)
+
+
+class TestRandomValidBits:
+    def test_exact_k(self):
+        bits = random_valid_bits(32, k=7, seed=1)
+        assert bits.sum() == 7
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            random_valid_bits(16, seed=2), random_valid_bits(16, seed=2)
+        )
+
+
+class TestCheckConcentrator:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: Hyperconcentrator(16),
+            lambda: PerfectConcentrator(32, 16),
+            lambda: RevsortSwitch(64, 48),
+            lambda: ColumnsortSwitch(16, 4, 48),
+        ],
+    )
+    def test_healthy_switches_pass(self, factory):
+        report = check_concentrator(factory(), trials=40, seed=3)
+        assert report.ok, report.failures
+
+    def test_reports_epsilon_for_nearsorters(self):
+        report = check_concentrator(ColumnsortSwitch(16, 4, 64), trials=40, seed=4)
+        assert report.worst_epsilon is not None
+        assert report.epsilon_bound == 9
+        assert report.worst_epsilon <= 9
+
+    def test_no_epsilon_for_plain_switches(self):
+        report = check_concentrator(Hyperconcentrator(8), trials=10, seed=5)
+        assert report.worst_epsilon is None
+
+    def test_detects_broken_switch(self):
+        class Liar(PerfectConcentrator):
+            """Claims perfection, silently drops one message."""
+
+            def setup(self, valid):
+                routing = super().setup(valid)
+                broken = routing.input_to_output.copy()
+                routed = np.flatnonzero(broken >= 0)
+                if routed.size:
+                    broken[routed[0]] = -1
+                return Routing(
+                    n_inputs=self.n,
+                    n_outputs=self.m,
+                    valid=routing.valid,
+                    input_to_output=broken,
+                )
+
+        report = check_concentrator(Liar(16, 8), trials=20, seed=6)
+        assert not report.ok
+        assert any("contract violation" in f for f in report.failures)
+
+    def test_detects_nondeterminism(self):
+        class Flaky(Hyperconcentrator):
+            def __init__(self, n):
+                super().__init__(n)
+                self._flip = False
+
+            def setup(self, valid):
+                routing = super().setup(valid)
+                self._flip = not self._flip
+                if self._flip and valid.sum() >= 2:
+                    swapped = routing.input_to_output.copy()
+                    idx = np.flatnonzero(swapped >= 0)[:2]
+                    swapped[idx] = swapped[idx][::-1]
+                    return Routing(
+                        n_inputs=self.n,
+                        n_outputs=self.m,
+                        valid=routing.valid,
+                        input_to_output=swapped,
+                    )
+                return routing
+
+        report = check_concentrator(Flaky(16), trials=20, seed=7)
+        assert not report.ok
+        assert any("nondeterministic" in f for f in report.failures)
+
+
+class TestAdversarialValidBits:
+    def test_produces_congesting_pattern_when_possible(self):
+        switch = ColumnsortSwitch(16, 4, 60)
+        bits = adversarial_valid_bits(switch, seed=8)
+        routing = switch.setup(bits)
+        assert routing.routed_count < int(bits.sum())  # drops found
