@@ -10,8 +10,6 @@ loss model.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro._util.rng import default_rng
 from repro.analysis.tables import render_table
 from repro.network.analytic import knockout_loss_analytic

@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 
 from repro._util.rng import default_rng
-from repro.analysis.adversarial import epsilon_objective, hill_climb
+from repro.analysis.adversarial import hill_climb
 from repro.analysis.tables import render_table
 from repro.switches.iterated_columnsort import IteratedColumnsortSwitch
 

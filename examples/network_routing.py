@@ -18,8 +18,6 @@ Run:  python examples/network_routing.py
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro import ColumnsortSwitch, Message, PerfectConcentrator, RevsortSwitch
 from repro._util.rng import default_rng
 from repro.analysis import render_table

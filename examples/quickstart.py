@@ -8,8 +8,6 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro import (
     BitSerialSimulator,
     ColumnsortSwitch,

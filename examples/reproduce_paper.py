@@ -11,8 +11,6 @@ of the whole reproduction:
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 from repro import (

@@ -35,6 +35,15 @@ Quickstart
 100
 """
 
+import logging as _logging
+
+# Standard library-package practice: never configure the root logger
+# from library code; attach a NullHandler so "repro.*" loggers are safe
+# to use before (or without) any application logging setup.  The CLI
+# installs a real handler driven by --log-level / $REPRO_LOG.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
+from repro import obs
 from repro.core.concentration import (
     ConcentratorSpec,
     lemma2_load_ratio,
@@ -67,6 +76,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BitSerialSimulator",
+    "obs",
     "ColumnsortSwitch",
     "ConcentratorSpec",
     "ConcentratorSwitch",

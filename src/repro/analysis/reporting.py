@@ -58,6 +58,18 @@ class ReportBuilder:
         ]
         self._sections.append((heading, "\n".join(lines)))
 
+    def add_metrics(
+        self, heading: str, snapshot: Mapping[str, object], note: str | None = None
+    ) -> None:
+        """Add an observability section from a :mod:`repro.obs`
+        registry snapshot (counters/gauges/histograms/spans)."""
+        from repro.obs.export import metrics_markdown
+
+        body = metrics_markdown(dict(snapshot))
+        if note:
+            body += f"\n\n{note.strip()}"
+        self._sections.append((heading, body))
+
     @property
     def section_count(self) -> int:
         return len(self._sections)

@@ -25,10 +25,14 @@ Six subcommands mirroring the paper's artifacts::
 from __future__ import annotations
 
 import argparse
+import contextlib
+import logging
+import os
 import sys
 
 import numpy as np
 
+from repro import obs
 from repro._util.bits import ilg
 from repro._util.rng import default_rng
 from repro.analysis.tables import render_table
@@ -38,11 +42,45 @@ from repro.errors import ReproError
 from repro.hardware.costs import columnsort_measures, revsort_measures, table1
 
 
+_LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def _setup_logging(level_name: str) -> None:
+    """Attach one stream handler to the ``repro`` logger (the library
+    itself only ever adds a NullHandler)."""
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, level_name.upper()))
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        logger.addHandler(handler)
+
+
+@contextlib.contextmanager
+def _metrics_scope(args: argparse.Namespace):
+    """Collect obs metrics around a command when ``--metrics-out`` was
+    given; otherwise leave the null registry installed."""
+    out = getattr(args, "metrics_out", None)
+    if not out:
+        yield None
+        return
+    with obs.collecting() as registry:
+        yield registry
+    try:
+        path = obs.write_metrics_json(registry.snapshot(), out)
+    except OSError as exc:
+        raise ReproError(f"cannot write metrics to {out}: {exc}") from exc
+    print(f"metrics written to {path}")
+
+
 def _build_switch(args: argparse.Namespace):
     from repro.switches.registry import build_switch
 
+    name = getattr(args, "switch_name", None) or args.switch
     return build_switch(
-        args.switch, n=args.n, m=args.m, r=args.r, s=args.s, beta=args.beta
+        name, n=args.n, m=args.m, r=args.r, s=args.s, beta=args.beta
     )
 
 
@@ -105,31 +143,33 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.network.simulate import SwitchSimulation
     from repro.network.traffic import BernoulliTraffic
 
-    switch = _build_switch(args)
-    policy = {
-        "drop": DropPolicy,
-        "buffer": BufferPolicy,
-        "resend": ResendPolicy,
-    }[args.policy]()
-    traffic = BernoulliTraffic(switch.n, p=args.load, seed=args.seed)
-    summary = SwitchSimulation(switch, traffic, policy, seed=args.seed).run(
-        rounds=args.rounds
-    )
-    print(
-        render_table(
-            [
-                {
-                    "switch": repr(switch),
-                    "rounds": summary.rounds,
-                    "offered": summary.offered,
-                    "delivered": summary.delivered,
-                    "lost": summary.lost,
-                    "loss rate": f"{summary.loss_rate:.4f}",
-                }
-            ],
-            title="simulation summary",
+    with _metrics_scope(args):
+        switch = _build_switch(args)
+        policy = {
+            "drop": DropPolicy,
+            "buffer": BufferPolicy,
+            "resend": ResendPolicy,
+        }[args.policy]()
+        traffic = BernoulliTraffic(switch.n, p=args.load, seed=args.seed)
+        summary = SwitchSimulation(switch, traffic, policy, seed=args.seed).run(
+            rounds=args.rounds
         )
-    )
+        print(
+            render_table(
+                [
+                    {
+                        "switch": repr(switch),
+                        "rounds": summary.rounds,
+                        "offered": summary.offered,
+                        "delivered": summary.delivered,
+                        "lost": summary.lost,
+                        "retried": summary.retried,
+                        "loss rate": f"{summary.loss_rate:.4f}",
+                    }
+                ],
+                title="simulation summary",
+            )
+        )
     return 0
 
 
@@ -174,28 +214,29 @@ def cmd_knockout(args: argparse.Namespace) -> int:
     from repro.network.knockout import knockout_loss_curve
 
     l_values = [1, 2, 4, 8]
-    sim = knockout_loss_curve(
-        args.ports,
-        loads=[args.load],
-        l_values=l_values,
-        slots=args.slots,
-        seed=args.seed,
-    )
-    rows = []
-    for L in l_values:
-        rows.append(
-            {
-                "L": L,
-                "analytic loss": f"{knockout_loss_analytic(args.ports, args.load, L):.5f}",
-                "simulated loss": f"{sim[(args.load, L)]:.5f}",
-            }
+    with _metrics_scope(args):
+        sim = knockout_loss_curve(
+            args.ports,
+            loads=[args.load],
+            l_values=l_values,
+            slots=args.slots,
+            seed=args.seed,
         )
-    print(
-        render_table(
-            rows,
-            title=f"knockout concentrator loss (N={args.ports}, load={args.load})",
+        rows = []
+        for L in l_values:
+            rows.append(
+                {
+                    "L": L,
+                    "analytic loss": f"{knockout_loss_analytic(args.ports, args.load, L):.5f}",
+                    "simulated loss": f"{sim[(args.load, L)]:.5f}",
+                }
+            )
+        print(
+            render_table(
+                rows,
+                title=f"knockout concentrator loss (N={args.ports}, load={args.load})",
+            )
         )
-    )
     return 0
 
 
@@ -213,38 +254,78 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
 
     output = getattr(args, "output", None)
     if output:
-        import contextlib
         import io
 
-        buffer = io.StringIO()
-        try:
-            with contextlib.redirect_stdout(buffer):
-                module.main()
-            code = 0
-        except SystemExit as exc:
-            code = int(exc.code) if exc.code else 1
-        text = buffer.getvalue()
-        print(text, end="")
+        with _metrics_scope(args) as registry:
+            buffer = io.StringIO()
+            try:
+                with contextlib.redirect_stdout(buffer):
+                    module.main()
+                code = 0
+            except SystemExit as exc:
+                code = int(exc.code) if exc.code else 1
+            text = buffer.getvalue()
+            print(text, end="")
 
-        from repro.analysis.reporting import ReportBuilder
+            from repro.analysis.reporting import ReportBuilder
 
-        builder = ReportBuilder(
-            title="Reproduction report — Cormen 1987, multichip partial "
-            "concentrator switches"
-        )
-        builder.add_text("Full run transcript", f"```\n{text.strip()}\n```")
-        builder.add_text(
-            "Verdict",
-            "All checks passed." if code == 0 else "SOME CHECKS FAILED.",
-        )
-        path = builder.write(output)
-        print(f"report written to {path}")
+            builder = ReportBuilder(
+                title="Reproduction report — Cormen 1987, multichip partial "
+                "concentrator switches"
+            )
+            builder.add_text("Full run transcript", f"```\n{text.strip()}\n```")
+            builder.add_text(
+                "Verdict",
+                "All checks passed." if code == 0 else "SOME CHECKS FAILED.",
+            )
+            if registry is not None:
+                builder.add_metrics(
+                    "Metrics",
+                    registry.snapshot(),
+                    note="Collected by `repro.obs`; see docs/observability.md.",
+                )
+            path = builder.write(output)
+            print(f"report written to {path}")
         return code
 
-    try:
-        module.main()
-    except SystemExit as exc:
-        return int(exc.code) if exc.code else 1
+    with _metrics_scope(args):
+        try:
+            module.main()
+        except SystemExit as exc:
+            return int(exc.code) if exc.code else 1
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    rows = obs.catalog_rows()
+    if args.demo:
+        from repro.messages.congestion import DropPolicy
+        from repro.network.simulate import SwitchSimulation
+        from repro.network.traffic import BernoulliTraffic
+        from repro.switches.registry import build_switch
+
+        with obs.collecting() as registry:
+            switch = build_switch("revsort", n=64, m=48, r=0, s=0, beta=0.75)
+            traffic = BernoulliTraffic(switch.n, p=0.8, seed=0)
+            SwitchSimulation(switch, traffic, DropPolicy(), seed=0).run(rounds=20)
+        snapshot = registry.snapshot()
+        if args.format == "json":
+            import json
+
+            print(json.dumps(snapshot, indent=2))
+        else:
+            print(obs.metrics_markdown(snapshot))
+        return 0
+    if args.format == "json":
+        import json
+
+        print(json.dumps(rows, indent=2))
+    else:
+        print(render_table(rows, title="repro.obs metric catalog"))
+        print(
+            "every span also fills a '<name>.seconds' histogram; "
+            "collect with --metrics-out on simulate/knockout/reproduce"
+        )
     return 0
 
 
@@ -252,6 +333,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Multichip partial concentrator switches (Cormen 1987)",
+    )
+    env_level = os.environ.get("REPRO_LOG", "warning").lower()
+    parser.add_argument(
+        "--log-level",
+        choices=_LOG_LEVELS,
+        default=env_level if env_level in _LOG_LEVELS else "warning",
+        help="logging threshold for the 'repro' logger "
+        "(default: $REPRO_LOG or warning)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -271,6 +360,14 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name)
         from repro.switches.registry import available
 
+        p.add_argument(
+            "switch_name",
+            nargs="?",
+            choices=available(),
+            default=None,
+            metavar="SWITCH",
+            help="switch to use (same as --switch)",
+        )
         p.add_argument("--switch", choices=available(), default="revsort")
         p.add_argument("--n", type=int, default=256)
         p.add_argument("--m", type=int, default=192)
@@ -284,6 +381,11 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument(
                 "--policy", choices=["drop", "buffer", "resend"], default="drop"
             )
+            p.add_argument(
+                "--metrics-out",
+                default=None,
+                help="collect repro.obs metrics and write a JSON snapshot here",
+            )
         else:
             p.add_argument("--trials", type=int, default=100)
         p.set_defaults(func=func)
@@ -293,22 +395,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--load", type=float, default=0.9)
     p.add_argument("--slots", type=int, default=300)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--metrics-out",
+        default=None,
+        help="collect repro.obs metrics and write a JSON snapshot here",
+    )
     p.set_defaults(func=cmd_knockout)
 
     p = sub.add_parser("reproduce", help="run the full reproduction report")
     p.add_argument("--output", default=None, help="also write a Markdown report here")
+    p.add_argument(
+        "--metrics-out",
+        default=None,
+        help="collect repro.obs metrics and write a JSON snapshot here "
+        "(with --output, also adds a Metrics section to the report)",
+    )
     p.set_defaults(func=cmd_reproduce)
+
+    p = sub.add_parser(
+        "obs", help="list the observability metric catalog (or run a demo)"
+    )
+    p.add_argument("--format", choices=["table", "json"], default="table")
+    p.add_argument(
+        "--demo",
+        action="store_true",
+        help="run a small instrumented simulation and print its snapshot",
+    )
+    p.set_defaults(func=cmd_obs)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _setup_logging(args.log_level)
     try:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # stdout's reader (e.g. `| head`) went away — exit quietly
+        # instead of spewing a traceback.  Redirect stdout to devnull
+        # so the interpreter's shutdown flush doesn't raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -16,10 +16,11 @@ actually meets.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import CircuitError
 from repro.gates.netlist import Circuit, Op
 
@@ -126,11 +127,18 @@ class EventSimulator:
             for sink in self._fanout[wire]:
                 sink_gate = gates_by_output[sink]
                 heapq.heappush(queue, (time + sink_gate.op.delay, sink))
-        return TimingResult(
+        result = TimingResult(
             settle_time=settle,
             final_values=values,
             transitions_per_wire=transitions,
         )
+        reg = obs.get_registry()
+        if reg.enabled:
+            reg.counter("gates.transitions").inc()
+            reg.counter("gates.wire_events").inc(result.total_transitions)
+            reg.histogram("gates.settle_time").observe(settle)
+            reg.histogram("gates.glitches").observe(result.glitches())
+        return result
 
     def measure_settle_time(self, trials: int, rng: np.random.Generator) -> int:
         """Worst observed settle time over random input transitions."""

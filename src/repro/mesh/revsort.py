@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro._util.bits import bit_reverse, ceil_div, ilg
+from repro._util.bits import bit_reverse, ilg
 from repro.errors import ConfigurationError
 from repro.mesh.grid import sort_columns, sort_rows
 from repro.mesh.shearsort import shearsort_iteration

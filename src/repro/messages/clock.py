@@ -13,8 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
+from repro import obs
 from repro.errors import ConfigurationError, SimulationError
 from repro.messages.congestion import CongestionPolicy, DropPolicy, ResendPolicy
 from repro.messages.message import Message
@@ -128,5 +127,6 @@ class WavePipeline:
                 )
             )
             summary.payload_bits_delivered += len(record.delivered) * self.payload_bits
+            obs.counter("pipeline.waves").inc()
         summary.total_cycles = waves * self.cycles_per_wave
         return summary

@@ -17,6 +17,7 @@ from abc import ABC, abstractmethod
 from collections import deque
 from dataclasses import dataclass
 
+from repro import obs
 from repro.messages.message import Message
 
 
@@ -40,6 +41,18 @@ class CongestionPolicy(ABC):
     def __init__(self) -> None:
         self.stats = PolicyStats()
 
+    def _count_dropped(self, amount: int = 1) -> None:
+        """Record permanent losses (stats + the obs layer)."""
+        self.stats.dropped += amount
+        if amount:
+            obs.counter("congestion.dropped", policy=type(self).__name__).inc(amount)
+
+    def _count_retried(self, amount: int = 1) -> None:
+        """Record messages queued for a later round."""
+        self.stats.retried += amount
+        if amount:
+            obs.counter("congestion.retried", policy=type(self).__name__).inc(amount)
+
     @abstractmethod
     def on_unrouted(self, messages: list[Message], round_index: int) -> None:
         """Called with the messages the switch failed to route."""
@@ -59,7 +72,7 @@ class DropPolicy(CongestionPolicy):
     """Drop unrouted messages outright (loss is permanent)."""
 
     def on_unrouted(self, messages: list[Message], round_index: int) -> None:
-        self.stats.dropped += len(messages)
+        self._count_dropped(len(messages))
 
     def backlog(self) -> list[Message]:
         return []
@@ -85,10 +98,10 @@ class BufferPolicy(CongestionPolicy):
     def on_unrouted(self, messages: list[Message], round_index: int) -> None:
         for msg in messages:
             if self.capacity is not None and len(self._queue) >= self.capacity:
-                self.stats.dropped += 1
+                self._count_dropped()
             else:
                 self._queue.append(msg)
-                self.stats.retried += 1
+                self._count_retried()
         self.depth_history.append(len(self._queue))
 
     def backlog(self) -> list[Message]:
@@ -130,12 +143,12 @@ class ResendPolicy(CongestionPolicy):
             attempts = self._attempts.get(msg.tag, 0) + 1
             self._attempts[msg.tag] = attempts
             if attempts > self.max_retries:
-                self.stats.dropped += 1
+                self._count_dropped()
             else:
                 self._pending.append(
                     _Pending(message=msg, resend_round=round_index + self.ack_timeout)
                 )
-                self.stats.retried += 1
+                self._count_retried()
 
     def backlog(self) -> list[Message]:
         # Called at the start of a round; release everything due.  The

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.messages.message import Message
 from repro.switches.base import ConcentratorSwitch, Routing
@@ -67,6 +68,19 @@ class BitSerialSimulator:
         if len(lengths) > 1:
             raise SimulationError(f"misaligned payload lengths: {sorted(lengths)}")
         length = lengths.pop() if lengths else 0
+
+        with obs.span("serial.transit", inputs=n, payload_bits=length):
+            record = self._transit(messages, n, m, length)
+        reg = obs.get_registry()
+        if reg.enabled:
+            reg.counter("serial.transits").inc()
+            reg.counter("serial.cycles").inc(record.cycles)
+            reg.histogram("serial.transit_cycles").observe(record.cycles)
+        return record
+
+    def _transit(
+        self, messages: list[Message | None], n: int, m: int, length: int
+    ) -> TransitRecord:
 
         # Cycle 0: setup.
         valid = np.array([msg is not None for msg in messages], dtype=bool)

@@ -20,15 +20,19 @@ packet per slot (the output line rate).
 
 from __future__ import annotations
 
+import logging
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.switches.base import ConcentratorSwitch
 from repro.switches.perfect import PerfectConcentrator
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -118,7 +122,12 @@ class KnockoutSwitch:
             raise ConfigurationError(
                 f"expected {self.ports} input slots, got {len(packets)}"
             )
-        self.stats.offered += sum(1 for p in packets if p is not None)
+        offered = sum(1 for p in packets if p is not None)
+        self.stats.offered += offered
+        reg = obs.get_registry()
+        knocked_before = self.stats.knocked_out
+        overflow_before = self.stats.buffer_overflow
+        delivered_before = self.stats.delivered
 
         for out_port, conc in enumerate(self.concentrators):
             valid = np.array(
@@ -148,6 +157,17 @@ class KnockoutSwitch:
                 outputs[out_port] = fifo.popleft()
                 self.stats.delivered += 1
                 self.stats.per_output_delivered[out_port] += 1
+        if reg.enabled:
+            reg.counter("knockout.offered").inc(offered)
+            reg.counter("knockout.knocked_out").inc(
+                self.stats.knocked_out - knocked_before
+            )
+            reg.counter("knockout.buffer_overflow").inc(
+                self.stats.buffer_overflow - overflow_before
+            )
+            reg.counter("knockout.delivered").inc(
+                self.stats.delivered - delivered_before
+            )
         return outputs
 
     def queue_lengths(self) -> list[int]:
@@ -197,17 +217,22 @@ def knockout_loss_curve(
     results: dict[tuple[float, int], float] = {}
     for p in loads:
         for L in l_values:
-            switch = KnockoutSwitch(
-                ports,
-                L,
-                buffer_depth=buffer_depth,
-                concentrator_factory=concentrator_factory,
-            )
-            for packets in uniform_packet_traffic(ports, p, slots, seed=seed):
-                switch.step(packets)
-            switch.drain()
-            offered = switch.stats.offered
-            results[(p, L)] = (
-                switch.stats.knocked_out / offered if offered else 0.0
+            with obs.span("knockout.config", load=p, L=L):
+                switch = KnockoutSwitch(
+                    ports,
+                    L,
+                    buffer_depth=buffer_depth,
+                    concentrator_factory=concentrator_factory,
+                )
+                for packets in uniform_packet_traffic(ports, p, slots, seed=seed):
+                    switch.step(packets)
+                switch.drain()
+                offered = switch.stats.offered
+                results[(p, L)] = (
+                    switch.stats.knocked_out / offered if offered else 0.0
+                )
+            logger.debug(
+                "knockout load=%.3f L=%d: offered=%d knocked_out=%d",
+                p, L, offered, switch.stats.knocked_out,
             )
     return results

@@ -18,36 +18,55 @@ everything; past m, both saturate at m.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro._util.rng import default_rng
 from repro.errors import ConfigurationError
 from repro.messages.congestion import CongestionPolicy, DropPolicy, ResendPolicy
 from repro.messages.message import Message
 from repro.switches.base import ConcentratorSwitch
 
+logger = logging.getLogger(__name__)
+
 
 @dataclass(frozen=True)
 class RoundResult:
-    """Outcome of one simulated round."""
+    """Outcome of one simulated round.
+
+    ``unrouted`` counts the messages the switch failed to route this
+    round; the congestion policy then splits them into ``lost``
+    (permanently dropped) and ``retried`` (queued for a later round),
+    so ``unrouted == lost + retried`` always holds.
+    """
 
     round_index: int
     offered: int
     injected: int
     delivered: int
     unrouted: int
+    lost: int = 0
+    retried: int = 0
 
 
 @dataclass
 class SimulationSummary:
-    """Aggregate statistics over a run."""
+    """Aggregate statistics over a run.
+
+    The totals are accumulated round by round from the same numbers
+    recorded in ``per_round``, so the two views (and the metrics the
+    :mod:`repro.obs` layer collects) cannot disagree:
+    ``lost == sum(r.lost)`` and ``retried == sum(r.retried)``.
+    """
 
     rounds: int = 0
     offered: int = 0
     delivered: int = 0
     lost: int = 0
+    retried: int = 0
     per_round: list[RoundResult] = field(default_factory=list)
 
     @property
@@ -80,53 +99,82 @@ class SwitchSimulation:
 
     def run(self, rounds: int) -> SimulationSummary:
         summary = SimulationSummary()
-        for round_index in range(rounds):
-            fresh = self.traffic.next_round()
-            offered = sum(1 for msg in fresh if msg is not None)
-            self.policy.on_offered(offered)
-
-            # Merge the policy's backlog into idle input slots.
-            if isinstance(self.policy, ResendPolicy):
-                backlog = self.policy.backlog_due(round_index)
-            else:
-                backlog = self.policy.backlog()
-            injected = list(fresh)
-            overflow: list[Message] = []
-            if backlog:
-                idle = [i for i, msg in enumerate(injected) if msg is None]
-                self.rng.shuffle(idle)
-                for msg, slot in zip(backlog, idle):
-                    injected[slot] = msg
-                overflow = backlog[len(idle):]
-
-            valid = np.array([msg is not None for msg in injected], dtype=bool)
-            routing = self.switch.setup(valid)
-            unrouted = [
-                injected[i]
-                for i in np.flatnonzero(valid)
-                if routing.input_to_output[i] < 0
-            ] + overflow
-            # ``unrouted`` contains the switch failures plus the backlog
-            # overflow that never found an idle slot this round.
-            delivered = int(valid.sum()) - (len(unrouted) - len(overflow))
-
-            self.policy.on_delivered(delivered)
-            self.policy.on_unrouted(unrouted, round_index)
-
-            summary.rounds += 1
-            summary.offered += offered
-            summary.delivered += delivered
-            summary.per_round.append(
-                RoundResult(
-                    round_index=round_index,
-                    offered=offered,
-                    injected=int(valid.sum()),
-                    delivered=delivered,
-                    unrouted=len(unrouted),
-                )
-            )
-        summary.lost = self.policy.stats.dropped
+        reg = obs.get_registry()
+        with reg.span("sim.run", rounds=rounds, switch=repr(self.switch)):
+            for round_index in range(rounds):
+                with reg.span("sim.round", round=round_index):
+                    self._run_round(round_index, summary, reg)
+        logger.debug(
+            "simulated %d rounds: offered=%d delivered=%d lost=%d retried=%d",
+            summary.rounds, summary.offered, summary.delivered,
+            summary.lost, summary.retried,
+        )
         return summary
+
+    def _run_round(
+        self, round_index: int, summary: SimulationSummary, reg
+    ) -> None:
+        fresh = self.traffic.next_round()
+        offered = sum(1 for msg in fresh if msg is not None)
+        self.policy.on_offered(offered)
+
+        # Merge the policy's backlog into idle input slots.
+        if isinstance(self.policy, ResendPolicy):
+            backlog = self.policy.backlog_due(round_index)
+        else:
+            backlog = self.policy.backlog()
+        injected = list(fresh)
+        overflow: list[Message] = []
+        if backlog:
+            idle = [i for i, msg in enumerate(injected) if msg is None]
+            self.rng.shuffle(idle)
+            for msg, slot in zip(backlog, idle):
+                injected[slot] = msg
+            overflow = backlog[len(idle):]
+
+        valid = np.array([msg is not None for msg in injected], dtype=bool)
+        routing = self.switch.setup(valid)
+        unrouted = [
+            injected[i]
+            for i in np.flatnonzero(valid)
+            if routing.input_to_output[i] < 0
+        ] + overflow
+        # ``unrouted`` contains the switch failures plus the backlog
+        # overflow that never found an idle slot this round.
+        delivered = int(valid.sum()) - (len(unrouted) - len(overflow))
+
+        self.policy.on_delivered(delivered)
+        # The policy decides each unrouted message's fate; the deltas in
+        # its counters are this round's losses and retries.
+        dropped_before = self.policy.stats.dropped
+        retried_before = self.policy.stats.retried
+        self.policy.on_unrouted(unrouted, round_index)
+        lost = self.policy.stats.dropped - dropped_before
+        retried = self.policy.stats.retried - retried_before
+
+        summary.rounds += 1
+        summary.offered += offered
+        summary.delivered += delivered
+        summary.lost += lost
+        summary.retried += retried
+        summary.per_round.append(
+            RoundResult(
+                round_index=round_index,
+                offered=offered,
+                injected=int(valid.sum()),
+                delivered=delivered,
+                unrouted=len(unrouted),
+                lost=lost,
+                retried=retried,
+            )
+        )
+        if reg.enabled:
+            reg.counter("sim.rounds").inc()
+            reg.counter("sim.offered").inc(offered)
+            reg.counter("sim.injected").inc(int(valid.sum()))
+            reg.counter("sim.delivered").inc(delivered)
+            reg.counter("sim.lost").inc(lost)
+            reg.counter("sim.retried").inc(retried)
 
 
 class ConcentrationTree:

@@ -1,0 +1,78 @@
+"""repro.obs — unified tracing, metrics, and profiling.
+
+One process-wide, swappable :class:`Registry` of counters, gauges, and
+magnitude-bucket histograms; span-based structured tracing with nested
+``perf_counter`` timers; and JSON / Markdown exporters that plug into
+:class:`repro.analysis.reporting.ReportBuilder`.
+
+Disabled by default: the installed registry is a no-op
+:class:`NullRegistry`, so instrumented library code runs unchanged and
+produces byte-identical simulation results.  Enable collection with::
+
+    from repro import obs
+
+    with obs.collecting() as reg:
+        summary = SwitchSimulation(switch, traffic).run(rounds=100)
+    obs.write_metrics_json(reg.snapshot(), "metrics.json")
+
+See ``docs/observability.md`` for the metric catalog and span
+taxonomy, or run ``python -m repro obs``.
+"""
+
+from repro.obs.catalog import CATALOG, MetricInfo, catalog_rows, metric_names
+from repro.obs.export import (
+    SCHEMA_VERSION,
+    metrics_markdown,
+    read_metrics_json,
+    write_metrics_json,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, bucket_key
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    NullRegistry,
+    Registry,
+    collecting,
+    counter,
+    enabled,
+    gauge,
+    get_registry,
+    histogram,
+    install,
+    metric_key,
+    span,
+    uninstall,
+)
+from repro.obs.runmeta import git_sha, run_metadata
+from repro.obs.tracing import SpanRecord, Tracer
+
+__all__ = [
+    "CATALOG",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricInfo",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "Registry",
+    "SCHEMA_VERSION",
+    "SpanRecord",
+    "Tracer",
+    "bucket_key",
+    "catalog_rows",
+    "collecting",
+    "counter",
+    "enabled",
+    "gauge",
+    "get_registry",
+    "git_sha",
+    "histogram",
+    "install",
+    "metric_key",
+    "metric_names",
+    "metrics_markdown",
+    "read_metrics_json",
+    "run_metadata",
+    "span",
+    "uninstall",
+    "write_metrics_json",
+]

@@ -1,0 +1,105 @@
+"""Catalog of every metric and span the library emits.
+
+Documentation-as-data: ``python -m repro obs`` renders this table, and
+:mod:`docs/observability.md` mirrors it.  Keeping the names here (and
+asserting the instrumented modules only use cataloged names, see
+``tests/test_obs.py``) prevents the metric namespace from drifting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MetricInfo:
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram" | "span"
+    labels: tuple[str, ...]
+    description: str
+
+
+CATALOG: tuple[MetricInfo, ...] = (
+    # switches/
+    MetricInfo("switch.built", "counter", ("name",),
+               "switches instantiated through the registry, by design name"),
+    MetricInfo("switch.route_calls", "counter", ("switch",),
+               "ConcentratorSwitch.route invocations, by switch class"),
+    MetricInfo("switch.valid_in", "counter", ("switch",),
+               "valid messages presented to route(), by switch class"),
+    MetricInfo("switch.routed_out", "counter", ("switch",),
+               "messages that received an output path, by switch class"),
+    # network/simulate
+    MetricInfo("sim.rounds", "counter", (),
+               "simulation rounds executed by SwitchSimulation.run"),
+    MetricInfo("sim.offered", "counter", (),
+               "fresh messages offered by the traffic generator"),
+    MetricInfo("sim.injected", "counter", (),
+               "messages entering the switch (fresh + re-injected backlog)"),
+    MetricInfo("sim.delivered", "counter", (),
+               "messages delivered to an output"),
+    MetricInfo("sim.lost", "counter", (),
+               "messages permanently dropped by the congestion policy"),
+    MetricInfo("sim.retried", "counter", (),
+               "messages queued by the policy for a later round"),
+    MetricInfo("sim.run", "span", (),
+               "one SwitchSimulation.run call (meta: rounds)"),
+    MetricInfo("sim.round", "span", (),
+               "one simulated round inside sim.run (meta: round)"),
+    # network/knockout
+    MetricInfo("knockout.offered", "counter", (),
+               "packets offered to the knockout switch"),
+    MetricInfo("knockout.knocked_out", "counter", (),
+               "packets lost in an output concentrator (arrivals > L)"),
+    MetricInfo("knockout.buffer_overflow", "counter", (),
+               "packets lost to a full output FIFO"),
+    MetricInfo("knockout.delivered", "counter", (),
+               "packets leaving on an output line"),
+    MetricInfo("knockout.config", "span", (),
+               "one (load, L) cell of knockout_loss_curve (meta: load, L)"),
+    # messages/congestion
+    MetricInfo("congestion.dropped", "counter", ("policy",),
+               "messages a congestion policy declared lost"),
+    MetricInfo("congestion.retried", "counter", ("policy",),
+               "messages a congestion policy queued for retry"),
+    # messages/serial_sim + clock
+    MetricInfo("serial.transits", "counter", (),
+               "bit-serial message-set transits simulated"),
+    MetricInfo("serial.cycles", "counter", (),
+               "clock cycles streamed (setup cycle + one per payload bit)"),
+    MetricInfo("serial.transit_cycles", "histogram", (),
+               "cycles per transit (payload length + 1)"),
+    MetricInfo("serial.transit", "span", (),
+               "one BitSerialSimulator.transit call"),
+    MetricInfo("pipeline.waves", "counter", (),
+               "message waves driven by WavePipeline.run"),
+    # gates/event_sim
+    MetricInfo("gates.transitions", "counter", (),
+               "input transitions simulated by EventSimulator"),
+    MetricInfo("gates.wire_events", "counter", (),
+               "wire value changes propagated during settling"),
+    MetricInfo("gates.settle_time", "histogram", (),
+               "settle time (gate delays) per input transition"),
+    MetricInfo("gates.glitches", "histogram", (),
+               "glitch count (extra transitions) per input transition"),
+)
+
+#: Derived timing histograms: every span also fills ``<name>.seconds``.
+SPAN_SECONDS_SUFFIX = ".seconds"
+
+
+def metric_names() -> list[str]:
+    return [m.name for m in CATALOG]
+
+
+def catalog_rows() -> list[dict[str, str]]:
+    """Catalog as table rows for the CLI / reports."""
+    return [
+        {
+            "metric": m.name,
+            "kind": m.kind,
+            "labels": ",".join(m.labels) or "-",
+            "description": m.description,
+        }
+        for m in CATALOG
+    ]

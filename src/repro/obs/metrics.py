@@ -1,0 +1,139 @@
+"""Metric primitives: counters, gauges, and histograms.
+
+These are deliberately tiny, allocation-light objects: the hot paths
+(`ConcentratorSwitch.route`, `EventSimulator.transition`, the per-round
+simulation loops) touch them on every call, so each operation is a
+couple of attribute updates.  Aggregation and rendering live in
+:mod:`repro.obs.export`; the process-wide lookup lives in
+:mod:`repro.obs.registry`.
+
+Histograms use magnitude (power-of-two) buckets so one implementation
+covers both sub-microsecond timing samples and integer gate-delay
+counts without per-metric bucket configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+def bucket_key(value: float) -> str:
+    """Magnitude bucket for ``value``: ``"0"``, ``"neg"``, or
+    ``"2^k"`` with ``2^k <= value < 2^(k+1)``."""
+    if value == 0:
+        return "0"
+    if value < 0:
+        return "neg"
+    return f"2^{math.floor(math.log2(value))}"
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    name: str
+    value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (by {amount})")
+        self.value += amount
+
+    def as_dict(self) -> float:
+        return self.value
+
+
+@dataclass
+class Gauge:
+    """Last-written value (queue depths, configuration sizes)."""
+
+    name: str
+    value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def as_dict(self) -> float:
+        return self.value
+
+
+@dataclass
+class Histogram:
+    """Streaming distribution summary with magnitude buckets.
+
+    Keeps count/sum/min/max exactly and a power-of-two bucket census —
+    constant memory regardless of how many samples arrive, which is
+    what lets the event simulator observe every transition.
+    """
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+    buckets: dict[str, int] = field(default_factory=dict)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        key = bucket_key(value)
+        self.buckets[key] = self.buckets.get(key, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "buckets": dict(sorted(self.buckets.items())),
+        }
+
+
+class NullCounter:
+    """Shared do-nothing counter handed out when obs is disabled."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+
+class NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+
+class NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_COUNTER = NullCounter()
+NULL_GAUGE = NullGauge()
+NULL_HISTOGRAM = NullHistogram()

@@ -1,0 +1,211 @@
+"""Process-wide, swappable metric registry.
+
+The library's instrumentation hooks all funnel through the module-level
+accessors here::
+
+    from repro import obs
+
+    obs.counter("sim.delivered").inc(12)
+    with obs.span("sim.round", round=3):
+        ...
+
+By default the installed registry is a :class:`NullRegistry`: every
+accessor returns a shared do-nothing object and spans are a reused
+no-op context manager, so an uninstrumented run pays a few attribute
+lookups per hook and nothing else — simulation results are identical
+with observability on or off (the hooks never touch RNG state or data
+paths).
+
+To collect, install a real :class:`Registry` — either explicitly
+(:func:`install` / :func:`uninstall`) or scoped with
+:func:`collecting`::
+
+    with obs.collecting() as reg:
+        SwitchSimulation(switch, traffic).run(rounds=50)
+    print(reg.snapshot()["counters"]["sim.delivered"])
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from time import perf_counter
+from typing import ContextManager, Iterator
+
+from repro.obs.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    NullCounter,
+    NullGauge,
+    NullHistogram,
+)
+from repro.obs.tracing import Tracer
+
+
+def metric_key(name: str, labels: dict[str, object]) -> str:
+    """Flatten a metric name plus labels into one stable key:
+    ``name{k=v,...}`` with label keys sorted."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Registry:
+    """Holds every live metric plus the span tracer for one collection
+    scope."""
+
+    enabled = True
+
+    def __init__(self, max_trace_events: int = 10_000):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self.tracer = Tracer(max_events=max_trace_events)
+
+    # -- metric accessors (create on first use) -------------------------
+    def counter(self, name: str, /, **labels: object) -> Counter:
+        key = metric_key(name, labels)
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter(key)
+        return metric
+
+    def gauge(self, name: str, /, **labels: object) -> Gauge:
+        key = metric_key(name, labels)
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge(key)
+        return metric
+
+    def histogram(self, name: str, /, **labels: object) -> Histogram:
+        key = metric_key(name, labels)
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram(key)
+        return metric
+
+    # -- tracing --------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, /, **meta: object) -> Iterator[None]:
+        """Timed, nested span; the duration also lands in the
+        ``<name>.seconds`` histogram."""
+        with self.tracer.span(name, **meta):
+            start = perf_counter()
+            try:
+                yield
+            finally:
+                self.histogram(f"{name}.seconds").observe(perf_counter() - start)
+
+    # -- lifecycle ------------------------------------------------------
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self.tracer.reset()
+
+    def snapshot(self) -> dict:
+        """One JSON-serialisable dict of everything collected so far."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: h.as_dict() for k, h in sorted(self._histograms.items())
+            },
+            "spans": self.tracer.as_dict(),
+        }
+
+
+class NullRegistry:
+    """Do-nothing stand-in installed by default.
+
+    Hands out shared null metrics and a reused no-op context manager,
+    so disabled instrumentation costs one method call per hook.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, /, **labels: object) -> NullCounter:
+        return NULL_COUNTER
+
+    def gauge(self, name: str, /, **labels: object) -> NullGauge:
+        return NULL_GAUGE
+
+    def histogram(self, name: str, /, **labels: object) -> NullHistogram:
+        return NULL_HISTOGRAM
+
+    def span(self, name: str, /, **meta: object) -> ContextManager[None]:
+        return nullcontext()
+
+    def reset(self) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "spans": {"events": [], "dropped": 0},
+        }
+
+
+NULL_REGISTRY = NullRegistry()
+_active: Registry | NullRegistry = NULL_REGISTRY
+
+
+def get_registry() -> Registry | NullRegistry:
+    """The currently installed registry (the null one by default)."""
+    return _active
+
+
+def install(registry: Registry | NullRegistry) -> Registry | NullRegistry:
+    """Install ``registry`` process-wide; returns the previous one so
+    callers can restore it."""
+    global _active
+    previous = _active
+    _active = registry
+    return previous
+
+
+def uninstall() -> Registry | NullRegistry:
+    """Re-install the null registry; returns whatever was active."""
+    return install(NULL_REGISTRY)
+
+
+@contextmanager
+def collecting(
+    registry: Registry | None = None, *, max_trace_events: int = 10_000
+) -> Iterator[Registry]:
+    """Scope with a live registry installed; restores the previous
+    registry (usually the null one) on exit."""
+    reg = registry if registry is not None else Registry(max_trace_events)
+    previous = install(reg)
+    try:
+        yield reg
+    finally:
+        install(previous)
+
+
+def enabled() -> bool:
+    """Whether a live (non-null) registry is installed."""
+    return _active.enabled
+
+
+# -- hook-side conveniences: obs.counter(...) etc. ----------------------
+def counter(name: str, /, **labels: object):
+    return _active.counter(name, **labels)
+
+
+def gauge(name: str, /, **labels: object):
+    return _active.gauge(name, **labels)
+
+
+def histogram(name: str, /, **labels: object):
+    return _active.histogram(name, **labels)
+
+
+def span(name: str, /, **meta: object) -> ContextManager[None]:
+    return _active.span(name, **meta)

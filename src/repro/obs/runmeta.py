@@ -1,0 +1,78 @@
+"""Self-describing run metadata records.
+
+The benchmark harness attaches one of these records to every bench so
+a BENCH_*.json trajectory carries its own provenance: which commit
+produced it, which seed drove it, how long it took, and the metric
+snapshot the instrumented code emitted while it ran.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+import time
+from functools import lru_cache
+from pathlib import Path
+
+from repro.obs.registry import NullRegistry, Registry
+
+#: Bumped when the record layout changes.
+RECORD_VERSION = 1
+
+
+@lru_cache(maxsize=None)
+def git_sha(cwd: str | None = None) -> str | None:
+    """HEAD commit of the repo containing ``cwd`` (or this file), or
+    None outside a git checkout / without git."""
+    where = cwd if cwd is not None else str(Path(__file__).resolve().parent)
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=where,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def run_metadata(
+    *,
+    run_id: str,
+    seed: int | None,
+    wall_s: float,
+    registry: Registry | NullRegistry | None = None,
+    started_at: float | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """Build one JSON-serialisable run record.
+
+    ``run_id`` names the run (a pytest node id for benches), ``seed``
+    is the RNG seed that drove it, ``wall_s`` the measured wall time,
+    ``registry`` the metrics collected during the run (span events are
+    summarised to a count — the full trace stays in metrics.json
+    exports, not in run records).
+    """
+    snapshot = registry.snapshot() if registry is not None else None
+    if snapshot is not None:
+        spans = snapshot.pop("spans", {"events": [], "dropped": 0})
+        snapshot["span_events"] = len(spans.get("events", [])) + spans.get(
+            "dropped", 0
+        )
+    when = started_at if started_at is not None else time.time()
+    return {
+        "version": RECORD_VERSION,
+        "run_id": run_id,
+        "git_sha": git_sha(),
+        "seed": seed,
+        "started_at": time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime(when)),
+        "wall_s": wall_s,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "metrics": snapshot,
+        **(extra or {}),
+    }

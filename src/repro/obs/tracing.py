@@ -1,0 +1,95 @@
+"""Span-based structured tracing.
+
+A *span* is a named, timed region of execution (``sim.run``,
+``sim.round``, ``serial.transit``).  Spans nest: entering a span while
+another is open records the parent/child relation in the span's slash-
+separated ``path``.  Timing uses :func:`time.perf_counter`, the
+highest-resolution monotonic clock Python exposes.
+
+The tracer keeps a bounded buffer of completed span events (so a
+million-round simulation cannot exhaust memory); once the buffer is
+full, further events are counted in ``dropped`` but not stored.
+Aggregate statistics never saturate — the owning
+:class:`~repro.obs.registry.Registry` also feeds every span duration
+into a ``<name>.seconds`` histogram.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span."""
+
+    name: str
+    path: str  # "parent/child/..." from the root of the active stack
+    depth: int
+    start: float  # perf_counter timestamp at entry
+    duration_s: float
+    meta: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "path": self.path,
+            "depth": self.depth,
+            "start": self.start,
+            "duration_s": self.duration_s,
+            "meta": dict(self.meta),
+        }
+
+
+class Tracer:
+    """Records nested spans into a bounded event buffer."""
+
+    def __init__(self, max_events: int = 10_000):
+        if max_events < 0:
+            raise ValueError("max_events must be non-negative")
+        self.max_events = max_events
+        self.events: list[SpanRecord] = []
+        self.dropped = 0
+        self._stack: list[str] = []
+
+    @property
+    def active_depth(self) -> int:
+        return len(self._stack)
+
+    @contextmanager
+    def span(self, name: str, /, **meta: object) -> Iterator[None]:
+        self._stack.append(name)
+        path = "/".join(self._stack)
+        depth = len(self._stack) - 1
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            duration = perf_counter() - start
+            self._stack.pop()
+            record = SpanRecord(
+                name=name,
+                path=path,
+                depth=depth,
+                start=start,
+                duration_s=duration,
+                meta=meta,
+            )
+            if len(self.events) < self.max_events:
+                self.events.append(record)
+            else:
+                self.dropped += 1
+
+    def reset(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+        self._stack.clear()
+
+    def as_dict(self) -> dict:
+        return {
+            "events": [e.as_dict() for e in self.events],
+            "dropped": self.dropped,
+        }

@@ -23,6 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.concentration import ConcentratorSpec, validate_routing_disjoint
 from repro.errors import ConfigurationError, RoutingError
 
@@ -105,6 +106,12 @@ class ConcentratorSwitch(ABC):
             raise RoutingError(f"expected {self.n} input messages, got {len(messages)}")
         valid = np.array([msg is not None for msg in messages], dtype=bool)
         routing = self.setup(valid)
+        reg = obs.get_registry()
+        if reg.enabled:
+            label = type(self).__name__
+            reg.counter("switch.route_calls", switch=label).inc()
+            reg.counter("switch.valid_in", switch=label).inc(int(valid.sum()))
+            reg.counter("switch.routed_out", switch=label).inc(routing.routed_count)
         outputs: list[object | None] = [None] * self.m
         for i in np.flatnonzero(valid):
             target = int(routing.input_to_output[i])

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro._util.bits import ceil_lg, ilg
+from repro._util.bits import ilg
 from repro.core.concentration import ConcentratorSpec, lemma2_load_ratio
 from repro.errors import ConfigurationError
 from repro.switches.base import ConcentratorSwitch, Routing

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.switches.base import ConcentratorSwitch
 
@@ -115,4 +116,5 @@ def build_switch(name: str, **params: object) -> ConcentratorSwitch:
         raise ConfigurationError(
             f"unknown switch {name!r}; available: {', '.join(available())}"
         ) from None
+    obs.counter("switch.built", name=name).inc()
     return entry.build(**params)

@@ -135,6 +135,104 @@ class TestReproduceCommand:
         assert "All reproduction checks passed." in out
 
 
+class TestObsCommand:
+    def test_catalog_table(self, capsys):
+        assert main(["obs"]) == 0
+        out = capsys.readouterr().out
+        assert "sim.delivered" in out
+        assert "gates.settle_time" in out
+
+    def test_catalog_json(self, capsys):
+        import json
+
+        assert main(["obs", "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert any(r["metric"] == "sim.lost" for r in rows)
+
+    def test_demo_prints_snapshot(self, capsys):
+        assert main(["obs", "--demo"]) == 0
+        out = capsys.readouterr().out
+        assert "`sim.delivered`" in out
+        assert "sim.round.seconds" in out
+
+
+class TestMetricsOut:
+    SIM_ARGS = [
+        "simulate", "--switch", "revsort", "--n", "256", "--m", "192",
+        "--load", "0.9", "--rounds", "10",
+    ]
+
+    def test_simulate_writes_snapshot(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "metrics.json"
+        assert main(self.SIM_ARGS + ["--metrics-out", str(target)]) == 0
+        assert "metrics written to" in capsys.readouterr().out
+        doc = json.loads(target.read_text())
+        assert doc["schema"] == "repro.obs/metrics"
+        assert doc["counters"]["sim.rounds"] == 10
+        assert doc["counters"]["sim.delivered"] > 0
+        assert doc["counters"]["sim.lost"] > 0  # overloaded: losses occur
+        # at least one timing histogram with per-round samples
+        assert doc["histograms"]["sim.round.seconds"]["count"] == 10
+
+    def test_output_identical_with_obs_disabled(self, capsys, tmp_path):
+        """Acceptance check: collecting metrics must not perturb the
+        simulation (same seed => same table)."""
+        assert main(self.SIM_ARGS) == 0
+        plain = capsys.readouterr().out
+        target = tmp_path / "metrics.json"
+        assert main(self.SIM_ARGS + ["--metrics-out", str(target)]) == 0
+        instrumented = capsys.readouterr().out
+        stripped = instrumented.replace(f"metrics written to {target}\n", "")
+        assert stripped == plain
+
+    def test_positional_switch_form(self, capsys, tmp_path):
+        """The documented short form `repro simulate revsort ...` works."""
+        import json
+
+        target = tmp_path / "metrics.json"
+        code = main(
+            ["simulate", "revsort", "--n", "256", "--metrics-out", str(target)]
+        )
+        assert code == 0
+        assert "RevsortSwitch(n=256" in capsys.readouterr().out
+        doc = json.loads(target.read_text())
+        assert doc["counters"]["sim.delivered"] > 0
+
+    def test_obs_disabled_after_run(self, tmp_path):
+        from repro import obs
+
+        main(self.SIM_ARGS + ["--metrics-out", str(tmp_path / "m.json")])
+        assert not obs.enabled()
+
+    def test_knockout_writes_snapshot(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "metrics.json"
+        code = main(
+            ["knockout", "--ports", "16", "--load", "0.9", "--slots", "50",
+             "--metrics-out", str(target)]
+        )
+        assert code == 0
+        doc = json.loads(target.read_text())
+        assert doc["counters"]["knockout.offered"] > 0
+        assert doc["histograms"]["knockout.config.seconds"]["count"] == 4
+
+
+class TestLogging:
+    def test_log_level_flag_accepted(self, capsys):
+        assert main(["--log-level", "debug", "table1", "--n", "256", "--m", "192"]) == 0
+
+    def test_library_logger_has_null_handler(self):
+        import logging
+
+        import repro  # noqa: F401 - import side effect under test
+
+        handlers = logging.getLogger("repro").handlers
+        assert any(isinstance(h, logging.NullHandler) for h in handlers)
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.messages.clock import WavePipeline
-from repro.messages.congestion import BufferPolicy, DropPolicy
+from repro.messages.congestion import BufferPolicy
 from repro.network.traffic import BernoulliTraffic, FixedKTraffic
 from repro.switches.perfect import PerfectConcentrator
 from repro.switches.revsort_switch import RevsortSwitch

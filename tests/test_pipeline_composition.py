@@ -3,8 +3,6 @@ funnels, driving several subsystems together."""
 
 from __future__ import annotations
 
-import pytest
-
 from repro.messages.clock import WavePipeline
 from repro.messages.congestion import DropPolicy
 from repro.network.funnel import FunnelNetwork

@@ -15,7 +15,7 @@ from repro.mesh.analysis import (
     is_block_sorted,
     is_row_major_sorted,
 )
-from repro.mesh.grid import column_counts, row_counts
+from repro.mesh.grid import row_counts
 from repro.mesh.revsort import (
     rev_rotate_rows,
     revsort_dirty_row_bound,

@@ -8,7 +8,6 @@ payload rows reconstruct every delivered message.
 
 from __future__ import annotations
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -7,7 +7,6 @@ checking conservation and ordering invariants at every step.
 
 from __future__ import annotations
 
-import numpy as np
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
