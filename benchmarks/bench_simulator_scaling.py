@@ -62,3 +62,33 @@ def test_perf_gate_netlist_evaluate(benchmark):
     rng = np.random.default_rng(82)
     batch = rng.random((64, 32)) < 0.5
     benchmark(evaluate, circuit, batch)
+
+
+@pytest.mark.parametrize("n", [1024, 4096])
+def test_perf_revsort_setup_batch(benchmark, n):
+    """Engine path: 128 trials per call (vs test_perf_revsort_setup)."""
+    switch = RevsortSwitch(n, (3 * n) // 4)
+    rng = np.random.default_rng(81)
+    valid = rng.random((128, n)) < 0.5
+    switch.setup_batch(valid)  # warm the plan cache outside the timer
+    benchmark(switch.setup_batch, valid)
+
+
+@pytest.mark.parametrize("n", [1024, 4096])
+def test_perf_columnsort_setup_batch(benchmark, n):
+    switch = ColumnsortSwitch.from_beta(n, 0.75, (3 * n) // 4)
+    rng = np.random.default_rng(81)
+    valid = rng.random((128, n)) < 0.5
+    switch.setup_batch(valid)
+    benchmark(switch.setup_batch, valid)
+
+
+def test_perf_gate_netlist_evaluate_packed(benchmark):
+    """Bit-parallel path: 512 trials in 8 uint64 words per wire."""
+    from repro.gates.evaluate import evaluate_packed
+    from repro.gates.hyperconc_gates import build_hyperconcentrator
+
+    circuit = build_hyperconcentrator(32, with_datapath=False)
+    rng = np.random.default_rng(82)
+    batch = rng.random((512, 32)) < 0.5
+    benchmark(evaluate_packed, circuit, batch)

@@ -73,10 +73,9 @@ def test_thm3_guaranteed_capacity_never_drops(benchmark, report, rng):
         for n, m in ((1024, 768), (4096, 3072)):
             switch = RevsortSwitch(n, m)
             cap = switch.spec.guaranteed_capacity
-            drops = 0
-            for _ in range(30):
-                valid = random_bits(rng, n, cap)
-                drops += cap - switch.setup(valid).routed_count
+            valid = np.stack([random_bits(rng, n, cap) for _ in range(30)])
+            batch = switch.setup_batch(valid)
+            drops = int((cap - batch.routed_counts).sum())
             results.append({"n": n, "m": m, "capacity αm": cap, "drops": drops})
         return results
 
@@ -128,3 +127,13 @@ def test_thm3_setup_throughput(benchmark):
     rng = np.random.default_rng(7)
     valid = rng.random(4096) < 0.5
     benchmark(switch.setup, valid)
+
+
+def test_thm3_setup_batch_throughput(benchmark):
+    """Engine path: 256 trials per call through the compiled plan —
+    compare per-trial time against test_thm3_setup_throughput."""
+    switch = RevsortSwitch(4096, 3072)
+    rng = np.random.default_rng(7)
+    valid = rng.random((256, 4096)) < 0.5
+    switch.setup_batch(valid)  # warm the plan cache outside the timer
+    benchmark(switch.setup_batch, valid)

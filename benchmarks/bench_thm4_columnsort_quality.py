@@ -59,15 +59,18 @@ def test_thm4_nearsorting_quality(benchmark, report, rng):
 
 
 def test_thm4_guaranteed_capacity_never_drops(benchmark, report, rng):
+    """Batched through the engine: the 30 trial vectors per shape run
+    as one setup_batch call (same vectors the scalar loop would draw)."""
     def run():
         results = []
         for r, s, m in ((64, 4, 200), (128, 8, 960), (512, 8, 4000)):
             switch = ColumnsortSwitch(r, s, m)
             cap = switch.spec.guaranteed_capacity
-            drops = 0
-            for _ in range(30):
-                valid = random_bits(rng, switch.n, cap)
-                drops += cap - switch.setup(valid).routed_count
+            valid = np.stack(
+                [random_bits(rng, switch.n, cap) for _ in range(30)]
+            )
+            batch = switch.setup_batch(valid)
+            drops = int((cap - batch.routed_counts).sum())
             results.append(
                 {
                     "r": r,
@@ -147,3 +150,13 @@ def test_thm4_setup_throughput(benchmark):
     rng = np.random.default_rng(7)
     valid = rng.random(4096) < 0.5
     benchmark(switch.setup, valid)
+
+
+def test_thm4_setup_batch_throughput(benchmark):
+    """Engine path: 256 trials per call through the compiled plan —
+    compare per-trial time against test_thm4_setup_throughput."""
+    switch = ColumnsortSwitch(512, 8, 3072)
+    rng = np.random.default_rng(7)
+    valid = rng.random((256, 4096)) < 0.5
+    switch.setup_batch(valid)  # warm the plan cache outside the timer
+    benchmark(switch.setup_batch, valid)

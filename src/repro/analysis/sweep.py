@@ -1,19 +1,54 @@
-"""Parameter-sweep driver for the benches."""
+"""Parameter-sweep driver for the benches.
+
+:func:`sweep` runs a measurement across parameter values, optionally in
+parallel threads.  **Worker determinism contract:** when ``seed`` is
+given, each parameter value gets its own child of
+``np.random.SeedSequence(seed).spawn(...)``, assigned by *position in
+the parameter list* — never by worker or completion order — so the
+results are identical for any ``workers`` count (including serial).
+"""
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Mapping
+
+import numpy as np
 
 
 def sweep(
     parameters: Iterable[object],
-    measure: Callable[[object], Mapping[str, object]],
+    measure: Callable[..., Mapping[str, object]],
+    *,
+    workers: int = 0,
+    seed: int | None = None,
 ) -> list[dict[str, object]]:
     """Run ``measure`` across ``parameters`` and collect dict rows,
-    tagging each with its parameter value under the key ``param``."""
-    rows: list[dict[str, object]] = []
-    for value in parameters:
-        row = {"param": value}
-        row.update(measure(value))
-        rows.append(row)
-    return rows
+    tagging each with its parameter value under the key ``param``.
+
+    ``measure`` is called as ``measure(value)``; when ``seed`` is given
+    it is called as ``measure(value, rng)`` with a per-parameter
+    deterministic generator (see module docstring).  ``workers > 1``
+    fans the calls out over a thread pool; rows always come back in
+    parameter order.
+    """
+    params = list(parameters)
+    if seed is not None:
+        children = np.random.SeedSequence(seed).spawn(len(params))
+        calls = [
+            (value, (np.random.default_rng(child),))
+            for value, child in zip(params, children)
+        ]
+    else:
+        calls = [(value, ()) for value in params]
+
+    def _one(call: tuple) -> dict[str, object]:
+        value, extra = call
+        row: dict[str, object] = {"param": value}
+        row.update(measure(value, *extra))
+        return row
+
+    if workers > 1 and len(calls) > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_one, calls))
+    return [_one(call) for call in calls]

@@ -5,7 +5,8 @@ Six subcommands mirroring the paper's artifacts::
     python -m repro table1  --n 4096 --m 3072
     python -m repro design  --n 1024 --m 768 --pin-budget 150
     python -m repro simulate --switch revsort --n 256 --m 192 --load 0.5
-    python -m repro verify  --switch columnsort --r 64 --s 8 --m 384
+    python -m repro verify  --switch columnsort --r 64 --s 8 --m 384 --batch
+    python -m repro compare --switch revsort --n 256 --m 192 --workers 4
     python -m repro knockout --ports 16 --load 0.9
     python -m repro reproduce
 
@@ -15,7 +16,9 @@ Six subcommands mirroring the paper's artifacts::
 * ``simulate`` runs a traffic simulation and reports delivery/loss;
 * ``verify`` randomly checks a switch's partial-concentration contract
   and measured ε against its theorem bound, exiting nonzero on any
-  violation;
+  violation (``--batch`` runs the trials through the vectorised engine);
+* ``compare`` runs the Section 1 partial-vs-perfect substitution
+  experiment, optionally parallel/batched via ``--workers``;
 * ``knockout`` compares analytic and simulated knockout concentrator
   loss across L;
 * ``reproduce`` runs the full end-to-end reproduction report (same
@@ -178,15 +181,28 @@ def cmd_verify(args: argparse.Namespace) -> int:
     rng = default_rng(args.seed)
     spec = switch.spec
     worst_eps = 0
-    for _ in range(args.trials):
-        valid = rng.random(switch.n) < rng.random()
-        routing = switch.setup(valid)
-        validate_partial_concentration(spec, valid, routing.input_to_output)
-        if hasattr(switch, "final_positions"):
-            final = switch.final_positions(valid)
-            out = np.zeros(switch.n, dtype=np.int8)
-            out[final] = valid.astype(np.int8)
-            worst_eps = max(worst_eps, nearsortedness(out))
+    if args.batch:
+        from repro.engine import validate_batch_partial_concentration
+
+        chunk = 256
+        done = 0
+        while done < args.trials:
+            size = min(chunk, args.trials - done)
+            thresholds = rng.random((size, 1))
+            valid = rng.random((size, switch.n)) < thresholds
+            batch = switch.setup_batch(valid)
+            validate_batch_partial_concentration(spec, batch)
+            done += size
+    else:
+        for _ in range(args.trials):
+            valid = rng.random(switch.n) < rng.random()
+            routing = switch.setup(valid)
+            validate_partial_concentration(spec, valid, routing.input_to_output)
+            if hasattr(switch, "final_positions"):
+                final = switch.final_positions(valid)
+                out = np.zeros(switch.n, dtype=np.int8)
+                out[final] = valid.astype(np.int8)
+                worst_eps = max(worst_eps, nearsortedness(out))
     bound = getattr(switch, "epsilon_bound", None)
     print(
         render_table(
@@ -194,8 +210,9 @@ def cmd_verify(args: argparse.Namespace) -> int:
                 {
                     "switch": repr(switch),
                     "trials": args.trials,
+                    "mode": "batch" if args.batch else "scalar",
                     "alpha": f"{spec.alpha:.4f}",
-                    "worst eps": worst_eps,
+                    "worst eps": worst_eps if not args.batch else "-",
                     "eps bound": bound if bound is not None else "-",
                     "verdict": "OK",
                 }
@@ -203,9 +220,52 @@ def cmd_verify(args: argparse.Namespace) -> int:
             title="contract verification",
         )
     )
-    if bound is not None and worst_eps > bound:
+    if not args.batch and bound is not None and worst_eps > bound:
         print("ERROR: measured epsilon exceeds the theorem bound", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.network.simulate import compare_partial_vs_perfect
+    from repro.switches.perfect import PerfectConcentrator
+    from repro.switches.registry import build_switch
+
+    with _metrics_scope(args):
+        partial = build_switch(
+            args.switch, n=args.n, m=args.m, r=args.r, s=args.s, beta=args.beta
+        )
+        alpha = partial.spec.alpha
+        perfect = PerfectConcentrator(
+            n=max(1, int(partial.n * alpha)), m=max(1, int(partial.m * alpha))
+        )
+        k_values = sorted({max(1, perfect.m // 2), perfect.m, min(perfect.n, 2 * perfect.m)})
+        results = compare_partial_vs_perfect(
+            perfect,
+            partial,
+            k_values,
+            trials=args.trials,
+            seed=args.seed,
+            workers=args.workers,
+        )
+        rows = [
+            {
+                "k": k,
+                "perfect mean routed": f"{res['perfect']:.2f}",
+                "partial mean routed": f"{res['partial']:.2f}",
+            }
+            for k, res in sorted(results.items())
+        ]
+        print(
+            render_table(
+                rows,
+                title=(
+                    f"partial ({partial.n}x{partial.m}, alpha={alpha:.3f}) vs "
+                    f"perfect ({perfect.n}x{perfect.m}), "
+                    f"trials={args.trials}, workers={args.workers}"
+                ),
+            )
+        )
     return 0
 
 
@@ -388,7 +448,41 @@ def build_parser() -> argparse.ArgumentParser:
             )
         else:
             p.add_argument("--trials", type=int, default=100)
+            p.add_argument(
+                "--batch",
+                action="store_true",
+                help="verify through the batched engine path "
+                "(setup_batch + vectorised contract checks)",
+            )
         p.set_defaults(func=func)
+
+    p = sub.add_parser(
+        "compare",
+        help="partial-vs-perfect substitution experiment (Section 1)",
+    )
+    from repro.switches.registry import available as _available
+
+    p.add_argument("--switch", choices=_available(), default="revsort")
+    p.add_argument("--n", type=int, default=256)
+    p.add_argument("--m", type=int, default=192)
+    p.add_argument("--r", type=int, default=0)
+    p.add_argument("--s", type=int, default=0)
+    p.add_argument("--beta", type=float, default=0.75)
+    p.add_argument("--trials", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker threads for the batched path (0 = legacy serial loop); "
+        "results are identical for any workers >= 1",
+    )
+    p.add_argument(
+        "--metrics-out",
+        default=None,
+        help="collect repro.obs metrics and write a JSON snapshot here",
+    )
+    p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("knockout", help="analytic vs simulated knockout loss")
     p.add_argument("--ports", type=int, default=16)

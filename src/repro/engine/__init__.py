@@ -1,0 +1,66 @@
+"""repro.engine — batched execution engine.
+
+Three pieces turn the per-trial scalar simulation stack into an
+array-at-once engine:
+
+* **compiled stage plans** (:mod:`repro.engine.plan`) — each switch
+  design's wiring/comparator/permutation index arrays, built once per
+  ``(type, n, m)`` key into an immutable plan held in a process-wide
+  :class:`~repro.engine.plan.PlanCache` (hit/miss counters on
+  :mod:`repro.obs`);
+* **vectorized batch routing** (:mod:`repro.engine.batch`) —
+  ``ConcentratorSwitch.setup_batch(valid)`` takes a ``(B, n)`` trial
+  array and returns a :class:`~repro.engine.batch.BatchRouting`, with
+  every stage executed on 2-D arrays (one row per trial);
+* **bit-parallel gate evaluation** —
+  :func:`repro.gates.evaluate.evaluate_packed` packs 64 trials per
+  ``uint64`` lane and evaluates netlists with bitwise ops.
+
+The scalar paths stay untouched as the correctness oracle; the parity
+tests in ``tests/test_engine.py`` pin batch == scalar for every design
+in the registry.  See ``docs/performance.md``.
+"""
+
+from repro.engine.batch import (
+    BatchRouting,
+    concentrate_plan_batch,
+    hyperconcentrate_batch,
+    prefix_ranks_batch,
+    run_comparator_plan,
+    run_plan,
+    run_plan_sparse,
+    validate_batch_partial_concentration,
+)
+from repro.engine.plan import (
+    PLAN_CACHE,
+    ChipLayer,
+    ComparatorPlan,
+    FixedPermutation,
+    PlanCache,
+    StagePlan,
+    chip_layer,
+    comparator_stages,
+    fixed_permutation,
+    plan_cache,
+)
+
+__all__ = [
+    "BatchRouting",
+    "ChipLayer",
+    "ComparatorPlan",
+    "FixedPermutation",
+    "PLAN_CACHE",
+    "PlanCache",
+    "StagePlan",
+    "chip_layer",
+    "comparator_stages",
+    "concentrate_plan_batch",
+    "fixed_permutation",
+    "hyperconcentrate_batch",
+    "plan_cache",
+    "prefix_ranks_batch",
+    "run_comparator_plan",
+    "run_plan",
+    "run_plan_sparse",
+    "validate_batch_partial_concentration",
+]

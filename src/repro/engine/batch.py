@@ -1,0 +1,350 @@
+"""Vectorized multi-trial routing: batch results and the plan executor.
+
+One Monte-Carlo trial is one valid-bit vector; the engine runs a whole
+``(B, n)`` array of trials through a compiled :class:`~repro.engine.plan.StagePlan`
+at once, with every stage operating on 2-D arrays (one row per trial).
+``setup_batch`` on :class:`repro.switches.base.ConcentratorSwitch`
+returns a :class:`BatchRouting`; indexing it yields ordinary
+:class:`~repro.switches.base.Routing` objects, and the scalar ``setup``
+path remains the correctness oracle (the parity tests assert
+``switch.setup_batch(V)[i] == switch.setup(V[i])`` for every registered
+design).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine import plan as plan_mod
+from repro.engine.plan import ComparatorPlan, FixedPermutation, StagePlan
+from repro.errors import ConcentrationError, ConfigurationError
+
+
+@dataclass(frozen=True)
+class BatchRouting:
+    """The electrical paths of ``B`` independent setup cycles.
+
+    ``input_to_output[b, i]`` is the output wire carrying input ``i``'s
+    message in trial ``b`` (−1 when it has no path) — one
+    :class:`~repro.switches.base.Routing` row per trial.
+    """
+
+    n_inputs: int
+    n_outputs: int
+    valid: np.ndarray  # (B, n) bool
+    input_to_output: np.ndarray  # (B, n) int64
+
+    def __post_init__(self) -> None:
+        if self.valid.ndim != 2 or self.valid.shape[1] != self.n_inputs:
+            raise ConfigurationError(
+                f"batch valid bits must be (B, {self.n_inputs}), "
+                f"got {self.valid.shape}"
+            )
+        if self.input_to_output.shape != self.valid.shape:
+            raise ConfigurationError("batch routing shape mismatch")
+
+    def __len__(self) -> int:
+        return int(self.valid.shape[0])
+
+    @property
+    def batch_size(self) -> int:
+        return len(self)
+
+    def __getitem__(self, index: int):
+        """Trial ``index`` as a validated scalar :class:`Routing`."""
+        from repro.switches.base import Routing
+
+        return Routing(
+            n_inputs=self.n_inputs,
+            n_outputs=self.n_outputs,
+            valid=self.valid[index],
+            input_to_output=self.input_to_output[index],
+        )
+
+    @property
+    def routed_counts(self) -> np.ndarray:
+        """Per-trial number of valid messages with a path, shape (B,)."""
+        return ((self.input_to_output >= 0) & self.valid).sum(axis=1)
+
+    @property
+    def dropped_counts(self) -> np.ndarray:
+        """Per-trial number of valid messages without a path."""
+        return ((self.input_to_output < 0) & self.valid).sum(axis=1)
+
+    def output_valid_bits(self) -> np.ndarray:
+        """The valid bits as seen on the output wires, shape (B, m)."""
+        out = np.zeros((len(self), self.n_outputs), dtype=bool)
+        targets = np.where(self.valid, self.input_to_output, -1)
+        rows, cols = np.nonzero(targets >= 0)
+        out[rows, targets[rows, cols]] = True
+        return out
+
+
+def _rank_dtype(width: int) -> np.dtype:
+    """Smallest unsigned/signed dtype holding an inclusive rank ≤ width."""
+    if width <= 255:
+        return np.dtype(np.uint8)
+    if width <= 2**15 - 1:
+        return np.dtype(np.int16)
+    return np.dtype(np.int32)
+
+
+# Per-plan compiled executor steps, keyed by plan.key.  Value is either
+# (steps, finish) for the fused fast path, or None when the plan has a
+# partial chip layer and must use the generic walker.  Built once per
+# plan; plain dict mutation is atomic under the GIL and recomputation
+# on a race is harmless.  PlanCache.clear() flushes this too (see the
+# hook registration below) so stale tables can't outlive their plans.
+_STEPS_CACHE: dict[tuple, object] = {}
+plan_mod._CLEAR_HOOKS.append(_STEPS_CACHE.clear)
+
+
+def _compile_steps(plan: StagePlan):
+    """Fuse a plan's op list into per-layer static lookup tables.
+
+    The executor tracks each valid input as a coordinate in the
+    *chip-major slot space* of the layer it just left (never converting
+    back to flat positions between layers).  For each chip layer the
+    compiled ``entry`` table maps the previous coordinate space straight
+    to this layer's slot — all interleaving fixed permutations and the
+    previous layer's slot→position map are folded in at compile time,
+    so the runtime does one gather per layer where the naive walk does
+    three.  ``finish`` maps the last layer's slot space to final flat
+    positions.
+    """
+    cached = _STEPS_CACHE.get(plan.key, _STEPS_CACHE)
+    if cached is not _STEPS_CACHE:
+        return cached
+    pending = None  # current-coordinate → flat-position table (None = identity)
+    steps = []
+    compiled: object = None
+    for op in plan.ops:
+        if isinstance(op, FixedPermutation):
+            pending = op.perm32 if pending is None else op.perm32[pending]
+            continue
+        if op.total_upto < plan.n:
+            break  # partial layer: fall back to the generic walker
+        entry = op.cm_of if pending is None else op.cm_of[pending]
+        width = op.chip_width
+        if width & (width - 1) == 0:
+            mask = np.int32(~(width - 1))  # chip_start = slot & mask
+        else:
+            mask = None
+        steps.append((entry, op.n_chips, width, _rank_dtype(width), mask))
+        pending = op.flat32
+    else:
+        compiled = (tuple(steps), pending)
+    _STEPS_CACHE[plan.key] = compiled
+    return compiled
+
+
+def run_plan_sparse(
+    plan: StagePlan, valid: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Execute a compiled stage plan, tracking only the valid inputs.
+
+    Returns ``(rows, cols, pos)``: flat arrays over every valid bit of
+    the batch (``valid[rows[t], cols[t]]`` is True) with ``pos[t]`` its
+    final flat position.  Only valid inputs matter to a concentrator's
+    routing — invalid inputs never get an output — so the executor
+    skips the other half of the position bookkeeping entirely.
+
+    A chip layer sends the j-th valid input of each chip (in wire
+    order) to the chip's j-th wire.  The rank is a running popcount of
+    the chip's current valid bits, computed chip-major over the whole
+    batch.  This path is memory-bandwidth-bound, so everything stays in
+    the smallest dtype that fits (int32 coordinates, uint8/int16 ranks)
+    and plans with only total layers run through per-plan fused lookup
+    tables (:func:`_compile_steps`) — one gather per chip layer.
+    """
+    return _run_plan_sparse_flat(plan, valid)[1:]
+
+
+def _run_plan_sparse_flat(
+    plan: StagePlan, valid: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """As :func:`run_plan_sparse`, but also returns the flat index of
+    each tracked entry into ``valid.ravel()`` (for scatter reuse)."""
+    batch, n = valid.shape
+    flat_idx = np.flatnonzero(valid)
+    rows = (flat_idx // n).astype(np.int32)
+    cols = flat_idx - rows.astype(np.int64) * n
+    row_base: dict[int, np.ndarray] = {}  # rows * slots, per slot count
+
+    def base_for(slots: int) -> np.ndarray:
+        base = row_base.get(slots)
+        if base is None:
+            if batch * slots < 2**31:
+                base = rows * np.int32(slots)
+            else:  # flat indices exceed int32 — fall back to int64
+                base = rows.astype(np.int64) * slots
+            row_base[slots] = base
+        return base
+
+    compiled = _compile_steps(plan)
+    grp = np.zeros((batch, 0), dtype=bool)
+
+    if compiled is not None:
+        steps, finish = compiled
+        coord = cols.astype(np.int32)  # slot coordinate in the current space
+        for entry, n_chips, width, rank_dt, mask in steps:
+            slots = n_chips * width
+            if grp.shape[1] != slots:
+                grp = np.zeros((batch, slots), dtype=bool)
+            else:
+                grp[:] = False
+            iv = entry[coord]  # this layer's chip-major slot
+            gf = base_for(slots) + iv  # flat (trial, slot) index, reused
+            grp.reshape(-1)[gf] = True
+            cs = np.cumsum(grp.reshape(batch, n_chips, width), axis=2,
+                           dtype=rank_dt)
+            rank = cs.reshape(-1)[gf]  # 1-based rank among chip's valid
+            if mask is not None:
+                coord = (iv & mask) - np.int32(1) + rank
+            else:
+                coord = (iv // width) * np.int32(width) - np.int32(1) + rank
+        pos = coord if finish is None else finish[coord]
+        return flat_idx, rows, cols, pos
+
+    # Generic walker: handles plans with partial chip layers, where
+    # untouched positions pass through a layer unchanged.
+    pos = cols.astype(np.int32)  # current flat position of each valid input
+    for op in plan.ops:
+        if isinstance(op, FixedPermutation):
+            pos = op.perm32[pos]
+            continue
+        width = op.chip_width
+        slots = op.flat32.size
+        if grp.shape[1] != slots:
+            grp = np.zeros((batch, slots), dtype=bool)
+        else:
+            grp[:] = False
+        base = base_for(slots)
+        grp_flat = grp.reshape(-1)
+        covered = (pos < op.cm_of.size) & (np.take(op.cm_of, pos,
+                                                   mode="clip") >= 0)
+        iv = np.where(covered, np.take(op.cm_of, pos, mode="clip"), 0)
+        gf = base + iv
+        grp_flat[gf[covered]] = True
+        cs = np.cumsum(grp.reshape(batch, op.n_chips, width), axis=2,
+                       dtype=np.int32)
+        rank = cs.reshape(-1)[gf] - 1
+        chip_start = (iv // width) * np.int32(width)
+        pos = np.where(covered, op.flat32[chip_start + rank], pos)
+    return flat_idx, rows, cols, pos
+
+
+def run_plan(plan: StagePlan, valid: np.ndarray) -> np.ndarray:
+    """Execute a compiled stage plan on a ``(B, n)`` trial batch.
+
+    Returns ``final`` with ``final[b, i]`` = the flat position input
+    ``i`` occupies after the whole pipeline in trial ``b`` — the batched
+    equivalent of ``compose(stage_permutations(valid))`` — for the
+    *valid* inputs; entries for invalid inputs are unspecified (callers
+    always mask them with ``np.where(valid & ..., final, -1)``).
+    """
+    batch, n = valid.shape
+    flat_idx, _, _, pos = _run_plan_sparse_flat(plan, valid)
+    final = np.zeros((batch, n), dtype=np.int64)
+    final.reshape(-1)[flat_idx] = pos
+    return final
+
+
+def concentrate_plan_batch(
+    plan: StagePlan, valid: np.ndarray, m: int
+) -> np.ndarray:
+    """Routing array for a plan-based partial concentrator: each valid
+    input's final position if it lands on one of the first ``m`` wires,
+    else −1 (and −1 for every invalid input) — the fused batched form of
+    ``np.where(valid & (final < m), final, -1)``."""
+    flat_idx, _, _, pos = _run_plan_sparse_flat(plan, valid)
+    routing = np.full(valid.shape, -1, dtype=np.int64)
+    routing.reshape(-1)[flat_idx] = np.where(pos < m, pos, -1)
+    return routing
+
+
+def run_comparator_plan(plan: ComparatorPlan, valid: np.ndarray) -> np.ndarray:
+    """Run a compiled comparator network on a ``(B, n)`` batch.
+
+    Returns ``position_of[b, i]`` = the final wire of input ``i`` in
+    trial ``b`` (batched :func:`repro.switches.bitonic.apply_comparator_stages`).
+    """
+    batch, n = valid.shape
+    bits = valid.astype(np.int8)
+    # wire_holds[b, w] = the input whose message is on wire w.
+    wire_holds = np.broadcast_to(np.arange(n, dtype=np.int64), (batch, n)).copy()
+    for hi, lo in plan.stages:
+        bhi, blo = bits[:, hi], bits[:, lo]
+        swap = bhi < blo
+        bits[:, hi] = np.where(swap, blo, bhi)
+        bits[:, lo] = np.where(swap, bhi, blo)
+        whi, wlo = wire_holds[:, hi], wire_holds[:, lo]
+        wire_holds[:, hi] = np.where(swap, wlo, whi)
+        wire_holds[:, lo] = np.where(swap, whi, wlo)
+    position_of = np.empty((batch, n), dtype=np.int64)
+    np.put_along_axis(
+        position_of,
+        wire_holds,
+        np.broadcast_to(np.arange(n, dtype=np.int64), (batch, n)).copy(),
+        axis=1,
+    )
+    return position_of
+
+
+def prefix_ranks_batch(valid: np.ndarray) -> np.ndarray:
+    """Batched inclusive popcount prefix: rank (1-based among valid
+    inputs) per trial; 0 where invalid."""
+    ranks = np.cumsum(valid, axis=1, dtype=np.int64)
+    return ranks * valid
+
+
+def hyperconcentrate_batch(valid: np.ndarray) -> np.ndarray:
+    """Batched hyperconcentrator routing: in each trial the t-th valid
+    input gets output t; invalid inputs get −1."""
+    return np.where(valid, prefix_ranks_batch(valid) - 1, -1)
+
+
+def validate_batch_partial_concentration(spec, batch: BatchRouting) -> None:
+    """Vectorized form of
+    :func:`repro.core.concentration.validate_partial_concentration`:
+    asserts the (n, m, α) contract for every trial row at once."""
+    if batch.n_inputs != spec.n or batch.n_outputs != spec.m:
+        raise ConfigurationError(
+            f"batch is {batch.n_inputs}->{batch.n_outputs}, "
+            f"spec expects {spec.n}->{spec.m}"
+        )
+    routing = batch.input_to_output
+    if routing.size and routing.max() >= spec.m:
+        raise ConcentrationError(
+            f"routing targets output {int(routing.max())} but the switch "
+            f"has {spec.m} outputs"
+        )
+    if (routing[~batch.valid] >= 0).any():
+        raise ConcentrationError("an invalid message was routed to an output")
+    # Disjointness per row: no output index repeated within a trial.
+    used = np.sort(np.where(routing >= 0, routing, np.iinfo(np.int64).max), axis=1)
+    dup = (used[:, 1:] == used[:, :-1]) & (used[:, 1:] != np.iinfo(np.int64).max)
+    if dup.any():
+        bad = int(np.nonzero(dup.any(axis=1))[0][0])
+        raise ConcentrationError(
+            f"routing paths are not disjoint in trial {bad} (output reused)"
+        )
+    k = batch.valid.sum(axis=1)
+    routed = batch.routed_counts
+    cap = spec.guaranteed_capacity
+    light = (k <= cap) & (routed < k)
+    if light.any():
+        bad = int(np.nonzero(light)[0][0])
+        raise ConcentrationError(
+            f"lightly loaded switch (trial {bad}, k={int(k[bad])} <= "
+            f"alpha*m={cap}) dropped {int(k[bad] - routed[bad])} messages"
+        )
+    heavy = (k > cap) & (routed < cap)
+    if heavy.any():
+        bad = int(np.nonzero(heavy)[0][0])
+        raise ConcentrationError(
+            f"congested switch (trial {bad}, k={int(k[bad])}) routed only "
+            f"{int(routed[bad])} < alpha*m={cap} messages"
+        )

@@ -29,6 +29,15 @@ CATALOG: tuple[MetricInfo, ...] = (
                "valid messages presented to route(), by switch class"),
     MetricInfo("switch.routed_out", "counter", ("switch",),
                "messages that received an output path, by switch class"),
+    # engine/
+    MetricInfo("engine.plan_cache.hit", "counter", ("kind",),
+               "compiled stage-plan cache hits, by plan kind"),
+    MetricInfo("engine.plan_cache.miss", "counter", ("kind",),
+               "stage-plan cache misses (plan compiled), by plan kind"),
+    MetricInfo("engine.batch_setups", "counter", ("switch",),
+               "setup_batch invocations, by switch class"),
+    MetricInfo("engine.batch_trials", "counter", ("switch",),
+               "total trials routed through setup_batch, by switch class"),
     # network/simulate
     MetricInfo("sim.rounds", "counter", (),
                "simulation rounds executed by SwitchSimulation.run"),

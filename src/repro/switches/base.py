@@ -25,7 +25,17 @@ import numpy as np
 
 from repro import obs
 from repro.core.concentration import ConcentratorSpec, validate_routing_disjoint
+from repro.engine.batch import BatchRouting
 from repro.errors import ConfigurationError, RoutingError
+
+
+def _as_bool_bits(arr: np.ndarray) -> np.ndarray:
+    """Coerce a valid-bit array to bool, rejecting anything that is not
+    a 0/1 value (mirrors :func:`repro.core.nearsort._as_bits`; a silent
+    ``astype(bool)`` would truncate arbitrary ints to True)."""
+    if arr.dtype != np.bool_ and arr.size and not ((arr == 0) | (arr == 1)).all():
+        raise ConfigurationError("valid bits must contain only 0/1 values")
+    return arr.astype(bool)
 
 
 @dataclass(frozen=True)
@@ -63,8 +73,8 @@ class Routing:
         """Inverse map: for each output wire, the input it carries
         (−1 when idle)."""
         inv = np.full(self.n_outputs, -1, dtype=np.int64)
-        for i in np.flatnonzero(self.input_to_output >= 0):
-            inv[self.input_to_output[i]] = i
+        routed = np.flatnonzero(self.input_to_output >= 0)
+        inv[self.input_to_output[routed]] = routed
         return inv
 
     def output_valid_bits(self) -> np.ndarray:
@@ -97,7 +107,47 @@ class ConcentratorSwitch(ABC):
             raise ConfigurationError(
                 f"expected {self.n} valid bits, got shape {arr.shape}"
             )
-        return arr.astype(bool)
+        return _as_bool_bits(arr)
+
+    def _check_valid_batch(self, valid: np.ndarray) -> np.ndarray:
+        arr = np.asarray(valid)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        if arr.ndim != 2 or arr.shape[1] != self.n:
+            raise ConfigurationError(
+                f"expected a (B, {self.n}) batch of valid bits, "
+                f"got shape {np.asarray(valid).shape}"
+            )
+        return _as_bool_bits(arr)
+
+    def setup_batch(self, valid: np.ndarray) -> BatchRouting:
+        """Establish paths for ``B`` independent setup cycles at once.
+
+        ``valid`` is a ``(B, n)`` bool array, one trial per row.  The
+        base implementation loops over :meth:`setup` (correct for every
+        switch); subclasses override :meth:`_setup_batch` with true
+        vectorized execution.  Either way ``setup_batch(V)[i]`` equals
+        ``setup(V[i])``.
+        """
+        valid2d = self._check_valid_batch(valid)
+        reg = obs.get_registry()
+        if reg.enabled:
+            label = type(self).__name__
+            reg.counter("engine.batch_setups", switch=label).inc()
+            reg.counter("engine.batch_trials", switch=label).inc(valid2d.shape[0])
+        return self._setup_batch(valid2d)
+
+    def _setup_batch(self, valid: np.ndarray) -> BatchRouting:
+        """Generic loop fallback; ``valid`` is pre-checked (B, n) bool."""
+        if valid.shape[0]:
+            routing = np.stack(
+                [self.setup(row).input_to_output for row in valid]
+            )
+        else:
+            routing = np.empty((0, self.n), dtype=np.int64)
+        return BatchRouting(
+            n_inputs=self.n, n_outputs=self.m, valid=valid, input_to_output=routing
+        )
 
     def route(self, messages: Sequence[object | None]) -> list[object | None]:
         """Route whole messages: ``messages[i]`` is input i's payload or
@@ -112,12 +162,8 @@ class ConcentratorSwitch(ABC):
             reg.counter("switch.route_calls", switch=label).inc()
             reg.counter("switch.valid_in", switch=label).inc(int(valid.sum()))
             reg.counter("switch.routed_out", switch=label).inc(routing.routed_count)
-        outputs: list[object | None] = [None] * self.m
-        for i in np.flatnonzero(valid):
-            target = int(routing.input_to_output[i])
-            if target >= 0:
-                outputs[target] = messages[i]
-        return outputs
+        out_to_in = routing.output_to_input()
+        return [messages[i] if i >= 0 else None for i in out_to_in]
 
 
 @dataclass

@@ -31,10 +31,26 @@ import numpy as np
 
 from repro._util.bits import ilg
 from repro.core.concentration import ConcentratorSpec, lemma2_load_ratio
+from repro.engine import (
+    BatchRouting,
+    ComparatorPlan,
+    comparator_stages,
+    plan_cache,
+    run_comparator_plan,
+)
 from repro.errors import ConfigurationError
 from repro.switches.base import ConcentratorSwitch, Routing
 
 Comparator = tuple[int, int]  # (i, j): wire i should carry the larger bit
+
+
+def _bitonic_plan(n: int) -> ComparatorPlan:
+    """The full bitonic network compiled to index arrays, cached per n.
+    Truncated switches slice a prefix of the same cached stages."""
+    return plan_cache().get_or_build(
+        ("bitonic", n),
+        lambda: comparator_stages(("bitonic", n), n, bitonic_stages(n) if n > 1 else []),
+    )
 
 
 def bitonic_stages(n: int) -> list[list[Comparator]]:
@@ -129,6 +145,13 @@ class BitonicHyperconcentrator(ConcentratorSwitch):
             n_inputs=self.n, n_outputs=self.n, valid=valid, input_to_output=routing
         )
 
+    def _setup_batch(self, valid: np.ndarray) -> BatchRouting:
+        final = run_comparator_plan(_bitonic_plan(self.n), valid)
+        routing = np.where(valid, final, -1)
+        return BatchRouting(
+            n_inputs=self.n, n_outputs=self.n, valid=valid, input_to_output=routing
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"BitonicHyperconcentrator(n={self.n})"
 
@@ -209,6 +232,17 @@ class TruncatedBitonicSwitch(ConcentratorSwitch):
         final = self.final_positions(valid)
         routing = np.where(valid & (final < self.m), final, -1)
         return Routing(
+            n_inputs=self.n, n_outputs=self.m, valid=valid, input_to_output=routing
+        )
+
+    def _setup_batch(self, valid: np.ndarray) -> BatchRouting:
+        full = _bitonic_plan(self.n)
+        prefix = ComparatorPlan(
+            key=full.key, n=full.n, stages=full.stages[: self.stages]
+        )
+        final = run_comparator_plan(prefix, valid)
+        routing = np.where(valid & (final < self.m), final, -1)
+        return BatchRouting(
             n_inputs=self.n, n_outputs=self.m, valid=valid, input_to_output=routing
         )
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.concentration import ConcentratorSpec
+from repro.engine.batch import BatchRouting
 from repro.errors import ConfigurationError
 from repro.switches.base import ConcentratorSwitch, Routing
 
@@ -55,11 +56,20 @@ class CascadeSwitch(ConcentratorSwitch):
         mid_valid = r1.output_valid_bits()
         r2 = self.second.setup(mid_valid)
         routing = np.full(self.n, -1, dtype=np.int64)
-        for i in np.flatnonzero(valid):
-            mid = r1.input_to_output[i]
-            if mid >= 0:
-                routing[i] = r2.input_to_output[mid]
+        through = valid & (r1.input_to_output >= 0)
+        routing[through] = r2.input_to_output[r1.input_to_output[through]]
         return Routing(
+            n_inputs=self.n, n_outputs=self.m, valid=valid, input_to_output=routing
+        )
+
+    def _setup_batch(self, valid: np.ndarray) -> BatchRouting:
+        r1 = self.first.setup_batch(valid)
+        r2 = self.second.setup_batch(r1.output_valid_bits())
+        through = valid & (r1.input_to_output >= 0)
+        mid = np.where(through, r1.input_to_output, 0)
+        chained = np.take_along_axis(r2.input_to_output, mid, axis=1)
+        routing = np.where(through, chained, -1)
+        return BatchRouting(
             n_inputs=self.n, n_outputs=self.m, valid=valid, input_to_output=routing
         )
 

@@ -26,6 +26,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.concentration import ConcentratorSpec, lemma2_load_ratio
+from repro.engine import (
+    BatchRouting,
+    StagePlan,
+    chip_layer,
+    fixed_permutation,
+    plan_cache,
+    concentrate_plan_batch,
+)
 from repro.errors import ConfigurationError
 from repro.mesh.columnsort import (
     columnsort_epsilon_bound,
@@ -36,6 +44,14 @@ from repro.mesh.order import cm_to_rm_permutation
 from repro.switches.base import ConcentratorSwitch, Routing, StageReport
 from repro.switches.hyperconcentrator import Hyperconcentrator
 from repro.switches.wiring import apply_chip_layer, column_groups, compose
+
+
+def _build_columnsort_plan(r: int, s: int) -> StagePlan:
+    """Compile Algorithm 2's two chip stages around the ``RM⁻¹∘CM``
+    reshuffle wiring."""
+    cols = chip_layer(column_groups(r, s))
+    reshuffle = fixed_permutation(cm_to_rm_permutation(r, s))
+    return StagePlan(key=("columnsort", r, s), n=r * s, ops=(cols, reshuffle, cols))
 
 
 class ColumnsortSwitch(ConcentratorSwitch):
@@ -62,22 +78,25 @@ class ColumnsortSwitch(ConcentratorSwitch):
         self.n = n
         self.m = m
         self._chip = Hyperconcentrator(r)
-        # Wiring structures are built lazily: resource-model queries on
-        # very large switches must not allocate the O(n) wire arrays.
-        self._groups_cache: list | None = None
-        self._reshuffle_cache = None
+
+    @property
+    def _plan(self) -> StagePlan:
+        """The compiled stage plan, shared by every (r, s) instance via
+        the process-wide plan cache.  Built lazily: resource-model
+        queries on very large switches must not allocate the O(n) wire
+        arrays."""
+        return plan_cache().get_or_build(
+            ("columnsort", self.r, self.s),
+            lambda: _build_columnsort_plan(self.r, self.s),
+        )
 
     @property
     def _groups(self) -> list:
-        if self._groups_cache is None:
-            self._groups_cache = column_groups(self.r, self.s)
-        return self._groups_cache
+        return list(self._plan.ops[0].groups)
 
     @property
     def _reshuffle(self):
-        if self._reshuffle_cache is None:
-            self._reshuffle_cache = cm_to_rm_permutation(self.r, self.s)
-        return self._reshuffle_cache
+        return self._plan.ops[1].perm
 
     @classmethod
     def from_beta(cls, n: int, beta: float, m: int) -> "ColumnsortSwitch":
@@ -128,6 +147,12 @@ class ColumnsortSwitch(ConcentratorSwitch):
         final = self.final_positions(valid)
         routing = np.where(valid & (final < self.m), final, -1)
         return Routing(
+            n_inputs=self.n, n_outputs=self.m, valid=valid, input_to_output=routing
+        )
+
+    def _setup_batch(self, valid: np.ndarray) -> BatchRouting:
+        routing = concentrate_plan_batch(self._plan, valid, self.m)
+        return BatchRouting(
             n_inputs=self.n, n_outputs=self.m, valid=valid, input_to_output=routing
         )
 

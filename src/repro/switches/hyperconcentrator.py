@@ -19,6 +19,7 @@ import numpy as np
 
 from repro._util.bits import ceil_lg
 from repro.core.concentration import ConcentratorSpec
+from repro.engine.batch import BatchRouting, hyperconcentrate_batch
 from repro.errors import ConfigurationError
 from repro.switches.base import ConcentratorSwitch, Routing
 
@@ -83,6 +84,14 @@ class Hyperconcentrator(ConcentratorSwitch):
             n_outputs=self.n,
             valid=valid,
             input_to_output=hyperconcentrate_routing(valid),
+        )
+
+    def _setup_batch(self, valid: np.ndarray) -> BatchRouting:
+        return BatchRouting(
+            n_inputs=self.n,
+            n_outputs=self.n,
+            valid=valid,
+            input_to_output=hyperconcentrate_batch(valid),
         )
 
     # -- delay/cost model (paper's Section 1 figures for this chip) ----

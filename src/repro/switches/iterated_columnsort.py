@@ -33,6 +33,14 @@ import numpy as np
 
 from repro.core.concentration import ConcentratorSpec, lemma2_load_ratio
 from repro.core.nearsort import nearsortedness
+from repro.engine import (
+    BatchRouting,
+    StagePlan,
+    chip_layer,
+    fixed_permutation,
+    plan_cache,
+    run_plan_sparse,
+)
 from repro.errors import ConfigurationError
 from repro.mesh.columnsort import validate_columnsort_shape
 from repro.mesh.grid import sort_columns
@@ -40,6 +48,21 @@ from repro.mesh.order import cm_to_rm_permutation
 from repro.switches.base import ConcentratorSwitch, Routing
 from repro.switches.hyperconcentrator import Hyperconcentrator
 from repro.switches.wiring import apply_chip_layer, column_groups, compose
+
+
+def _build_iterated_plan(r: int, s: int, passes: int) -> StagePlan:
+    """Compile the k-pass pipeline: (chips, alternating reshuffle) × k
+    plus the final chip stage (readout conversion happens outside)."""
+    cols = chip_layer(column_groups(r, s))
+    fwd = cm_to_rm_permutation(r, s)
+    inv = np.empty_like(fwd)
+    inv[fwd] = np.arange(fwd.size, dtype=np.int64)
+    shuffles = (fixed_permutation(fwd), fixed_permutation(inv))
+    ops: list = []
+    for k in range(passes):
+        ops += [cols, shuffles[k % 2]]
+    ops.append(cols)
+    return StagePlan(key=("iterated-columnsort", r, s, passes), n=r * s, ops=tuple(ops))
 
 
 class IteratedColumnsortSwitch(ConcentratorSwitch):
@@ -70,25 +93,29 @@ class IteratedColumnsortSwitch(ConcentratorSwitch):
         self.m = m
         self.passes = passes
         self._chip = Hyperconcentrator(r)
-        self._groups_cache: list | None = None
-        self._reshuffle_cache = None
+
+    @property
+    def _plan(self) -> StagePlan:
+        return plan_cache().get_or_build(
+            ("iterated-columnsort", self.r, self.s, self.passes),
+            lambda: _build_iterated_plan(self.r, self.s, self.passes),
+        )
 
     @property
     def _groups(self) -> list:
-        if self._groups_cache is None:
-            self._groups_cache = column_groups(self.r, self.s)
-        return self._groups_cache
+        return list(self._plan.ops[0].groups)
 
     @property
     def _reshuffle(self):
         """The two alternating reshuffles: index 0 = CM→RM (odd
         passes), index 1 = RM→CM (even passes)."""
-        if self._reshuffle_cache is None:
-            fwd = cm_to_rm_permutation(self.r, self.s)
-            inv = np.empty_like(fwd)
-            inv[fwd] = np.arange(fwd.size, dtype=np.int64)
-            self._reshuffle_cache = (fwd, inv)
-        return self._reshuffle_cache
+        fwd = self._plan.ops[1].perm
+        if self.passes >= 2:
+            return (fwd, self._plan.ops[3].perm)
+        inv = np.empty_like(fwd)
+        inv[fwd] = np.arange(fwd.size, dtype=np.int64)
+        inv.setflags(write=False)
+        return (fwd, inv)
 
     @property
     def readout(self) -> str:
@@ -151,6 +178,19 @@ class IteratedColumnsortSwitch(ConcentratorSwitch):
         final = self.final_positions(valid)
         routing = np.where(valid & (final < self.m), final, -1)
         return Routing(
+            n_inputs=self.n, n_outputs=self.m, valid=valid, input_to_output=routing
+        )
+
+    def _setup_batch(self, valid: np.ndarray) -> BatchRouting:
+        rows, cols, flat = run_plan_sparse(self._plan, valid)
+        if self.readout == "rm":
+            final = flat
+        else:
+            i, j = flat // self.s, flat % self.s
+            final = self.r * j + i
+        routing = np.full(valid.shape, -1, dtype=np.int64)
+        routing[rows, cols] = np.where(final < self.m, final, -1)
+        return BatchRouting(
             n_inputs=self.n, n_outputs=self.m, valid=valid, input_to_output=routing
         )
 

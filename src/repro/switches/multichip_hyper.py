@@ -33,6 +33,14 @@ import numpy as np
 
 from repro._util.bits import ilg
 from repro.core.concentration import ConcentratorSpec
+from repro.engine import (
+    BatchRouting,
+    StagePlan,
+    chip_layer,
+    fixed_permutation,
+    plan_cache,
+    concentrate_plan_batch,
+)
 from repro.errors import ConfigurationError, RoutingError
 from repro.mesh.columnsort import validate_columnsort_shape
 from repro.mesh.order import rev_rotate_permutation
@@ -53,6 +61,24 @@ def _permute_bits(bits: np.ndarray, perm: np.ndarray) -> np.ndarray:
     return out
 
 
+def _build_full_revsort_plan(n: int, side: int, repetitions: int) -> StagePlan:
+    """Compile the whole Section 6 pipeline: Revsort repetitions, the
+    completing column sort, three Shearsort iterations, and the final
+    row-major fixup stack."""
+    cols = chip_layer(column_groups(side, side))
+    rows = chip_layer(row_groups(side, side))
+    rows_snake = chip_layer(row_groups(side, side, reverse_odd=True))
+    rotate = fixed_permutation(rev_rotate_permutation(side))
+    ops: list = []
+    for _ in range(repetitions):
+        ops += [cols, rows, rotate]
+    ops.append(cols)
+    for _ in range(3):
+        ops += [rows_snake, cols]
+    ops.append(rows)
+    return StagePlan(key=("fullrevsort", n), n=n, ops=tuple(ops))
+
+
 class FullRevsortHyperconcentrator(ConcentratorSwitch):
     """n-by-n multichip hyperconcentrator from the full Revsort
     (Section 6)."""
@@ -66,11 +92,32 @@ class FullRevsortHyperconcentrator(ConcentratorSwitch):
         self.m = n
         self.side = side
         self.repetitions = revsort_repetitions(side)
-        self._cols = column_groups(side, side)
-        self._rows = row_groups(side, side)
-        self._rows_snake = row_groups(side, side, reverse_odd=True)
-        self._rotate = rev_rotate_permutation(side)
         self._chip = Hyperconcentrator(side)
+
+    @property
+    def _plan(self) -> StagePlan:
+        return plan_cache().get_or_build(
+            ("fullrevsort", self.n),
+            lambda: _build_full_revsort_plan(self.n, self.side, self.repetitions),
+        )
+
+    @property
+    def _cols(self) -> list:
+        return list(self._plan.ops[0].groups)
+
+    @property
+    def _rows(self) -> list:
+        return list(self._plan.ops[1].groups)
+
+    @property
+    def _rows_snake(self) -> list:
+        # First Shearsort stage: after `repetitions` (cols, rows,
+        # rotate) triples and the completing column sort.
+        return list(self._plan.ops[3 * self.repetitions + 1].groups)
+
+    @property
+    def _rotate(self) -> np.ndarray:
+        return self._plan.ops[2].perm
 
     @property
     def spec(self) -> ConcentratorSpec:
@@ -107,6 +154,12 @@ class FullRevsortHyperconcentrator(ConcentratorSwitch):
         final = self.final_positions(valid)
         routing = np.where(valid, final, -1)
         return Routing(
+            n_inputs=self.n, n_outputs=self.n, valid=valid, input_to_output=routing
+        )
+
+    def _setup_batch(self, valid: np.ndarray) -> BatchRouting:
+        routing = concentrate_plan_batch(self._plan, valid, self.n)
+        return BatchRouting(
             n_inputs=self.n, n_outputs=self.n, valid=valid, input_to_output=routing
         )
 

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro._util.bits import ceil_lg, ilg
 from repro.core.concentration import ConcentratorSpec
+from repro.engine.batch import BatchRouting, hyperconcentrate_batch
 from repro.errors import ConfigurationError, RoutingError
 from repro.switches.base import ConcentratorSwitch, Routing
 
@@ -154,6 +155,19 @@ class PrefixButterflyHyperconcentrator(ConcentratorSwitch):
             self._last_settings = settings
         return Routing(
             n_inputs=self.n, n_outputs=self.n, valid=valid, input_to_output=routing
+        )
+
+    def _setup_batch(self, valid: np.ndarray) -> BatchRouting:
+        """Vectorized setup: destinations of a concentration pattern are
+        monotone, so the butterfly always realises ``rank − 1`` exactly
+        (the scalar path proves it per trial and stays the oracle).
+        Batch setups do not record per-trial switch settings; call
+        :meth:`setup` when :meth:`switch_settings` is needed."""
+        return BatchRouting(
+            n_inputs=self.n,
+            n_outputs=self.n,
+            valid=valid,
+            input_to_output=hyperconcentrate_batch(valid),
         )
 
     def switch_settings(self) -> list[np.ndarray]:

@@ -32,6 +32,14 @@ import numpy as np
 
 from repro._util.bits import bit_reverse, ceil_lg, ilg
 from repro.core.concentration import ConcentratorSpec, lemma2_load_ratio
+from repro.engine import (
+    BatchRouting,
+    StagePlan,
+    chip_layer,
+    fixed_permutation,
+    plan_cache,
+    concentrate_plan_batch,
+)
 from repro.errors import ConfigurationError
 from repro.mesh.order import rev_rotate_permutation
 from repro.mesh.revsort import revsort_dirty_row_bound, revsort_epsilon_bound
@@ -39,6 +47,16 @@ from repro.switches.barrel import BarrelShifter
 from repro.switches.base import ConcentratorSwitch, Routing, StageReport
 from repro.switches.hyperconcentrator import Hyperconcentrator
 from repro.switches.wiring import apply_chip_layer, column_groups, compose, row_groups
+
+
+def _build_revsort_plan(n: int, side: int) -> StagePlan:
+    """Compile the three chip stages and two wirings of Algorithm 1
+    (the stage-1→2 transpose moves chips, not entries, so it is the
+    identity on flat positions and needs no op)."""
+    cols = chip_layer(column_groups(side, side))
+    rows = chip_layer(row_groups(side, side))
+    rotate = fixed_permutation(rev_rotate_permutation(side))
+    return StagePlan(key=("revsort", n), n=n, ops=(cols, rows, rotate, cols))
 
 
 class RevsortSwitch(ConcentratorSwitch):
@@ -66,29 +84,35 @@ class RevsortSwitch(ConcentratorSwitch):
         self.m = m
         self.side = side
         self._chip = Hyperconcentrator(side)
-        # Wiring structures are built lazily: resource-model queries on
-        # very large switches must not allocate the O(n) wire arrays.
-        self._col_groups_cache: list | None = None
-        self._row_groups_cache: list | None = None
+        # Instance-level override of the rotate wiring (used by the
+        # fault-injection suite to ablate the rev(i) rotation).  When
+        # set, the shared compiled plan no longer describes this
+        # instance and setup_batch falls back to the scalar loop.
         self._rotate_perm_cache = None
 
     @property
+    def _plan(self) -> StagePlan:
+        """The compiled stage plan, shared by every instance of this
+        (n) shape via the process-wide plan cache.  Built lazily:
+        resource-model queries on very large switches must not allocate
+        the O(n) wire arrays."""
+        return plan_cache().get_or_build(
+            ("revsort", self.n), lambda: _build_revsort_plan(self.n, self.side)
+        )
+
+    @property
     def _col_groups(self) -> list:
-        if self._col_groups_cache is None:
-            self._col_groups_cache = column_groups(self.side, self.side)
-        return self._col_groups_cache
+        return list(self._plan.ops[0].groups)
 
     @property
     def _row_groups(self) -> list:
-        if self._row_groups_cache is None:
-            self._row_groups_cache = row_groups(self.side, self.side)
-        return self._row_groups_cache
+        return list(self._plan.ops[1].groups)
 
     @property
     def _rotate_perm(self):
-        if self._rotate_perm_cache is None:
-            self._rotate_perm_cache = rev_rotate_permutation(self.side)
-        return self._rotate_perm_cache
+        if self._rotate_perm_cache is not None:
+            return self._rotate_perm_cache
+        return self._plan.ops[2].perm
 
     # -- behaviour ------------------------------------------------------
 
@@ -145,6 +169,14 @@ class RevsortSwitch(ConcentratorSwitch):
         final = self.final_positions(valid)
         routing = np.where(valid & (final < self.m), final, -1)
         return Routing(
+            n_inputs=self.n, n_outputs=self.m, valid=valid, input_to_output=routing
+        )
+
+    def _setup_batch(self, valid: np.ndarray) -> BatchRouting:
+        if self._rotate_perm_cache is not None:
+            return super()._setup_batch(valid)  # plan no longer applies
+        routing = concentrate_plan_batch(self._plan, valid, self.m)
+        return BatchRouting(
             n_inputs=self.n, n_outputs=self.m, valid=valid, input_to_output=routing
         )
 
