@@ -6,6 +6,7 @@ Six subcommands mirroring the paper's artifacts::
     python -m repro design  --n 1024 --m 768 --pin-budget 150
     python -m repro simulate --switch revsort --n 256 --m 192 --load 0.5
     python -m repro verify  --switch columnsort --r 64 --s 8 --m 384 --batch
+    python -m repro certify revsort --out certificates/
     python -m repro compare --switch revsort --n 256 --m 192 --workers 4
     python -m repro knockout --ports 16 --load 0.9
     python -m repro reproduce
@@ -17,6 +18,10 @@ Six subcommands mirroring the paper's artifacts::
 * ``verify`` randomly checks a switch's partial-concentration contract
   and measured ε against its theorem bound, exiting nonzero on any
   violation (``--batch`` runs the trials through the vectorised engine);
+* ``certify`` *enumerates* valid-bit patterns (exhaustively for small
+  n, stratified per load level above) through the batch engine, the
+  scalar oracle, and the gate netlists, and emits certificate JSONs
+  (see ``docs/verification.md``);
 * ``compare`` runs the Section 1 partial-vs-perfect substitution
   experiment, optionally parallel/batched via ``--workers``;
 * ``knockout`` compares analytic and simulated knockout concentrator
@@ -180,9 +185,14 @@ def cmd_verify(args: argparse.Namespace) -> int:
     switch = _build_switch(args)
     rng = default_rng(args.seed)
     spec = switch.spec
-    worst_eps = 0
+    tracks_eps = hasattr(switch, "final_positions")
+    worst_eps: int | None = 0 if tracks_eps else None
     if args.batch:
-        from repro.engine import validate_batch_partial_concentration
+        from repro.engine import (
+            nearsortedness_batch,
+            validate_batch_partial_concentration,
+        )
+        from repro.verify.differential import output_occupancy
 
         chunk = 256
         done = 0
@@ -192,38 +202,150 @@ def cmd_verify(args: argparse.Namespace) -> int:
             valid = rng.random((size, switch.n)) < thresholds
             batch = switch.setup_batch(valid)
             validate_batch_partial_concentration(spec, batch)
+            if worst_eps is not None:
+                occupancy = output_occupancy(
+                    switch, valid, routing=batch.input_to_output
+                )
+                if occupancy is None:
+                    worst_eps = None
+                else:
+                    worst_eps = max(
+                        worst_eps, int(nearsortedness_batch(occupancy).max(initial=0))
+                    )
             done += size
     else:
         for _ in range(args.trials):
             valid = rng.random(switch.n) < rng.random()
             routing = switch.setup(valid)
             validate_partial_concentration(spec, valid, routing.input_to_output)
-            if hasattr(switch, "final_positions"):
+            if tracks_eps:
                 final = switch.final_positions(valid)
                 out = np.zeros(switch.n, dtype=np.int8)
                 out[final] = valid.astype(np.int8)
                 worst_eps = max(worst_eps, nearsortedness(out))
     bound = getattr(switch, "epsilon_bound", None)
-    print(
-        render_table(
-            [
+    ok = bound is None or worst_eps is None or worst_eps <= bound
+    if args.format == "json":
+        import json
+
+        print(
+            json.dumps(
                 {
+                    "schema": "repro.cli/verify@1",
                     "switch": repr(switch),
                     "trials": args.trials,
                     "mode": "batch" if args.batch else "scalar",
-                    "alpha": f"{spec.alpha:.4f}",
-                    "worst eps": worst_eps if not args.batch else "-",
-                    "eps bound": bound if bound is not None else "-",
-                    "verdict": "OK",
-                }
-            ],
-            title="contract verification",
+                    "alpha": round(float(spec.alpha), 6),
+                    "worst_epsilon": worst_eps,
+                    "epsilon_bound": bound,
+                    "ok": ok,
+                },
+                indent=2,
+            )
         )
-    )
-    if not args.batch and bound is not None and worst_eps > bound:
+    else:
+        print(
+            render_table(
+                [
+                    {
+                        "switch": repr(switch),
+                        "trials": args.trials,
+                        "mode": "batch" if args.batch else "scalar",
+                        "alpha": f"{spec.alpha:.4f}",
+                        "worst eps": worst_eps if worst_eps is not None else "-",
+                        "eps bound": bound if bound is not None else "-",
+                        "verdict": "OK" if ok else "FAIL",
+                    }
+                ],
+                title="contract verification",
+            )
+        )
+    if not ok:
         print("ERROR: measured epsilon exceeds the theorem bound", file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_certify(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.switches.registry import certify_configs
+    from repro.verify import CertifyOptions, certify_design, write_certificate
+
+    options = CertifyOptions(max_total=args.max_total, max_per_k=args.max_per_k)
+    explicit: dict[str, object] = {}
+    if args.n:
+        explicit["n"] = args.n
+    if args.m:
+        explicit["m"] = args.m
+    if args.r and args.s:
+        explicit["r"] = args.r
+        explicit["s"] = args.s
+    if explicit and not args.switch_name:
+        raise ReproError("size overrides need an explicit SWITCH argument")
+    if args.switch_name and explicit:
+        configs = [(args.switch_name, explicit)]
+    else:
+        configs = certify_configs([args.switch_name] if args.switch_name else None)
+    if not configs:
+        raise ReproError(
+            f"design {args.switch_name!r} declares no certification configs; "
+            "pass an explicit size (e.g. --n 16)"
+        )
+
+    with _metrics_scope(args):
+        certs = []
+        for design, params in configs:
+            try:
+                certs.append(certify_design(design, params, options=options))
+            except TypeError as exc:  # e.g. a missing required override
+                raise ReproError(f"bad parameters for {design!r}: {exc}") from exc
+
+    written: list[Path] = []
+    if args.out:
+        out = Path(args.out)
+        if out.suffix == ".json" and len(certs) == 1:
+            written.append(write_certificate(certs[0], out))
+        else:
+            for cert in certs:
+                written.append(
+                    write_certificate(cert, out / f"{cert.design}-n{cert.n}-m{cert.m}.json")
+                )
+
+    if args.format == "json":
+        print(json.dumps([cert.as_dict() for cert in certs], indent=2))
+    else:
+        rows = []
+        for cert in certs:
+            eps = (
+                f"{cert.worst_epsilon}/{cert.epsilon_bound}"
+                if cert.epsilon_bound is not None
+                else "-"
+            )
+            rows.append(
+                {
+                    "design": cert.design,
+                    "params": ", ".join(f"{k}={v}" for k, v in cert.params.items()),
+                    "tier": cert.tier,
+                    "patterns": cert.total_patterns,
+                    "paths": "+".join(cert.paths),
+                    "eps/bound": eps,
+                    "violations": len(cert.violations),
+                    "verdict": "CERTIFIED" if cert.ok else "FAIL",
+                }
+            )
+        print(render_table(rows, title="certification"))
+        for cert in certs:
+            for v in cert.violations:
+                print(
+                    f"VIOLATION {cert.design}: [{v.check}] k={v.k} "
+                    f"pattern={v.pattern}: {v.message}",
+                    file=sys.stderr,
+                )
+    for path in written:
+        print(f"certificate written to {path}", file=sys.stderr)
+    return 0 if all(cert.ok for cert in certs) else 1
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -248,24 +370,48 @@ def cmd_compare(args: argparse.Namespace) -> int:
             seed=args.seed,
             workers=args.workers,
         )
-        rows = [
-            {
-                "k": k,
-                "perfect mean routed": f"{res['perfect']:.2f}",
-                "partial mean routed": f"{res['partial']:.2f}",
-            }
-            for k, res in sorted(results.items())
-        ]
-        print(
-            render_table(
-                rows,
-                title=(
-                    f"partial ({partial.n}x{partial.m}, alpha={alpha:.3f}) vs "
-                    f"perfect ({perfect.n}x{perfect.m}), "
-                    f"trials={args.trials}, workers={args.workers}"
-                ),
+        if args.format == "json":
+            import json
+
+            print(
+                json.dumps(
+                    {
+                        "schema": "repro.cli/compare@1",
+                        "partial": repr(partial),
+                        "perfect": repr(perfect),
+                        "alpha": round(float(alpha), 6),
+                        "trials": args.trials,
+                        "results": [
+                            {
+                                "k": int(k),
+                                "perfect_mean_routed": round(res["perfect"], 4),
+                                "partial_mean_routed": round(res["partial"], 4),
+                            }
+                            for k, res in sorted(results.items())
+                        ],
+                    },
+                    indent=2,
+                )
             )
-        )
+        else:
+            rows = [
+                {
+                    "k": k,
+                    "perfect mean routed": f"{res['perfect']:.2f}",
+                    "partial mean routed": f"{res['partial']:.2f}",
+                }
+                for k, res in sorted(results.items())
+            ]
+            print(
+                render_table(
+                    rows,
+                    title=(
+                        f"partial ({partial.n}x{partial.m}, alpha={alpha:.3f}) vs "
+                        f"perfect ({perfect.n}x{perfect.m}), "
+                        f"trials={args.trials}, workers={args.workers}"
+                    ),
+                )
+            )
     return 0
 
 
@@ -454,7 +600,55 @@ def build_parser() -> argparse.ArgumentParser:
                 help="verify through the batched engine path "
                 "(setup_batch + vectorised contract checks)",
             )
+            p.add_argument(
+                "--format", choices=["table", "json"], default="table"
+            )
         p.set_defaults(func=func)
+
+    p = sub.add_parser(
+        "certify",
+        help="exhaustively certify registered designs "
+        "(all valid-bit patterns for small n, stratified per-load above)",
+    )
+    from repro.switches.registry import available as _cert_available
+
+    p.add_argument(
+        "switch_name",
+        nargs="?",
+        choices=_cert_available(),
+        default=None,
+        metavar="SWITCH",
+        help="certify one design (default: every registered design)",
+    )
+    p.add_argument("--n", type=int, default=0, help="override: inputs")
+    p.add_argument("--m", type=int, default=0, help="override: outputs")
+    p.add_argument("--r", type=int, default=0, help="override: matrix rows")
+    p.add_argument("--s", type=int, default=0, help="override: matrix columns")
+    p.add_argument(
+        "--max-total",
+        type=int,
+        default=1 << 16,
+        help="enumerate all 2^n patterns when 2^n fits this budget",
+    )
+    p.add_argument(
+        "--max-per-k",
+        type=int,
+        default=512,
+        help="stratified tier: pattern budget per load level k",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        help="write certificate JSON artifacts (a directory, or a .json "
+        "path when certifying a single config)",
+    )
+    p.add_argument("--format", choices=["table", "json"], default="table")
+    p.add_argument(
+        "--metrics-out",
+        default=None,
+        help="collect repro.obs metrics and write a JSON snapshot here",
+    )
+    p.set_defaults(func=cmd_certify)
 
     p = sub.add_parser(
         "compare",
@@ -477,6 +671,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads for the batched path (0 = legacy serial loop); "
         "results are identical for any workers >= 1",
     )
+    p.add_argument("--format", choices=["table", "json"], default="table")
     p.add_argument(
         "--metrics-out",
         default=None,

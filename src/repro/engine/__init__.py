@@ -25,6 +25,7 @@ from repro.engine.batch import (
     BatchRouting,
     concentrate_plan_batch,
     hyperconcentrate_batch,
+    nearsortedness_batch,
     prefix_ranks_batch,
     run_comparator_plan,
     run_plan,
@@ -57,6 +58,7 @@ __all__ = [
     "concentrate_plan_batch",
     "fixed_permutation",
     "hyperconcentrate_batch",
+    "nearsortedness_batch",
     "plan_cache",
     "prefix_ranks_batch",
     "run_comparator_plan",

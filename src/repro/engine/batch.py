@@ -306,6 +306,33 @@ def hyperconcentrate_batch(valid: np.ndarray) -> np.ndarray:
     return np.where(valid, prefix_ranks_batch(valid) - 1, -1)
 
 
+def nearsortedness_batch(bits: np.ndarray) -> np.ndarray:
+    """Per-row ε of a ``(B, n)`` 0/1 array — the vectorized form of
+    :func:`repro.core.nearsort.nearsortedness` (the property tests pin
+    the two equal row-for-row).
+
+    Returns the exact smallest ε for which each row is ε-nearsorted
+    under the paper's per-value notion: ``max(last 1 position − (k−1),
+    k − first 0 position, 0)``.
+    """
+    arr = np.asarray(bits)
+    if arr.ndim != 2:
+        raise ConfigurationError(
+            f"expected a (B, n) bit array, got shape {arr.shape}"
+        )
+    if arr.dtype != np.bool_ and arr.size and not ((arr == 0) | (arr == 1)).all():
+        raise ConfigurationError("sequence must contain only 0/1 values")
+    rows = arr.astype(bool)
+    n = rows.shape[1]
+    k = rows.sum(axis=1).astype(np.int64)
+    idx = np.arange(n, dtype=np.int64)
+    last_one = np.where(rows, idx, -1).max(axis=1, initial=-1)
+    first_zero = np.where(~rows, idx, n).min(axis=1, initial=n)
+    eps_one = np.where(last_one >= 0, last_one - (k - 1), 0)
+    eps_zero = np.where(first_zero < n, k - first_zero, 0)
+    return np.maximum(np.maximum(eps_one, eps_zero), 0)
+
+
 def validate_batch_partial_concentration(spec, batch: BatchRouting) -> None:
     """Vectorized form of
     :func:`repro.core.concentration.validate_partial_concentration`:

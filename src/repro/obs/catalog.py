@@ -91,6 +91,13 @@ CATALOG: tuple[MetricInfo, ...] = (
                "settle time (gate delays) per input transition"),
     MetricInfo("gates.glitches", "histogram", (),
                "glitch count (extra transitions) per input transition"),
+    # verify/
+    MetricInfo("verify.patterns", "counter", ("design",),
+               "valid-bit patterns enumerated by the certifier, by design"),
+    MetricInfo("verify.violations", "counter", ("design", "check"),
+               "contract/parity/metamorphic violations found, by design and check"),
+    MetricInfo("verify.certify", "span", (),
+               "one certify_switch run (meta: design, n, m)"),
 )
 
 #: Derived timing histograms: every span also fills ``<name>.seconds``.

@@ -221,6 +221,14 @@ class TruncatedBitonicSwitch(ConcentratorSwitch):
         valid = self._check_valid(valid)
         return apply_comparator_stages(valid, self._stages)
 
+    def final_positions_batch(self, valid: np.ndarray) -> np.ndarray:
+        """Batched :meth:`final_positions` over ``(B, n)`` trials."""
+        full = _bitonic_plan(self.n)
+        prefix = ComparatorPlan(
+            key=full.key, n=full.n, stages=full.stages[: self.stages]
+        )
+        return run_comparator_plan(prefix, self._check_valid_batch(valid))
+
     @property
     def epsilon_bound(self) -> int:
         """The calibrated ε (plays the role Theorems 3/4 play for the

@@ -33,6 +33,7 @@ from repro.engine import (
     fixed_permutation,
     plan_cache,
     concentrate_plan_batch,
+    run_plan,
 )
 from repro.errors import ConfigurationError
 from repro.mesh.columnsort import (
@@ -141,6 +142,11 @@ class ColumnsortSwitch(ConcentratorSwitch):
     def final_positions(self, valid: np.ndarray) -> np.ndarray:
         """Flat row-major position of each input after both stages."""
         return compose(self.stage_permutations(valid))
+
+    def final_positions_batch(self, valid: np.ndarray) -> np.ndarray:
+        """Batched :meth:`final_positions` over ``(B, n)`` trials;
+        entries for invalid inputs are unspecified."""
+        return run_plan(self._plan, self._check_valid_batch(valid))
 
     def setup(self, valid: np.ndarray) -> Routing:
         valid = self._check_valid(valid)

@@ -39,6 +39,7 @@ from repro.engine import (
     chip_layer,
     fixed_permutation,
     plan_cache,
+    run_plan,
     run_plan_sparse,
 )
 from repro.errors import ConfigurationError
@@ -170,6 +171,16 @@ class IteratedColumnsortSwitch(ConcentratorSwitch):
         if self.readout == "rm":
             return flat
         # Convert flat row-major position p = s·i + j to CM = r·j + i.
+        i, j = flat // self.s, flat % self.s
+        return self.r * j + i
+
+    def final_positions_batch(self, valid: np.ndarray) -> np.ndarray:
+        """Batched :meth:`final_positions` over ``(B, n)`` trials, in
+        the readout ordering; entries for invalid inputs are
+        unspecified."""
+        flat = run_plan(self._plan, self._check_valid_batch(valid))
+        if self.readout == "rm":
+            return flat
         i, j = flat // self.s, flat % self.s
         return self.r * j + i
 

@@ -40,6 +40,7 @@ from repro.engine import (
     fixed_permutation,
     plan_cache,
     concentrate_plan_batch,
+    run_plan,
 )
 from repro.errors import ConfigurationError, RoutingError
 from repro.mesh.columnsort import validate_columnsort_shape
@@ -148,6 +149,11 @@ class FullRevsortHyperconcentrator(ConcentratorSwitch):
         chip_layer(self._rows)              # final row-major fixup
 
         return compose(perms)
+
+    def final_positions_batch(self, valid: np.ndarray) -> np.ndarray:
+        """Batched :meth:`final_positions` over ``(B, n)`` trials;
+        entries for invalid inputs are unspecified."""
+        return run_plan(self._plan, self._check_valid_batch(valid))
 
     def setup(self, valid: np.ndarray) -> Routing:
         valid = self._check_valid(valid)

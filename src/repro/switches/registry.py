@@ -17,11 +17,18 @@ from repro.switches.base import ConcentratorSwitch
 
 @dataclass(frozen=True)
 class SwitchEntry:
-    """Registry entry: a builder plus its human description."""
+    """Registry entry: a builder plus its human description.
+
+    ``certify`` lists the parameter sets ``repro certify`` proves for
+    this design — small enough to enumerate (n ≤ 16 exhaustively,
+    n ≤ 64 stratified through the batch engine), large enough to
+    exercise the real stage structure.
+    """
 
     name: str
     description: str
     build: Callable[..., ConcentratorSwitch]
+    certify: tuple[dict, ...] = ()
 
 
 def _build_revsort(*, n: int, m: int, **_: object) -> ConcentratorSwitch:
@@ -74,31 +81,46 @@ def _build_fullrevsort(*, n: int, **_: object) -> ConcentratorSwitch:
 
 REGISTRY: dict[str, SwitchEntry] = {
     "revsort": SwitchEntry(
-        "revsort", "Section 4 three-stage Revsort partial concentrator", _build_revsort
+        "revsort",
+        "Section 4 three-stage Revsort partial concentrator",
+        _build_revsort,
+        certify=({"n": 16, "m": 12}, {"n": 64, "m": 48}),
     ),
     "columnsort": SwitchEntry(
         "columnsort",
         "Section 5 two-stage Columnsort partial concentrator (by (r,s) or (n,beta))",
         _build_columnsort,
+        certify=({"r": 8, "s": 2, "m": 12}, {"r": 16, "s": 4, "m": 48}),
     ),
     "hyper": SwitchEntry(
-        "hyper", "single-chip n-by-n hyperconcentrator (functional model)", _build_hyper
+        "hyper",
+        "single-chip n-by-n hyperconcentrator (functional model)",
+        _build_hyper,
+        certify=({"n": 16},),
     ),
     "perfect": SwitchEntry(
-        "perfect", "n-by-m perfect concentrator from a hyperconcentrator", _build_perfect
+        "perfect",
+        "n-by-m perfect concentrator from a hyperconcentrator",
+        _build_perfect,
+        certify=({"n": 16, "m": 8},),
     ),
     "butterfly": SwitchEntry(
         "butterfly",
         "Section 1 prefix+butterfly hyperconcentrator (not combinational)",
         _build_butterfly,
+        certify=({"n": 16},),
     ),
     "bitonic": SwitchEntry(
-        "bitonic", "bitonic sorting network as a hyperconcentrator", _build_bitonic
+        "bitonic",
+        "bitonic sorting network as a hyperconcentrator",
+        _build_bitonic,
+        certify=({"n": 16},),
     ),
     "fullrevsort": SwitchEntry(
         "fullrevsort",
         "Section 6 full-Revsort multichip hyperconcentrator",
         _build_fullrevsort,
+        certify=({"n": 16}, {"n": 64}),
     ),
 }
 
@@ -106,6 +128,22 @@ REGISTRY: dict[str, SwitchEntry] = {
 def available() -> list[str]:
     """Registered design names."""
     return sorted(REGISTRY)
+
+
+def certify_configs(designs: list[str] | None = None) -> list[tuple[str, dict]]:
+    """``(name, params)`` pairs ``repro certify`` proves — every
+    registered design at its declared configs, or a named subset."""
+    names = available() if designs is None else list(designs)
+    configs: list[tuple[str, dict]] = []
+    for name in names:
+        try:
+            entry = REGISTRY[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown switch {name!r}; available: {', '.join(available())}"
+            ) from None
+        configs.extend((name, dict(params)) for params in entry.certify)
+    return configs
 
 
 def build_switch(name: str, **params: object) -> ConcentratorSwitch:

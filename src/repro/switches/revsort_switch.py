@@ -39,6 +39,7 @@ from repro.engine import (
     fixed_permutation,
     plan_cache,
     concentrate_plan_batch,
+    run_plan,
 )
 from repro.errors import ConfigurationError
 from repro.mesh.order import rev_rotate_permutation
@@ -163,6 +164,17 @@ class RevsortSwitch(ConcentratorSwitch):
         """Flat row-major matrix position of each input after all three
         stages (before the output restriction)."""
         return compose(self.stage_permutations(valid))
+
+    def final_positions_batch(self, valid: np.ndarray) -> np.ndarray:
+        """Batched :meth:`final_positions` over ``(B, n)`` trials;
+        entries for invalid inputs are unspecified (see
+        :func:`repro.engine.run_plan`)."""
+        valid2d = self._check_valid_batch(valid)
+        if self._rotate_perm_cache is not None:  # plan no longer applies
+            if not valid2d.shape[0]:
+                return np.empty(valid2d.shape, dtype=np.int64)
+            return np.stack([self.final_positions(row) for row in valid2d])
+        return run_plan(self._plan, valid2d)
 
     def setup(self, valid: np.ndarray) -> Routing:
         valid = self._check_valid(valid)

@@ -37,6 +37,9 @@ class ContractReport:
     failures: list[str] = field(default_factory=list)
     worst_epsilon: int | None = None
     epsilon_bound: int | None = None
+    #: Trials actually executed (< ``trials`` when ``max_failures``
+    #: aborted the loop early).
+    completed_trials: int = 0
 
     @property
     def ok(self) -> bool:
@@ -69,6 +72,7 @@ def check_concentrator(
     *,
     trials: int = 100,
     seed: int | None = None,
+    max_failures: int | None = None,
 ) -> ContractReport:
     """Exercise a switch's full behavioural contract.
 
@@ -77,7 +81,15 @@ def check_concentrator(
     switch exposes ``final_positions``/``epsilon_bound``, the measured
     ε is compared against the bound.  Returns a report rather than
     raising, so callers can aggregate.
+
+    Every failure message carries the trial's own seed and the exact
+    valid-bit pattern (``pattern_hex`` encoding), so one bad trial can
+    be replayed in isolation.  ``max_failures`` aborts the loop once
+    that many failures accumulate; ``worst_epsilon`` still reflects
+    every trial measured up to the abort.
     """
+    from repro.verify.patterns import pattern_hex
+
     rng = default_rng(seed)
     report = ContractReport(switch=repr(switch), trials=trials)
     spec = switch.spec
@@ -88,43 +100,53 @@ def check_concentrator(
 
     for trial in range(trials):
         # Mix load regimes: light, capacity, overload, uniform random.
+        # Each trial owns one seed so its pattern is reproducible from
+        # the failure message alone.
+        trial_seed = int(rng.integers(1 << 31))
         kind = trial % 4
         if kind == 0:
-            valid = random_valid_bits(switch.n, p=float(rng.random()), seed=int(rng.integers(1 << 31)))
+            valid = random_valid_bits(switch.n, p=float(rng.random()), seed=trial_seed)
         elif kind == 1 and spec.guaranteed_capacity > 0:
             valid = random_valid_bits(
-                switch.n, k=spec.guaranteed_capacity, seed=int(rng.integers(1 << 31))
+                switch.n, k=spec.guaranteed_capacity, seed=trial_seed
             )
         elif kind == 2:
             valid = np.ones(switch.n, dtype=bool)
         else:
-            valid = random_valid_bits(switch.n, p=0.9, seed=int(rng.integers(1 << 31)))
+            valid = random_valid_bits(switch.n, p=0.9, seed=trial_seed)
+        where = f"trial {trial} (seed {trial_seed}, pattern {pattern_hex(valid)})"
 
+        report.completed_trials = trial + 1
         before = valid.copy()
         try:
             routing = switch.setup(valid)
         except ReproError as exc:
-            report.failures.append(f"trial {trial}: setup raised {exc!r}")
-            continue
+            report.failures.append(f"{where}: setup raised {exc!r}")
+            routing = None
+        if routing is not None:
+            if not np.array_equal(valid, before):
+                report.failures.append(f"{where}: setup mutated its input")
+            try:
+                validate_partial_concentration(spec, valid, routing.input_to_output)
+            except ReproError as exc:
+                report.failures.append(f"{where}: contract violation: {exc}")
 
-        if not np.array_equal(valid, before):
-            report.failures.append(f"trial {trial}: setup mutated its input")
-        try:
-            validate_partial_concentration(spec, valid, routing.input_to_output)
-        except ReproError as exc:
-            report.failures.append(f"trial {trial}: contract violation: {exc}")
+            again = switch.setup(valid)
+            if not np.array_equal(routing.input_to_output, again.input_to_output):
+                report.failures.append(f"{where}: setup is nondeterministic")
 
-        again = switch.setup(valid)
-        if not np.array_equal(routing.input_to_output, again.input_to_output):
-            report.failures.append(f"trial {trial}: setup is nondeterministic")
+            if has_nearsort:
+                final = switch.final_positions(valid)
+                out = np.zeros(switch.n, dtype=np.int8)
+                out[final] = valid.astype(np.int8)
+                worst_eps = max(worst_eps, nearsortedness(out))
 
-        if has_nearsort:
-            final = switch.final_positions(valid)
-            out = np.zeros(switch.n, dtype=np.int8)
-            out[final] = valid.astype(np.int8)
-            worst_eps = max(worst_eps, nearsortedness(out))
+        if max_failures is not None and len(report.failures) >= max_failures:
+            break
 
     if has_nearsort:
+        # Reported even after an early abort: partial ε evidence beats
+        # a None that hides how close the measured runs already came.
         report.worst_epsilon = worst_eps
         report.epsilon_bound = int(switch.epsilon_bound)
         if worst_eps > switch.epsilon_bound:

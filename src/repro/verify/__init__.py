@@ -1,0 +1,79 @@
+"""repro.verify — exhaustive + property-based certification.
+
+Four pillars above the sampled checks of :mod:`repro.testing`:
+
+* **exhaustive certification** (:mod:`repro.verify.exhaustive`) — for
+  small n, enumerate *every* valid-bit pattern (or every load level
+  with per-k budgets for the larger plan-based switches) and prove the
+  (n, m, α) contract and ε-nearsortedness bound hold with zero
+  counterexamples;
+* **differential oracles** (:mod:`repro.verify.differential`) — run
+  each pattern through the scalar ``setup``, the vectorized
+  ``setup_batch``, and the gate-level netlist where one exists, and
+  fail on any divergence;
+* **metamorphic relations** (:mod:`repro.verify.metamorphic`) —
+  oracle-free cross-run invariants (load permutation, monotone growth,
+  payload independence);
+* **Hypothesis strategies** (:mod:`repro.verify.strategies`, imported
+  explicitly because it needs the test-only ``hypothesis`` package) —
+  reusable generators for valid bits, registry configs, mesh orderings,
+  and random netlists.
+
+``repro certify`` drives all of this from the CLI and emits
+machine-readable certificate JSONs (:mod:`repro.verify.certificate`);
+see ``docs/verification.md``.
+"""
+
+from repro.verify.certificate import (
+    CERTIFICATE_SCHEMA,
+    Certificate,
+    KSlice,
+    Violation,
+    read_certificate_dict,
+    write_certificate,
+)
+from repro.verify.differential import (
+    MAX_GATE_N,
+    differential_check,
+    netlist_for,
+    output_occupancy,
+)
+from repro.verify.exhaustive import (
+    CertifyOptions,
+    certify_design,
+    certify_registry,
+    certify_switch,
+    quick_options,
+)
+from repro.verify.metamorphic import metamorphic_failures
+from repro.verify.patterns import (
+    all_patterns,
+    pattern_count,
+    pattern_from_hex,
+    pattern_hex,
+    patterns_with_k,
+)
+
+__all__ = [
+    "CERTIFICATE_SCHEMA",
+    "Certificate",
+    "CertifyOptions",
+    "KSlice",
+    "MAX_GATE_N",
+    "Violation",
+    "all_patterns",
+    "certify_design",
+    "certify_registry",
+    "certify_switch",
+    "differential_check",
+    "metamorphic_failures",
+    "netlist_for",
+    "output_occupancy",
+    "pattern_count",
+    "pattern_from_hex",
+    "pattern_hex",
+    "patterns_with_k",
+    "quick_options",
+    "read_certificate_dict",
+    "write_certificate",
+]

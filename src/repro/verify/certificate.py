@@ -1,0 +1,118 @@
+"""Machine-readable certification results.
+
+A :class:`Certificate` records exactly what was proven about one switch
+configuration: which tier ran (exhaustive / stratified), how many
+patterns were checked per load k, which execution paths were compared
+(batch engine, scalar oracle, gate-level netlist), the worst measured
+nearsortedness against the theorem bound, and every violation found.
+``repro certify`` serialises certificates as JSON artifacts; CI uploads
+them so each commit carries its own proof transcript.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+
+#: Version tag of the certificate JSON layout.
+CERTIFICATE_SCHEMA = "repro.verify/certificate@1"
+
+
+@dataclass(frozen=True)
+class KSlice:
+    """Evidence for one load level: ``count`` patterns with exactly
+    ``k`` valid bits were checked, all ``C(n, k)`` of them when
+    ``exhaustive``."""
+
+    k: int
+    count: int
+    exhaustive: bool
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One contract breach, with everything needed to replay it."""
+
+    check: str  # "contract" | "epsilon" | "scalar-parity" | "gate-parity" | "metamorphic"
+    k: int
+    pattern: str  # pattern_hex encoding of the valid bits
+    message: str
+
+
+@dataclass
+class Certificate:
+    """The result of certifying one switch configuration."""
+
+    design: str
+    params: dict
+    switch: str
+    n: int
+    m: int
+    alpha: float
+    guaranteed_capacity: int
+    tier: str  # "exhaustive" | "stratified"
+    paths: list[str] = field(default_factory=list)
+    per_k: list[KSlice] = field(default_factory=list)
+    total_patterns: int = 0
+    epsilon_bound: int | None = None
+    worst_epsilon: int | None = None
+    checks: dict = field(default_factory=dict)
+    violations: list[Violation] = field(default_factory=list)
+    violations_truncated: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.violations_truncated
+
+    @property
+    def exhaustive(self) -> bool:
+        """True when every load level was fully enumerated."""
+        return all(s.exhaustive for s in self.per_k)
+
+    @property
+    def epsilon_margin(self) -> int | None:
+        """Slack between the theorem bound and the worst measured ε."""
+        if self.epsilon_bound is None or self.worst_epsilon is None:
+            return None
+        return self.epsilon_bound - self.worst_epsilon
+
+    def as_dict(self) -> dict:
+        doc = {
+            "schema": CERTIFICATE_SCHEMA,
+            "ok": self.ok,
+            **asdict(self),
+            "exhaustive": self.exhaustive,
+            "epsilon_margin": self.epsilon_margin,
+        }
+        return doc
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+
+def write_certificate(certificate: Certificate, path: str | Path) -> Path:
+    """Write one certificate JSON (parent directories created)."""
+    target = Path(path)
+    try:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(certificate.to_json() + "\n")
+    except OSError as exc:
+        raise ReproError(f"cannot write certificate to {target}: {exc}") from exc
+    return target
+
+
+def read_certificate_dict(path: str | Path) -> dict:
+    """Load a certificate JSON document, checking its schema tag."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"cannot read certificate {path}: {exc}") from exc
+    if doc.get("schema") != CERTIFICATE_SCHEMA:
+        raise ReproError(
+            f"{path} is not a {CERTIFICATE_SCHEMA} document "
+            f"(schema={doc.get('schema')!r})"
+        )
+    return doc

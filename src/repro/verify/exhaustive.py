@@ -1,0 +1,293 @@
+"""Exhaustive and stratified certification of concentrator switches.
+
+Where :func:`repro.testing.check_concentrator` samples random trials,
+:func:`certify_switch` *enumerates*: for small n every one of the
+``2^n`` valid-bit patterns goes through the batch engine and the full
+contract — (n, m, α) routing, path disjointness, the ε-nearsortedness
+bound, scalar/batch/gate differential parity, and the metamorphic
+relations.  The result is a :class:`~repro.verify.certificate.Certificate`
+that states exactly what was proven and on how much evidence.
+
+Two tiers (see ``docs/verification.md``):
+
+* ``exhaustive`` — ``2^n ≤ max_total``: every pattern, every k;
+* ``stratified`` — larger plan-based switches: every load level
+  ``k ∈ [0, n]`` is covered, exhaustively when ``C(n, k)`` fits the
+  per-k budget and by a deterministic corner+random sample otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+import numpy as np
+
+from repro import obs
+from repro._util.rng import default_rng
+from repro.core.concentration import validate_partial_concentration
+from repro.engine import nearsortedness_batch, validate_batch_partial_concentration
+from repro.errors import ReproError
+from repro.verify.certificate import Certificate, KSlice, Violation
+from repro.verify.differential import (
+    gate_parity_failures,
+    netlist_for,
+    output_occupancy,
+    scalar_parity_failures,
+)
+from repro.verify.metamorphic import metamorphic_failures
+from repro.verify.patterns import (
+    DEFAULT_CHUNK,
+    all_patterns,
+    pattern_count,
+    pattern_hex,
+    patterns_with_k,
+)
+
+
+@dataclass(frozen=True)
+class CertifyOptions:
+    """Budgets and toggles for one certification run."""
+
+    #: Enumerate all ``2^n`` patterns when that total fits here.
+    max_total: int = 1 << 16
+    #: Stratified tier: per-k pattern budget.
+    max_per_k: int = 512
+    #: Patterns per ``setup_batch`` call.
+    chunk: int = DEFAULT_CHUNK
+    #: Scalar-oracle parity checks spread across the run (0 disables).
+    scalar_rows: int = 256
+    #: Metamorphic relation checks spread across the run (0 disables).
+    metamorphic_rows: int = 48
+    #: Compare against the gate-level netlist where one exists.
+    check_gates: bool = True
+    #: Stop after recording this many violations.
+    max_violations: int = 20
+    #: Seed for the metamorphic permutations (patterns are deterministic).
+    seed: int = 0x5EED
+
+
+def _iter_tiers(
+    n: int, options: CertifyOptions
+) -> tuple[str, Iterator[tuple[int | None, bool, Iterator[np.ndarray]]]]:
+    """The pattern source: ``(tier, slices)`` where each slice is
+    ``(k, exhaustive, chunks)`` (k None = mixed loads, full tier)."""
+    if (1 << n) <= options.max_total:
+        def full() -> Iterator[tuple[int | None, bool, Iterator[np.ndarray]]]:
+            yield None, True, all_patterns(n, chunk=options.chunk)
+
+        return "exhaustive", full()
+
+    def stratified() -> Iterator[tuple[int | None, bool, Iterator[np.ndarray]]]:
+        for k in range(n + 1):
+            exhaustive, chunks = patterns_with_k(
+                n, k, limit=options.max_per_k, chunk=options.chunk
+            )
+            yield k, exhaustive, chunks
+
+    return "stratified", stratified()
+
+
+def _planned_total(n: int, options: CertifyOptions) -> int:
+    if (1 << n) <= options.max_total:
+        return 1 << n
+    return sum(min(pattern_count(n, k), options.max_per_k) for k in range(n + 1))
+
+
+def _localize_contract_rows(spec, chunk: np.ndarray, routing: np.ndarray) -> list[tuple[int, str]]:
+    """Row-level contract check, used to pinpoint offenders after the
+    vectorized validator (or setup itself) reports a batch failure."""
+    bad: list[tuple[int, str]] = []
+    for i in range(chunk.shape[0]):
+        try:
+            validate_partial_concentration(spec, chunk[i], routing[i])
+        except ReproError as exc:
+            bad.append((i, str(exc)))
+    return bad
+
+
+def certify_switch(
+    switch,
+    *,
+    design: str = "custom",
+    params: dict | None = None,
+    options: CertifyOptions | None = None,
+) -> Certificate:
+    """Certify one switch instance; never raises on contract failures —
+    every violation is recorded in the returned certificate."""
+    options = options or CertifyOptions()
+    spec = switch.spec
+    has_nearsort = hasattr(switch, "final_positions") and hasattr(
+        switch, "epsilon_bound"
+    )
+    tier, slices = _iter_tiers(switch.n, options)
+    total_planned = _planned_total(switch.n, options)
+    scalar_stride = (
+        max(1, total_planned // options.scalar_rows) if options.scalar_rows else 0
+    )
+    meta_stride = (
+        max(1, total_planned // options.metamorphic_rows)
+        if options.metamorphic_rows
+        else 0
+    )
+    netlist = netlist_for(switch) if options.check_gates else None
+
+    cert = Certificate(
+        design=design,
+        params=dict(params or {}),
+        switch=repr(switch),
+        n=switch.n,
+        m=switch.m,
+        alpha=float(spec.alpha),
+        guaranteed_capacity=int(spec.guaranteed_capacity),
+        tier=tier,
+        paths=["batch"]
+        + (["scalar"] if scalar_stride else [])
+        + (["gates"] if netlist is not None else []),
+        epsilon_bound=int(switch.epsilon_bound) if has_nearsort else None,
+        worst_epsilon=0 if has_nearsort else None,
+    )
+    checks = {"contract": 0, "epsilon": 0, "scalar_parity": 0, "gate_parity": 0,
+              "metamorphic": 0}
+    k_counts: dict[int, int] = {}
+    k_exhaustive: dict[int, bool] = {}
+    rng = default_rng(options.seed)
+    seen = 0
+
+    def record(check: str, k: int, pattern: np.ndarray, message: str) -> bool:
+        """Add one violation; returns False once the cap is hit."""
+        obs.counter("verify.violations", design=design, check=check).inc()
+        if len(cert.violations) >= options.max_violations:
+            cert.violations_truncated = True
+            return False
+        cert.violations.append(
+            Violation(check=check, k=k, pattern=pattern_hex(pattern), message=message)
+        )
+        return True
+
+    with obs.span("verify.certify", design=design, n=switch.n, m=switch.m):
+        for k_slice, exhaustive, chunks in slices:
+            if cert.violations_truncated:
+                break
+            if k_slice is not None:
+                k_exhaustive[k_slice] = exhaustive
+            for chunk in chunks:
+                if cert.violations_truncated:
+                    break
+                batch_size = chunk.shape[0]
+                ks = chunk.sum(axis=1).astype(np.int64)
+                for k, count in zip(*np.unique(ks, return_counts=True)):
+                    k_counts[int(k)] = k_counts.get(int(k), 0) + int(count)
+                    if k_slice is None:
+                        k_exhaustive[int(k)] = exhaustive
+                obs.counter("verify.patterns", design=design).inc(batch_size)
+
+                # -- batch contract ------------------------------------
+                try:
+                    batch = switch.setup_batch(chunk)
+                except ReproError as exc:
+                    record("contract", int(ks[0]), chunk[0],
+                           f"setup_batch raised {exc!r}")
+                    continue
+                checks["contract"] += batch_size
+                try:
+                    validate_batch_partial_concentration(spec, batch)
+                except ReproError:
+                    for i, msg in _localize_contract_rows(
+                        spec, chunk, batch.input_to_output
+                    ):
+                        if not record("contract", int(ks[i]), chunk[i], msg):
+                            break
+
+                # -- ε-nearsortedness against the theorem bound --------
+                occupancy = output_occupancy(
+                    switch, chunk, routing=batch.input_to_output
+                )
+                if has_nearsort and occupancy is not None:
+                    eps = nearsortedness_batch(occupancy)
+                    checks["epsilon"] += batch_size
+                    cert.worst_epsilon = max(
+                        int(cert.worst_epsilon or 0), int(eps.max(initial=0))
+                    )
+                    for i in np.flatnonzero(eps > cert.epsilon_bound):
+                        if not record(
+                            "epsilon", int(ks[i]), chunk[i],
+                            f"measured epsilon {int(eps[i])} exceeds bound "
+                            f"{cert.epsilon_bound}",
+                        ):
+                            break
+
+                # -- differential: scalar oracle -----------------------
+                if scalar_stride:
+                    offsets = np.arange(batch_size)
+                    picked = offsets[(seen + offsets) % scalar_stride == 0]
+                    checks["scalar_parity"] += picked.size
+                    for i, msg in scalar_parity_failures(
+                        switch, chunk, batch.input_to_output, picked
+                    ):
+                        if not record("scalar-parity", int(ks[i]), chunk[i], msg):
+                            break
+
+                # -- differential: gate-level netlist ------------------
+                if netlist is not None and occupancy is not None:
+                    checks["gate_parity"] += batch_size
+                    for i, msg in gate_parity_failures(
+                        *netlist, chunk, occupancy
+                    ):
+                        if not record("gate-parity", int(ks[i]), chunk[i], msg):
+                            break
+
+                # -- metamorphic relations -----------------------------
+                if meta_stride:
+                    offsets = np.arange(batch_size)
+                    picked = offsets[(seen + offsets) % meta_stride == 0]
+                    checks["metamorphic"] += picked.size
+                    for i in picked:
+                        for msg in metamorphic_failures(switch, chunk[i], rng):
+                            record("metamorphic", int(ks[i]), chunk[i], msg)
+                seen += batch_size
+
+    cert.checks = checks
+    cert.total_patterns = seen
+    cert.per_k = [
+        KSlice(k=k, count=k_counts[k], exhaustive=k_exhaustive.get(k, False))
+        for k in sorted(k_counts)
+    ]
+    return cert
+
+
+def certify_design(
+    name: str, params: dict, *, options: CertifyOptions | None = None
+) -> Certificate:
+    """Build a registered design and certify it."""
+    from repro.switches.registry import build_switch
+
+    switch = build_switch(name, **params)
+    return certify_switch(switch, design=name, params=params, options=options)
+
+
+def certify_registry(
+    *,
+    designs: list[str] | None = None,
+    options: CertifyOptions | None = None,
+) -> list[Certificate]:
+    """Certify every registered design at its declared certification
+    configs (see :func:`repro.switches.registry.certify_configs`)."""
+    from repro.switches.registry import certify_configs
+
+    certificates = []
+    for name, params in certify_configs(designs):
+        certificates.append(certify_design(name, params, options=options))
+    return certificates
+
+
+def quick_options() -> CertifyOptions:
+    """A cheap profile for tests and smoke runs: full enumeration only
+    up to 2^12, small per-k budgets."""
+    return replace(
+        CertifyOptions(),
+        max_total=1 << 12,
+        max_per_k=64,
+        scalar_rows=32,
+        metamorphic_rows=8,
+    )

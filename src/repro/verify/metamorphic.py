@@ -1,0 +1,90 @@
+"""Metamorphic relations between setups of one switch.
+
+These check *relations between runs* rather than absolute answers, so
+they need no oracle and hold for every (n, m, α) design:
+
+* **load permutation** — the routed count depends on the valid bits
+  only through combinatorics: any permutation of a pattern with
+  ``k ≤ αm`` valid bits still routes all k, and a congested pattern
+  still routes at least ``⌊αm⌋`` (the contract, reached through a
+  second independent input);
+* **monotone growth** — turning one more input valid never decreases
+  the routed count (adding a message cannot un-route others);
+* **payload independence** — ``route()`` fills the same output slots
+  whatever the message payloads are: routing is a function of the
+  valid bits alone, and permuting or replacing the *invalid* entries
+  (all ``None``) changes nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def permuted_load_failure(switch, valid: np.ndarray, rng: np.random.Generator) -> str | None:
+    """Check the load-permutation relation for one pattern; returns a
+    message on failure, None when it holds."""
+    valid = np.asarray(valid, dtype=bool)
+    k = int(valid.sum())
+    cap = switch.spec.guaranteed_capacity
+    base = switch.setup(valid).routed_count
+    shuffled = valid[rng.permutation(valid.size)]
+    permuted = switch.setup(shuffled).routed_count
+    if k <= cap and permuted != base:
+        return (
+            f"routed count changed under permutation at k={k} <= cap={cap}: "
+            f"{base} -> {permuted}"
+        )
+    if k > cap and (base < cap or permuted < cap):
+        return (
+            f"congested routed count fell below cap={cap} "
+            f"(original {base}, permuted {permuted})"
+        )
+    return None
+
+
+def monotone_growth_failure(switch, valid: np.ndarray) -> str | None:
+    """Adding one valid bit (at the first idle input) must not decrease
+    the routed count."""
+    valid = np.asarray(valid, dtype=bool)
+    idle = np.flatnonzero(~valid)
+    if idle.size == 0:
+        return None
+    before = switch.setup(valid).routed_count
+    grown = valid.copy()
+    grown[idle[0]] = True
+    after = switch.setup(grown).routed_count
+    if after < before:
+        return (
+            f"routed count decreased when input {int(idle[0])} became valid: "
+            f"{before} -> {after}"
+        )
+    return None
+
+
+def payload_independence_failure(switch, valid: np.ndarray) -> str | None:
+    """``route()`` must fill the same output slots for any payloads."""
+    valid = np.asarray(valid, dtype=bool)
+    msgs_a: list[object | None] = [f"a{i}" if v else None for i, v in enumerate(valid)]
+    msgs_b: list[object | None] = [i if v else None for i, v in enumerate(valid)]
+    slots_a = [s is not None for s in switch.route(msgs_a)]
+    slots_b = [s is not None for s in switch.route(msgs_b)]
+    if slots_a != slots_b:
+        return "route() filled different output slots for different payloads"
+    return None
+
+
+def metamorphic_failures(
+    switch, valid: np.ndarray, rng: np.random.Generator
+) -> list[str]:
+    """Run every metamorphic relation on one pattern."""
+    failures = []
+    for check in (
+        lambda: permuted_load_failure(switch, valid, rng),
+        lambda: monotone_growth_failure(switch, valid),
+        lambda: payload_independence_failure(switch, valid),
+    ):
+        message = check()
+        if message is not None:
+            failures.append(message)
+    return failures

@@ -1,0 +1,113 @@
+"""Reusable Hypothesis strategies for switch and circuit properties.
+
+Downstream switch authors get property-based coverage for free::
+
+    from hypothesis import given
+    from repro.verify import strategies as vst
+
+    @given(valid=vst.valid_bits(64))
+    def test_my_switch(valid):
+        check(MySwitch(64, 48).setup(valid))
+
+Importing this module requires ``hypothesis`` (a test-only dependency);
+the rest of :mod:`repro.verify` stays importable without it, which is
+why ``repro.verify.__init__`` does not re-export these names.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.gates.netlist import Circuit, Op
+
+#: Gate operations a random netlist may draw (INPUT handled separately).
+_LOGIC_OPS = (Op.BUF, Op.NOT, Op.AND, Op.OR, Op.XOR, Op.NAND, Op.NOR)
+_VARIADIC_OPS = (Op.AND, Op.OR, Op.XOR, Op.NAND, Op.NOR)
+
+
+def valid_bits(n: int) -> st.SearchStrategy[np.ndarray]:
+    """A length-``n`` boolean valid-bit vector, any load."""
+    return st.lists(st.booleans(), min_size=n, max_size=n).map(
+        lambda xs: np.array(xs, dtype=bool)
+    )
+
+
+def valid_bits_with_k(n: int) -> st.SearchStrategy[tuple[int, np.ndarray]]:
+    """``(k, pattern)`` with exactly k valid bits, k drawn 0..n."""
+
+    def build(args: tuple[int, int]) -> tuple[int, np.ndarray]:
+        k, seed = args
+        out = np.zeros(n, dtype=bool)
+        if k:
+            rng = np.random.default_rng(seed)
+            out[rng.choice(n, size=k, replace=False)] = True
+        return k, out
+
+    return st.tuples(
+        st.integers(min_value=0, max_value=n),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    ).map(build)
+
+
+def bit_batches(
+    n: int, *, min_batch: int = 1, max_batch: int = 130
+) -> st.SearchStrategy[np.ndarray]:
+    """A ``(B, n)`` boolean batch; the default max crosses the packed
+    evaluator's 64-trial word boundary twice."""
+    return st.integers(min_value=min_batch, max_value=max_batch).flatmap(
+        lambda b: st.lists(
+            st.lists(st.booleans(), min_size=n, max_size=n),
+            min_size=b,
+            max_size=b,
+        ).map(lambda rows: np.array(rows, dtype=bool))
+    )
+
+
+@st.composite
+def circuits(
+    draw: st.DrawFn,
+    *,
+    max_inputs: int = 6,
+    max_gates: int = 40,
+    max_fan_in: int = 4,
+) -> Circuit:
+    """A random topologically ordered combinational netlist: random
+    gate types, fan-ins, and wiring depth — not just the circuits the
+    switch builders happen to produce."""
+    n_inputs = draw(st.integers(min_value=1, max_value=max_inputs))
+    circuit = Circuit()
+    for i in range(n_inputs):
+        circuit.input(name=f"v{i}")
+    n_gates = draw(st.integers(min_value=1, max_value=max_gates))
+    for _ in range(n_gates):
+        op = draw(st.sampled_from(_LOGIC_OPS + (Op.CONST0, Op.CONST1)))
+        wires = st.integers(min_value=0, max_value=circuit.n_wires - 1)
+        if op in (Op.CONST0, Op.CONST1):
+            circuit.add_gate(op)
+        elif op in (Op.BUF, Op.NOT):
+            circuit.add_gate(op, draw(wires))
+        else:
+            fan_in = draw(st.integers(min_value=2, max_value=max_fan_in))
+            circuit.add_gate(op, *(draw(wires) for _ in range(fan_in)))
+    return circuit
+
+
+def switch_configs(
+    *, designs: list[str] | None = None
+) -> st.SearchStrategy[tuple[str, dict]]:
+    """Registry-driven ``(name, params)`` pairs from the designs'
+    declared certification configs — the same configurations ``repro
+    certify`` proves exhaustively."""
+    from repro.switches.registry import certify_configs
+
+    configs = certify_configs(designs)
+    return st.sampled_from(configs)
+
+
+def mesh_orderings(side: int) -> st.SearchStrategy[np.ndarray]:
+    """A random permutation of the ``side × side`` flat positions —
+    candidate mesh readout orderings for the analysis helpers."""
+    return st.permutations(list(range(side * side))).map(
+        lambda p: np.array(p, dtype=np.int64)
+    )

@@ -1,0 +1,124 @@
+"""Property-based coverage for ε-nearsortedness and Lemmas 1/2.
+
+Hypothesis drives the analytical core (``core.nearsort``,
+``core.concentration``) over arbitrary bit sequences, checking the
+paper's structural claims rather than hand-picked examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro._util.rng import default_rng
+from repro.core.concentration import (
+    figure2_counterexample,
+    lemma2_load_ratio,
+    lemma2_spec,
+)
+from repro.core.nearsort import (
+    decompose_dirty_window,
+    is_nearsorted,
+    lemma1_epsilon_from_window,
+    lemma1_window_from_epsilon,
+    nearsortedness,
+    nearsortedness_strict,
+    random_epsilon_nearsorted,
+)
+from repro.engine import nearsortedness_batch
+from repro.verify import strategies as vst
+
+
+class TestNearsortedness:
+    @given(seq=vst.valid_bits(24))
+    def test_epsilon_is_minimal(self, seq):
+        eps = nearsortedness(seq)
+        assert is_nearsorted(seq, eps)
+        if eps > 0:
+            assert not is_nearsorted(seq, eps - 1)
+
+    @given(seq=vst.valid_bits(24))
+    def test_strict_notion_dominates(self, seq):
+        assert nearsortedness_strict(seq) >= nearsortedness(seq)
+
+    @given(batch=vst.bit_batches(12, max_batch=80))
+    def test_batch_matches_scalar(self, batch):
+        expected = np.array(
+            [nearsortedness(row.astype(np.int8)) for row in batch], dtype=np.int64
+        )
+        assert np.array_equal(nearsortedness_batch(batch), expected)
+
+
+class TestLemma1:
+    @given(seq=vst.valid_bits(24))
+    def test_forward_window_structure(self, seq):
+        """An ε-nearsorted sequence has ≥ k−ε clean 1s, ≤ 2ε dirty
+        positions, ≥ n−k−ε clean 0s (Lemma 1 ⇒)."""
+        eps = nearsortedness(seq)
+        d = decompose_dirty_window(seq)
+        min_ones, max_dirty, min_zeros = lemma1_window_from_epsilon(d.n, d.k, eps)
+        assert d.clean_ones >= min_ones
+        assert d.dirty_length <= max_dirty
+        assert d.clean_zeros >= min_zeros
+        assert d.clean_ones + d.dirty_length + d.clean_zeros == d.n
+
+    @given(seq=vst.valid_bits(24))
+    def test_backward_epsilon_from_window(self, seq):
+        """The window-derived ε makes the sequence ε-nearsorted, never
+        exceeds the window length, and is exactly minimal (Lemma 1 ⇐)."""
+        d = decompose_dirty_window(seq)
+        eps = lemma1_epsilon_from_window(d)
+        assert 0 <= eps <= d.dirty_length
+        assert is_nearsorted(seq, eps)
+        assert eps == nearsortedness(seq)
+
+    @given(
+        n=st.integers(min_value=1, max_value=32),
+        data=st.data(),
+    )
+    def test_sampler_respects_epsilon(self, n, data):
+        k = data.draw(st.integers(min_value=0, max_value=n))
+        eps = data.draw(st.integers(min_value=0, max_value=n))
+        seed = data.draw(st.integers(min_value=0, max_value=2**31 - 1))
+        seq = random_epsilon_nearsorted(n, k, eps, default_rng(seed))
+        assert int(seq.sum()) == k
+        assert nearsortedness(seq) <= eps
+
+
+class TestLemma2:
+    @given(
+        m=st.integers(min_value=1, max_value=64),
+        eps=st.integers(min_value=0, max_value=80),
+        extra=st.integers(min_value=0, max_value=64),
+    )
+    def test_guaranteed_capacity_is_m_minus_epsilon(self, m, eps, extra):
+        spec = lemma2_spec(m + extra, m, eps)
+        assert spec.guaranteed_capacity == max(0, m - eps)
+
+    @given(
+        m=st.integers(min_value=1, max_value=64),
+        eps=st.integers(min_value=0, max_value=80),
+    )
+    def test_load_ratio_monotone_in_epsilon(self, m, eps):
+        assert lemma2_load_ratio(m, eps) >= lemma2_load_ratio(m, eps + 1)
+        assert 0.0 <= lemma2_load_ratio(m, eps) <= 1.0
+
+    @given(
+        n=st.integers(min_value=8, max_value=128),
+        m=st.integers(min_value=2, max_value=32),
+        eps=st.integers(min_value=1, max_value=31),
+    )
+    def test_figure2_witness_is_not_nearsorted(self, n, m, eps):
+        """The converse of Lemma 2 fails: the Figure 2 output pattern is
+        contract-legal yet more than ε from sorted."""
+        assume(m <= n and eps < m)
+        k = m - eps + 1
+        assume(k + eps < (n + m) / 2)
+        k_out, bits = figure2_counterexample(n, m, eps)
+        assert k_out == k
+        assert int(bits.sum()) == k
+        assert nearsortedness(bits) > eps
+        # Still a legitimate (n, m, 1 − ε/m) outcome: ⌊αm⌋ = m − ε of
+        # the k messages occupy the first m outputs.
+        assert int(bits[:m].sum()) == m - eps

@@ -99,6 +99,70 @@ class TestCheckConcentrator:
         assert any("nondeterministic" in f for f in report.failures)
 
 
+class _DroppingColumnsort(ColumnsortSwitch):
+    """Honest nearsorting, broken routing: drops the first routed
+    message, violating the contract at almost every load."""
+
+    def setup(self, valid):
+        routing = super().setup(valid)
+        broken = routing.input_to_output.copy()
+        routed = np.flatnonzero(broken >= 0)
+        if routed.size:
+            broken[routed[0]] = -1
+        return Routing(
+            n_inputs=self.n,
+            n_outputs=self.m,
+            valid=routing.valid,
+            input_to_output=broken,
+        )
+
+
+class TestFailureReproduction:
+    def test_failures_carry_seed_and_pattern(self):
+        import re
+
+        from repro.core.concentration import validate_partial_concentration
+        from repro.errors import ReproError
+        from repro.verify.patterns import pattern_from_hex
+
+        switch = _DroppingColumnsort(16, 4, 48)
+        report = check_concentrator(switch, trials=30, seed=9)
+        assert not report.ok
+        match = next(
+            m
+            for m in (
+                re.search(r"seed (\d+), pattern ([0-9a-f]+)", f)
+                for f in report.failures
+            )
+            if m
+        )
+        # The recorded pattern alone replays the violation.
+        valid = pattern_from_hex(match.group(2), switch.n)
+        routing = switch.setup(valid)
+        with pytest.raises(ReproError):
+            validate_partial_concentration(
+                switch.spec, valid, routing.input_to_output
+            )
+
+    def test_early_abort_still_reports_epsilon(self):
+        """PR 3 fix: aborting on max_failures must not hide the ε
+        evidence collected before the abort."""
+        report = check_concentrator(
+            _DroppingColumnsort(16, 4, 48), trials=60, seed=9, max_failures=3
+        )
+        assert not report.ok
+        assert len(report.failures) >= 3
+        assert report.completed_trials < 60
+        assert report.worst_epsilon is not None
+        assert report.epsilon_bound == 9
+        assert report.worst_epsilon <= 9
+
+    def test_completed_trials_counts_full_runs(self):
+        report = check_concentrator(Hyperconcentrator(8), trials=12, seed=10)
+        assert report.ok
+        assert report.completed_trials == 12
+
+
 class TestAdversarialValidBits:
     def test_produces_congesting_pattern_when_possible(self):
         switch = ColumnsortSwitch(16, 4, 60)

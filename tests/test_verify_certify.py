@@ -1,0 +1,179 @@
+"""The certification subsystem: exhaustive tiers, differential oracles,
+metamorphic relations, and the mutation-catching acceptance test."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro._util.rng import default_rng
+from repro.engine import BatchRouting
+from repro.errors import ConfigurationError, ReproError
+from repro.switches.bitonic import TruncatedBitonicSwitch
+from repro.switches.hyperconcentrator import Hyperconcentrator
+from repro.verify import (
+    CertifyOptions,
+    certify_design,
+    certify_registry,
+    certify_switch,
+    differential_check,
+    quick_options,
+    read_certificate_dict,
+    write_certificate,
+)
+from repro.verify.metamorphic import metamorphic_failures
+
+
+class _MutantHyper(Hyperconcentrator):
+    """Deliberately injected routing fault: every routed message lands
+    one output too far (mod n) in the batched path only, so the honest
+    scalar oracle and the gate netlist both disagree with it."""
+
+    def _setup_batch(self, valid: np.ndarray) -> BatchRouting:
+        batch = super()._setup_batch(valid)
+        routing = batch.input_to_output.copy()
+        routed = routing >= 0
+        routing[routed] = (routing[routed] + 1) % self.n
+        return BatchRouting(
+            n_inputs=self.n,
+            n_outputs=self.n,
+            valid=batch.valid,
+            input_to_output=routing,
+        )
+
+
+class TestExhaustiveTier:
+    def test_hyper_certificate_structure(self):
+        cert = certify_design("hyper", {"n": 8})
+        assert cert.ok
+        assert cert.tier == "exhaustive"
+        assert cert.exhaustive
+        assert cert.total_patterns == 256
+        assert set(cert.paths) == {"batch", "scalar", "gates"}
+        assert {s.k: s.count for s in cert.per_k} == {
+            k: math.comb(8, k) for k in range(9)
+        }
+        assert cert.checks["contract"] == 256
+        assert cert.checks["gate_parity"] == 256
+        assert cert.checks["scalar_parity"] > 0
+        assert cert.checks["metamorphic"] > 0
+
+    def test_revsort_measures_epsilon_within_bound(self):
+        cert = certify_design(
+            "revsort", {"n": 16, "m": 12}, options=quick_options()
+        )
+        assert cert.ok
+        assert cert.epsilon_bound is not None
+        assert cert.worst_epsilon is not None
+        assert cert.worst_epsilon <= cert.epsilon_bound
+        assert cert.epsilon_margin == cert.epsilon_bound - cert.worst_epsilon
+
+
+class TestStratifiedTier:
+    def test_per_k_budgets_and_flags(self):
+        options = quick_options()  # max_total 2^12 < 2^16 -> stratified
+        cert = certify_design("bitonic", {"n": 16}, options=options)
+        assert cert.ok
+        assert cert.tier == "stratified"
+        by_k = {s.k: s for s in cert.per_k}
+        assert set(by_k) == set(range(17))
+        for k, s in by_k.items():
+            total = math.comb(16, k)
+            if total <= options.max_per_k:
+                assert s.exhaustive and s.count == total
+            else:
+                assert not s.exhaustive and s.count == options.max_per_k
+        assert not cert.exhaustive
+
+
+class TestViolationDetection:
+    def test_injected_routing_mutation_is_caught(self):
+        """Acceptance: the differential oracle must catch a deliberately
+        mutated routing, with replayable violation records."""
+        options = replace(
+            quick_options(), scalar_rows=1 << 12, metamorphic_rows=0
+        )
+        cert = certify_switch(
+            _MutantHyper(8), design="hyper-mutant", options=options
+        )
+        assert not cert.ok
+        kinds = {v.check for v in cert.violations}
+        assert "scalar-parity" in kinds or "gate-parity" in kinds
+        for violation in cert.violations:
+            assert violation.pattern  # replayable via pattern_from_hex
+            assert 0 <= violation.k <= 8
+
+    def test_lying_epsilon_bound_is_caught(self):
+        """A switch claiming ε = 0 it cannot deliver must fail the
+        nearsortedness pillar."""
+        switch = TruncatedBitonicSwitch(8, 8, stages=1, epsilon=0)
+        cert = certify_switch(switch, design="truncated-liar")
+        assert not cert.ok
+        assert any(v.check == "epsilon" for v in cert.violations)
+        assert cert.worst_epsilon is not None and cert.worst_epsilon > 0
+
+    def test_violation_cap_truncates(self):
+        options = replace(
+            quick_options(), scalar_rows=1 << 12, max_violations=3
+        )
+        cert = certify_switch(_MutantHyper(8), design="mutant", options=options)
+        assert cert.violations_truncated
+        assert len(cert.violations) == 3
+
+
+class TestDifferentialCheck:
+    def test_honest_switch_has_no_divergence(self):
+        rng = default_rng(7)
+        batch = rng.random((64, 8)) < 0.5
+        assert differential_check(Hyperconcentrator(8), batch) == []
+
+    def test_mutant_diverges(self):
+        rng = default_rng(7)
+        batch = rng.random((64, 8)) < 0.5
+        messages = differential_check(_MutantHyper(8), batch)
+        assert messages
+        assert any("diverges" in msg for msg in messages)
+
+
+class TestMetamorphic:
+    def test_honest_switch_passes_all_relations(self):
+        switch = Hyperconcentrator(8)
+        rng = default_rng(11)
+        for _ in range(10):
+            valid = rng.random(8) < rng.random()
+            assert metamorphic_failures(switch, valid, rng) == []
+
+
+class TestRegistryAndCertificates:
+    def test_certify_registry_subset(self):
+        certs = certify_registry(
+            designs=["hyper", "perfect"], options=quick_options()
+        )
+        assert [c.design for c in certs] == ["hyper", "perfect"]
+        assert all(c.ok for c in certs)
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ConfigurationError):
+            certify_registry(designs=["nope"])
+
+    def test_certificate_round_trip(self, tmp_path):
+        cert = certify_design("hyper", {"n": 8}, options=quick_options())
+        path = write_certificate(cert, tmp_path / "sub" / "hyper.json")
+        doc = read_certificate_dict(path)
+        assert doc["ok"] is True
+        assert doc["design"] == "hyper"
+        assert doc["total_patterns"] == cert.total_patterns
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "something-else"}')
+        with pytest.raises(ReproError):
+            read_certificate_dict(bad)
+
+    def test_default_options_match_issue_budgets(self):
+        options = CertifyOptions()
+        assert options.max_total == 1 << 16  # n <= 16 fully enumerated
+        assert options.max_per_k >= 256  # n = 64 stratified per load

@@ -1,0 +1,97 @@
+"""Pattern enumeration and encoding for the certification tiers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.verify.patterns import (
+    all_patterns,
+    pattern_count,
+    pattern_from_hex,
+    pattern_hex,
+    patterns_with_k,
+)
+
+
+def _collect(chunks) -> np.ndarray:
+    parts = list(chunks)
+    return (
+        np.concatenate(parts, axis=0) if parts else np.empty((0, 0), dtype=bool)
+    )
+
+
+class TestAllPatterns:
+    def test_enumerates_every_pattern_exactly_once(self):
+        got = _collect(all_patterns(8, chunk=100))
+        assert got.shape == (256, 8)
+        assert len({pattern_hex(row) for row in got}) == 256
+
+    def test_numeric_order(self):
+        got = _collect(all_patterns(4))
+        weights = 1 << np.arange(4)
+        assert np.array_equal(got @ weights, np.arange(16))
+
+    def test_refuses_huge_n(self):
+        with pytest.raises(ConfigurationError):
+            next(all_patterns(25))
+
+
+class TestPatternsWithK:
+    def test_exhaustive_when_under_budget(self):
+        exhaustive, chunks = patterns_with_k(10, 3, limit=512)
+        got = _collect(chunks)
+        assert exhaustive
+        assert got.shape[0] == pattern_count(10, 3) == math.comb(10, 3)
+        assert (got.sum(axis=1) == 3).all()
+        assert len({pattern_hex(row) for row in got}) == got.shape[0]
+
+    def test_sampled_when_over_budget(self):
+        exhaustive, chunks = patterns_with_k(20, 10, limit=50)
+        got = _collect(chunks)
+        assert not exhaustive
+        assert got.shape[0] == 50
+        assert (got.sum(axis=1) == 10).all()
+
+    def test_sampled_is_deterministic(self):
+        a = _collect(patterns_with_k(20, 10, limit=50)[1])
+        b = _collect(patterns_with_k(20, 10, limit=50)[1])
+        assert np.array_equal(a, b)
+
+    def test_sample_includes_structural_corners(self):
+        _, chunks = patterns_with_k(20, 6, limit=50)
+        got = {pattern_hex(row) for row in _collect(chunks)}
+        leading = np.zeros(20, dtype=bool)
+        leading[:6] = True
+        trailing = np.zeros(20, dtype=bool)
+        trailing[-6:] = True
+        assert pattern_hex(leading) in got
+        assert pattern_hex(trailing) in got
+
+    def test_k_zero_and_k_full(self):
+        for k in (0, 6):
+            exhaustive, chunks = patterns_with_k(6, k, limit=8)
+            got = _collect(chunks)
+            assert exhaustive
+            assert got.shape[0] == 1
+            assert int(got.sum()) == k
+
+
+class TestPatternHex:
+    @given(
+        bits=st.lists(st.booleans(), min_size=0, max_size=70).map(
+            lambda xs: np.array(xs, dtype=bool)
+        )
+    )
+    def test_round_trip(self, bits):
+        decoded = pattern_from_hex(pattern_hex(bits), bits.size)
+        assert np.array_equal(decoded, bits)
+
+    def test_too_short_encoding_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pattern_from_hex("ff", 16)

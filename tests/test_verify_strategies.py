@@ -1,0 +1,54 @@
+"""The reusable Hypothesis strategies themselves (pillar 3 of PR 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+
+from repro.switches.registry import build_switch, certify_configs
+from repro.verify import strategies as vst
+
+
+class TestValidBitStrategies:
+    @given(bits=vst.valid_bits(24))
+    def test_shape_and_dtype(self, bits):
+        assert bits.shape == (24,)
+        assert bits.dtype == np.bool_
+
+    @given(pair=vst.valid_bits_with_k(24))
+    def test_exact_load(self, pair):
+        k, bits = pair
+        assert 0 <= k <= 24
+        assert int(bits.sum()) == k
+
+    @given(batch=vst.bit_batches(6, max_batch=80))
+    def test_batch_shape(self, batch):
+        assert batch.ndim == 2
+        assert batch.shape[1] == 6
+        assert 1 <= batch.shape[0] <= 80
+
+
+class TestSwitchConfigStrategy:
+    @given(cfg=vst.switch_configs(designs=["hyper", "perfect"]))
+    def test_configs_are_buildable(self, cfg):
+        name, params = cfg
+        switch = build_switch(name, **params)
+        assert switch.n >= 1
+
+    def test_registry_declares_configs_for_every_design(self):
+        configs = certify_configs()
+        assert {name for name, _ in configs} == {
+            "revsort", "columnsort", "hyper", "perfect",
+            "butterfly", "bitonic", "fullrevsort",
+        }
+        # The acceptance bar: small configs enumerate fully (n <= 16),
+        # the large plan-based ones stay within the batch tier (n <= 64).
+        for name, params in configs:
+            switch = build_switch(name, **params)
+            assert switch.n <= 64
+
+
+class TestMeshOrderingStrategy:
+    @given(order=vst.mesh_orderings(4))
+    def test_orderings_are_permutations(self, order):
+        assert sorted(order.tolist()) == list(range(16))
