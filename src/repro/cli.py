@@ -10,6 +10,10 @@ Six subcommands mirroring the paper's artifacts::
     python -m repro compare --switch revsort --n 256 --m 192 --workers 4
     python -m repro knockout --ports 16 --load 0.9
     python -m repro reproduce
+    python -m repro bench run --suite smoke
+    python -m repro bench compare --baseline BENCH_TRAJECTORY.jsonl
+    python -m repro obs trace --switch columnsort --n 4096 --out trace.json
+    python -m repro obs report
 
 * ``table1`` prints the Table 1 resource measures for a concrete size;
 * ``design`` sweeps the design space under a pin budget (the
@@ -27,7 +31,13 @@ Six subcommands mirroring the paper's artifacts::
 * ``knockout`` compares analytic and simulated knockout concentrator
   loss across L;
 * ``reproduce`` runs the full end-to-end reproduction report (same
-  checks as ``examples/reproduce_paper.py``).
+  checks as ``examples/reproduce_paper.py``);
+* ``bench run``/``bench compare`` drive the performance observatory:
+  registry-driven suites appended to ``BENCH_TRAJECTORY.jsonl`` and a
+  noise-aware regression gate over it (``docs/performance.md``);
+* ``obs trace`` exports a Chrome-trace/Perfetto span timeline (plus an
+  optional cProfile) of any switch geometry; ``obs report`` renders
+  the trajectory dashboard.
 """
 
 from __future__ import annotations
@@ -502,6 +512,156 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_run(args: argparse.Namespace) -> int:
+    from repro.obs.perf.suite import run_bench, suite_specs
+    from repro.obs.perf.trajectory import append_records
+
+    specs = suite_specs(args.suite, contains=args.filter or None)
+    if not specs:
+        raise ReproError(
+            f"no bench in suite {args.suite!r} matches {args.filter!r}"
+        )
+    records = []
+    for spec in specs:
+        record = run_bench(
+            spec,
+            suite=args.suite,
+            repeats=args.repeats,
+            seed=args.seed,
+            alloc=not args.no_alloc,
+        )
+        records.append(record)
+        cache = record["plan_cache"]
+        hit_rate = (
+            f"{cache['hit_rate'] * 100:3.0f}%" if cache["hit_rate"] is not None
+            else "  -"
+        )
+        print(
+            f"{spec.id:>28}  median {record['median_wall_s'] * 1e3:9.3f}ms  "
+            f"{record['throughput']:>12,.0f} {record['unit']}/s  "
+            f"cache {hit_rate}  rss {record['rss_peak_kb'] or 0:>7}KiB"
+        )
+    path = append_records(args.out, records)
+    sha = records[-1]["env"]["git_sha"] or "?"
+    dirty = " (dirty)" if records[-1]["env"]["git_dirty"] else ""
+    print(
+        f"{len(records)} record(s) appended to {path} at {sha[:12]}{dirty}"
+    )
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.perf.regression import compare_records, has_regressions
+    from repro.obs.perf.trajectory import (
+        latest_per_bench,
+        read_trajectory,
+        split_latest,
+    )
+
+    baseline_records = read_trajectory(args.baseline)
+    if not baseline_records:
+        raise ReproError(f"{args.baseline} holds no trajectory records")
+    if args.candidate:
+        candidates = latest_per_bench(read_trajectory(args.candidate))
+        history = baseline_records
+    else:
+        candidates, history = split_latest(baseline_records)
+    verdicts = compare_records(
+        candidates, history, tolerance=args.tolerance, window=args.window
+    )
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "schema": "repro.cli/bench-compare@1",
+                    "baseline": str(args.baseline),
+                    "tolerance": args.tolerance,
+                    "window": args.window,
+                    "verdicts": [v.as_dict() for v in verdicts],
+                },
+                indent=2,
+            )
+        )
+    else:
+        rows = [
+            {
+                "bench": v.bench,
+                "baseline": (
+                    f"{v.baseline_wall_s * 1e3:.3f}ms (n={v.window})"
+                    if v.baseline_wall_s is not None
+                    else "-"
+                ),
+                "candidate": f"{v.candidate_wall_s * 1e3:.3f}ms",
+                "ratio": f"{v.ratio:.2f}" if v.ratio is not None else "-",
+                "status": v.status.upper() if v.regressed else v.status,
+            }
+            for v in verdicts
+        ]
+        print(
+            render_table(
+                rows,
+                title=(
+                    f"bench compare vs {args.baseline} "
+                    f"(tolerance {args.tolerance:.0%}, window {args.window})"
+                ),
+            )
+        )
+    if has_regressions(verdicts):
+        bad = ", ".join(v.bench for v in verdicts if v.regressed)
+        print(f"ERROR: performance regression in {bad}", file=sys.stderr)
+        if not args.warn_only:
+            return 1
+        print("(warn-only mode: exiting 0)", file=sys.stderr)
+    return 0
+
+
+def cmd_obs_trace(args: argparse.Namespace) -> int:
+    from repro._util.rng import default_rng as _rng
+    from repro.obs.perf.chrometrace import write_chrome_trace
+    from repro.obs.perf.profiler import profiled, write_profile
+
+    switch = _build_switch(args)
+    valid = _rng(args.seed).random((args.trials, switch.n)) < 0.5
+    profile = None
+    with obs.collecting(max_trace_events=args.max_spans) as registry:
+        with obs.span("trace.run", switch=repr(switch), trials=args.trials):
+            if args.profile:
+                with profiled() as profile:
+                    switch.setup_batch(valid)
+            else:
+                switch.setup_batch(valid)
+    spans = registry.snapshot()["spans"]
+    path = write_chrome_trace(
+        spans, args.out, metadata={"switch": repr(switch), "trials": args.trials}
+    )
+    print(
+        f"chrome trace written to {path} ({len(spans['events'])} spans, "
+        f"{spans['dropped']} dropped) — load at https://ui.perfetto.dev"
+    )
+    if args.profile and profile is not None:
+        prof_path = write_profile(profile, args.profile, top=args.profile_top)
+        print(f"profile written to {prof_path}")
+    return 0
+
+
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.perf.report import trajectory_report
+    from repro.obs.perf.trajectory import read_trajectory
+
+    records = read_trajectory(args.trajectory)
+    text = trajectory_report(records, fmt=args.format)
+    if args.out:
+        Path(args.out).write_text(text + "\n", encoding="utf-8")
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     rows = obs.catalog_rows()
     if args.demo:
@@ -702,7 +862,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_reproduce)
 
     p = sub.add_parser(
-        "obs", help="list the observability metric catalog (or run a demo)"
+        "obs",
+        help="observability: metric catalog, span-timeline traces, "
+        "trajectory reports",
     )
     p.add_argument("--format", choices=["table", "json"], default="table")
     p.add_argument(
@@ -711,6 +873,137 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a small instrumented simulation and print its snapshot",
     )
     p.set_defaults(func=cmd_obs)
+    obs_sub = p.add_subparsers(dest="obs_command")
+
+    pt = obs_sub.add_parser(
+        "trace",
+        help="run a switch geometry through the batch engine and export "
+        "the span timeline as Chrome-trace/Perfetto JSON",
+    )
+    from repro.switches.registry import available as _trace_available
+
+    pt.add_argument(
+        "switch_name",
+        nargs="?",
+        choices=_trace_available(),
+        default=None,
+        metavar="SWITCH",
+        help="switch to trace (same as --switch)",
+    )
+    pt.add_argument("--switch", choices=_trace_available(), default="columnsort")
+    pt.add_argument("--n", type=int, default=4096)
+    pt.add_argument("--m", type=int, default=3072)
+    pt.add_argument("--r", type=int, default=0)
+    pt.add_argument("--s", type=int, default=0)
+    pt.add_argument("--beta", type=float, default=0.75)
+    pt.add_argument("--trials", type=int, default=128)
+    pt.add_argument("--seed", type=int, default=0)
+    pt.add_argument("--out", required=True, help="Chrome-trace JSON path")
+    pt.add_argument(
+        "--max-spans",
+        type=int,
+        default=50_000,
+        help="span buffer size (further spans are counted, not stored)",
+    )
+    pt.add_argument(
+        "--profile",
+        default=None,
+        help="also cProfile the traced run: binary stats for .prof/.pstats "
+        "paths (flamegraph tools), a pstats table otherwise",
+    )
+    pt.add_argument(
+        "--profile-top",
+        type=int,
+        default=30,
+        help="rows in the pstats table (text profiles only)",
+    )
+    pt.set_defaults(func=cmd_obs_trace)
+
+    pr = obs_sub.add_parser(
+        "report", help="render the bench trajectory dashboard"
+    )
+    pr.add_argument(
+        "--trajectory",
+        default="BENCH_TRAJECTORY.jsonl",
+        help="trajectory file to render",
+    )
+    pr.add_argument("--format", choices=["table", "md"], default="table")
+    pr.add_argument("--out", default=None, help="write instead of printing")
+    pr.set_defaults(func=cmd_obs_report)
+
+    p = sub.add_parser(
+        "bench",
+        help="performance observatory: run bench suites, gate on the "
+        "trajectory (see docs/performance.md)",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    pb = bench_sub.add_parser(
+        "run",
+        help="run a registry-driven bench suite and append trajectory "
+        "records",
+    )
+    from repro.obs.perf.suite import suite_names as _suite_names
+
+    pb.add_argument(
+        "--suite", choices=_suite_names(), default="smoke",
+        help="which suite to run (smoke: CI-sized, full: paper-scale)",
+    )
+    pb.add_argument("--repeats", type=int, default=3)
+    pb.add_argument("--seed", type=int, default=0x1987)
+    pb.add_argument(
+        "--filter", default=None, help="only benches whose id contains this"
+    )
+    pb.add_argument(
+        "--out",
+        default="BENCH_TRAJECTORY.jsonl",
+        help="append records to this trajectory file",
+    )
+    pb.add_argument(
+        "--no-alloc",
+        action="store_true",
+        help="skip the (untimed) tracemalloc allocation pass",
+    )
+    pb.set_defaults(func=cmd_bench_run)
+
+    pc = bench_sub.add_parser(
+        "compare",
+        help="diff the newest record per bench against its baseline "
+        "window; exits 1 on regression",
+    )
+    from repro.obs.perf.regression import DEFAULT_TOLERANCE, DEFAULT_WINDOW
+
+    pc.add_argument(
+        "--baseline",
+        default="BENCH_TRAJECTORY.jsonl",
+        help="trajectory holding the baseline (and, without "
+        "--candidate, the candidates too)",
+    )
+    pc.add_argument(
+        "--candidate",
+        default=None,
+        help="separate trajectory whose newest records are the "
+        "candidates (default: newest per bench in --baseline)",
+    )
+    pc.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="relative wall-time band treated as noise",
+    )
+    pc.add_argument(
+        "--window",
+        type=int,
+        default=DEFAULT_WINDOW,
+        help="trailing records per bench forming the baseline median",
+    )
+    pc.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit 0 (CI smoke mode)",
+    )
+    pc.add_argument("--format", choices=["table", "json"], default="table")
+    pc.set_defaults(func=cmd_bench_compare)
     return parser
 
 

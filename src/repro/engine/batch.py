@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.engine import plan as plan_mod
 from repro.engine.plan import ComparatorPlan, FixedPermutation, StagePlan
 from repro.errors import ConcentrationError, ConfigurationError
@@ -188,51 +189,68 @@ def _run_plan_sparse_flat(
 
     if compiled is not None:
         steps, finish = compiled
-        coord = cols.astype(np.int32)  # slot coordinate in the current space
-        for entry, n_chips, width, rank_dt, mask in steps:
-            slots = n_chips * width
-            if grp.shape[1] != slots:
-                grp = np.zeros((batch, slots), dtype=bool)
-            else:
-                grp[:] = False
-            iv = entry[coord]  # this layer's chip-major slot
-            gf = base_for(slots) + iv  # flat (trial, slot) index, reused
-            grp.reshape(-1)[gf] = True
-            cs = np.cumsum(grp.reshape(batch, n_chips, width), axis=2,
-                           dtype=rank_dt)
-            rank = cs.reshape(-1)[gf]  # 1-based rank among chip's valid
-            if mask is not None:
-                coord = (iv & mask) - np.int32(1) + rank
-            else:
-                coord = (iv // width) * np.int32(width) - np.int32(1) + rank
-        pos = coord if finish is None else finish[coord]
+        with obs.span(
+            "engine.run_plan",
+            plan=str(plan.key), batch=batch, valid=int(flat_idx.size),
+        ):
+            coord = cols.astype(np.int32)  # slot coordinate in the current space
+            for layer, (entry, n_chips, width, rank_dt, mask) in enumerate(steps):
+                with obs.span(
+                    "engine.stage",
+                    kind="chip", layer=layer, chips=n_chips, width=width,
+                ):
+                    slots = n_chips * width
+                    if grp.shape[1] != slots:
+                        grp = np.zeros((batch, slots), dtype=bool)
+                    else:
+                        grp[:] = False
+                    iv = entry[coord]  # this layer's chip-major slot
+                    gf = base_for(slots) + iv  # flat (trial, slot) index, reused
+                    grp.reshape(-1)[gf] = True
+                    cs = np.cumsum(grp.reshape(batch, n_chips, width), axis=2,
+                                   dtype=rank_dt)
+                    rank = cs.reshape(-1)[gf]  # 1-based rank among chip's valid
+                    if mask is not None:
+                        coord = (iv & mask) - np.int32(1) + rank
+                    else:
+                        coord = (iv // width) * np.int32(width) - np.int32(1) + rank
+            pos = coord if finish is None else finish[coord]
         return flat_idx, rows, cols, pos
 
     # Generic walker: handles plans with partial chip layers, where
     # untouched positions pass through a layer unchanged.
-    pos = cols.astype(np.int32)  # current flat position of each valid input
-    for op in plan.ops:
-        if isinstance(op, FixedPermutation):
-            pos = op.perm32[pos]
-            continue
-        width = op.chip_width
-        slots = op.flat32.size
-        if grp.shape[1] != slots:
-            grp = np.zeros((batch, slots), dtype=bool)
-        else:
-            grp[:] = False
-        base = base_for(slots)
-        grp_flat = grp.reshape(-1)
-        covered = (pos < op.cm_of.size) & (np.take(op.cm_of, pos,
-                                                   mode="clip") >= 0)
-        iv = np.where(covered, np.take(op.cm_of, pos, mode="clip"), 0)
-        gf = base + iv
-        grp_flat[gf[covered]] = True
-        cs = np.cumsum(grp.reshape(batch, op.n_chips, width), axis=2,
-                       dtype=np.int32)
-        rank = cs.reshape(-1)[gf] - 1
-        chip_start = (iv // width) * np.int32(width)
-        pos = np.where(covered, op.flat32[chip_start + rank], pos)
+    with obs.span(
+        "engine.run_plan",
+        plan=str(plan.key), batch=batch, valid=int(flat_idx.size),
+    ):
+        pos = cols.astype(np.int32)  # current flat position of each valid input
+        for layer, op in enumerate(plan.ops):
+            if isinstance(op, FixedPermutation):
+                with obs.span("engine.stage", kind="perm", layer=layer):
+                    pos = op.perm32[pos]
+                continue
+            width = op.chip_width
+            with obs.span(
+                "engine.stage",
+                kind="chip", layer=layer, chips=op.n_chips, width=width,
+            ):
+                slots = op.flat32.size
+                if grp.shape[1] != slots:
+                    grp = np.zeros((batch, slots), dtype=bool)
+                else:
+                    grp[:] = False
+                base = base_for(slots)
+                grp_flat = grp.reshape(-1)
+                covered = (pos < op.cm_of.size) & (np.take(op.cm_of, pos,
+                                                           mode="clip") >= 0)
+                iv = np.where(covered, np.take(op.cm_of, pos, mode="clip"), 0)
+                gf = base + iv
+                grp_flat[gf[covered]] = True
+                cs = np.cumsum(grp.reshape(batch, op.n_chips, width), axis=2,
+                               dtype=np.int32)
+                rank = cs.reshape(-1)[gf] - 1
+                chip_start = (iv // width) * np.int32(width)
+                pos = np.where(covered, op.flat32[chip_start + rank], pos)
     return flat_idx, rows, cols, pos
 
 
@@ -275,14 +293,18 @@ def run_comparator_plan(plan: ComparatorPlan, valid: np.ndarray) -> np.ndarray:
     bits = valid.astype(np.int8)
     # wire_holds[b, w] = the input whose message is on wire w.
     wire_holds = np.broadcast_to(np.arange(n, dtype=np.int64), (batch, n)).copy()
-    for hi, lo in plan.stages:
-        bhi, blo = bits[:, hi], bits[:, lo]
-        swap = bhi < blo
-        bits[:, hi] = np.where(swap, blo, bhi)
-        bits[:, lo] = np.where(swap, bhi, blo)
-        whi, wlo = wire_holds[:, hi], wire_holds[:, lo]
-        wire_holds[:, hi] = np.where(swap, wlo, whi)
-        wire_holds[:, lo] = np.where(swap, whi, wlo)
+    with obs.span("engine.run_plan", plan=str(plan.key), batch=batch,
+                  valid=int(valid.sum())):
+        for layer, (hi, lo) in enumerate(plan.stages):
+            with obs.span("engine.stage", kind="comparator", layer=layer,
+                          comparators=int(hi.size)):
+                bhi, blo = bits[:, hi], bits[:, lo]
+                swap = bhi < blo
+                bits[:, hi] = np.where(swap, blo, bhi)
+                bits[:, lo] = np.where(swap, bhi, blo)
+                whi, wlo = wire_holds[:, hi], wire_holds[:, lo]
+                wire_holds[:, hi] = np.where(swap, wlo, whi)
+                wire_holds[:, lo] = np.where(swap, whi, wlo)
     position_of = np.empty((batch, n), dtype=np.int64)
     np.put_along_axis(
         position_of,

@@ -42,7 +42,7 @@ from repro.obs.registry import (
     span,
     uninstall,
 )
-from repro.obs.runmeta import git_sha, run_metadata
+from repro.obs.runmeta import environment, git_dirty, git_sha, run_metadata
 from repro.obs.tracing import SpanRecord, Tracer
 
 __all__ = [
@@ -62,8 +62,10 @@ __all__ = [
     "collecting",
     "counter",
     "enabled",
+    "environment",
     "gauge",
     "get_registry",
+    "git_dirty",
     "git_sha",
     "histogram",
     "install",

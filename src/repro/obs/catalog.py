@@ -38,6 +38,11 @@ CATALOG: tuple[MetricInfo, ...] = (
                "setup_batch invocations, by switch class"),
     MetricInfo("engine.batch_trials", "counter", ("switch",),
                "total trials routed through setup_batch, by switch class"),
+    MetricInfo("engine.run_plan", "span", (),
+               "one batched plan execution (meta: plan, batch, valid)"),
+    MetricInfo("engine.stage", "span", (),
+               "one plan op inside engine.run_plan — chip layer, fixed "
+               "permutation, or comparator stage (meta: kind, layer, ...)"),
     # network/simulate
     MetricInfo("sim.rounds", "counter", (),
                "simulation rounds executed by SwitchSimulation.run"),
@@ -98,6 +103,11 @@ CATALOG: tuple[MetricInfo, ...] = (
                "contract/parity/metamorphic violations found, by design and check"),
     MetricInfo("verify.certify", "span", (),
                "one certify_switch run (meta: design, n, m)"),
+    # obs/perf (the performance observatory, see docs/performance.md)
+    MetricInfo("bench.repeat", "span", (),
+               "one timed repeat of a bench spec (meta: bench, repeat)"),
+    MetricInfo("trace.run", "span", (),
+               "the traced workload of 'repro obs trace' (meta: switch, trials)"),
 )
 
 #: Derived timing histograms: every span also fills ``<name>.seconds``.

@@ -1,0 +1,70 @@
+"""cProfile/pstats hooks for the hot batch-executor paths.
+
+Spans answer *where the stages spend time*; a profile answers *which
+Python frames burn it*.  :func:`profiled` wraps any region in a
+:class:`cProfile.Profile`, and :func:`write_profile` lands the result
+either as a binary ``.prof`` (feed to ``snakeviz``/``flameprof``/
+``python -m pstats`` for a flamegraph) or as a pstats text table —
+``repro obs trace --profile`` makes profiling a switch geometry one
+command.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+
+
+@contextmanager
+def profiled() -> Iterator[cProfile.Profile]:
+    """Profile the enclosed region; the yielded profile is ready for
+    :func:`profile_text` / :func:`write_profile` after exit."""
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield profile
+    finally:
+        profile.disable()
+
+
+def profile_text(
+    profile: cProfile.Profile, *, top: int = 30, sort: str = "cumulative"
+) -> str:
+    """The pstats table of ``profile``, restricted to the ``top``
+    entries by ``sort`` order."""
+    buffer = io.StringIO()
+    stats = pstats.Stats(profile, stream=buffer)
+    try:
+        stats.sort_stats(sort)
+    except KeyError as exc:
+        raise ConfigurationError(f"unknown pstats sort key {sort!r}") from exc
+    stats.print_stats(top)
+    return buffer.getvalue()
+
+
+def write_profile(
+    profile: cProfile.Profile,
+    path: str | Path,
+    *,
+    top: int = 30,
+    sort: str = "cumulative",
+) -> Path:
+    """Write ``profile`` to ``path``: binary stats for ``.prof`` /
+    ``.pstats`` suffixes (loadable by pstats-based flamegraph tools),
+    a human-readable pstats table otherwise."""
+    target = Path(path)
+    if target.exists() and target.is_dir():
+        raise ConfigurationError(f"{target} is a directory")
+    if target.suffix in {".prof", ".pstats"}:
+        profile.dump_stats(str(target))
+    else:
+        target.write_text(
+            profile_text(profile, top=top, sort=sort), encoding="utf-8"
+        )
+    return target

@@ -1,0 +1,182 @@
+"""The ``repro obs report`` trajectory dashboard.
+
+Renders a bench trajectory (see :mod:`repro.obs.perf.trajectory`) as
+a Markdown document or terminal tables:
+
+* **Trajectory** — per bench: record count, a sparkline of median wall
+  times over history (oldest -> newest), the latest throughput, and
+  the latest-vs-previous delta;
+* **Delay in gates vs theory** — for the Thm-3/4 quality benches,
+  the measured combinational depth against the paper's ``3 lg n``
+  (Revsort, Theorem 3) and ``4 beta lg n`` (Columnsort, Theorem 4)
+  message-delay lines;
+* **Provenance** — the environment block of the newest record.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.obs.perf.trajectory import latest_per_bench
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float]) -> str:
+    """Unicode sparkline of ``values`` (empty string for no values;
+    a flat series renders as a flat line)."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _SPARK[0] * len(values)
+    span = hi - lo
+    return "".join(
+        _SPARK[min(len(_SPARK) - 1, int((v - lo) / span * len(_SPARK)))]
+        for v in values
+    )
+
+
+def _fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def _fmt_throughput(record: dict) -> str:
+    throughput = record.get("throughput")
+    if throughput is None:
+        return "-"
+    return f"{throughput:,.0f} {record.get('unit', '?')}/s"
+
+
+def trajectory_rows(records: list[dict]) -> list[dict]:
+    """One dashboard row per bench id, in sorted id order."""
+    by_bench: dict[str, list[dict]] = {}
+    for record in records:
+        by_bench.setdefault(str(record.get("bench")), []).append(record)
+    rows = []
+    for bench in sorted(by_bench):
+        history = by_bench[bench]
+        latest = history[-1]
+        walls = [float(r["median_wall_s"]) for r in history]
+        if len(walls) >= 2 and walls[-2] > 0:
+            delta = f"{(walls[-1] / walls[-2] - 1.0) * 100:+.1f}%"
+        else:
+            delta = "-"
+        rows.append(
+            {
+                "bench": bench,
+                "records": len(history),
+                "trend": sparkline(walls),
+                "median wall": _fmt_seconds(walls[-1]),
+                "vs prev": delta,
+                "throughput": _fmt_throughput(latest),
+                "cache hit%": _fmt_hit_rate(latest),
+            }
+        )
+    return rows
+
+
+def _fmt_hit_rate(record: dict) -> str:
+    cache = record.get("plan_cache") or {}
+    rate = cache.get("hit_rate")
+    return f"{rate * 100:.0f}%" if rate is not None else "-"
+
+
+def delay_rows(records: list[dict]) -> list[dict]:
+    """Delay-in-gates vs the theoretical lines, from the latest record
+    of every bench that carries ``meta.gate_delays``."""
+    rows = []
+    for bench, record in sorted(latest_per_bench(records).items()):
+        meta = record.get("meta") or {}
+        if meta.get("gate_delays") is None:
+            continue
+        family = meta.get("family", "?")
+        theory = meta.get("theory_delays")
+        label = "3 lg n" if family == "revsort" else "4β lg n"
+        measured = int(meta["gate_delays"])
+        rows.append(
+            {
+                "bench": bench,
+                "n": meta.get("n", "-"),
+                "delay (gates)": measured,
+                "theory": f"{label} = {theory:g}" if theory is not None else "-",
+                "measured/theory": (
+                    f"{measured / theory:.2f}" if theory else "-"
+                ),
+            }
+        )
+    return rows
+
+
+def _render_md(rows: list[dict]) -> str:
+    if not rows:
+        return "_(empty)_"
+    headers = list(rows[0].keys())
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    lines.extend(
+        "| " + " | ".join(str(row[h]) for h in headers) + " |" for row in rows
+    )
+    return "\n".join(lines)
+
+
+def trajectory_report(records: list[dict], *, fmt: str = "table") -> str:
+    """The full dashboard for ``records`` as one string; ``fmt`` is
+    ``table`` (terminal) or ``md`` (Markdown)."""
+    if not records:
+        raise ConfigurationError("trajectory is empty — run 'repro bench run' first")
+    if fmt not in {"table", "md"}:
+        raise ConfigurationError(f"unknown report format {fmt!r}")
+    bench_rows = trajectory_rows(records)
+    gate_rows = delay_rows(records)
+    env = records[-1].get("env") or {}
+    provenance = (
+        f"latest record: sha={env.get('git_sha') or '?'}"
+        f"{' (dirty)' if env.get('git_dirty') else ''}"
+        f"  python={env.get('python') or '?'}  numpy={env.get('numpy') or '?'}"
+        f"  started={records[-1].get('started_at') or '?'}"
+    )
+    if fmt == "md":
+        parts = [
+            "# Bench trajectory",
+            "",
+            f"{len(records)} records, {len(bench_rows)} benches.",
+            "",
+            "## Trajectory (median wall per record, oldest → newest)",
+            "",
+            _render_md(bench_rows),
+        ]
+        if gate_rows:
+            parts += [
+                "",
+                "## Delay in gates vs theory (Thm 3: 3 lg n, Thm 4: 4β lg n)",
+                "",
+                _render_md(gate_rows),
+            ]
+        parts += ["", f"_{provenance}_", ""]
+        return "\n".join(parts)
+
+    from repro.analysis.tables import render_table
+
+    parts = [
+        render_table(
+            bench_rows,
+            title=f"bench trajectory ({len(records)} records)",
+        )
+    ]
+    if gate_rows:
+        parts.append(
+            render_table(
+                gate_rows,
+                title="delay in gates vs theory (Thm 3: 3 lg n, Thm 4: 4b lg n)",
+            )
+        )
+    parts.append(provenance)
+    return "\n\n".join(parts)

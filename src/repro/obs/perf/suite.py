@@ -1,0 +1,376 @@
+"""Registry-driven bench suites for ``repro bench run``.
+
+A :class:`BenchSpec` names a deterministic workload; a *suite* is a
+tag selecting specs sized for a purpose — ``smoke`` runs in seconds
+for CI, ``full`` reproduces the paper-scale geometries of
+``BENCH_engine.json``.  Every workload draws from
+:func:`repro._util.rng.default_rng` with a fixed per-record seed and
+re-seeds identically on every repeat, so repeats measure machine noise
+only, never workload variance.
+
+:func:`run_bench` executes one spec and returns a trajectory record
+(see :mod:`repro.obs.perf.trajectory`) capturing:
+
+* ``wall_s`` per repeat plus the median/best (median is what
+  :mod:`repro.obs.perf.regression` gates on);
+* per-stage span timings from the ``repro.obs`` registry collected
+  around the run (``engine.stage.seconds`` et al.);
+* plan-cache hit/miss deltas and the derived hit rate;
+* peak RSS (``resource.getrusage``) and — in a separate *untimed*
+  pass so timings stay clean — tracemalloc's peak allocation and live
+  block count.
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable
+
+import numpy as np
+
+from repro import obs
+from repro._util.bits import ilg
+from repro._util.rng import DEFAULT_SEED, default_rng
+from repro.errors import ConfigurationError
+from repro.obs.perf.trajectory import new_record
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A built bench: ``run(rng)`` does the work and returns how many
+    ``unit`` s it processed; ``meta`` is static spec context that lands
+    in the record (sizes, gate delays, theory lines)."""
+
+    run: Callable[[np.random.Generator], int]
+    meta: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One registered bench: id, the suites it belongs to, the unit of
+    work, and a factory building its :class:`Workload` (construction —
+    switch building, plan compilation — happens in ``make`` so it is
+    excluded from the timed region)."""
+
+    id: str
+    suites: tuple[str, ...]
+    unit: str
+    make: Callable[[], Workload]
+    description: str = ""
+
+
+def _warm(switch) -> None:
+    """Compile the switch's plan outside the timed region."""
+    warm = np.zeros((2, switch.n), dtype=bool)
+    warm[:, 0] = True
+    switch.setup_batch(warm)
+
+
+def _engine_factory(build: Callable[[], object], trials: int):
+    """Engine throughput: route ``trials`` random half-load rows
+    through one ``setup_batch`` call on the warmed plan cache."""
+
+    def make() -> Workload:
+        switch = build()
+        _warm(switch)
+
+        def run(rng: np.random.Generator) -> int:
+            valid = rng.random((trials, switch.n)) < 0.5
+            switch.setup_batch(valid)
+            return trials
+
+        return Workload(
+            run=run,
+            meta={"n": switch.n, "m": switch.m, "trials": trials},
+        )
+
+    return make
+
+
+def _quality_factory(
+    build: Callable[[], object], trials: int, family: str, beta: float | None
+):
+    """Thm-3/4 quality bench: batch-verify the contract and measure the
+    worst nearsortedness over random mixed-load trials — the workload
+    behind ``repro verify --batch`` — with the delay-in-gates theory
+    line recorded for the trajectory report."""
+
+    def make() -> Workload:
+        from repro.engine import (
+            nearsortedness_batch,
+            validate_batch_partial_concentration,
+        )
+        from repro.verify.differential import output_occupancy
+
+        switch = build()
+        _warm(switch)
+        t = ilg(switch.n)
+        theory = 3 * t if family == "revsort" else 4 * (beta or 0.0) * t
+
+        def run(rng: np.random.Generator) -> int:
+            valid = rng.random((trials, switch.n)) < rng.random((trials, 1))
+            batch = switch.setup_batch(valid)
+            validate_batch_partial_concentration(switch.spec, batch)
+            occupancy = output_occupancy(
+                switch, valid, routing=batch.input_to_output
+            )
+            if occupancy is not None:
+                nearsortedness_batch(occupancy).max(initial=0)
+            return trials
+
+        return Workload(
+            run=run,
+            meta={
+                "n": switch.n,
+                "m": switch.m,
+                "trials": trials,
+                "family": family,
+                "beta": beta,
+                "gate_delays": int(switch.gate_delays),
+                "theory_delays": float(theory),
+                "epsilon_bound": getattr(switch, "epsilon_bound", None),
+            },
+        )
+
+    return make
+
+
+def _certify_factory(design: str, params: dict):
+    """Certify wall time: one full ``certify_design`` run (exhaustive
+    at these sizes); work is the number of patterns proved."""
+
+    def make() -> Workload:
+        from repro.verify import CertifyOptions, certify_design
+
+        def run(rng: np.random.Generator) -> int:
+            cert = certify_design(design, dict(params), options=CertifyOptions())
+            if not cert.ok:
+                raise ConfigurationError(
+                    f"certify bench found violations in {design!r}"
+                )
+            return cert.total_patterns
+
+        return Workload(run=run, meta={"design": design, **params})
+
+    return make
+
+
+def _columnsort(n: int, m: int):
+    from repro.switches.columnsort_switch import ColumnsortSwitch
+
+    return lambda: ColumnsortSwitch.from_beta(n, 0.75, m)
+
+
+def _revsort(n: int, m: int):
+    from repro.switches.revsort_switch import RevsortSwitch
+
+    return lambda: RevsortSwitch(n, m)
+
+
+def _hyper(n: int):
+    from repro.switches.hyperconcentrator import Hyperconcentrator
+
+    return lambda: Hyperconcentrator(n)
+
+
+def _fullrevsort(n: int):
+    from repro.switches.multichip_hyper import FullRevsortHyperconcentrator
+
+    return lambda: FullRevsortHyperconcentrator(n)
+
+
+#: Every registered bench.  Ids are stable — they key the trajectory —
+#: so renaming one orphans its history; add new ids instead.
+SPECS: tuple[BenchSpec, ...] = (
+    # -- engine throughput (mirrors bench_engine_throughput.py) --------
+    BenchSpec(
+        "engine.columnsort-n256", ("smoke",), "trials",
+        _engine_factory(_columnsort(256, 192), trials=64),
+        "batched routing, Columnsort beta=0.75 at n=256",
+    ),
+    BenchSpec(
+        "engine.revsort-n256", ("smoke",), "trials",
+        _engine_factory(_revsort(256, 192), trials=64),
+        "batched routing, Revsort at n=256",
+    ),
+    BenchSpec(
+        "engine.hyper-n256", ("smoke",), "trials",
+        _engine_factory(_hyper(256), trials=64),
+        "batched routing, functional hyperconcentrator at n=256",
+    ),
+    BenchSpec(
+        "engine.columnsort-n4096", ("full",), "trials",
+        _engine_factory(_columnsort(4096, 3072), trials=128),
+        "batched routing, the Thm-4 headline geometry (r=512, s=8)",
+    ),
+    BenchSpec(
+        "engine.revsort-n4096", ("full",), "trials",
+        _engine_factory(_revsort(4096, 3072), trials=128),
+        "batched routing, Revsort at n=4096",
+    ),
+    BenchSpec(
+        "engine.hyper-n4096", ("full",), "trials",
+        _engine_factory(_hyper(4096), trials=128),
+        "batched routing, functional hyperconcentrator at n=4096",
+    ),
+    BenchSpec(
+        "engine.fullrevsort-n4096", ("full",), "trials",
+        _engine_factory(_fullrevsort(4096), trials=128),
+        "batched routing, Section 6 full-Revsort hyperconcentrator",
+    ),
+    # -- Thm-3/4 quality geometries ------------------------------------
+    BenchSpec(
+        "quality.thm3-revsort-n256", ("smoke",), "trials",
+        _quality_factory(_revsort(256, 192), 64, "revsort", None),
+        "Thm-3 contract + worst-eps sweep, Revsort n=256",
+    ),
+    BenchSpec(
+        "quality.thm4-columnsort-n256", ("smoke",), "trials",
+        _quality_factory(_columnsort(256, 192), 64, "columnsort", 0.75),
+        "Thm-4 contract + worst-eps sweep, Columnsort n=256",
+    ),
+    BenchSpec(
+        "quality.thm3-revsort-n4096", ("full",), "trials",
+        _quality_factory(_revsort(4096, 3072), 128, "revsort", None),
+        "Thm-3 contract + worst-eps sweep, Revsort n=4096",
+    ),
+    BenchSpec(
+        "quality.thm4-columnsort-n4096", ("full",), "trials",
+        _quality_factory(_columnsort(4096, 3072), 128, "columnsort", 0.75),
+        "Thm-4 contract + worst-eps sweep, the columnsort n=4096 geometry",
+    ),
+    # -- certification wall time ---------------------------------------
+    BenchSpec(
+        "certify.revsort-n16", ("smoke", "full"), "patterns",
+        _certify_factory("revsort", {"n": 16, "m": 12}),
+        "exhaustive certify_design('revsort', n=16) wall time",
+    ),
+)
+
+
+def suite_names() -> list[str]:
+    names: set[str] = set()
+    for spec in SPECS:
+        names.update(spec.suites)
+    return sorted(names)
+
+
+def suite_specs(suite: str, *, contains: str | None = None) -> list[BenchSpec]:
+    """The specs of ``suite``, optionally filtered to ids containing
+    ``contains``."""
+    if suite not in suite_names():
+        raise ConfigurationError(
+            f"unknown suite {suite!r}; available: {', '.join(suite_names())}"
+        )
+    picked = [spec for spec in SPECS if suite in spec.suites]
+    if contains:
+        picked = [spec for spec in picked if contains in spec.id]
+    return picked
+
+
+def _peak_rss_kb() -> int | None:
+    """Process peak RSS in KiB (ru_maxrss is KiB on Linux, bytes on
+    macOS), or None where the resource module is unavailable."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        peak //= 1024
+    return int(peak)
+
+
+def _span_seconds(snapshot: dict) -> dict:
+    """The ``*.seconds`` histograms of a snapshot, reduced to the
+    count/sum pairs the trajectory keeps."""
+    out = {}
+    for key, hist in snapshot.get("histograms", {}).items():
+        if key.endswith(".seconds"):
+            out[key] = {"count": hist.get("count"), "sum": hist.get("sum")}
+    return out
+
+
+def run_bench(
+    spec: BenchSpec,
+    *,
+    suite: str,
+    repeats: int = 3,
+    seed: int = DEFAULT_SEED,
+    alloc: bool = True,
+) -> dict:
+    """Execute one spec and build its trajectory record.
+
+    The timed repeats run with only the span registry collecting; the
+    allocation pass (tracemalloc roughly halves throughput) runs once
+    more *after* timing so it can never pollute ``wall_s``.
+    """
+    from repro.engine import plan_cache
+
+    if repeats < 1:
+        raise ConfigurationError("repeats must be >= 1")
+    workload = spec.make()
+    cache_before = plan_cache().stats()
+    started_at = time.time()
+    walls: list[float] = []
+    registry = obs.Registry(max_trace_events=50_000)
+    with obs.collecting(registry):
+        for repeat in range(repeats):
+            rng = default_rng(seed)
+            with obs.span("bench.repeat", bench=spec.id, repeat=repeat):
+                t0 = perf_counter()
+                work = workload.run(rng)
+                walls.append(perf_counter() - t0)
+
+    alloc_peak_kb = alloc_blocks = None
+    if alloc:
+        tracemalloc.start()
+        try:
+            workload.run(default_rng(seed))
+            _, peak = tracemalloc.get_traced_memory()
+            alloc_peak_kb = int(peak // 1024)
+            alloc_blocks = int(
+                sum(
+                    stat.count
+                    for stat in tracemalloc.take_snapshot().statistics("filename")
+                )
+            )
+        finally:
+            tracemalloc.stop()
+
+    cache_after = plan_cache().stats()
+    hits = cache_after["hits"] - cache_before["hits"]
+    misses = cache_after["misses"] - cache_before["misses"]
+    lookups = hits + misses
+    median_wall = statistics.median(walls)
+    return new_record(
+        bench=spec.id,
+        suite=suite,
+        unit=spec.unit,
+        repeats=repeats,
+        wall_s=walls,
+        median_wall_s=median_wall,
+        best_wall_s=min(walls),
+        work=int(work),
+        throughput=(int(work) / median_wall) if median_wall > 0 else None,
+        rss_peak_kb=_peak_rss_kb(),
+        alloc_peak_kb=alloc_peak_kb,
+        alloc_blocks=alloc_blocks,
+        plan_cache={
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / lookups) if lookups else None,
+        },
+        span_seconds=_span_seconds(registry.snapshot()),
+        meta=workload.meta,
+        env=obs.environment(),
+        seed=seed,
+        started_at=time.strftime(
+            "%Y-%m-%dT%H:%M:%S%z", time.localtime(started_at)
+        ),
+    )

@@ -1,0 +1,162 @@
+"""The append-only bench trajectory: ``BENCH_TRAJECTORY.jsonl``.
+
+One line per bench execution, schema-tagged so mixed-version files
+stay readable.  A record is keyed by ``(bench, env.git_sha)`` — the
+same bench re-run at a new commit appends a new line, never rewrites
+an old one — which is what lets :mod:`repro.obs.perf.regression` diff
+a candidate against the trailing window of history.
+
+Record layout (``schema="repro.obs/bench"``, ``version=1``)::
+
+    {
+      "schema": "repro.obs/bench", "version": 1,
+      "bench": "engine.columnsort-n256",   # suite-registry spec id
+      "suite": "smoke", "unit": "trials",
+      "repeats": 3, "wall_s": [...],       # every repeat, seconds
+      "median_wall_s": ..., "best_wall_s": ...,
+      "work": 64, "throughput": ...,       # work / median_wall_s
+      "rss_peak_kb": ..., "alloc_peak_kb": ..., "alloc_blocks": ...,
+      "plan_cache": {"hits": .., "misses": .., "hit_rate": ..},
+      "span_seconds": {"engine.stage.seconds": {"count": .., "sum": ..}},
+      "meta": {...},                       # spec-specific (n, m, delays)
+      "env": {"git_sha": .., "git_dirty": .., "python": ..,
+              "numpy": .., "platform": ..},
+      "seed": 6535, "started_at": "2026-..."
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+TRAJECTORY_SCHEMA = "repro.obs/bench"
+TRAJECTORY_VERSION = 1
+
+
+def new_record(**fields: object) -> dict:
+    """A schema-tagged trajectory record with ``fields`` merged in."""
+    return {"schema": TRAJECTORY_SCHEMA, "version": TRAJECTORY_VERSION, **fields}
+
+
+def append_records(path: str | Path, records: list[dict]) -> Path:
+    """Append ``records`` (one JSON line each) to ``path``; creates the
+    file on first use.  Existing lines are never touched."""
+    target = Path(path)
+    if target.exists() and target.is_dir():
+        raise ConfigurationError(f"{target} is a directory")
+    with target.open("a", encoding="utf-8") as fh:
+        for record in records:
+            if record.get("schema") != TRAJECTORY_SCHEMA:
+                raise ConfigurationError(
+                    f"refusing to append a non-trajectory record "
+                    f"(schema={record.get('schema')!r})"
+                )
+            fh.write(json.dumps(record, sort_keys=False) + "\n")
+    return target
+
+
+def read_trajectory(path: str | Path) -> list[dict]:
+    """Read every record of a trajectory file, in file (= append)
+    order.  Blank lines are skipped; a line that is not a
+    ``repro.obs/bench`` record raises."""
+    source = Path(path)
+    if not source.exists():
+        raise ConfigurationError(f"no trajectory at {source}")
+    records: list[dict] = []
+    for lineno, line in enumerate(
+        source.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{source}:{lineno} is not valid JSON: {exc}"
+            ) from exc
+        if record.get("schema") != TRAJECTORY_SCHEMA:
+            raise ConfigurationError(
+                f"{source}:{lineno} is not a {TRAJECTORY_SCHEMA} record "
+                f"(schema={record.get('schema')!r})"
+            )
+        records.append(record)
+    return records
+
+
+def latest_per_bench(records: list[dict]) -> dict[str, dict]:
+    """The newest record of every bench id, in append order."""
+    latest: dict[str, dict] = {}
+    for record in records:
+        latest[str(record.get("bench"))] = record
+    return latest
+
+
+def split_latest(records: list[dict]) -> tuple[dict[str, dict], list[dict]]:
+    """Split a trajectory into ``(candidates, history)``: the newest
+    record per bench (the run under test) and everything before it (the
+    baseline pool).  This is what ``repro bench compare`` does when the
+    candidate and the baseline live in the same file."""
+    candidates = latest_per_bench(records)
+    picked = {id(record) for record in candidates.values()}
+    history = [record for record in records if id(record) not in picked]
+    return candidates, history
+
+
+def backfill_engine_report(
+    report: dict, *, env: dict | None = None
+) -> list[dict]:
+    """Convert a legacy ``BENCH_engine.json`` document (see
+    ``benchmarks/bench_engine_throughput.py``) into trajectory records
+    — the seed baseline ("record 0") for ``repro bench compare``.
+
+    Each engine row becomes one record with the batched path's best
+    wall time as its single repeat; the scalar timing and speedup ride
+    along in ``meta`` so the provenance survives the conversion.
+    """
+    rows = report.get("rows", [])
+    if not rows:
+        raise ConfigurationError("engine report has no rows to backfill")
+    environment = {
+        "git_sha": None,
+        "git_dirty": None,
+        "python": None,
+        "numpy": None,
+        "platform": None,
+        **(env or {}),
+    }
+    records = []
+    for row in rows:
+        wall = float(row["batch_seconds"])
+        trials = int(row["trials"])
+        records.append(
+            new_record(
+                bench=f"engine.{row['switch']}",
+                suite="full",
+                unit="trials",
+                repeats=1,
+                wall_s=[wall],
+                median_wall_s=wall,
+                best_wall_s=wall,
+                work=trials,
+                throughput=trials / wall if wall > 0 else None,
+                rss_peak_kb=None,
+                alloc_peak_kb=None,
+                alloc_blocks=None,
+                plan_cache=report.get("plan_cache"),
+                span_seconds={},
+                meta={
+                    "backfilled_from": "BENCH_engine.json",
+                    "n": int(row["n"]),
+                    "m": int(row["m"]),
+                    "scalar_seconds": float(row["scalar_seconds"]),
+                    "speedup": float(row["speedup"]),
+                },
+                env=environment,
+                seed=report.get("seed"),
+                started_at=None,
+            )
+        )
+    return records

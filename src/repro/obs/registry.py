@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager, nullcontext
 from time import perf_counter
-from typing import ContextManager, Iterator
+from typing import Callable, ContextManager, Iterator
 
 from repro.obs.metrics import (
     NULL_COUNTER,
@@ -60,11 +60,16 @@ class Registry:
 
     enabled = True
 
-    def __init__(self, max_trace_events: int = 10_000):
+    def __init__(
+        self,
+        max_trace_events: int = 10_000,
+        clock: Callable[[], float] = perf_counter,
+    ):
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
-        self.tracer = Tracer(max_events=max_trace_events)
+        self.clock = clock
+        self.tracer = Tracer(max_events=max_trace_events, clock=clock)
 
     # -- metric accessors (create on first use) -------------------------
     def counter(self, name: str, /, **labels: object) -> Counter:
@@ -94,11 +99,11 @@ class Registry:
         """Timed, nested span; the duration also lands in the
         ``<name>.seconds`` histogram."""
         with self.tracer.span(name, **meta):
-            start = perf_counter()
+            start = self.clock()
             try:
                 yield
             finally:
-                self.histogram(f"{name}.seconds").observe(perf_counter() - start)
+                self.histogram(f"{name}.seconds").observe(self.clock() - start)
 
     # -- lifecycle ------------------------------------------------------
     def reset(self) -> None:

@@ -2,8 +2,9 @@
 
 The benchmark harness attaches one of these records to every bench so
 a BENCH_*.json trajectory carries its own provenance: which commit
-produced it, which seed drove it, how long it took, and the metric
-snapshot the instrumented code emitted while it ran.
+produced it (and whether the tree was dirty), which seed drove it, how
+long it took, which interpreter/numpy built the numbers, and the
+metric snapshot the instrumented code emitted while it ran.
 """
 
 from __future__ import annotations
@@ -16,18 +17,17 @@ from pathlib import Path
 
 from repro.obs.registry import NullRegistry, Registry
 
-#: Bumped when the record layout changes.
-RECORD_VERSION = 1
+#: Bumped when the record layout changes.  Version 2 added
+#: ``git_dirty`` and ``numpy`` (version 1 records carried only the SHA
+#: and Python-level metadata).
+RECORD_VERSION = 2
 
 
-@lru_cache(maxsize=None)
-def git_sha(cwd: str | None = None) -> str | None:
-    """HEAD commit of the repo containing ``cwd`` (or this file), or
-    None outside a git checkout / without git."""
+def _git(args: list[str], cwd: str | None) -> str | None:
     where = cwd if cwd is not None else str(Path(__file__).resolve().parent)
     try:
         out = subprocess.run(
-            ["git", "rev-parse", "HEAD"],
+            ["git", *args],
             cwd=where,
             capture_output=True,
             text=True,
@@ -36,8 +36,44 @@ def git_sha(cwd: str | None = None) -> str | None:
         )
     except (OSError, subprocess.TimeoutExpired):
         return None
-    sha = out.stdout.strip()
-    return sha if out.returncode == 0 and sha else None
+    return out.stdout if out.returncode == 0 else None
+
+
+@lru_cache(maxsize=None)
+def git_sha(cwd: str | None = None) -> str | None:
+    """HEAD commit of the repo containing ``cwd`` (or this file), or
+    None outside a git checkout / without git."""
+    out = _git(["rev-parse", "HEAD"], cwd)
+    sha = out.strip() if out is not None else ""
+    return sha or None
+
+
+def git_dirty(cwd: str | None = None) -> bool | None:
+    """Whether the working tree has uncommitted changes, or None
+    outside a git checkout / without git.  Deliberately uncached: the
+    tree can become dirty between two records of the same process."""
+    out = _git(["status", "--porcelain"], cwd)
+    if out is None:
+        return None
+    return bool(out.strip())
+
+
+def numpy_version() -> str:
+    import numpy
+
+    return numpy.__version__
+
+
+def environment() -> dict:
+    """The provenance block shared by run records and bench-trajectory
+    records: commit, dirty-tree flag, and toolchain versions."""
+    return {
+        "git_sha": git_sha(),
+        "git_dirty": git_dirty(),
+        "python": platform.python_version(),
+        "numpy": numpy_version(),
+        "platform": platform.platform(),
+    }
 
 
 def run_metadata(
@@ -67,12 +103,10 @@ def run_metadata(
     return {
         "version": RECORD_VERSION,
         "run_id": run_id,
-        "git_sha": git_sha(),
         "seed": seed,
         "started_at": time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime(when)),
         "wall_s": wall_s,
-        "python": platform.python_version(),
-        "platform": platform.platform(),
         "metrics": snapshot,
+        **environment(),
         **(extra or {}),
     }

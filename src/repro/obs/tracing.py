@@ -4,7 +4,8 @@ A *span* is a named, timed region of execution (``sim.run``,
 ``sim.round``, ``serial.transit``).  Spans nest: entering a span while
 another is open records the parent/child relation in the span's slash-
 separated ``path``.  Timing uses :func:`time.perf_counter`, the
-highest-resolution monotonic clock Python exposes.
+highest-resolution monotonic clock Python exposes; tests inject a fake
+``clock`` callable instead so timing assertions need no real sleeps.
 
 The tracer keeps a bounded buffer of completed span events (so a
 million-round simulation cannot exhaust memory); once the buffer is
@@ -19,7 +20,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Iterator
+from typing import Callable, Iterator
 
 
 @dataclass(frozen=True)
@@ -47,10 +48,15 @@ class SpanRecord:
 class Tracer:
     """Records nested spans into a bounded event buffer."""
 
-    def __init__(self, max_events: int = 10_000):
+    def __init__(
+        self,
+        max_events: int = 10_000,
+        clock: Callable[[], float] = perf_counter,
+    ):
         if max_events < 0:
             raise ValueError("max_events must be non-negative")
         self.max_events = max_events
+        self.clock = clock
         self.events: list[SpanRecord] = []
         self.dropped = 0
         self._stack: list[str] = []
@@ -64,11 +70,11 @@ class Tracer:
         self._stack.append(name)
         path = "/".join(self._stack)
         depth = len(self._stack) - 1
-        start = perf_counter()
+        start = self.clock()
         try:
             yield
         finally:
-            duration = perf_counter() - start
+            duration = self.clock() - start
             self._stack.pop()
             record = SpanRecord(
                 name=name,

@@ -141,6 +141,77 @@ class TestSpans:
         assert reg.tracer.events[0].name == "outer"
 
 
+class FakeClock:
+    """A manually advanced clock for sleep-free timing assertions."""
+
+    def __init__(self, start: float = 100.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestClockInjection:
+    """Span timing with an injected clock — no real sleeps anywhere."""
+
+    def test_span_duration_is_clock_delta(self):
+        clock = FakeClock()
+        tracer = obs.Tracer(clock=clock)
+        with tracer.span("work"):
+            clock.tick(2.5)
+        event = tracer.events[0]
+        assert event.start == 100.0
+        assert event.duration_s == pytest.approx(2.5)
+
+    def test_nested_spans_time_their_own_regions(self):
+        clock = FakeClock()
+        tracer = obs.Tracer(clock=clock)
+        with tracer.span("outer"):
+            clock.tick(1.0)
+            with tracer.span("inner"):
+                clock.tick(3.0)
+            clock.tick(1.0)
+        by_name = {e.name: e for e in tracer.events}
+        assert by_name["inner"].duration_s == pytest.approx(3.0)
+        assert by_name["outer"].duration_s == pytest.approx(5.0)
+        # the child's interval is contained in the parent's — the
+        # invariant Chrome-trace nesting relies on
+        inner, outer = by_name["inner"], by_name["outer"]
+        assert outer.start <= inner.start
+        assert (inner.start + inner.duration_s
+                <= outer.start + outer.duration_s)
+
+    def test_sequential_spans_are_monotonic(self):
+        clock = FakeClock()
+        tracer = obs.Tracer(clock=clock)
+        for _ in range(4):
+            with tracer.span("step"):
+                clock.tick(0.5)
+        starts = [e.start for e in tracer.events]
+        assert starts == sorted(starts)
+        ends = [e.start + e.duration_s for e in tracer.events]
+        for end, next_start in zip(ends, starts[1:]):
+            assert next_start >= end
+
+    def test_registry_histogram_uses_injected_clock(self):
+        clock = FakeClock()
+        reg = obs.Registry(clock=clock)
+        with reg.span("work"):
+            clock.tick(4.0)
+        hist = reg.snapshot()["histograms"]["work.seconds"]
+        assert hist["sum"] == pytest.approx(4.0)
+        assert reg.tracer.events[0].duration_s == pytest.approx(4.0)
+
+    def test_zero_elapsed_clock_gives_zero_duration(self):
+        tracer = obs.Tracer(clock=FakeClock())
+        with tracer.span("instant"):
+            pass
+        assert tracer.events[0].duration_s == 0.0
+
+
 class TestInstallation:
     def test_null_by_default(self):
         assert not obs.enabled()
@@ -355,6 +426,28 @@ class TestRunMetadata:
     def test_git_sha_in_repo(self):
         sha = obs.git_sha()
         assert sha is None or (len(sha) == 40 and set(sha) <= set("0123456789abcdef"))
+
+    def test_git_dirty_flag(self):
+        dirty = obs.git_dirty()
+        assert dirty is None or isinstance(dirty, bool)
+        # sha and dirty come from the same checkout: both known or both not
+        assert (obs.git_sha() is None) == (dirty is None)
+
+    def test_environment_block(self):
+        import platform
+
+        env = obs.environment()
+        assert set(env) == {"git_sha", "git_dirty", "python", "numpy", "platform"}
+        assert env["python"] == platform.python_version()
+        assert env["numpy"] == np.__version__
+        json.dumps(env)
+
+    def test_record_carries_environment(self):
+        record = obs.run_metadata(run_id="tests::env", seed=None, wall_s=0.1)
+        assert record["version"] == 2
+        assert record["numpy"] == np.__version__
+        assert "git_dirty" in record
+        assert record["git_sha"] == obs.git_sha()
 
 
 class TestCatalog:
