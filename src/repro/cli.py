@@ -7,6 +7,9 @@ Six subcommands mirroring the paper's artifacts::
     python -m repro simulate --switch revsort --n 256 --m 192 --load 0.5
     python -m repro verify  --switch columnsort --r 64 --s 8 --m 384 --batch
     python -m repro certify revsort --out certificates/
+    python -m repro faults inject --switch revsort --n 64 --m 48 --fault chip:0:1
+    python -m repro faults sweep --smoke --out fault-certificates/
+    python -m repro faults report fault-certificates/
     python -m repro compare --switch revsort --n 256 --m 192 --workers 4
     python -m repro knockout --ports 16 --load 0.9
     python -m repro reproduce
@@ -26,6 +29,11 @@ Six subcommands mirroring the paper's artifacts::
   n, stratified per load level above) through the batch engine, the
   scalar oracle, and the gate netlists, and emits certificate JSONs
   (see ``docs/verification.md``);
+* ``faults`` drives the robustness suite (``docs/robustness.md``):
+  ``inject`` measures one scenario, ``sweep`` runs the full degradation
+  campaign (monotone boundary chains, cross-path parity, flaky-pin
+  resilience) and ``report`` renders the resulting certificates;
+  ``certify --faults`` appends a quick campaign per certified config;
 * ``compare`` runs the Section 1 partial-vs-perfect substitution
   experiment, optionally parallel/batched via ``--workers``;
 * ``knockout`` compares analytic and simulated knockout concentrator
@@ -56,7 +64,7 @@ from repro._util.rng import default_rng
 from repro.analysis.tables import render_table
 from repro.core.concentration import validate_partial_concentration
 from repro.core.nearsort import nearsortedness
-from repro.errors import ReproError
+from repro.errors import ConcentrationError, ReproError
 from repro.hardware.costs import columnsort_measures, revsort_measures, table1
 
 
@@ -157,7 +165,12 @@ def cmd_design(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.messages.congestion import BufferPolicy, DropPolicy, ResendPolicy
+    from repro.messages.congestion import (
+        BufferPolicy,
+        DropPolicy,
+        ResendPolicy,
+        RetryPolicy,
+    )
     from repro.network.simulate import SwitchSimulation
     from repro.network.traffic import BernoulliTraffic
 
@@ -167,6 +180,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             "drop": DropPolicy,
             "buffer": BufferPolicy,
             "resend": ResendPolicy,
+            "retry": RetryPolicy,
         }[args.policy]()
         traffic = BernoulliTraffic(switch.n, p=args.load, seed=args.seed)
         summary = SwitchSimulation(switch, traffic, policy, seed=args.seed).run(
@@ -312,6 +326,30 @@ def cmd_certify(args: argparse.Namespace) -> int:
             except TypeError as exc:  # e.g. a missing required override
                 raise ReproError(f"bad parameters for {design!r}: {exc}") from exc
 
+        # --faults: a quick degradation campaign per config on top of
+        # the healthy certification.
+        sweeps = []
+        if getattr(args, "faults", False):
+            from repro.faults import sweep_switch
+            from repro.switches.registry import build_switch
+
+            for design, params in configs:
+                switch = build_switch(design, **params)
+                sweeps.append(
+                    sweep_switch(
+                        switch,
+                        design=f"{design}-n{switch.n}-m{switch.m}",
+                        chains=1,
+                        chain_length=2,
+                        parity_scenarios=1,
+                        parity_faults=2,
+                        flaky_scenarios=1,
+                        trials=8,
+                        rounds=20,
+                        seed=0,
+                    )
+                )
+
     written: list[Path] = []
     if args.out:
         out = Path(args.out)
@@ -322,6 +360,17 @@ def cmd_certify(args: argparse.Namespace) -> int:
                 written.append(
                     write_certificate(cert, out / f"{cert.design}-n{cert.n}-m{cert.m}.json")
                 )
+        if sweeps and out.suffix != ".json":
+            from repro.faults import write_degradation_certificate
+
+            for sweep in sweeps:
+                for index, dcert in enumerate(sweep.certificates):
+                    written.append(
+                        write_degradation_certificate(
+                            dcert,
+                            out / f"{sweep.design}-degradation{index}.json",
+                        )
+                    )
 
     if args.format == "json":
         print(json.dumps([cert.as_dict() for cert in certs], indent=2))
@@ -355,7 +404,308 @@ def cmd_certify(args: argparse.Namespace) -> int:
                 )
     for path in written:
         print(f"certificate written to {path}", file=sys.stderr)
-    return 0 if all(cert.ok for cert in certs) else 1
+    for sweep in sweeps:
+        if sweep.ok:
+            print(
+                f"fault sweep {sweep.design}: OK "
+                f"({len(sweep.certificates)} degradation certificates)",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"FAULT SWEEP FAIL {sweep.design}: "
+                f"{sweep.parity_violations} parity violations",
+                file=sys.stderr,
+            )
+    ok = all(cert.ok for cert in certs) and all(s.ok for s in sweeps)
+    return 0 if ok else 1
+
+
+def _parse_fault(spec: str):
+    """One ``--fault`` spec → a fault object.
+
+    Formats: ``stuck0:PIN``, ``stuck1:PIN``, ``chip:STAGE:CHIP``,
+    ``wire:STAGE:POS``, ``output:OUT``, ``flaky:PIN:PROB``.
+    """
+    from repro.errors import FaultInjectionError
+    from repro.faults import (
+        DeadChipFault,
+        DeadOutputFault,
+        FlakyPinFault,
+        SeveredWireFault,
+        StuckAtFault,
+    )
+
+    kind, _, rest = spec.partition(":")
+    parts = rest.split(":") if rest else []
+    try:
+        if kind in ("stuck0", "stuck1"):
+            (pos,) = parts
+            return StuckAtFault(int(pos), 0 if kind == "stuck0" else 1)
+        if kind == "chip":
+            stage, chip = parts
+            return DeadChipFault(int(stage), int(chip))
+        if kind == "wire":
+            stage, pos = parts
+            return SeveredWireFault(int(stage), int(pos))
+        if kind == "output":
+            (out,) = parts
+            return DeadOutputFault(int(out))
+        if kind == "flaky":
+            pos, p = parts
+            return FlakyPinFault(int(pos), float(p))
+    except ValueError as exc:
+        raise FaultInjectionError(f"bad fault spec {spec!r}: {exc}") from None
+    raise FaultInjectionError(
+        f"unknown fault kind {kind!r} in {spec!r}; use stuck0:PIN, "
+        "stuck1:PIN, chip:STAGE:CHIP, wire:STAGE:POS, output:OUT, "
+        "or flaky:PIN:PROB"
+    )
+
+
+def cmd_faults_inject(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import FaultInjectionError
+    from repro.faults import (
+        FaultScenario,
+        flaky_resilience,
+        measure_scenario,
+        sample_scenario,
+    )
+
+    switch = _build_switch(args)
+    rng = default_rng(args.seed)
+    if args.fault and args.sample:
+        raise FaultInjectionError("give either --fault specs or --sample, not both")
+    if args.fault:
+        faults = tuple(_parse_fault(spec) for spec in args.fault)
+        scenario = FaultScenario(name=args.name, faults=faults, seed=args.seed)
+    elif args.sample:
+        scenario = sample_scenario(
+            switch,
+            faults=args.sample,
+            rng=rng,
+            classes=args.classes,
+            name=args.name,
+            seed=args.seed,
+        )
+    else:
+        raise FaultInjectionError(
+            "nothing to inject: give --fault specs or --sample COUNT"
+        )
+
+    with _metrics_scope(args):
+        report = measure_scenario(
+            switch,
+            scenario,
+            trials=args.trials,
+            seed=args.seed,
+            remap_outputs=args.remap_outputs,
+        )
+        resilience = None
+        if scenario.flaky_pins():
+            resilience = flaky_resilience(
+                switch, scenario, rounds=args.rounds, seed=args.seed
+            )
+
+    doc = report.as_dict()
+    if resilience is not None:
+        doc["resilience"] = resilience
+    if args.format == "json":
+        print(json.dumps(doc, indent=2))
+    else:
+        print(render_table([
+            {
+                "scenario": report.name,
+                "faults": report.fault_count,
+                "alpha": f"{report.empirical_alpha:.4f}",
+                "min/mean routed": f"{report.min_routed}/{report.mean_routed:.1f}",
+                "eps": report.worst_epsilon if report.worst_epsilon is not None else "-",
+                "live outputs": report.live_outputs,
+                "parity": "ok" if report.parity_ok else "FAIL",
+            }
+        ], title=f"fault injection: {switch!r}"))
+        for line in report.faults:
+            print(f"  - {line}")
+        for failure in report.parity_failures:
+            print(f"PARITY {failure}", file=sys.stderr)
+        if resilience is not None:
+            print(
+                f"  flaky resilience: drop={resilience['drop_delivery_rate']:.4f} "
+                f"retry={resilience['retry_delivery_rate']:.4f} "
+                f"recovered={resilience['recovered']}"
+            )
+    ok = report.parity_ok and (resilience is None or resilience["recovered"])
+    return 0 if ok else 1
+
+
+def _sweep_targets(args: argparse.Namespace) -> list[tuple[str, object, bool]]:
+    """``(design-label, switch, use_gates)`` targets for a fault sweep."""
+    from repro.switches.columnsort_switch import ColumnsortSwitch
+    from repro.switches.registry import build_switch
+    from repro.switches.revsort_switch import RevsortSwitch
+
+    if args.switch:
+        sw = build_switch(
+            args.switch, n=args.n, m=args.m, r=args.r, s=args.s, beta=args.beta
+        )
+        return [(f"{args.switch}-n{sw.n}-m{sw.m}", sw, True)]
+    if args.smoke:
+        # Small geometries so CI finishes fast; the n=16 revsort keeps
+        # the gate netlist path live in every smoke run.
+        return [
+            ("revsort-n64-m48", RevsortSwitch(64, 48), True),
+            ("columnsort-r16-s4-m48", ColumnsortSwitch(16, 4, 48), True),
+            ("revsort-n16-m12", RevsortSwitch(16, 12), True),
+        ]
+    # The paper's flagship sizes: Thm-3 revsort and Thm-4 β=2/3
+    # columnsort at n=4096.
+    return [
+        ("revsort-n4096-m3072", RevsortSwitch(4096, 3072), True),
+        (
+            "columnsort-beta23-n4096-m3072",
+            ColumnsortSwitch.from_beta(4096, 2 / 3, 3072),
+            True,
+        ),
+    ]
+
+
+def cmd_faults_sweep(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.faults import sweep_switch, write_degradation_certificate
+
+    trials = args.trials if args.trials else (12 if args.smoke else 32)
+    rounds = args.rounds if args.rounds else (20 if args.smoke else 40)
+    targets = _sweep_targets(args)
+
+    with _metrics_scope(args):
+        results = [
+            sweep_switch(
+                switch,
+                design=design,
+                chains=args.chains,
+                chain_length=args.chain_length,
+                parity_scenarios=args.parity_scenarios,
+                parity_faults=args.parity_faults,
+                flaky_scenarios=args.flaky_scenarios,
+                trials=trials,
+                rounds=rounds,
+                seed=args.seed,
+                use_gates=use_gates,
+            )
+            for design, switch, use_gates in targets
+        ]
+
+    written = []
+    if args.out:
+        out = Path(args.out)
+        for result in results:
+            for index, cert in enumerate(result.certificates):
+                written.append(
+                    write_degradation_certificate(
+                        cert, out / f"{result.design}-{cert.kind}{index}.json"
+                    )
+                )
+
+    if args.format == "json":
+        print(json.dumps(
+            [
+                {
+                    "design": r.design,
+                    "ok": r.ok,
+                    "certificates": [c.as_dict() for c in r.certificates],
+                }
+                for r in results
+            ],
+            indent=2,
+        ))
+    else:
+        rows = []
+        for result in results:
+            for cert in result.certificates:
+                alphas = [s.empirical_alpha for s in cert.steps]
+                rows.append(
+                    {
+                        "design": result.design,
+                        "kind": cert.kind,
+                        "steps": len(cert.steps),
+                        "alpha": f"{min(alphas):.3f}..{max(alphas):.3f}"
+                        if alphas
+                        else "-",
+                        "monotone": "-"
+                        if cert.monotone_alpha is None
+                        else str(cert.monotone_alpha),
+                        "parity": "ok"
+                        if all(s.parity_ok for s in cert.steps)
+                        else "FAIL",
+                        "flaky recovered": f"{sum(1 for r in cert.resilience if r['recovered'])}"
+                        f"/{len(cert.resilience)}"
+                        if cert.resilience
+                        else "-",
+                        "verdict": "OK" if cert.ok else "FAIL",
+                    }
+                )
+        print(render_table(rows, title="fault sweep"))
+    for result in results:
+        if not result.ok:
+            print(
+                f"SWEEP FAIL {result.design}: "
+                f"{result.parity_violations} parity violations, "
+                f"{result.non_monotone_chains} non-monotone chains, "
+                f"{result.unrecovered_flaky} unrecovered flaky scenarios",
+                file=sys.stderr,
+            )
+    for path in written:
+        print(f"degradation certificate written to {path}", file=sys.stderr)
+    return 0 if all(r.ok for r in results) else 1
+
+
+def cmd_faults_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.faults import read_degradation_certificate
+
+    paths: list[Path] = []
+    for entry in args.paths:
+        p = Path(entry)
+        if p.is_dir():
+            paths.extend(sorted(p.glob("*.json")))
+        else:
+            paths.append(p)
+    if not paths:
+        raise ReproError("no certificate files found")
+
+    rows = []
+    all_ok = True
+    for path in paths:
+        try:
+            doc = read_degradation_certificate(path)
+        except ValueError as exc:
+            raise ReproError(str(exc)) from exc
+        alphas = [s["empirical_alpha"] for s in doc["steps"]]
+        all_ok = all_ok and doc["ok"]
+        rows.append(
+            {
+                "file": path.name,
+                "design": doc["design"],
+                "kind": doc["kind"],
+                "steps": len(doc["steps"]),
+                "alpha": f"{min(alphas):.3f}..{max(alphas):.3f}" if alphas else "-",
+                "monotone": "-"
+                if doc["monotone_alpha"] is None
+                else str(doc["monotone_alpha"]),
+                "verdict": "OK" if doc["ok"] else "FAIL",
+            }
+        )
+    print(render_table(rows, title="degradation certificates"))
+    return 0 if all_ok else 1
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    return args.faults_func(args)
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -745,7 +1095,9 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--load", type=float, default=0.5)
             p.add_argument("--rounds", type=int, default=50)
             p.add_argument(
-                "--policy", choices=["drop", "buffer", "resend"], default="drop"
+                "--policy",
+                choices=["drop", "buffer", "resend", "retry"],
+                default="drop",
             )
             p.add_argument(
                 "--metrics-out",
@@ -804,11 +1156,127 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--format", choices=["table", "json"], default="table")
     p.add_argument(
+        "--faults",
+        action="store_true",
+        help="additionally run a fault campaign per config and emit "
+        "degradation certificates (see docs/robustness.md)",
+    )
+    p.add_argument(
         "--metrics-out",
         default=None,
         help="collect repro.obs metrics and write a JSON snapshot here",
     )
     p.set_defaults(func=cmd_certify)
+
+    p = sub.add_parser(
+        "faults",
+        help="fault injection and degraded-mode certification "
+        "(docs/robustness.md)",
+    )
+    faults_sub = p.add_subparsers(dest="faults_command", required=True)
+    p.set_defaults(func=cmd_faults)
+    from repro.switches.registry import available as _faults_available
+
+    pi = faults_sub.add_parser(
+        "inject",
+        help="inject one scenario into a switch and measure degradation",
+    )
+    pi.add_argument("--switch", choices=_faults_available(), default="revsort")
+    pi.add_argument("--n", type=int, default=64)
+    pi.add_argument("--m", type=int, default=48)
+    pi.add_argument("--r", type=int, default=0)
+    pi.add_argument("--s", type=int, default=0)
+    pi.add_argument("--beta", type=float, default=0.75)
+    pi.add_argument(
+        "--fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="a fault to inject (repeatable): stuck0:PIN, stuck1:PIN, "
+        "chip:STAGE:CHIP, wire:STAGE:POS, output:OUT, flaky:PIN:PROB",
+    )
+    pi.add_argument(
+        "--sample",
+        type=int,
+        default=0,
+        metavar="COUNT",
+        help="instead of --fault specs: sample COUNT reliability-weighted "
+        "faults",
+    )
+    pi.add_argument(
+        "--classes",
+        choices=["boundary", "structural", "all"],
+        default="structural",
+        help="fault classes for --sample",
+    )
+    pi.add_argument("--name", default="injected")
+    pi.add_argument("--trials", type=int, default=32)
+    pi.add_argument("--rounds", type=int, default=40,
+                    help="simulation rounds for flaky-pin resilience")
+    pi.add_argument("--seed", type=int, default=0)
+    pi.add_argument(
+        "--remap-outputs",
+        action="store_true",
+        help="route around dead output pads using spare positions",
+    )
+    pi.add_argument("--format", choices=["table", "json"], default="table")
+    pi.add_argument("--metrics-out", default=None)
+    pi.set_defaults(faults_func=cmd_faults_inject)
+
+    ps = faults_sub.add_parser(
+        "sweep",
+        help="full fault campaign: monotone boundary chains, cross-path "
+        "parity scenarios, flaky-pin resilience",
+    )
+    ps.add_argument(
+        "--switch",
+        choices=_faults_available(),
+        default=None,
+        help="sweep one geometry (default: the paper's n=4096 revsort "
+        "and beta=2/3 columnsort)",
+    )
+    ps.add_argument("--n", type=int, default=256)
+    ps.add_argument("--m", type=int, default=192)
+    ps.add_argument("--r", type=int, default=0)
+    ps.add_argument("--s", type=int, default=0)
+    ps.add_argument("--beta", type=float, default=0.75)
+    ps.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small geometries + live gate parity — the CI chaos job",
+    )
+    ps.add_argument("--chains", type=int, default=2)
+    ps.add_argument("--chain-length", type=int, default=4)
+    ps.add_argument("--parity-scenarios", type=int, default=3)
+    ps.add_argument("--parity-faults", type=int, default=2)
+    ps.add_argument("--flaky-scenarios", type=int, default=2)
+    ps.add_argument("--trials", type=int, default=0,
+                    help="capacity probes per scenario (default 32; 12 "
+                    "with --smoke)")
+    ps.add_argument("--rounds", type=int, default=0,
+                    help="resilience simulation rounds (default 40; 20 "
+                    "with --smoke)")
+    ps.add_argument("--seed", type=int, default=0)
+    ps.add_argument(
+        "--out",
+        default=None,
+        help="directory for degradation certificate JSONs",
+    )
+    ps.add_argument("--format", choices=["table", "json"], default="table")
+    ps.add_argument("--metrics-out", default=None)
+    ps.set_defaults(faults_func=cmd_faults_sweep)
+
+    pr2 = faults_sub.add_parser(
+        "report",
+        help="render degradation certificates produced by sweep/certify",
+    )
+    pr2.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help="certificate files or directories of them",
+    )
+    pr2.set_defaults(faults_func=cmd_faults_report)
 
     p = sub.add_parser(
         "compare",
@@ -1013,7 +1481,14 @@ def main(argv: list[str] | None = None) -> int:
     _setup_logging(args.log_level)
     try:
         return args.func(args)
+    except ConcentrationError as exc:
+        # A violated concentration contract is a *finding* (exit 1, like
+        # a failed verification), not a usage error.
+        print(f"contract violation: {exc}", file=sys.stderr)
+        return 1
     except ReproError as exc:
+        # Configuration and usage errors (FaultInjectionError included)
+        # exit 2, matching argparse's bad-arguments convention.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except BrokenPipeError:

@@ -30,6 +30,7 @@ from repro.engine.batch import (
     run_comparator_plan,
     run_plan,
     run_plan_sparse,
+    run_plan_with_faults,
     validate_batch_partial_concentration,
 )
 from repro.engine.plan import (
@@ -64,5 +65,6 @@ __all__ = [
     "run_comparator_plan",
     "run_plan",
     "run_plan_sparse",
+    "run_plan_with_faults",
     "validate_batch_partial_concentration",
 ]

@@ -283,6 +283,75 @@ def concentrate_plan_batch(
     return routing
 
 
+def run_plan_with_faults(
+    plan: StagePlan,
+    valid: np.ndarray,
+    stage_kills,
+) -> np.ndarray:
+    """Execute a stage plan with kill masks at chip-layer boundaries.
+
+    ``stage_kills`` has one entry per chip layer, in op order: ``None``
+    or an ``(n,)`` bool mask of flat positions whose signal is forced
+    invalid immediately after that layer's chips concentrate (i.e. on
+    the chip output pins, before the following fixed permutation) —
+    the functional model of a severed inter-chip wire or a dead chip.
+
+    Returns ``pos`` with ``pos[b, i]`` = the final flat position of
+    input ``i``'s message in trial ``b``, or −1 when the input is
+    invalid or its message was killed mid-flight.  Unlike
+    :func:`run_plan`, invalid entries are already masked.
+
+    This is a dense walker (it carries the full position→input map
+    through every op) rather than the sparse rank-tracking fast path:
+    a killed message changes the ranks of every message behind it in
+    the same chip, which the fused lookup tables cannot express.
+    """
+    batch, n = valid.shape
+    kills = list(stage_kills)
+    n_layers = sum(1 for op in plan.ops if not isinstance(op, FixedPermutation))
+    if len(kills) != n_layers:
+        raise ConfigurationError(
+            f"plan {plan.key} has {n_layers} chip layers but "
+            f"{len(kills)} kill masks were supplied"
+        )
+    # src[b, p] = the input whose message sits on flat position p (−1 idle).
+    src = np.where(valid, np.arange(n, dtype=np.int64)[None, :], np.int64(-1))
+    layer_i = 0
+    with obs.span(
+        "engine.run_plan",
+        plan=str(plan.key), batch=batch, valid=int(valid.sum()), faulty=True,
+    ):
+        for layer, op in enumerate(plan.ops):
+            if isinstance(op, FixedPermutation):
+                with obs.span("engine.stage", kind="perm", layer=layer):
+                    moved = np.empty_like(src)
+                    moved[:, op.perm] = src
+                    src = moved
+                continue
+            with obs.span(
+                "engine.stage",
+                kind="chip", layer=layer, chips=op.n_chips, width=op.chip_width,
+            ):
+                g = src[:, op.groups]  # (B, chips, width)
+                # Stable sort each chip's wires by occupancy: occupied
+                # wires (in wire order) move to the leading outputs,
+                # idle wires (already −1) trail — exactly the chip's
+                # concentration semantics.
+                order = np.argsort(g < 0, axis=2, kind="stable")
+                g = np.take_along_axis(g, order, axis=2)
+                out = src.copy()
+                out[:, op.groups.reshape(-1)] = g.reshape(batch, -1)
+                src = out
+            kmask = kills[layer_i]
+            layer_i += 1
+            if kmask is not None and kmask.any():
+                src[:, kmask] = -1
+    pos = np.full((batch, n), -1, dtype=np.int64)
+    rows, p = np.nonzero(src >= 0)
+    pos[rows, src[rows, p]] = p
+    return pos
+
+
 def run_comparator_plan(plan: ComparatorPlan, valid: np.ndarray) -> np.ndarray:
     """Run a compiled comparator network on a ``(B, n)`` batch.
 

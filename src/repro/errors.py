@@ -23,6 +23,17 @@ class ConfigurationError(ReproError, ValueError):
     """
 
 
+class FaultInjectionError(ConfigurationError):
+    """A fault scenario cannot be applied to the targeted switch.
+
+    Examples: a dead-chip fault naming a stage the design does not
+    have, an interior (mid-flight) fault on a switch without a compiled
+    stage plan, or a stuck-at fault on a wire position outside the
+    switch.  Subclasses :class:`ConfigurationError`, so the CLI maps it
+    to exit code 2 like every other configuration problem.
+    """
+
+
 class ConcentrationError(ReproError, AssertionError):
     """A switch violated its concentration contract.
 

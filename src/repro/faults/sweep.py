@@ -1,0 +1,159 @@
+"""Fault campaigns: chains, parity scenarios, and resilience in one run.
+
+One sweep of a switch produces:
+
+* ``chains`` boundary-class degradation chains (provably monotone-α
+  fault classes), each certified by
+  :func:`repro.faults.certify.certify_chain`;
+* one structural-class certificate of independent interior-fault
+  scenarios — the cross-path parity campaign (batch vs scalar vs, at
+  netlist sizes, gates);
+* seeded flaky-pin resilience comparisons (retry/backoff vs no-retry),
+  attached to the structural certificate.
+
+``repro faults sweep`` and the CI ``chaos-smoke`` job drive this; any
+parity violation or non-monotone boundary chain turns the sweep red.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.faults.certify import (
+    DegradationCertificate,
+    certify_chain,
+    certify_scenarios,
+    flaky_resilience,
+)
+from repro.faults.sampling import (
+    sample_chain,
+    sample_flaky_scenario,
+    sample_scenario,
+)
+from repro.hardware.reliability import ReliabilityModel
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep of one switch produced."""
+
+    design: str
+    certificates: list[DegradationCertificate] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(cert.ok for cert in self.certificates)
+
+    @property
+    def parity_violations(self) -> int:
+        return sum(
+            len(step.parity_failures)
+            for cert in self.certificates
+            for step in cert.steps
+        )
+
+    @property
+    def non_monotone_chains(self) -> int:
+        return sum(
+            1 for cert in self.certificates if cert.monotone_alpha is False
+        )
+
+    @property
+    def unrecovered_flaky(self) -> int:
+        return sum(
+            1
+            for cert in self.certificates
+            for r in cert.resilience
+            if not r.get("recovered", True)
+        )
+
+
+def sweep_switch(
+    switch,
+    *,
+    design: str,
+    chains: int = 2,
+    chain_length: int = 4,
+    parity_scenarios: int = 3,
+    parity_faults: int = 2,
+    flaky_scenarios: int = 2,
+    flaky_pins: int = 3,
+    trials: int = 32,
+    rounds: int = 40,
+    seed: int = 0,
+    model: ReliabilityModel | None = None,
+    remap_outputs: bool = False,
+    use_gates: bool = True,
+    scalar_rows: int = 3,
+) -> SweepResult:
+    """Run one full fault campaign against ``switch``."""
+    rng = np.random.default_rng(seed)
+    result = SweepResult(design=design)
+    with obs.span(
+        "faults.sweep", design=design, chains=chains, trials=trials
+    ):
+        for index in range(chains):
+            chain = sample_chain(
+                switch,
+                model,
+                length=chain_length,
+                rng=rng,
+                classes="boundary",
+                name=f"{design}-chain{index}",
+                seed=seed + index,
+            )
+            result.certificates.append(
+                certify_chain(
+                    switch,
+                    chain,
+                    design=design,
+                    classes="boundary",
+                    trials=trials,
+                    seed=seed,
+                    remap_outputs=remap_outputs,
+                    scalar_rows=scalar_rows,
+                    use_gates=use_gates,
+                )
+            )
+        scenarios = [
+            sample_scenario(
+                switch,
+                model,
+                faults=parity_faults,
+                rng=rng,
+                classes="structural",
+                name=f"{design}-parity{index}",
+                seed=seed + index,
+            )
+            for index in range(parity_scenarios)
+        ]
+        if scenarios or flaky_scenarios:
+            cert = certify_scenarios(
+                switch,
+                scenarios,
+                design=design,
+                classes="structural",
+                trials=trials,
+                seed=seed,
+                remap_outputs=remap_outputs,
+                scalar_rows=scalar_rows,
+                use_gates=use_gates,
+            )
+            for index in range(flaky_scenarios):
+                flaky = sample_flaky_scenario(
+                    switch,
+                    pins=flaky_pins,
+                    rng=rng,
+                    name=f"{design}-flaky{index}",
+                    seed=seed + index,
+                )
+                cert.resilience.append(
+                    flaky_resilience(
+                        switch, flaky, rounds=rounds, seed=seed + index
+                    )
+                )
+            result.certificates.append(cert)
+    return result

@@ -56,13 +56,40 @@ def unpack_bits(words: np.ndarray, batch: int) -> np.ndarray:
     return flat[:batch].astype(bool)
 
 
-def evaluate(circuit: Circuit, inputs: np.ndarray) -> np.ndarray:
+def _force_tables(
+    circuit: Circuit, forces
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Validate a wire→bool force map into (mask, value) lookup arrays.
+
+    A *forced* wire models a stuck-at fault: whatever its driving gate
+    computes, the wire presents the forced constant to every reader.
+    """
+    if not forces:
+        return None
+    mask = np.zeros(circuit.n_wires, dtype=bool)
+    val = np.zeros(circuit.n_wires, dtype=bool)
+    for wire, value in forces.items():
+        if not 0 <= int(wire) < circuit.n_wires:
+            raise CircuitError(f"forced wire {wire} is not in the circuit")
+        mask[int(wire)] = True
+        val[int(wire)] = bool(value)
+    return mask, val
+
+
+def evaluate(
+    circuit: Circuit, inputs: np.ndarray, *, forces=None
+) -> np.ndarray:
     """Evaluate every wire of ``circuit``.
 
     ``inputs`` is a bool array of shape ``(n_inputs,)`` or
     ``(batch, n_inputs)`` giving values for the INPUT wires in creation
     order.  Returns a bool array of shape ``(n_wires,)`` or
     ``(batch, n_wires)`` with the value of every wire.
+
+    ``forces`` optionally maps wire ids to stuck-at values: each listed
+    wire presents its forced constant to every downstream gate no
+    matter what its driver computes (fault injection, see
+    :mod:`repro.faults`).
     """
     arr = np.asarray(inputs, dtype=bool)
     squeeze = arr.ndim == 1
@@ -73,12 +100,18 @@ def evaluate(circuit: Circuit, inputs: np.ndarray) -> np.ndarray:
         raise CircuitError(
             f"circuit has {len(input_wires)} inputs, got {arr.shape[1]} values"
         )
+    forced = _force_tables(circuit, forces)
     batch = arr.shape[0]
     values = np.zeros((batch, circuit.n_wires), dtype=bool)
     next_input = 0
     for gate in circuit.gates:
         op = gate.op
         out = gate.output
+        if forced is not None and forced[0][out]:
+            values[:, out] = forced[1][out]
+            if op is Op.INPUT:
+                next_input += 1
+            continue
         if op is Op.INPUT:
             values[:, out] = arr[:, next_input]
             next_input += 1
@@ -110,13 +143,16 @@ def evaluate(circuit: Circuit, inputs: np.ndarray) -> np.ndarray:
     return values[0] if squeeze else values
 
 
-def evaluate_packed(circuit: Circuit, inputs: np.ndarray) -> np.ndarray:
+def evaluate_packed(
+    circuit: Circuit, inputs: np.ndarray, *, forces=None
+) -> np.ndarray:
     """Bit-parallel evaluation: pack the trial batch into uint64 lanes,
     evaluate every wire with bitwise ops, and unpack.
 
     ``inputs`` is ``(batch, n_inputs)`` bool; returns
-    ``(batch, n_wires)`` bool, bit-exact with :func:`evaluate`.  The
-    NOT/NAND/NOR complements flip the padding bits of the last word
+    ``(batch, n_wires)`` bool, bit-exact with :func:`evaluate`
+    (including the ``forces`` stuck-at map, forced across all lanes).
+    The NOT/NAND/NOR complements flip the padding bits of the last word
     too, which is harmless — unpacking discards them.
     """
     arr = np.asarray(inputs, dtype=bool)
@@ -128,6 +164,7 @@ def evaluate_packed(circuit: Circuit, inputs: np.ndarray) -> np.ndarray:
         raise CircuitError(
             f"circuit has {len(input_wires)} inputs, got {arr.shape[1]} values"
         )
+    forced = _force_tables(circuit, forces)
     batch = arr.shape[0]
     packed = pack_bits(arr)
     words = packed.shape[0]
@@ -137,6 +174,11 @@ def evaluate_packed(circuit: Circuit, inputs: np.ndarray) -> np.ndarray:
     for gate in circuit.gates:
         op = gate.op
         out = gate.output
+        if forced is not None and forced[0][out]:
+            values[:, out] = ones if forced[1][out] else 0
+            if op is Op.INPUT:
+                next_input += 1
+            continue
         if op is Op.INPUT:
             values[:, out] = packed[:, next_input]
             next_input += 1

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 from repro import obs
 from repro.errors import ConfigurationError, SimulationError
-from repro.messages.congestion import CongestionPolicy, DropPolicy, ResendPolicy
+from repro.messages.congestion import CongestionPolicy, DropPolicy
 from repro.messages.message import Message
 from repro.messages.serial_sim import BitSerialSimulator
 from repro.switches.base import ConcentratorSwitch
@@ -99,7 +99,7 @@ class WavePipeline:
             offered = sum(1 for msg in fresh if msg is not None)
             self.policy.on_offered(offered)
 
-            if isinstance(self.policy, ResendPolicy):
+            if hasattr(self.policy, "backlog_due"):
                 backlog = self.policy.backlog_due(wave_index)
             else:
                 backlog = self.policy.backlog()

@@ -18,17 +18,24 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro import obs
+from repro._util.rng import default_rng
+from repro.errors import ConfigurationError
 from repro.messages.message import Message
 
 
 @dataclass
 class PolicyStats:
-    """Counters every policy maintains."""
+    """Counters every policy maintains.
+
+    ``expired`` is a sub-count of ``dropped``: messages whose TTL ran
+    out (so ``dropped`` already includes them).
+    """
 
     offered: int = 0
     delivered: int = 0
     dropped: int = 0
     retried: int = 0
+    expired: int = 0
 
     @property
     def loss_rate(self) -> float:
@@ -52,6 +59,15 @@ class CongestionPolicy(ABC):
         self.stats.retried += amount
         if amount:
             obs.counter("congestion.retried", policy=type(self).__name__).inc(amount)
+
+    def _count_expired(self, amount: int = 1) -> None:
+        """Record TTL expiries (a kind of permanent loss)."""
+        self.stats.dropped += amount
+        self.stats.expired += amount
+        if amount:
+            name = type(self).__name__
+            obs.counter("congestion.dropped", policy=name).inc(amount)
+            obs.counter("congestion.expired", policy=name).inc(amount)
 
     @abstractmethod
     def on_unrouted(self, messages: list[Message], round_index: int) -> None:
@@ -162,3 +178,90 @@ class ResendPolicy(CongestionPolicy):
         due = [p.message for p in self._pending if p.resend_round <= round_index]
         self._pending = [p for p in self._pending if p.resend_round > round_index]
         return due
+
+
+class RetryPolicy(CongestionPolicy):
+    """Retry with exponential backoff, jitter, and a per-message TTL.
+
+    An unrouted message waits ``base_delay · backoff_factor^(a−1)``
+    rounds on its a-th failure (capped at ``max_delay``), plus a
+    uniform integer jitter in ``[0, jitter]`` to de-synchronise
+    colliding retries, then re-enters on an idle input slot.  A message
+    is permanently dropped once it exceeds ``max_retries`` attempts or
+    ages past ``ttl`` rounds since its first failure (TTL drops are
+    additionally counted in ``stats.expired``).  This is the resilient
+    companion to the fault scenarios: flaky pins and degraded switches
+    turn one-shot losses into recoverable retries.
+    """
+
+    def __init__(
+        self,
+        max_retries: int = 8,
+        base_delay: int = 1,
+        backoff_factor: float = 2.0,
+        max_delay: int = 16,
+        jitter: int = 1,
+        ttl: int | None = None,
+        seed: int | None = None,
+    ):
+        super().__init__()
+        if max_retries < 0 or base_delay < 1 or max_delay < base_delay:
+            raise ConfigurationError(
+                "need max_retries >= 0 and 1 <= base_delay <= max_delay"
+            )
+        if backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+        if jitter < 0:
+            raise ConfigurationError("jitter must be non-negative")
+        if ttl is not None and ttl < 1:
+            raise ConfigurationError("ttl must be positive (or None)")
+        self.max_retries = max_retries
+        self.base_delay = base_delay
+        self.backoff_factor = backoff_factor
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.ttl = ttl
+        self._rng = default_rng(seed)
+        self._pending: list[_Pending] = []
+        self._attempts: dict[int, int] = {}
+        self._first_failure: dict[int, int] = {}
+
+    def delay_for(self, attempts: int) -> int:
+        """Backoff delay (without jitter) before retry ``attempts``."""
+        delay = self.base_delay * self.backoff_factor ** (attempts - 1)
+        return max(1, min(int(round(delay)), self.max_delay))
+
+    def on_unrouted(self, messages: list[Message], round_index: int) -> None:
+        for msg in messages:
+            attempts = self._attempts.get(msg.tag, 0) + 1
+            self._attempts[msg.tag] = attempts
+            first = self._first_failure.setdefault(msg.tag, round_index)
+            if self.ttl is not None and round_index - first >= self.ttl:
+                self._count_expired()
+                continue
+            if attempts > self.max_retries:
+                self._count_dropped()
+                continue
+            wait = self.delay_for(attempts)
+            if self.jitter:
+                wait += int(self._rng.integers(0, self.jitter + 1))
+            self._pending.append(
+                _Pending(message=msg, resend_round=round_index + wait)
+            )
+            self._count_retried()
+
+    def backlog(self) -> list[Message]:
+        ready = [p.message for p in self._pending]
+        self._pending.clear()
+        return ready
+
+    def backlog_due(self, round_index: int) -> list[Message]:
+        """Release the retries whose backoff window has elapsed."""
+        due = [p.message for p in self._pending if p.resend_round <= round_index]
+        self._pending = [p for p in self._pending if p.resend_round > round_index]
+        return due
+
+    @property
+    def in_flight(self) -> int:
+        """Messages currently waiting out a backoff window."""
+        return len(self._pending)

@@ -27,7 +27,7 @@ import numpy as np
 from repro import obs
 from repro._util.rng import default_rng
 from repro.errors import ConfigurationError
-from repro.messages.congestion import CongestionPolicy, DropPolicy, ResendPolicy
+from repro.messages.congestion import CongestionPolicy, DropPolicy
 from repro.messages.message import Message
 from repro.switches.base import ConcentratorSwitch
 
@@ -38,10 +38,14 @@ logger = logging.getLogger(__name__)
 class RoundResult:
     """Outcome of one simulated round.
 
-    ``unrouted`` counts the messages the switch failed to route this
-    round; the congestion policy then splits them into ``lost``
+    ``unrouted`` counts the messages the switch failed to deliver this
+    round (routing failures, fault kills, and flaky-pin drops at the
+    inputs); the congestion policy then splits them into ``lost``
     (permanently dropped) and ``retried`` (queued for a later round),
-    so ``unrouted == lost + retried`` always holds.
+    so ``unrouted == lost + retried`` always holds.  ``faulted`` is
+    the subset of ``unrouted`` killed at a flaky input pin before
+    reaching the switch; ``expired`` is the subset of ``lost`` the
+    policy aged out via its TTL.
     """
 
     round_index: int
@@ -51,6 +55,8 @@ class RoundResult:
     unrouted: int
     lost: int = 0
     retried: int = 0
+    faulted: int = 0
+    expired: int = 0
 
 
 @dataclass
@@ -61,6 +67,8 @@ class SimulationSummary:
     recorded in ``per_round``, so the two views (and the metrics the
     :mod:`repro.obs` layer collects) cannot disagree:
     ``lost == sum(r.lost)`` and ``retried == sum(r.retried)``.
+    ``faulted``/``expired`` carry the graceful-degradation accounting
+    (see :class:`RoundResult`).
     """
 
     rounds: int = 0
@@ -68,11 +76,16 @@ class SimulationSummary:
     delivered: int = 0
     lost: int = 0
     retried: int = 0
+    faulted: int = 0
+    expired: int = 0
     per_round: list[RoundResult] = field(default_factory=list)
 
     @property
     def delivery_rate(self) -> float:
-        return self.delivered / self.offered if self.offered else 1.0
+        """Delivered fraction of offered traffic; 0.0 when nothing was
+        offered (rounds=0 or an empty workload — an empty run delivered
+        nothing, it did not deliver everything)."""
+        return self.delivered / self.offered if self.offered else 0.0
 
     @property
     def loss_rate(self) -> float:
@@ -80,7 +93,19 @@ class SimulationSummary:
 
 
 class SwitchSimulation:
-    """Drive one switch with a traffic generator and congestion policy."""
+    """Drive one switch with a traffic generator and congestion policy.
+
+    Passing ``scenario`` injects a :class:`repro.faults.FaultScenario`:
+    structural faults (stuck pins, dead chips, severed wires, dead
+    outputs) wrap the switch in a
+    :class:`~repro.faults.injector.FaultySwitch`, while the scenario's
+    flaky pins flip per round with their own Bernoulli draws.  The flip
+    stream is seeded by the scenario — not the policy or simulator seed
+    — so two simulations differing only in congestion policy see the
+    *same* fault history and their delivery rates are comparable.
+    ``remap_outputs=True`` additionally routes around dead output pads
+    using the spare output positions (plan-based switches only).
+    """
 
     def __init__(
         self,
@@ -88,12 +113,29 @@ class SwitchSimulation:
         traffic,
         policy: CongestionPolicy | None = None,
         seed: int | None = None,
+        scenario=None,
+        remap_outputs: bool = False,
     ):
         if traffic.n != switch.n:
             raise ConfigurationError(
                 f"traffic width {traffic.n} != switch inputs {switch.n}"
             )
         self.switch = switch
+        self._flaky: tuple = ()
+        self._fault_rng = None
+        if scenario is not None:
+            # Imported lazily: repro.faults imports the simulator for
+            # its resilience measurements.
+            from repro.faults.injector import FaultySwitch
+
+            structural = scenario.structural()
+            if structural.fault_count:
+                self.switch = FaultySwitch(
+                    switch, structural, remap_outputs=remap_outputs
+                )
+            self._flaky = scenario.flaky_pins()
+            if self._flaky:
+                self._fault_rng = default_rng(scenario.seed)
         self.traffic = traffic
         self.policy = policy if policy is not None else DropPolicy()
         self.rng = default_rng(seed)
@@ -106,11 +148,35 @@ class SwitchSimulation:
                 with reg.span("sim.round", round=round_index):
                     self._run_round(round_index, summary, reg)
         logger.debug(
-            "simulated %d rounds: offered=%d delivered=%d lost=%d retried=%d",
+            "simulated %d rounds: offered=%d delivered=%d lost=%d retried=%d "
+            "faulted=%d expired=%d",
             summary.rounds, summary.offered, summary.delivered,
-            summary.lost, summary.retried,
+            summary.lost, summary.retried, summary.faulted, summary.expired,
         )
         return summary
+
+    def _flip_flaky(
+        self, injected: list[Message | None], valid: np.ndarray
+    ) -> tuple[np.ndarray, list[Message], int]:
+        """Apply one round of Bernoulli pin flips.
+
+        A flip on an occupied pin garbles the message (it never reaches
+        the switch — returned as ``faulted`` for the policy to handle);
+        a flip on an idle pin raises a ghost signal that occupies switch
+        capacity but delivers nothing.
+        """
+        if not self._flaky:
+            return valid, [], 0
+        faulted: list[Message] = []
+        effective = valid.copy()
+        for pin, p in self._flaky:
+            if self._fault_rng.random() >= p:
+                continue
+            if valid[pin]:
+                faulted.append(injected[pin])
+                injected[pin] = None
+            effective[pin] = not valid[pin]
+        return effective, faulted, int(effective.sum() - (valid.sum() - len(faulted)))
 
     def _run_round(
         self, round_index: int, summary: SimulationSummary, reg
@@ -119,8 +185,10 @@ class SwitchSimulation:
         offered = sum(1 for msg in fresh if msg is not None)
         self.policy.on_offered(offered)
 
-        # Merge the policy's backlog into idle input slots.
-        if isinstance(self.policy, ResendPolicy):
+        # Merge the policy's backlog into idle input slots.  Policies
+        # with timed release (ResendPolicy, RetryPolicy) expose
+        # ``backlog_due``; the rest release everything.
+        if hasattr(self.policy, "backlog_due"):
             backlog = self.policy.backlog_due(round_index)
         else:
             backlog = self.policy.backlog()
@@ -134,48 +202,61 @@ class SwitchSimulation:
             overflow = backlog[len(idle):]
 
         valid = np.array([msg is not None for msg in injected], dtype=bool)
-        routing = self.switch.setup(valid)
+        effective, faulted_msgs, ghosts = self._flip_flaky(injected, valid)
+        real = np.array([msg is not None for msg in injected], dtype=bool)
+        routing = self.switch.setup(effective)
+        # Only real messages count: ghosts raised by flaky pins consume
+        # switch capacity but deliver nothing.
         unrouted = [
             injected[i]
-            for i in np.flatnonzero(valid)
+            for i in np.flatnonzero(real)
             if routing.input_to_output[i] < 0
-        ] + overflow
-        # ``unrouted`` contains the switch failures plus the backlog
-        # overflow that never found an idle slot this round.
-        delivered = int(valid.sum()) - (len(unrouted) - len(overflow))
+        ] + faulted_msgs + overflow
+        delivered = int((real & (routing.input_to_output >= 0)).sum())
 
         self.policy.on_delivered(delivered)
         # The policy decides each unrouted message's fate; the deltas in
-        # its counters are this round's losses and retries.
+        # its counters are this round's losses, retries, and expiries.
         dropped_before = self.policy.stats.dropped
         retried_before = self.policy.stats.retried
+        expired_before = getattr(self.policy.stats, "expired", 0)
         self.policy.on_unrouted(unrouted, round_index)
         lost = self.policy.stats.dropped - dropped_before
         retried = self.policy.stats.retried - retried_before
+        expired = getattr(self.policy.stats, "expired", 0) - expired_before
 
+        faulted = len(faulted_msgs)
         summary.rounds += 1
         summary.offered += offered
         summary.delivered += delivered
         summary.lost += lost
         summary.retried += retried
+        summary.faulted += faulted
+        summary.expired += expired
         summary.per_round.append(
             RoundResult(
                 round_index=round_index,
                 offered=offered,
-                injected=int(valid.sum()),
+                injected=int(real.sum()) + ghosts,
                 delivered=delivered,
                 unrouted=len(unrouted),
                 lost=lost,
                 retried=retried,
+                faulted=faulted,
+                expired=expired,
             )
         )
         if reg.enabled:
             reg.counter("sim.rounds").inc()
             reg.counter("sim.offered").inc(offered)
-            reg.counter("sim.injected").inc(int(valid.sum()))
+            reg.counter("sim.injected").inc(int(real.sum()) + ghosts)
             reg.counter("sim.delivered").inc(delivered)
             reg.counter("sim.lost").inc(lost)
             reg.counter("sim.retried").inc(retried)
+            if faulted:
+                reg.counter("sim.faulted").inc(faulted)
+            if expired:
+                reg.counter("sim.expired").inc(expired)
 
 
 class ConcentrationTree:

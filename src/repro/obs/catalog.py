@@ -56,6 +56,10 @@ CATALOG: tuple[MetricInfo, ...] = (
                "messages permanently dropped by the congestion policy"),
     MetricInfo("sim.retried", "counter", (),
                "messages queued by the policy for a later round"),
+    MetricInfo("sim.faulted", "counter", (),
+               "messages killed at a flaky input pin before the switch"),
+    MetricInfo("sim.expired", "counter", (),
+               "messages the congestion policy aged out via its TTL"),
     MetricInfo("sim.run", "span", (),
                "one SwitchSimulation.run call (meta: rounds)"),
     MetricInfo("sim.round", "span", (),
@@ -76,6 +80,18 @@ CATALOG: tuple[MetricInfo, ...] = (
                "messages a congestion policy declared lost"),
     MetricInfo("congestion.retried", "counter", ("policy",),
                "messages a congestion policy queued for retry"),
+    MetricInfo("congestion.expired", "counter", ("policy",),
+               "TTL expiries (sub-count of congestion.dropped)"),
+    # faults/
+    MetricInfo("faults.injected", "counter", ("kind",),
+               "faults compiled into a FaultySwitch, by fault kind"),
+    MetricInfo("faults.scenarios", "counter", (),
+               "fault scenarios measured by measure_scenario"),
+    MetricInfo("faults.measure", "span", (),
+               "one scenario degradation measurement (meta: scenario, "
+               "faults, trials)"),
+    MetricInfo("faults.sweep", "span", (),
+               "one full fault campaign (meta: design, chains, trials)"),
     # messages/serial_sim + clock
     MetricInfo("serial.transits", "counter", (),
                "bit-serial message-set transits simulated"),

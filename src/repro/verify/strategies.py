@@ -105,6 +105,53 @@ def switch_configs(
     return st.sampled_from(configs)
 
 
+@st.composite
+def fault_scenarios(
+    draw: st.DrawFn,
+    switch,
+    *,
+    max_faults: int = 3,
+    classes: str = "structural",
+    flaky: bool = False,
+) -> "FaultScenario":
+    """A random :class:`repro.faults.FaultScenario` drawn from the
+    injectable fault sites of ``switch`` (class presets as in
+    :mod:`repro.faults.sampling`), optionally with flaky pins.
+
+    The draw picks distinct sites, so compiled scenarios never conflict
+    (e.g. a pin stuck both at 0 and 1).
+    """
+    from repro.faults import FlakyPinFault, fault_sites
+    from repro.faults.scenario import FaultScenario
+
+    sites = [fault for _, fault in fault_sites(switch, classes=classes)]
+    count = draw(st.integers(min_value=1, max_value=max_faults))
+    indices = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(sites) - 1),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    faults = [sites[i] for i in indices]
+    if flaky:
+        n_flaky = draw(st.integers(min_value=0, max_value=2))
+        pins = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=switch.n - 1),
+                min_size=n_flaky,
+                max_size=n_flaky,
+                unique=True,
+            )
+        )
+        for pin in pins:
+            p = draw(st.floats(min_value=0.05, max_value=0.5))
+            faults.append(FlakyPinFault(pin, p))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return FaultScenario(name="hypothesis", faults=tuple(faults), seed=seed)
+
+
 def mesh_orderings(side: int) -> st.SearchStrategy[np.ndarray]:
     """A random permutation of the ``side × side`` flat positions —
     candidate mesh readout orderings for the analysis helpers."""
