@@ -6,6 +6,18 @@ given, each parameter value gets its own child of
 ``np.random.SeedSequence(seed).spawn(...)``, assigned by *position in
 the parameter list* — never by worker or completion order — so the
 results are identical for any ``workers`` count (including serial).
+
+**Telemetry contract:** when observability is enabled and the sweep
+fans out, each task runs against its own private
+:class:`~repro.obs.registry.Registry` (installed thread-locally via
+:func:`repro.obs.using`), and the per-task registries are serialized
+through the portable ``repro.obs/worker@1`` snapshot protocol and
+merged back into the parent registry *in parameter order* with
+``worker=sweep-<index>`` provenance labels.  Counter and histogram
+totals land in their original keys, so journal replay parity holds
+across parallel runs; the JSON roundtrip is enforced even for thread
+workers so the protocol is exactly what a future multiprocess engine
+backend will ship over a pipe.
 """
 
 from __future__ import annotations
@@ -14,6 +26,9 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Mapping
 
 import numpy as np
+
+from repro import obs
+from repro.obs.live.merge import merge_portable, portable_snapshot, roundtrip
 
 
 def sweep(
@@ -30,7 +45,8 @@ def sweep(
     it is called as ``measure(value, rng)`` with a per-parameter
     deterministic generator (see module docstring).  ``workers > 1``
     fans the calls out over a thread pool; rows always come back in
-    parameter order.
+    parameter order, and any metrics the tasks emit merge back into
+    the caller's registry in that same order (see module docstring).
     """
     params = list(parameters)
     if seed is not None:
@@ -48,7 +64,28 @@ def sweep(
         row.update(measure(value, *extra))
         return row
 
-    if workers > 1 and len(calls) > 1:
+    parallel = workers > 1 and len(calls) > 1
+    if not parallel:
+        return [_one(call) for call in calls]
+
+    parent = obs.get_registry()
+    if not parent.enabled:
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(_one, calls))
-    return [_one(call) for call in calls]
+
+    def _one_collected(call: tuple) -> tuple[dict[str, object], dict]:
+        # Private registry per task: worker threads never touch the
+        # shared tracer's span stack, and their metrics come back as a
+        # portable snapshot instead of racing the parent's dicts.
+        local = obs.Registry()
+        with obs.using(local):
+            row = _one(call)
+        return row, roundtrip(portable_snapshot(local))
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        outcomes = list(pool.map(_one_collected, calls))
+    rows = []
+    for index, (row, snapshot) in enumerate(outcomes):
+        merge_portable(parent, snapshot, worker=f"sweep-{index}")
+        rows.append(row)
+    return rows

@@ -16,6 +16,7 @@ Six subcommands mirroring the paper's artifacts::
     python -m repro bench run --suite smoke
     python -m repro bench compare --baseline BENCH_TRAJECTORY.jsonl
     python -m repro obs trace --switch columnsort --n 4096 --out trace.json
+    python -m repro obs export --journal out.jsonl --format prometheus
     python -m repro obs report
 
 * ``table1`` prints the Table 1 resource measures for a concrete size;
@@ -44,8 +45,16 @@ Six subcommands mirroring the paper's artifacts::
   registry-driven suites appended to ``BENCH_TRAJECTORY.jsonl`` and a
   noise-aware regression gate over it (``docs/performance.md``);
 * ``obs trace`` exports a Chrome-trace/Perfetto span timeline (plus an
-  optional cProfile) of any switch geometry; ``obs report`` renders
-  the trajectory dashboard.
+  optional cProfile) of any switch geometry; ``obs export`` renders a
+  metrics snapshot or a replayed event journal as OpenMetrics text;
+  ``obs report`` renders the trajectory dashboard.
+
+Long-running commands (``simulate``, ``certify``, ``faults sweep``,
+``compare``, ``bench run``, ``bench compare``) also take ``--journal``
+(stream a ``repro.obs/journal@1`` JSONL event journal), ``--live``
+(terminal progress with rates and ETA), and ``--crash-dir`` (flight-
+recorder crash reports on failure) — see the "Live telemetry" section
+of ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -84,21 +93,241 @@ def _setup_logging(level_name: str) -> None:
         logger.addHandler(handler)
 
 
+class _NullTelemetry:
+    """No-op stand-in when no telemetry flag was given: commands call
+    ``tele.phase(...)`` etc. unconditionally."""
+
+    registry = None
+    journal = None
+    recorder = None
+
+    def phase(self, name: str, total=None) -> None:
+        pass
+
+    def advance(self, phase: str, done, total=None) -> None:
+        pass
+
+    def note(self, text: str) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+    def crash(self, reason: str, *, exc=None, detail=None):
+        return None
+
+
+_NULL_TELEMETRY = _NullTelemetry()
+
+
+class Telemetry:
+    """The live-telemetry facade a command sees inside
+    :func:`_telemetry_scope`: one registry, one journal, one flight
+    recorder, an optional live view — plus the phase/progress helpers
+    that emit journal events and flush metric deltas."""
+
+    def __init__(
+        self,
+        *,
+        registry,
+        journal,
+        sink,
+        recorder,
+        view=None,
+        command: str | None = None,
+        crash_path=None,
+    ):
+        self.registry = registry
+        self.journal = journal
+        self.sink = sink
+        self.recorder = recorder
+        self.view = view
+        self.command = command
+        self.crash_path = crash_path
+
+    def phase(self, name: str, total=None) -> None:
+        self.journal.emit("phase", name=name, total=total)
+        self.flush()
+
+    def advance(self, phase: str, done, total=None) -> None:
+        self.journal.emit("progress", phase=phase, done=done, total=total)
+        self.flush()
+
+    def note(self, text: str) -> None:
+        if self.view is not None:
+            self.view.note(text)
+
+    def flush(self) -> None:
+        self.sink.flush()
+
+    def crash(self, reason: str, *, exc=None, detail=None):
+        """Dump the flight recorder; returns the report path or None."""
+        if self.crash_path is None:
+            return None
+        self.flush()
+        path = self.recorder.write(
+            self.crash_path,
+            reason=reason,
+            command=self.command,
+            exc=exc,
+            registry=self.registry,
+            detail=detail,
+        )
+        print(f"crash report written to {path}", file=sys.stderr)
+        return path
+
+
+def _command_name(args: argparse.Namespace) -> str:
+    sub = (
+        getattr(args, "faults_command", None)
+        or getattr(args, "bench_command", None)
+        or getattr(args, "obs_command", None)
+    )
+    return f"{args.command} {sub}" if sub else str(args.command)
+
+
+def _crash_path(args: argparse.Namespace, command: str):
+    """Where a crash report would land: ``--crash-dir`` wins, else next
+    to the ``--journal`` file, else nowhere (no dump target)."""
+    from pathlib import Path
+
+    crash_dir = getattr(args, "crash_dir", None)
+    if crash_dir:
+        return Path(crash_dir) / f"{command.replace(' ', '-')}-crash.json"
+    journal_path = getattr(args, "journal", None)
+    if journal_path:
+        journal = Path(journal_path)
+        return journal.with_name(f"{journal.stem}-crash.json")
+    return None
+
+
+def _install_sigusr1(tele: Telemetry):
+    """SIGUSR1 → snapshot event in the journal + OpenMetrics text on
+    stderr.  Returns the previous handler, or None when the platform
+    has no SIGUSR1 or we are not on the main thread."""
+    import signal
+    import threading
+
+    if not hasattr(signal, "SIGUSR1"):  # pragma: no cover - non-POSIX
+        return None
+    if threading.current_thread() is not threading.main_thread():
+        return None
+
+    from repro.obs.live import prometheus_text
+
+    def handler(signum, frame):
+        snapshot = tele.registry.snapshot()
+        tele.journal.emit(
+            "snapshot",
+            signal="SIGUSR1",
+            counters=snapshot["counters"],
+            gauges=snapshot["gauges"],
+        )
+        sys.stderr.write(prometheus_text(snapshot))
+        sys.stderr.flush()
+
+    return signal.signal(signal.SIGUSR1, handler)
+
+
+def _restore_sigusr1(previous) -> None:
+    import signal
+
+    if previous is not None and hasattr(signal, "SIGUSR1"):
+        signal.signal(signal.SIGUSR1, previous)
+
+
 @contextlib.contextmanager
-def _metrics_scope(args: argparse.Namespace):
-    """Collect obs metrics around a command when ``--metrics-out`` was
-    given; otherwise leave the null registry installed."""
-    out = getattr(args, "metrics_out", None)
-    if not out:
-        yield None
+def _telemetry_scope(args: argparse.Namespace):
+    """Wire up collection around a command.
+
+    ``--metrics-out`` alone behaves as before: collect, write one JSON
+    snapshot on success.  Any of ``--journal`` / ``--live`` /
+    ``--crash-dir`` additionally activates the live pipeline: an
+    :class:`~repro.obs.live.EventJournal` fed by a delta-flush
+    :class:`~repro.obs.live.JournalSink` and the tracer's span sink, a
+    :class:`~repro.obs.live.FlightRecorder` ring buffer (dumped to a
+    crash report on unhandled exceptions — including a mid-flight
+    KeyboardInterrupt — and contract violations), a background
+    :class:`~repro.obs.live.ResourceSampler`, an optional
+    :class:`~repro.obs.live.LiveView`, and a SIGUSR1 snapshot handler.
+    Without any flag the null registry stays installed and a no-op
+    telemetry object is yielded.
+    """
+    from repro.errors import ConcentrationError as _Violation
+
+    metrics_out = getattr(args, "metrics_out", None)
+    live_on = bool(
+        getattr(args, "journal", None)
+        or getattr(args, "live", False)
+        or getattr(args, "crash_dir", None)
+    )
+    if not live_on and not metrics_out:
+        yield _NULL_TELEMETRY
         return
-    with obs.collecting() as registry:
-        yield registry
-    try:
-        path = obs.write_metrics_json(registry.snapshot(), out)
-    except OSError as exc:
-        raise ReproError(f"cannot write metrics to {out}: {exc}") from exc
-    print(f"metrics written to {path}")
+
+    from repro.obs.live import (
+        EventJournal,
+        FlightRecorder,
+        JournalSink,
+        LiveView,
+        ResourceSampler,
+    )
+
+    command = _command_name(args)
+    with contextlib.ExitStack() as stack:
+        registry = stack.enter_context(obs.collecting())
+        # --metrics-out alone: no journal, but the command still sees
+        # the collecting registry (the reproduce report reads it).
+        tele = _NullTelemetry()
+        tele.registry = registry
+        if live_on:
+            journal = stack.enter_context(
+                EventJournal(getattr(args, "journal", None), command=command)
+            )
+            journal.emit("env", pid=os.getpid(), **obs.environment())
+            sink = JournalSink(registry, journal)
+            stack.callback(sink.close)
+            recorder = FlightRecorder()
+            journal.subscribe(recorder.record)
+            view = None
+            if getattr(args, "live", False):
+                view = LiveView()
+                journal.subscribe(view)
+                stack.callback(view.close)
+            tele = Telemetry(
+                registry=registry,
+                journal=journal,
+                sink=sink,
+                recorder=recorder,
+                view=view,
+                command=command,
+                crash_path=_crash_path(args, command),
+            )
+            sampler = ResourceSampler(registry, journal)
+            sampler.start()
+            stack.callback(sampler.stop)
+            previous_handler = _install_sigusr1(tele)
+            stack.callback(_restore_sigusr1, previous_handler)
+        try:
+            yield tele
+        except _Violation as exc:
+            tele.crash("contract-violation", exc=exc)
+            raise
+        except ReproError:
+            raise
+        except BrokenPipeError:
+            raise
+        except BaseException as exc:
+            tele.crash("unhandled-exception", exc=exc)
+            raise
+    if metrics_out:
+        try:
+            path = obs.write_metrics_json(registry.snapshot(), metrics_out)
+        except OSError as exc:
+            raise ReproError(
+                f"cannot write metrics to {metrics_out}: {exc}"
+            ) from exc
+        print(f"metrics written to {path}")
 
 
 def _build_switch(args: argparse.Namespace):
@@ -174,7 +403,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.network.simulate import SwitchSimulation
     from repro.network.traffic import BernoulliTraffic
 
-    with _metrics_scope(args):
+    with _telemetry_scope(args) as tele:
         switch = _build_switch(args)
         policy = {
             "drop": DropPolicy,
@@ -183,9 +412,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             "retry": RetryPolicy,
         }[args.policy]()
         traffic = BernoulliTraffic(switch.n, p=args.load, seed=args.seed)
+        tele.phase("simulate", total=args.rounds)
         summary = SwitchSimulation(switch, traffic, policy, seed=args.seed).run(
             rounds=args.rounds
         )
+        tele.advance("simulate", summary.rounds, args.rounds)
         print(
             render_table(
                 [
@@ -318,13 +549,15 @@ def cmd_certify(args: argparse.Namespace) -> int:
             "pass an explicit size (e.g. --n 16)"
         )
 
-    with _metrics_scope(args):
+    with _telemetry_scope(args) as tele:
         certs = []
-        for design, params in configs:
+        tele.phase("certify", total=len(configs))
+        for index, (design, params) in enumerate(configs):
             try:
                 certs.append(certify_design(design, params, options=options))
             except TypeError as exc:  # e.g. a missing required override
                 raise ReproError(f"bad parameters for {design!r}: {exc}") from exc
+            tele.advance("certify", index + 1, len(configs))
 
         # --faults: a quick degradation campaign per config on top of
         # the healthy certification.
@@ -333,7 +566,8 @@ def cmd_certify(args: argparse.Namespace) -> int:
             from repro.faults import sweep_switch
             from repro.switches.registry import build_switch
 
-            for design, params in configs:
+            tele.phase("certify-faults", total=len(configs))
+            for index, (design, params) in enumerate(configs):
                 switch = build_switch(design, **params)
                 sweeps.append(
                     sweep_switch(
@@ -349,6 +583,17 @@ def cmd_certify(args: argparse.Namespace) -> int:
                         seed=0,
                     )
                 )
+                tele.advance("certify-faults", index + 1, len(configs))
+
+        ok = all(cert.ok for cert in certs) and all(s.ok for s in sweeps)
+        if not ok:
+            tele.crash(
+                "contract-violation",
+                detail={
+                    "failed_designs": [c.design for c in certs if not c.ok],
+                    "failed_sweeps": [s.design for s in sweeps if not s.ok],
+                },
+            )
 
     written: list[Path] = []
     if args.out:
@@ -417,7 +662,6 @@ def cmd_certify(args: argparse.Namespace) -> int:
                 f"{sweep.parity_violations} parity violations",
                 file=sys.stderr,
             )
-    ok = all(cert.ok for cert in certs) and all(s.ok for s in sweeps)
     return 0 if ok else 1
 
 
@@ -495,7 +739,7 @@ def cmd_faults_inject(args: argparse.Namespace) -> int:
             "nothing to inject: give --fault specs or --sample COUNT"
         )
 
-    with _metrics_scope(args):
+    with _telemetry_scope(args):
         report = measure_scenario(
             switch,
             scenario,
@@ -581,23 +825,31 @@ def cmd_faults_sweep(args: argparse.Namespace) -> int:
     rounds = args.rounds if args.rounds else (20 if args.smoke else 40)
     targets = _sweep_targets(args)
 
-    with _metrics_scope(args):
-        results = [
-            sweep_switch(
-                switch,
-                design=design,
-                chains=args.chains,
-                chain_length=args.chain_length,
-                parity_scenarios=args.parity_scenarios,
-                parity_faults=args.parity_faults,
-                flaky_scenarios=args.flaky_scenarios,
-                trials=trials,
-                rounds=rounds,
-                seed=args.seed,
-                use_gates=use_gates,
+    with _telemetry_scope(args) as tele:
+        results = []
+        tele.phase("faults-sweep", total=len(targets))
+        for index, (design, switch, use_gates) in enumerate(targets):
+            results.append(
+                sweep_switch(
+                    switch,
+                    design=design,
+                    chains=args.chains,
+                    chain_length=args.chain_length,
+                    parity_scenarios=args.parity_scenarios,
+                    parity_faults=args.parity_faults,
+                    flaky_scenarios=args.flaky_scenarios,
+                    trials=trials,
+                    rounds=rounds,
+                    seed=args.seed,
+                    use_gates=use_gates,
+                )
             )
-            for design, switch, use_gates in targets
-        ]
+            tele.advance("faults-sweep", index + 1, len(targets))
+        if not all(r.ok for r in results):
+            tele.crash(
+                "contract-violation",
+                detail={"failed_sweeps": [r.design for r in results if not r.ok]},
+            )
 
     written = []
     if args.out:
@@ -713,7 +965,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     from repro.switches.perfect import PerfectConcentrator
     from repro.switches.registry import build_switch
 
-    with _metrics_scope(args):
+    with _telemetry_scope(args) as tele:
         partial = build_switch(
             args.switch, n=args.n, m=args.m, r=args.r, s=args.s, beta=args.beta
         )
@@ -722,6 +974,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
             n=max(1, int(partial.n * alpha)), m=max(1, int(partial.m * alpha))
         )
         k_values = sorted({max(1, perfect.m // 2), perfect.m, min(perfect.n, 2 * perfect.m)})
+        tele.phase("compare", total=len(k_values))
         results = compare_partial_vs_perfect(
             perfect,
             partial,
@@ -730,6 +983,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
             seed=args.seed,
             workers=args.workers,
         )
+        tele.advance("compare", len(k_values), len(k_values))
         if args.format == "json":
             import json
 
@@ -780,7 +1034,7 @@ def cmd_knockout(args: argparse.Namespace) -> int:
     from repro.network.knockout import knockout_loss_curve
 
     l_values = [1, 2, 4, 8]
-    with _metrics_scope(args):
+    with _telemetry_scope(args):
         sim = knockout_loss_curve(
             args.ports,
             loads=[args.load],
@@ -822,7 +1076,7 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     if output:
         import io
 
-        with _metrics_scope(args) as registry:
+        with _telemetry_scope(args) as tele:
             buffer = io.StringIO()
             try:
                 with contextlib.redirect_stdout(buffer):
@@ -844,17 +1098,17 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
                 "Verdict",
                 "All checks passed." if code == 0 else "SOME CHECKS FAILED.",
             )
-            if registry is not None:
+            if tele.registry is not None:
                 builder.add_metrics(
                     "Metrics",
-                    registry.snapshot(),
+                    tele.registry.snapshot(),
                     note="Collected by `repro.obs`; see docs/observability.md.",
                 )
             path = builder.write(output)
             print(f"report written to {path}")
         return code
 
-    with _metrics_scope(args):
+    with _telemetry_scope(args):
         try:
             module.main()
         except SystemExit as exc:
@@ -872,25 +1126,29 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
             f"no bench in suite {args.suite!r} matches {args.filter!r}"
         )
     records = []
-    for spec in specs:
-        record = run_bench(
-            spec,
-            suite=args.suite,
-            repeats=args.repeats,
-            seed=args.seed,
-            alloc=not args.no_alloc,
-        )
-        records.append(record)
-        cache = record["plan_cache"]
-        hit_rate = (
-            f"{cache['hit_rate'] * 100:3.0f}%" if cache["hit_rate"] is not None
-            else "  -"
-        )
-        print(
-            f"{spec.id:>28}  median {record['median_wall_s'] * 1e3:9.3f}ms  "
-            f"{record['throughput']:>12,.0f} {record['unit']}/s  "
-            f"cache {hit_rate}  rss {record['rss_peak_kb'] or 0:>7}KiB"
-        )
+    with _telemetry_scope(args) as tele:
+        tele.phase("bench", total=len(specs))
+        for index, spec in enumerate(specs):
+            record = run_bench(
+                spec,
+                suite=args.suite,
+                repeats=args.repeats,
+                seed=args.seed,
+                alloc=not args.no_alloc,
+                merge_into=tele.registry,
+            )
+            records.append(record)
+            tele.advance("bench", index + 1, len(specs))
+            cache = record["plan_cache"]
+            hit_rate = (
+                f"{cache['hit_rate'] * 100:3.0f}%" if cache["hit_rate"] is not None
+                else "  -"
+            )
+            print(
+                f"{spec.id:>28}  median {record['median_wall_s'] * 1e3:9.3f}ms  "
+                f"{record['throughput']:>12,.0f} {record['unit']}/s  "
+                f"cache {hit_rate}  rss {record['rss_peak_kb'] or 0:>7}KiB"
+            )
     path = append_records(args.out, records)
     sha = records[-1]["env"]["git_sha"] or "?"
     dirty = " (dirty)" if records[-1]["env"]["git_dirty"] else ""
@@ -918,52 +1176,77 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
         history = baseline_records
     else:
         candidates, history = split_latest(baseline_records)
-    verdicts = compare_records(
-        candidates, history, tolerance=args.tolerance, window=args.window
-    )
-    if args.format == "json":
-        print(
-            json.dumps(
+    with _telemetry_scope(args) as tele:
+        tele.phase("bench-compare", total=len(candidates))
+        verdicts = compare_records(
+            candidates, history, tolerance=args.tolerance, window=args.window
+        )
+        tele.advance("bench-compare", len(verdicts), len(candidates))
+        if args.format == "json":
+            print(
+                json.dumps(
+                    {
+                        "schema": "repro.cli/bench-compare@1",
+                        "baseline": str(args.baseline),
+                        "tolerance": args.tolerance,
+                        "window": args.window,
+                        "verdicts": [v.as_dict() for v in verdicts],
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            rows = [
                 {
-                    "schema": "repro.cli/bench-compare@1",
-                    "baseline": str(args.baseline),
-                    "tolerance": args.tolerance,
-                    "window": args.window,
-                    "verdicts": [v.as_dict() for v in verdicts],
-                },
-                indent=2,
+                    "bench": v.bench,
+                    "baseline": (
+                        f"{v.baseline_wall_s * 1e3:.3f}ms (n={v.window})"
+                        if v.baseline_wall_s is not None
+                        else "-"
+                    ),
+                    "candidate": f"{v.candidate_wall_s * 1e3:.3f}ms",
+                    "ratio": f"{v.ratio:.2f}" if v.ratio is not None else "-",
+                    "delta": (
+                        f"{v.delta_pct:+.1f}%" if v.delta_pct is not None else "-"
+                    ),
+                    "status": v.status.upper() if v.regressed else v.status,
+                }
+                for v in verdicts
+            ]
+            print(
+                render_table(
+                    rows,
+                    title=(
+                        f"bench compare vs {args.baseline} "
+                        f"(tolerance {args.tolerance:.0%}, window {args.window})"
+                    ),
+                )
             )
-        )
-    else:
-        rows = [
-            {
-                "bench": v.bench,
-                "baseline": (
-                    f"{v.baseline_wall_s * 1e3:.3f}ms (n={v.window})"
+        if has_regressions(verdicts):
+            offenders = [v for v in verdicts if v.regressed]
+            bad = ", ".join(v.bench for v in offenders)
+            print(f"ERROR: performance regression in {bad}", file=sys.stderr)
+            for v in offenders:
+                baseline = (
+                    f"{v.baseline_wall_s * 1e3:.3f}ms"
                     if v.baseline_wall_s is not None
-                    else "-"
-                ),
-                "candidate": f"{v.candidate_wall_s * 1e3:.3f}ms",
-                "ratio": f"{v.ratio:.2f}" if v.ratio is not None else "-",
-                "status": v.status.upper() if v.regressed else v.status,
-            }
-            for v in verdicts
-        ]
-        print(
-            render_table(
-                rows,
-                title=(
-                    f"bench compare vs {args.baseline} "
-                    f"(tolerance {args.tolerance:.0%}, window {args.window})"
-                ),
+                    else "no baseline"
+                )
+                delta = (
+                    f"{v.delta_pct:+.1f}%" if v.delta_pct is not None else "n/a"
+                )
+                print(
+                    f"  {v.bench}: baseline {baseline} -> candidate "
+                    f"{v.candidate_wall_s * 1e3:.3f}ms (delta {delta})",
+                    file=sys.stderr,
+                )
+            tele.crash(
+                "regression-gate",
+                detail={"verdicts": [v.as_dict() for v in offenders]},
             )
-        )
-    if has_regressions(verdicts):
-        bad = ", ".join(v.bench for v in verdicts if v.regressed)
-        print(f"ERROR: performance regression in {bad}", file=sys.stderr)
-        if not args.warn_only:
-            return 1
-        print("(warn-only mode: exiting 0)", file=sys.stderr)
+            if not args.warn_only:
+                return 1
+            print("(warn-only mode: exiting 0)", file=sys.stderr)
     return 0
 
 
@@ -993,6 +1276,32 @@ def cmd_obs_trace(args: argparse.Namespace) -> int:
     if args.profile and profile is not None:
         prof_path = write_profile(profile, args.profile, top=args.profile_top)
         print(f"profile written to {prof_path}")
+    return 0
+
+
+def cmd_obs_export(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs.live import prometheus_text, replay_journal
+
+    if bool(args.metrics) == bool(args.journal):
+        raise ReproError("give exactly one of --metrics or --journal")
+    if args.metrics:
+        if not Path(args.metrics).exists():
+            raise ReproError(f"no metrics file at {args.metrics}")
+        snapshot = obs.read_metrics_json(args.metrics)
+    else:
+        snapshot = replay_journal(args.journal)
+    if args.format == "prometheus":
+        text = prometheus_text(snapshot)
+    else:
+        text = json.dumps(snapshot, indent=2) + "\n"
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"exported to {args.out}")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -1043,6 +1352,29 @@ def cmd_obs(args: argparse.Namespace) -> int:
             "collect with --metrics-out on simulate/knockout/reproduce"
         )
     return 0
+
+
+def _add_telemetry_flags(p: argparse.ArgumentParser) -> None:
+    """Live-telemetry flags shared by the long-running commands."""
+    p.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="stream a repro.obs/journal@1 JSONL event journal here "
+        "(replayable with 'repro obs export --journal')",
+    )
+    p.add_argument(
+        "--live",
+        action="store_true",
+        help="render live progress (phase, items/s, ETA) on stderr",
+    )
+    p.add_argument(
+        "--crash-dir",
+        default=None,
+        metavar="DIR",
+        help="write flight-recorder crash reports here on failure "
+        "(default: next to --journal)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1104,6 +1436,7 @@ def build_parser() -> argparse.ArgumentParser:
                 default=None,
                 help="collect repro.obs metrics and write a JSON snapshot here",
             )
+            _add_telemetry_flags(p)
         else:
             p.add_argument("--trials", type=int, default=100)
             p.add_argument(
@@ -1166,6 +1499,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="collect repro.obs metrics and write a JSON snapshot here",
     )
+    _add_telemetry_flags(p)
     p.set_defaults(func=cmd_certify)
 
     p = sub.add_parser(
@@ -1264,6 +1598,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps.add_argument("--format", choices=["table", "json"], default="table")
     ps.add_argument("--metrics-out", default=None)
+    _add_telemetry_flags(ps)
     ps.set_defaults(faults_func=cmd_faults_sweep)
 
     pr2 = faults_sub.add_parser(
@@ -1305,6 +1640,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="collect repro.obs metrics and write a JSON snapshot here",
     )
+    _add_telemetry_flags(p)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("knockout", help="analytic vs simulated knockout loss")
@@ -1387,6 +1723,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pt.set_defaults(func=cmd_obs_trace)
 
+    pe = obs_sub.add_parser(
+        "export",
+        help="render a metrics snapshot or a replayed event journal as "
+        "OpenMetrics/Prometheus text or JSON",
+    )
+    pe.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="a metrics.json written by --metrics-out",
+    )
+    pe.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="a repro.obs/journal@1 JSONL to replay into a snapshot",
+    )
+    pe.add_argument(
+        "--format", choices=["prometheus", "json"], default="prometheus"
+    )
+    pe.add_argument("--out", default=None, help="write instead of printing")
+    pe.set_defaults(func=cmd_obs_export)
+
     pr = obs_sub.add_parser(
         "report", help="render the bench trajectory dashboard"
     )
@@ -1432,6 +1791,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the (untimed) tracemalloc allocation pass",
     )
+    _add_telemetry_flags(pb)
     pb.set_defaults(func=cmd_bench_run)
 
     pc = bench_sub.add_parser(
@@ -1471,6 +1831,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="report regressions but exit 0 (CI smoke mode)",
     )
     pc.add_argument("--format", choices=["table", "json"], default="table")
+    _add_telemetry_flags(pc)
     pc.set_defaults(func=cmd_bench_compare)
     return parser
 

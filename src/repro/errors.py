@@ -57,3 +57,20 @@ class SimulationError(ReproError, RuntimeError):
 class CircuitError(ReproError, ValueError):
     """A gate-level netlist is malformed: combinational cycle, dangling
     wire, duplicate driver, or evaluation of an undriven input."""
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """Map an exception to the CLI's process exit code.
+
+    Contract violations (:class:`ConcentrationError`) exit 1 so CI
+    treats them as test failures; every other :class:`ReproError` —
+    configuration mistakes, routing/simulation/circuit faults — exits
+    2, the conventional usage-error code.  Anything outside the
+    hierarchy is an internal error and maps to 70 (BSD ``EX_SOFTWARE``),
+    which is also what the flight recorder stamps into crash reports.
+    """
+    if isinstance(exc, ConcentrationError):
+        return 1
+    if isinstance(exc, ReproError):
+        return 2
+    return 70

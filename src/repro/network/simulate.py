@@ -29,6 +29,7 @@ from repro._util.rng import default_rng
 from repro.errors import ConfigurationError
 from repro.messages.congestion import CongestionPolicy, DropPolicy
 from repro.messages.message import Message
+from repro.obs.live.merge import merge_portable, portable_snapshot, roundtrip
 from repro.switches.base import ConcentratorSwitch
 
 logger = logging.getLogger(__name__)
@@ -353,6 +354,9 @@ def compare_partial_vs_perfect(
     if workers >= 1:
         items = [(sw, k) for k in k_values for sw in (perfect, partial)]
         children = np.random.SeedSequence(seed).spawn(len(items))
+        labels = [
+            f"{kind}-k{k}" for k in k_values for kind in ("perfect", "partial")
+        ]
         jobs = [
             (sw, k, child) for (sw, k), child in zip(items, children)
         ]
@@ -361,7 +365,25 @@ def compare_partial_vs_perfect(
             sw, k, child = job
             return _batched_k_trial(sw, k, trials, child)
 
-        if workers > 1:
+        parent = obs.get_registry()
+        if workers > 1 and parent.enabled:
+            # Each job routes through the batched engine, which emits
+            # engine.* metrics and spans: give every job a private
+            # thread-local registry and merge the portable snapshots
+            # back in job order (see repro.obs.live.merge).
+            def _one_collected(job: tuple) -> tuple[float, dict]:
+                local = obs.Registry()
+                with obs.using(local):
+                    mean = _one(job)
+                return mean, roundtrip(portable_snapshot(local))
+
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(_one_collected, jobs))
+            means = []
+            for label, (mean, snapshot) in zip(labels, outcomes):
+                merge_portable(parent, snapshot, worker=label)
+                means.append(mean)
+        elif workers > 1:
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 means = list(pool.map(_one, jobs))
         else:

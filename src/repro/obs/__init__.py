@@ -40,7 +40,9 @@ from repro.obs.registry import (
     install,
     metric_key,
     span,
+    split_metric_key,
     uninstall,
+    using,
 )
 from repro.obs.runmeta import environment, git_dirty, git_sha, run_metadata
 from repro.obs.tracing import SpanRecord, Tracer
@@ -75,6 +77,8 @@ __all__ = [
     "read_metrics_json",
     "run_metadata",
     "span",
+    "split_metric_key",
     "uninstall",
+    "using",
     "write_metrics_json",
 ]

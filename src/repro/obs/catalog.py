@@ -124,6 +124,17 @@ CATALOG: tuple[MetricInfo, ...] = (
                "one timed repeat of a bench spec (meta: bench, repeat)"),
     MetricInfo("trace.run", "span", (),
                "the traced workload of 'repro obs trace' (meta: switch, trials)"),
+    # obs/live (the live telemetry pipeline, see docs/observability.md)
+    MetricInfo("proc.rss_kb", "gauge", (),
+               "resident set size of the process, KiB (resource sampler)"),
+    MetricInfo("proc.cpu_s", "gauge", (),
+               "cumulative user+system CPU seconds (resource sampler)"),
+    MetricInfo("proc.gc_collections", "gauge", (),
+               "total Python GC collections across generations"),
+    MetricInfo("obs.heartbeats", "counter", (),
+               "resource-sampler heartbeats emitted this run"),
+    MetricInfo("obs.workers_merged", "counter", ("worker",),
+               "worker registry snapshots merged into this registry"),
 )
 
 #: Derived timing histograms: every span also fills ``<name>.seconds``.

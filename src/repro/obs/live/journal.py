@@ -1,0 +1,277 @@
+"""The live event journal: schema-tagged, append-only JSONL telemetry.
+
+Post-hoc snapshots (:mod:`repro.obs.export`) only become visible after
+a run exits cleanly; the journal streams the same information *during*
+the run, one JSON object per line, so a hung certify or a crashed
+sweep still leaves a forensic trail and a tail-reader can render live
+progress.
+
+Line format (``schema="repro.obs/journal@1"`` on the ``start`` line)::
+
+    {"seq": 0, "t": ..., "type": "start", "schema": "repro.obs/journal@1",
+     "command": "faults-sweep"}
+    {"seq": 1, "t": ..., "type": "phase", "name": "sweep", "total": 3}
+    {"seq": 2, "t": ..., "type": "counter", "key": "sim.delivered", "delta": 640}
+    {"seq": 3, "t": ..., "type": "gauge", "key": "proc.rss_kb", "value": 81234}
+    {"seq": 4, "t": ..., "type": "hist", "key": "sim.round.seconds",
+     "count": 20, "sum": 0.08, "min": ..., "max": ..., "buckets": {...}}
+    {"seq": 5, "t": ..., "type": "span", "name": "sim.run", "path": ...,
+     "depth": 0, "start": ..., "duration_s": ..., "meta": {...}}
+    {"seq": 6, "t": ..., "type": "heartbeat", "rss_kb": ..., "cpu_s": ...}
+    {"seq": 7, "t": ..., "type": "end", "spans_dropped": 0}
+
+Metric events are **deltas since the previous flush**, so replaying a
+journal (:func:`replay_journal`) reduces to exactly the live
+registry's final totals — including metrics merged in from worker
+registries, because the merge lands in the parent before the next
+flush.  Gauges carry absolute values (last write wins on replay).
+
+The journal is the event *bus* as well as the file: in-memory sinks
+(the flight recorder's ring buffer, the ``--live`` progress view)
+subscribe with :meth:`EventJournal.subscribe` and see every event,
+with or without a backing file.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import Registry
+from repro.obs.tracing import SpanRecord
+
+JOURNAL_SCHEMA = "repro.obs/journal@1"
+
+#: Spans journaled per run before further spans are counted, not
+#: written (an n=4096 batch sweep emits one engine.stage span per chip
+#: layer per call — unbounded journals must stay impossible).
+DEFAULT_SPAN_LIMIT = 10_000
+
+
+class EventJournal:
+    """Append-only event stream with optional JSONL persistence.
+
+    ``path=None`` keeps the journal purely in-memory (events still
+    reach subscribed sinks) — what ``--live`` without ``--journal``
+    uses.  Thread-safe: the resource sampler emits heartbeats from its
+    own thread.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        clock: Callable[[], float] = time.time,
+        command: str | None = None,
+        span_limit: int = DEFAULT_SPAN_LIMIT,
+    ):
+        self.path = Path(path) if path is not None else None
+        self.clock = clock
+        self.command = command
+        self.span_limit = span_limit
+        self.spans_written = 0
+        self.spans_dropped = 0
+        self.seq = 0
+        self.closed = False
+        self._sinks: list[Callable[[dict], None]] = []
+        self._lock = threading.Lock()
+        self._fh = None
+        if self.path is not None:
+            if self.path.exists() and self.path.is_dir():
+                raise ConfigurationError(f"{self.path} is a directory")
+            self._fh = self.path.open("w", encoding="utf-8")
+        start: dict = {"schema": JOURNAL_SCHEMA}
+        if command is not None:
+            start["command"] = command
+        self.emit("start", **start)
+
+    # -- core -----------------------------------------------------------
+    def subscribe(self, sink: Callable[[dict], None]) -> None:
+        """Register an in-memory consumer called with every event."""
+        self._sinks.append(sink)
+
+    def emit(self, type: str, **fields: object) -> dict:
+        """Append one event; returns the event dict."""
+        with self._lock:
+            event = {"seq": self.seq, "t": self.clock(), "type": type, **fields}
+            self.seq += 1
+            if self._fh is not None and not self._fh.closed:
+                self._fh.write(json.dumps(event) + "\n")
+                self._fh.flush()  # live tailers must see every line
+        for sink in self._sinks:
+            try:
+                sink(event)
+            except Exception:
+                # A broken consumer must not take the journal down.
+                pass
+        return event
+
+    def emit_span(self, record: SpanRecord) -> None:
+        """Tracer sink: stream one completed span (budgeted)."""
+        if self.spans_written < self.span_limit:
+            self.spans_written += 1
+            self.emit("span", **record.as_dict())
+        else:
+            self.spans_dropped += 1
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.emit("end", spans_dropped=self.spans_dropped)
+        self.closed = True
+        if self._fh is not None:
+            self._fh.close()
+
+    def __enter__(self) -> EventJournal:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class JournalSink:
+    """Connects a :class:`~repro.obs.registry.Registry` to a journal.
+
+    Spans stream as they complete (the tracer's ``sink`` hook);
+    counters/gauges/histograms are flushed as *deltas* whenever
+    :meth:`flush` is called — long-running commands flush at every
+    progress step, so a tail-reader sees totals grow monotonically and
+    a killed run loses at most one flush interval of metric deltas.
+    """
+
+    def __init__(self, registry: Registry, journal: EventJournal):
+        self.registry = registry
+        self.journal = journal
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._hists: dict[str, dict] = {}
+        self._previous_sink = registry.tracer.sink
+        registry.tracer.sink = journal.emit_span
+
+    def flush(self) -> int:
+        """Emit deltas vs the previous flush; returns events emitted."""
+        emitted = 0
+        reg = self.registry
+        for key, counter in list(reg._counters.items()):
+            delta = counter.value - self._counters.get(key, 0.0)
+            if delta:
+                self.journal.emit("counter", key=key, delta=delta)
+                self._counters[key] = counter.value
+                emitted += 1
+        for key, gauge in list(reg._gauges.items()):
+            if self._gauges.get(key) != gauge.value:
+                self.journal.emit("gauge", key=key, value=gauge.value)
+                self._gauges[key] = gauge.value
+                emitted += 1
+        for key, hist in list(reg._histograms.items()):
+            last = self._hists.get(key, {"count": 0, "sum": 0.0})
+            if hist.count != last["count"]:
+                delta_buckets = {
+                    b: n - last.get("buckets", {}).get(b, 0)
+                    for b, n in hist.buckets.items()
+                    if n - last.get("buckets", {}).get(b, 0)
+                }
+                self.journal.emit(
+                    "hist",
+                    key=key,
+                    count=hist.count - last["count"],
+                    sum=hist.total - last["sum"],
+                    min=hist.min if hist.count else None,
+                    max=hist.max if hist.count else None,
+                    buckets=delta_buckets,
+                )
+                self._hists[key] = {
+                    "count": hist.count,
+                    "sum": hist.total,
+                    "buckets": dict(hist.buckets),
+                }
+                emitted += 1
+        return emitted
+
+    def close(self) -> None:
+        """Final flush and detach from the tracer."""
+        self.flush()
+        self.registry.tracer.sink = self._previous_sink
+
+
+# -- reading and replaying ----------------------------------------------
+def read_journal(source: str | Path | Iterable[dict]) -> list[dict]:
+    """Load journal events from a path (JSONL) or pass an event list
+    through, validating the ``start`` line's schema tag."""
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        if not path.exists():
+            raise ConfigurationError(f"no journal at {path}")
+        events = [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+    else:
+        events = list(source)
+    if not events:
+        raise ConfigurationError("journal is empty")
+    head = events[0]
+    if head.get("type") != "start" or head.get("schema") != JOURNAL_SCHEMA:
+        raise ConfigurationError(
+            f"not a {JOURNAL_SCHEMA} journal "
+            f"(first event: {head.get('type')!r}/{head.get('schema')!r})"
+        )
+    return events
+
+
+def replay_journal(source: str | Path | Iterable[dict]) -> dict:
+    """Reduce a journal back to a registry-snapshot-shaped dict.
+
+    Counter/histogram deltas accumulate, gauges take their last value,
+    spans collect in order — so for any journaled run,
+    ``replay_journal(path)["counters"] == registry.snapshot()["counters"]``
+    exactly (the parity the tier-1 suite pins).
+    """
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    hists: dict[str, dict] = {}
+    spans: list[dict] = []
+    dropped = 0
+    for event in read_journal(source):
+        kind = event.get("type")
+        if kind == "counter":
+            counters[event["key"]] = counters.get(event["key"], 0.0) + event["delta"]
+        elif kind == "gauge":
+            gauges[event["key"]] = event["value"]
+        elif kind == "hist":
+            h = hists.setdefault(
+                event["key"],
+                {"count": 0, "sum": 0.0, "min": None, "max": None, "buckets": {}},
+            )
+            h["count"] += event["count"]
+            h["sum"] += event["sum"]
+            for bound, op in (("min", min), ("max", max)):
+                value = event.get(bound)
+                if value is not None:
+                    h[bound] = value if h[bound] is None else op(h[bound], value)
+            for bucket, n in (event.get("buckets") or {}).items():
+                h["buckets"][bucket] = h["buckets"].get(bucket, 0) + n
+        elif kind == "span":
+            spans.append(
+                {
+                    key: event[key]
+                    for key in ("name", "path", "depth", "start", "duration_s", "meta")
+                    if key in event
+                }
+            )
+        elif kind == "end":
+            dropped = int(event.get("spans_dropped", 0))
+    for h in hists.values():
+        h["mean"] = (h["sum"] / h["count"]) if h["count"] else 0.0
+        h["buckets"] = dict(sorted(h["buckets"].items()))
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": {k: hists[k] for k in sorted(hists)},
+        "spans": {"events": spans, "dropped": dropped},
+    }

@@ -1,0 +1,66 @@
+"""The cross-process aggregation protocol.
+
+Worker threads and (future) worker processes collect into their own
+private :class:`~repro.obs.registry.Registry` (installed thread-locally
+with :func:`repro.obs.registry.using`), then report back to the parent
+as a *portable snapshot* — a pure-JSON document that survives a
+process boundary::
+
+    {"schema": "repro.obs/worker@1", "worker": "task3",
+     "counters": {...}, "gauges": {...}, "histograms": {...},
+     "spans": {"events": [...], "dropped": 0}}
+
+The parent folds each document in with :func:`merge_portable` in a
+deterministic (work-list) order: counters and histograms merge into
+their global keys, gauges and spans keep ``worker`` provenance labels
+(see :meth:`Registry.merge_snapshot`).  ``analysis.sweep`` and
+``compare_partial_vs_perfect`` already speak this protocol over
+threads; the sharded multiprocess engine backend will ship the same
+documents over pipes.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import Registry
+
+WORKER_SCHEMA = "repro.obs/worker@1"
+
+
+def portable_snapshot(registry: Registry, *, worker: str | None = None) -> dict:
+    """Serialise ``registry`` for transport to a parent process.
+
+    The result is guaranteed JSON-round-trippable; callers crossing a
+    real process boundary can ``json.dumps`` it directly.
+    """
+    doc = {"schema": WORKER_SCHEMA, "worker": worker}
+    doc.update(registry.snapshot())
+    return doc
+
+
+def merge_portable(
+    registry: Registry, document: dict, *, worker: str | None = None
+) -> None:
+    """Fold a portable snapshot into ``registry``.
+
+    ``worker`` overrides the document's own label (the parent names
+    workers by work-list position, never by completion order, so the
+    merge is deterministic for any worker count).
+    """
+    if document.get("schema") != WORKER_SCHEMA:
+        raise ConfigurationError(
+            f"not a {WORKER_SCHEMA} document (schema="
+            f"{document.get('schema')!r})"
+        )
+    label = worker if worker is not None else document.get("worker")
+    registry.merge_snapshot(document, worker=label)
+
+
+def roundtrip(document: dict) -> dict:
+    """JSON-encode and decode a portable snapshot — what an actual
+    process boundary does.  Thread-based workers call this too, so the
+    protocol is exercised (and its JSON-safety enforced) on every
+    parallel run, not just in the future multiprocess backend."""
+    return json.loads(json.dumps(document))

@@ -1,0 +1,112 @@
+"""Terminal progress view for ``--live`` runs.
+
+Renders a single carriage-return-overwritten status line on stderr —
+phase, done/total, items per second, and an ETA — from the progress
+events long-running commands emit.  Rendering is rate-limited
+(``min_interval``) so per-pattern certify loops cannot drown the
+terminal, and disabled entirely when stderr is not a TTY unless
+``force=True`` (tests force it with a StringIO).
+
+The view is a journal subscriber like any other sink: it keys off
+``phase`` and ``progress`` events, so everything it shows is also in
+the journal a crash report preserves.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, TextIO
+
+
+def _fmt_eta(seconds: float) -> str:
+    seconds = max(0, int(round(seconds)))
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+class LiveView:
+    """Single-line live progress renderer."""
+
+    def __init__(
+        self,
+        stream: TextIO | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        min_interval: float = 0.1,
+        force: bool = False,
+    ):
+        self.stream = stream if stream is not None else sys.stderr
+        self.clock = clock
+        self.min_interval = min_interval
+        self.enabled = force or bool(getattr(self.stream, "isatty", lambda: False)())
+        self._last_render = -float("inf")
+        self._phase: str | None = None
+        self._phase_t0 = 0.0
+        self._phase_done0 = 0.0
+        self._dirty = False
+
+    # -- journal sink ----------------------------------------------------
+    def __call__(self, event: dict) -> None:
+        kind = event.get("type")
+        if kind == "phase":
+            self.update(str(event.get("name")), 0, event.get("total"))
+        elif kind == "progress":
+            self.update(
+                str(event.get("phase", self._phase)),
+                event.get("done"),
+                event.get("total"),
+            )
+
+    # -- rendering -------------------------------------------------------
+    def update(
+        self,
+        phase: str,
+        done: float | None = None,
+        total: float | None = None,
+    ) -> None:
+        if not self.enabled:
+            return
+        now = self.clock()
+        if phase != self._phase:
+            self._phase = phase
+            self._phase_t0 = now
+            self._phase_done0 = done or 0.0
+        elif now - self._last_render < self.min_interval:
+            return
+        parts = [f"[{phase}]"]
+        if done is not None:
+            parts.append(
+                f"{done:g}/{total:g}" if total is not None else f"{done:g}"
+            )
+            elapsed = now - self._phase_t0
+            progressed = done - self._phase_done0
+            if elapsed > 0 and progressed > 0:
+                rate = progressed / elapsed
+                parts.append(f"{rate:,.1f}/s")
+                if total is not None and total > done:
+                    parts.append(f"eta {_fmt_eta((total - done) / rate)}")
+            if total:
+                parts.append(f"({done / total:.0%})")
+        self._last_render = now
+        self._dirty = True
+        self.stream.write("\r\x1b[2K" + " ".join(parts))
+        self.stream.flush()
+
+    def note(self, text: str) -> None:
+        """Print a full line without disturbing the status line."""
+        if not self.enabled:
+            return
+        prefix = "\r\x1b[2K" if self._dirty else ""
+        self.stream.write(f"{prefix}{text}\n")
+        self.stream.flush()
+        self._dirty = False
+
+    def close(self) -> None:
+        if self.enabled and self._dirty:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._dirty = False

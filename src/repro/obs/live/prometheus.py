@@ -1,0 +1,89 @@
+"""OpenMetrics-style text exposition of a metrics snapshot.
+
+``repro obs export --format prometheus`` renders a registry snapshot
+(from a ``--metrics-out`` JSON or a replayed journal) as the
+Prometheus text format: ``# TYPE`` headers, sanitized
+``repro_``-prefixed family names, label sets recovered from the
+flattened ``name{k=v,...}`` keys, and ``_total`` suffixes on
+counters.  Histograms keep the library's magnitude (power-of-two)
+buckets as a ``bucket`` label — they are a census, not cumulative
+``le`` buckets, and are exported as such alongside exact ``_count``
+and ``_sum`` series.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.registry import split_metric_key
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _family(name: str, namespace: str) -> str:
+    return _INVALID.sub("_", f"{namespace}_{name}")
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_INVALID.sub("_", k)}="{_escape(str(v))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "NaN"
+    number = float(value)
+    return str(int(number)) if number.is_integer() else repr(number)
+
+
+def prometheus_text(snapshot: dict, *, namespace: str = "repro") -> str:
+    """Render a snapshot dict as Prometheus/OpenMetrics text."""
+    from repro.obs.catalog import CATALOG
+
+    help_by_name = {m.name: m.description for m in CATALOG}
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def header(family: str, kind: str, base: str) -> None:
+        if family in typed:
+            return
+        typed.add(family)
+        description = help_by_name.get(base)
+        if description:
+            lines.append(f"# HELP {family} {description}")
+        lines.append(f"# TYPE {family} {kind}")
+
+    for key, value in sorted(snapshot.get("counters", {}).items()):
+        base, labels = split_metric_key(key)
+        family = _family(base, namespace)
+        header(family, "counter", base)
+        lines.append(f"{family}_total{_labels(labels)} {_fmt(value)}")
+
+    for key, value in sorted(snapshot.get("gauges", {}).items()):
+        base, labels = split_metric_key(key)
+        family = _family(base, namespace)
+        header(family, "gauge", base)
+        lines.append(f"{family}{_labels(labels)} {_fmt(value)}")
+
+    for key, hist in sorted(snapshot.get("histograms", {}).items()):
+        base, labels = split_metric_key(key)
+        family = _family(base, namespace)
+        header(family, "histogram", base)
+        for bucket, count in sorted((hist.get("buckets") or {}).items()):
+            lines.append(
+                f"{family}_bucket{_labels({**labels, 'bucket': bucket})} "
+                f"{_fmt(count)}"
+            )
+        lines.append(f"{family}_count{_labels(labels)} {_fmt(hist.get('count', 0))}")
+        lines.append(f"{family}_sum{_labels(labels)} {_fmt(hist.get('sum', 0.0))}")
+
+    return "\n".join(lines) + ("\n" if lines else "")

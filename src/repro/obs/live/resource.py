@@ -1,0 +1,123 @@
+"""Background resource sampling: RSS / CPU / GC gauges + heartbeats.
+
+A :class:`ResourceSampler` runs a daemon thread that, every
+``interval`` seconds, reads process vitals and
+
+* sets the ``proc.rss_kb`` / ``proc.cpu_s`` / ``proc.gc_collections``
+  gauges on the registry, and
+* emits a ``heartbeat`` journal event carrying the same numbers —
+
+so a tail-reader can distinguish "still computing" from "hung", and a
+flight-recorder crash report shows the memory trajectory right before
+death.  The sampler's gauges and counter are created eagerly in the
+constructor (before the thread starts) so the steady-state thread only
+*writes values* — it never mutates the registry's metric dicts while
+the main thread iterates them.
+
+Timing is injectable: tests drive :meth:`sample_once` directly and
+pass a fake ``clock``, so nothing here ever sleeps in the tier-1
+suite.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import threading
+import time
+from typing import Callable
+
+from repro.obs.registry import Registry
+
+try:
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+except (ValueError, OSError, AttributeError):  # pragma: no cover - non-POSIX
+    _PAGE_SIZE = 4096
+
+
+def sample_process() -> dict:
+    """Current process vitals: resident set (KiB), cumulative CPU
+    seconds (user+system), and total GC collections."""
+    rss_kb = None
+    try:
+        with open("/proc/self/statm", encoding="ascii") as fh:
+            rss_kb = int(fh.read().split()[1]) * _PAGE_SIZE // 1024
+    except (OSError, IndexError, ValueError):  # pragma: no cover - non-Linux
+        try:
+            import resource
+
+            rss_kb = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+        except ImportError:
+            rss_kb = None
+    times = os.times()
+    return {
+        "rss_kb": rss_kb,
+        "cpu_s": round(times.user + times.system, 6),
+        "gc_collections": sum(s["collections"] for s in gc.get_stats()),
+    }
+
+
+class ResourceSampler:
+    """Samples process vitals on a fixed clock until stopped."""
+
+    def __init__(
+        self,
+        registry: Registry,
+        journal=None,
+        *,
+        interval: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        sampler: Callable[[], dict] = sample_process,
+    ):
+        self.registry = registry
+        self.journal = journal
+        self.interval = interval
+        self.clock = clock
+        self.sampler = sampler
+        self.samples = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        # Eager creation: the thread must only write values (see
+        # module docstring).
+        self._rss = registry.gauge("proc.rss_kb")
+        self._cpu = registry.gauge("proc.cpu_s")
+        self._gc = registry.gauge("proc.gc_collections")
+        self._beats = registry.counter("obs.heartbeats")
+
+    def sample_once(self) -> dict:
+        """Take one sample; returns the vitals recorded."""
+        vitals = self.sampler()
+        if vitals.get("rss_kb") is not None:
+            self._rss.set(vitals["rss_kb"])
+        self._cpu.set(vitals["cpu_s"])
+        self._gc.set(vitals["gc_collections"])
+        self._beats.inc()
+        self.samples += 1
+        if self.journal is not None:
+            self.journal.emit("heartbeat", uptime=self.clock(), **vitals)
+        return vitals
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample_once()
+
+    def start(self) -> ResourceSampler:
+        """First sample synchronously, then sample on the thread."""
+        self.sample_once()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> ResourceSampler:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -104,6 +104,23 @@ class Histogram:
             "buckets": dict(sorted(self.buckets.items())),
         }
 
+    def merge_dict(self, other: dict) -> None:
+        """Fold another histogram's ``as_dict`` form into this one —
+        the cross-worker aggregation primitive: counts/sums/buckets
+        add, bounds widen."""
+        count = int(other.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(other.get("sum", 0.0))
+        lo, hi = other.get("min"), other.get("max")
+        if lo is not None and lo < self.min:
+            self.min = float(lo)
+        if hi is not None and hi > self.max:
+            self.max = float(hi)
+        for key, n in (other.get("buckets") or {}).items():
+            self.buckets[key] = self.buckets.get(key, 0) + int(n)
+
 
 class NullCounter:
     """Shared do-nothing counter handed out when obs is disabled."""

@@ -51,6 +51,14 @@ class Verdict:
     def regressed(self) -> bool:
         return self.status == "regression"
 
+    @property
+    def delta_pct(self) -> float | None:
+        """Relative change vs the baseline, percent (+30.0 = 30%
+        slower); None without a meaningful ratio."""
+        if self.ratio is None:
+            return None
+        return (self.ratio - 1.0) * 100.0
+
     def as_dict(self) -> dict:
         return {
             "bench": self.bench,
@@ -59,6 +67,7 @@ class Verdict:
             "baseline_wall_s": self.baseline_wall_s,
             "window": self.window,
             "ratio": self.ratio,
+            "delta_pct": self.delta_pct,
         }
 
 

@@ -303,14 +303,21 @@ def run_bench(
     repeats: int = 3,
     seed: int = DEFAULT_SEED,
     alloc: bool = True,
+    merge_into: obs.Registry | None = None,
 ) -> dict:
     """Execute one spec and build its trajectory record.
 
-    The timed repeats run with only the span registry collecting; the
-    allocation pass (tracemalloc roughly halves throughput) runs once
-    more *after* timing so it can never pollute ``wall_s``.
+    The timed repeats run with only the span registry collecting (a
+    thread-local override, so an outer telemetry registry keeps
+    working); the allocation pass (tracemalloc roughly halves
+    throughput) runs once more *after* timing so it can never pollute
+    ``wall_s``.  ``merge_into`` optionally receives the bench
+    registry's portable snapshot afterwards, with ``worker=<bench id>``
+    provenance — how ``repro bench run --journal`` gets per-bench
+    metrics into the live event stream.
     """
     from repro.engine import plan_cache
+    from repro.obs.live.merge import merge_portable, portable_snapshot, roundtrip
 
     if repeats < 1:
         raise ConfigurationError("repeats must be >= 1")
@@ -319,13 +326,17 @@ def run_bench(
     started_at = time.time()
     walls: list[float] = []
     registry = obs.Registry(max_trace_events=50_000)
-    with obs.collecting(registry):
+    with obs.using(registry):
         for repeat in range(repeats):
             rng = default_rng(seed)
             with obs.span("bench.repeat", bench=spec.id, repeat=repeat):
                 t0 = perf_counter()
                 work = workload.run(rng)
                 walls.append(perf_counter() - t0)
+    if merge_into is not None:
+        merge_portable(
+            merge_into, roundtrip(portable_snapshot(registry)), worker=spec.id
+        )
 
     alloc_peak_kb = alloc_blocks = None
     if alloc:

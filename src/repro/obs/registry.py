@@ -27,6 +27,7 @@ To collect, install a real :class:`Registry` — either explicitly
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager, nullcontext
 from time import perf_counter
 from typing import Callable, ContextManager, Iterator
@@ -52,6 +53,28 @@ def metric_key(name: str, labels: dict[str, object]) -> str:
         return name
     inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
     return f"{name}{{{inner}}}"
+
+
+def split_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`metric_key`: ``"name{a=1,b=2}"`` back into
+    ``("name", {"a": "1", "b": "2"})``.  Label *values* produced by the
+    library never contain ``,`` or ``=``, which keeps this exact."""
+    name, brace, rest = key.partition("{")
+    if not brace:
+        return key, {}
+    labels: dict[str, str] = {}
+    for part in rest.rstrip("}").split(","):
+        if part:
+            k, _, v = part.partition("=")
+            labels[k] = v
+    return name, labels
+
+
+def _with_worker(key: str, worker: str) -> str:
+    """Re-flatten ``key`` with a ``worker`` provenance label added."""
+    name, labels = split_metric_key(key)
+    labels["worker"] = worker
+    return metric_key(name, labels)
 
 
 class Registry:
@@ -104,6 +127,44 @@ class Registry:
                 yield
             finally:
                 self.histogram(f"{name}.seconds").observe(self.clock() - start)
+
+    # -- cross-worker aggregation ---------------------------------------
+    def merge_snapshot(self, snapshot: dict, *, worker: str | None = None) -> None:
+        """Fold another registry's :meth:`snapshot` into this one — the
+        aggregation protocol worker threads/processes use to report
+        back to a parent (see :mod:`repro.obs.live.merge`).
+
+        Counters and histograms merge into their *original* keys, so
+        the parent's totals are global (replaying a journal reproduces
+        them exactly no matter where the increments happened).  Gauges
+        are last-write-wins and meaningless summed, so each worker's
+        gauges keep a ``worker=<label>`` provenance label; spans get
+        ``worker`` added to their meta.  Every merge also increments
+        ``obs.workers_merged{worker=...}`` so provenance survives in
+        the metric namespace itself.
+        """
+        for key, value in snapshot.get("counters", {}).items():
+            metric = self._counters.get(key)
+            if metric is None:
+                metric = self._counters[key] = Counter(key)
+            metric.inc(float(value))
+        for key, value in snapshot.get("gauges", {}).items():
+            target = _with_worker(key, worker) if worker is not None else key
+            gauge = self._gauges.get(target)
+            if gauge is None:
+                gauge = self._gauges[target] = Gauge(target)
+            gauge.set(float(value))
+        for key, hist_dict in snapshot.get("histograms", {}).items():
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = Histogram(key)
+            hist.merge_dict(hist_dict)
+        spans = snapshot.get("spans", {})
+        self.tracer.absorb(
+            spans.get("events", []), spans.get("dropped", 0), worker=worker
+        )
+        if worker is not None:
+            self.counter("obs.workers_merged", worker=worker).inc()
 
     # -- lifecycle ------------------------------------------------------
     def reset(self) -> None:
@@ -160,10 +221,26 @@ class NullRegistry:
 NULL_REGISTRY = NullRegistry()
 _active: Registry | NullRegistry = NULL_REGISTRY
 
+#: Per-thread registry overrides (a stack, so `using` nests).  Worker
+#: threads route their instrumentation into a private registry without
+#: disturbing the process-wide one — and without sharing the parent
+#: tracer's span *stack* across threads, which would interleave
+#: unrelated spans into bogus parent/child paths.
+_tls = threading.local()
+
+
+def _current() -> Registry | NullRegistry:
+    override = getattr(_tls, "stack", None)
+    if override:
+        return override[-1]
+    return _active
+
 
 def get_registry() -> Registry | NullRegistry:
-    """The currently installed registry (the null one by default)."""
-    return _active
+    """The currently active registry: this thread's `using` override
+    if one is set, else the process-wide installed one (the null
+    registry by default)."""
+    return _current()
 
 
 def install(registry: Registry | NullRegistry) -> Registry | NullRegistry:
@@ -194,23 +271,40 @@ def collecting(
         install(previous)
 
 
+@contextmanager
+def using(registry: Registry | NullRegistry) -> Iterator[Registry | NullRegistry]:
+    """Route *this thread's* instrumentation into ``registry`` for the
+    scope — the worker-side half of the cross-process aggregation
+    protocol.  Unlike :func:`install`/:func:`collecting`, other
+    threads are unaffected; the worker's registry is merged back into
+    the parent with :meth:`Registry.merge_snapshot` afterwards."""
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    stack.append(registry)
+    try:
+        yield registry
+    finally:
+        stack.pop()
+
+
 def enabled() -> bool:
-    """Whether a live (non-null) registry is installed."""
-    return _active.enabled
+    """Whether a live (non-null) registry is active on this thread."""
+    return _current().enabled
 
 
 # -- hook-side conveniences: obs.counter(...) etc. ----------------------
 def counter(name: str, /, **labels: object):
-    return _active.counter(name, **labels)
+    return _current().counter(name, **labels)
 
 
 def gauge(name: str, /, **labels: object):
-    return _active.gauge(name, **labels)
+    return _current().gauge(name, **labels)
 
 
 def histogram(name: str, /, **labels: object):
-    return _active.histogram(name, **labels)
+    return _current().histogram(name, **labels)
 
 
 def span(name: str, /, **meta: object) -> ContextManager[None]:
-    return _active.span(name, **meta)
+    return _current().span(name, **meta)

@@ -13,6 +13,13 @@ full, further events are counted in ``dropped`` but not stored.
 Aggregate statistics never saturate — the owning
 :class:`~repro.obs.registry.Registry` also feeds every span duration
 into a ``<name>.seconds`` histogram.
+
+A span whose body raises still closes (the stack always unwinds) and
+its record carries ``meta["error"]`` naming the exception type, so a
+skewed parent duration in a trace is attributable to the failing
+child.  An optional ``sink`` callable observes *every* completed span
+— including ones the bounded buffer drops — which is how the live
+event journal (:mod:`repro.obs.live.journal`) streams spans to disk.
 """
 
 from __future__ import annotations
@@ -52,11 +59,13 @@ class Tracer:
         self,
         max_events: int = 10_000,
         clock: Callable[[], float] = perf_counter,
+        sink: Callable[[SpanRecord], None] | None = None,
     ):
         if max_events < 0:
             raise ValueError("max_events must be non-negative")
         self.max_events = max_events
         self.clock = clock
+        self.sink = sink
         self.events: list[SpanRecord] = []
         self.dropped = 0
         self._stack: list[str] = []
@@ -65,14 +74,26 @@ class Tracer:
     def active_depth(self) -> int:
         return len(self._stack)
 
+    @property
+    def active_path(self) -> str:
+        """The slash-joined stack of currently open spans ("" when
+        idle) — what a crash report names as the failing region."""
+        return "/".join(self._stack)
+
     @contextmanager
     def span(self, name: str, /, **meta: object) -> Iterator[None]:
         self._stack.append(name)
         path = "/".join(self._stack)
         depth = len(self._stack) - 1
+        error: str | None = None
         start = self.clock()
         try:
             yield
+        except BaseException as exc:
+            # The stack still unwinds (finally below); tag the record so
+            # a trace shows *which* span the exception escaped from.
+            error = type(exc).__name__
+            raise
         finally:
             duration = self.clock() - start
             self._stack.pop()
@@ -82,10 +103,55 @@ class Tracer:
                 depth=depth,
                 start=start,
                 duration_s=duration,
-                meta=meta,
+                meta=dict(meta) if error is None else {**meta, "error": error},
             )
             if len(self.events) < self.max_events:
                 self.events.append(record)
+            else:
+                self.dropped += 1
+            if self.sink is not None:
+                try:
+                    self.sink(record)
+                except Exception:
+                    # A broken sink must never corrupt the span stack or
+                    # mask the body's own exception.
+                    pass
+
+    def absorb(self, events, dropped: int = 0, *, worker: str | None = None) -> None:
+        """Merge completed spans from another tracer (or their
+        ``as_dict`` forms) into this one, tagging each with its
+        ``worker`` provenance label.  Respects ``max_events``; the
+        child's own drop count carries over."""
+        self.dropped += int(dropped)
+        for event in events:
+            record = (
+                event
+                if isinstance(event, SpanRecord)
+                else SpanRecord(
+                    name=event["name"],
+                    path=event["path"],
+                    depth=int(event["depth"]),
+                    start=float(event["start"]),
+                    duration_s=float(event["duration_s"]),
+                    meta=dict(event.get("meta", {})),
+                )
+            )
+            if worker is not None:
+                record = SpanRecord(
+                    name=record.name,
+                    path=record.path,
+                    depth=record.depth,
+                    start=record.start,
+                    duration_s=record.duration_s,
+                    meta={**record.meta, "worker": worker},
+                )
+            if len(self.events) < self.max_events:
+                self.events.append(record)
+                if self.sink is not None:
+                    try:
+                        self.sink(record)
+                    except Exception:
+                        pass
             else:
                 self.dropped += 1
 

@@ -1,0 +1,81 @@
+"""Catalog-completeness lint: the metric namespace cannot drift.
+
+Greps every ``.counter("...")`` / ``.gauge`` / ``.histogram`` /
+``.span`` call in ``src/`` (multi-line calls included) and checks the
+name set against :data:`repro.obs.catalog.CATALOG` in both directions:
+
+* a metric emitted in source but missing from the catalog fails with
+  the missing names (and the files using them) listed;
+* a cataloged name that no longer appears as a string literal anywhere
+  in ``src/`` is stale and fails too.
+
+Dynamic names (f-strings, like the derived ``<span>.seconds``
+histograms) are exempt — they cannot be cataloged one-by-one.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.obs.catalog import CATALOG, SPAN_SECONDS_SUFFIX
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+#: ``registry.counter("name", ...)`` and friends; ``re.S`` lets the
+#: quoted name sit on the line after the opening paren.
+_EMIT_CALL = re.compile(
+    r"\.(counter|gauge|histogram|span)\(\s*(f?)\"([^\"]+)\"", re.S
+)
+
+
+def _emitted_names() -> dict[str, set[str]]:
+    """Metric/span name -> the src-relative files emitting it."""
+    names: dict[str, set[str]] = {}
+    for path in sorted(SRC.rglob("*.py")):
+        if path.name == "catalog.py":
+            continue
+        for match in _EMIT_CALL.finditer(path.read_text(encoding="utf-8")):
+            _kind, fprefix, name = match.groups()
+            if fprefix:  # dynamic name (e.g. the .seconds suffix)
+                continue
+            names.setdefault(name, set()).add(str(path.relative_to(SRC)))
+    return names
+
+
+def test_every_emitted_name_is_cataloged():
+    cataloged = {m.name for m in CATALOG}
+    emitted = _emitted_names()
+    missing = {
+        name: sorted(files)
+        for name, files in sorted(emitted.items())
+        if name not in cataloged and not name.endswith(SPAN_SECONDS_SUFFIX)
+    }
+    assert not missing, (
+        "metric names emitted in src/ but missing from repro/obs/catalog.py:\n"
+        + "\n".join(f"  {name}  (used in {', '.join(files)})"
+                    for name, files in missing.items())
+    )
+
+
+def test_no_stale_catalog_entries():
+    emitted = set(_emitted_names())
+    stale = sorted(
+        m.name
+        for m in CATALOG
+        if m.name not in emitted
+    )
+    assert not stale, (
+        "cataloged metric names no longer emitted anywhere in src/ "
+        "(remove them or restore the instrumentation): " + ", ".join(stale)
+    )
+
+
+def test_catalog_kinds_and_names_wellformed():
+    kinds = {"counter", "gauge", "histogram", "span"}
+    seen: set[str] = set()
+    for m in CATALOG:
+        assert m.kind in kinds, f"{m.name}: unknown kind {m.kind!r}"
+        assert m.description, f"{m.name}: empty description"
+        assert m.name not in seen, f"duplicate catalog entry {m.name}"
+        seen.add(m.name)
