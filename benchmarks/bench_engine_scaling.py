@@ -1,0 +1,121 @@
+"""Engine scaling: sharded multiprocess backend vs the serial stream.
+
+Standalone script (not a pytest-benchmark module)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_scaling.py \
+        --workers 1 2 4 --out BENCH_scaling.json
+
+For each worker count it streams the same half-load trial set through
+``get_backend("process", workers=w)`` and reports trials/s plus the
+speedup over the 1-worker baseline.  Because the shard grid depends
+only on the trial count — never on the worker count — every row folds
+the *same* per-shard summaries, and the script exits 1 if any row's
+``(routed_total, worst_epsilon, violations)`` differs from the
+baseline's.  ``--smoke`` shrinks the geometry/trials for CI.
+
+The registry-driven equivalent (records appended to
+BENCH_TRAJECTORY.jsonl, gated by ``repro bench compare``) is the
+``scaling`` suite: ``repro bench run --suite scaling``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.engine import StreamSpec, get_backend
+from repro.switches.columnsort_switch import ColumnsortSwitch
+
+
+def _bench_workers(switch, spec: StreamSpec, workers: int, reps: int):
+    backend = get_backend(
+        "process", workers=workers, shard_trials=spec.shard_trials
+    )
+    backend.run_stream(  # spin the pool up outside the timed region
+        switch, StreamSpec(trials=spec.shard_trials, shard_trials=spec.shard_trials)
+    )
+    best = float("inf")
+    summary = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        summary = backend.run_stream(switch, spec)
+        best = min(best, time.perf_counter() - t0)
+    return {
+        "workers": workers,
+        "seconds": best,
+        "trials_per_s": spec.trials / best,
+        "routed_total": summary.routed_total,
+        "worst_epsilon": summary.worst_epsilon,
+        "violations": summary.violations,
+        "shards": summary.shards,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    parser.add_argument(
+        "--workers", type=int, nargs="+", default=[1, 2, 4],
+        help="worker counts to sweep (first is the speedup baseline)",
+    )
+    parser.add_argument("--trials", type=int, default=2048)
+    parser.add_argument("--shard-trials", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes for CI smoke runs"
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        switch = ColumnsortSwitch.from_beta(256, 0.75, 192)
+        trials, shard_trials = min(args.trials, 1024), min(args.shard_trials, 128)
+    else:
+        switch = ColumnsortSwitch.from_beta(4096, 0.75, 3072)
+        trials, shard_trials = args.trials, args.shard_trials
+    spec = StreamSpec(
+        trials=trials, seed=args.seed, load="half", shard_trials=shard_trials
+    )
+
+    rows = [
+        _bench_workers(switch, spec, workers, args.reps)
+        for workers in args.workers
+    ]
+    base = rows[0]
+    fold_keys = ("routed_total", "worst_epsilon", "violations")
+    for row in rows:
+        row["speedup"] = base["seconds"] / row["seconds"]
+        row["match"] = all(row[k] == base[k] for k in fold_keys)
+        status = "ok" if row["match"] else "MISMATCH"
+        print(
+            f"workers {row['workers']:2d}  {row['trials_per_s']:9.1f} trials/s  "
+            f"speedup {row['speedup']:5.2f}x  "
+            f"eps {row['worst_epsilon']}  [{status}]"
+        )
+
+    report = {
+        "switch": {"n": switch.n, "m": switch.m},
+        "trials": trials,
+        "shard_trials": shard_trials,
+        "seed": args.seed,
+        "smoke": args.smoke,
+        "rows": rows,
+    }
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"report written to {args.out}")
+
+    if not all(row["match"] for row in rows):
+        print(
+            "ERROR: stream summary varies with the worker count",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

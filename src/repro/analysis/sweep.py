@@ -28,7 +28,16 @@ from typing import Callable, Iterable, Mapping
 import numpy as np
 
 from repro import obs
+from repro.errors import ConfigurationError
 from repro.obs.live.merge import merge_portable, portable_snapshot, roundtrip
+
+
+def _sweep_job(job: dict) -> dict[str, object]:
+    """Worker-process body for one parameter measurement."""
+    value, extra = job["call"]
+    row: dict[str, object] = {"param": value}
+    row.update(job["measure"](value, *extra))
+    return row
 
 
 def sweep(
@@ -37,6 +46,7 @@ def sweep(
     *,
     workers: int = 0,
     seed: int | None = None,
+    executor: str = "thread",
 ) -> list[dict[str, object]]:
     """Run ``measure`` across ``parameters`` and collect dict rows,
     tagging each with its parameter value under the key ``param``.
@@ -44,10 +54,16 @@ def sweep(
     ``measure`` is called as ``measure(value)``; when ``seed`` is given
     it is called as ``measure(value, rng)`` with a per-parameter
     deterministic generator (see module docstring).  ``workers > 1``
-    fans the calls out over a thread pool; rows always come back in
+    fans the calls out — over a thread pool by default, or over the
+    persistent multiprocess engine pool with ``executor="process"``
+    (``measure`` must then be picklable); rows always come back in
     parameter order, and any metrics the tasks emit merge back into
     the caller's registry in that same order (see module docstring).
     """
+    if executor not in ("thread", "process"):
+        raise ConfigurationError(
+            f"unknown sweep executor {executor!r} (thread or process)"
+        )
     params = list(parameters)
     if seed is not None:
         children = np.random.SeedSequence(seed).spawn(len(params))
@@ -69,6 +85,25 @@ def sweep(
         return [_one(call) for call in calls]
 
     parent = obs.get_registry()
+    if executor == "process":
+        from repro.engine.backends.pool import shared_pool
+
+        pool = shared_pool(workers)
+        futures = [
+            pool.submit(
+                _sweep_job,
+                {"call": call, "measure": measure, "shard": index},
+            )
+            for index, call in enumerate(calls)
+        ]
+        rows = []
+        for index, future in enumerate(futures):
+            row, snapshot = future.result()
+            if parent.enabled:
+                merge_portable(parent, snapshot, worker=f"sweep-{index}")
+            rows.append(row)
+        return rows
+
     if not parent.enabled:
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(_one, calls))

@@ -440,9 +440,27 @@ def cmd_verify(args: argparse.Namespace) -> int:
     switch = _build_switch(args)
     rng = default_rng(args.seed)
     spec = switch.spec
+    mode = args.backend or ("batch" if args.batch else "scalar")
     tracks_eps = hasattr(switch, "final_positions")
     worst_eps: int | None = 0 if tracks_eps else None
-    if args.batch:
+    if mode == "process":
+        # The sharded multiprocess backend: trials are generated per
+        # SeedSequence-keyed shard, so the measured ε/α are identical
+        # for any --workers count (but differ from the sequential
+        # --batch draw order).
+        from repro.engine import StreamSpec, get_backend, resolve_workers
+
+        backend = get_backend("process", workers=resolve_workers(args.workers))
+        summary = backend.run_stream(
+            switch, StreamSpec(trials=args.trials, seed=args.seed)
+        )
+        worst_eps = summary.worst_epsilon
+        if summary.violations:
+            raise ConcentrationError(
+                f"{summary.violations} trial(s) violated the contract: "
+                + "; ".join(summary.messages)
+            )
+    elif mode == "batch":
         from repro.engine import (
             nearsortedness_batch,
             validate_batch_partial_concentration,
@@ -489,7 +507,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
                     "schema": "repro.cli/verify@1",
                     "switch": repr(switch),
                     "trials": args.trials,
-                    "mode": "batch" if args.batch else "scalar",
+                    "mode": mode,
                     "alpha": round(float(spec.alpha), 6),
                     "worst_epsilon": worst_eps,
                     "epsilon_bound": bound,
@@ -505,7 +523,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
                     {
                         "switch": repr(switch),
                         "trials": args.trials,
-                        "mode": "batch" if args.batch else "scalar",
+                        "mode": mode,
                         "alpha": f"{spec.alpha:.4f}",
                         "worst eps": worst_eps if worst_eps is not None else "-",
                         "eps bound": bound if bound is not None else "-",
@@ -528,6 +546,9 @@ def cmd_certify(args: argparse.Namespace) -> int:
     from repro.switches.registry import certify_configs
     from repro.verify import CertifyOptions, certify_design, write_certificate
 
+    from repro.engine import resolve_workers
+
+    workers = resolve_workers(args.workers)
     options = CertifyOptions(max_total=args.max_total, max_per_k=args.max_per_k)
     explicit: dict[str, object] = {}
     if args.n:
@@ -554,7 +575,11 @@ def cmd_certify(args: argparse.Namespace) -> int:
         tele.phase("certify", total=len(configs))
         for index, (design, params) in enumerate(configs):
             try:
-                certs.append(certify_design(design, params, options=options))
+                certs.append(
+                    certify_design(
+                        design, params, options=options, workers=workers
+                    )
+                )
             except TypeError as exc:  # e.g. a missing required override
                 raise ReproError(f"bad parameters for {design!r}: {exc}") from exc
             tele.advance("certify", index + 1, len(configs))
@@ -961,10 +986,12 @@ def cmd_faults(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.engine import resolve_workers
     from repro.network.simulate import compare_partial_vs_perfect
     from repro.switches.perfect import PerfectConcentrator
     from repro.switches.registry import build_switch
 
+    workers = resolve_workers(args.workers)
     with _telemetry_scope(args) as tele:
         partial = build_switch(
             args.switch, n=args.n, m=args.m, r=args.r, s=args.s, beta=args.beta
@@ -981,7 +1008,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
             k_values,
             trials=args.trials,
             seed=args.seed,
-            workers=args.workers,
+            workers=workers,
+            executor=args.backend,
         )
         tele.advance("compare", len(k_values), len(k_values))
         if args.format == "json":
@@ -1117,9 +1145,11 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
 
 
 def cmd_bench_run(args: argparse.Namespace) -> int:
+    from repro.engine import resolve_workers
     from repro.obs.perf.suite import run_bench, suite_specs
     from repro.obs.perf.trajectory import append_records
 
+    workers_cap = resolve_workers(args.workers)
     specs = suite_specs(args.suite, contains=args.filter or None)
     if not specs:
         raise ReproError(
@@ -1136,6 +1166,7 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 alloc=not args.no_alloc,
                 merge_into=tele.registry,
+                workers_cap=workers_cap,
             )
             records.append(record)
             tele.advance("bench", index + 1, len(specs))
@@ -1443,7 +1474,23 @@ def build_parser() -> argparse.ArgumentParser:
                 "--batch",
                 action="store_true",
                 help="verify through the batched engine path "
-                "(setup_batch + vectorised contract checks)",
+                "(setup_batch + vectorised contract checks); "
+                "alias for --backend batch",
+            )
+            p.add_argument(
+                "--backend",
+                choices=["scalar", "batch", "process"],
+                default=None,
+                help="engine backend (default scalar; process = sharded "
+                "multiprocess engine, see --workers)",
+            )
+            p.add_argument(
+                "--workers",
+                type=int,
+                default=1,
+                help="worker processes for --backend process "
+                "(0 = one per core); results are identical for any "
+                "worker count",
             )
             p.add_argument(
                 "--format", choices=["table", "json"], default="table"
@@ -1486,6 +1533,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write certificate JSON artifacts (a directory, or a .json "
         "path when certifying a single config)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for chunk certification (0 = one per "
+        "core); certificates are byte-identical for any worker count",
     )
     p.add_argument("--format", choices=["table", "json"], default="table")
     p.add_argument(
@@ -1631,8 +1685,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="worker threads for the batched path (0 = legacy serial loop); "
-        "results are identical for any workers >= 1",
+        help="workers for the batched path (0 = one per core); "
+        "results are identical for any worker count",
+    )
+    p.add_argument(
+        "--backend",
+        choices=["thread", "process"],
+        default="thread",
+        help="how --workers fan out: thread pool (default) or the "
+        "sharded multiprocess engine pool",
     )
     p.add_argument("--format", choices=["table", "json"], default="table")
     p.add_argument(
@@ -1790,6 +1851,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-alloc",
         action="store_true",
         help="skip the (untimed) tracemalloc allocation pass",
+    )
+    pb.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="cap the process fan-out of scaling benches "
+        "(0 = one per core; other suites are unaffected)",
     )
     _add_telemetry_flags(pb)
     pb.set_defaults(func=cmd_bench_run)

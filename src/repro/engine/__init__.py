@@ -33,6 +33,15 @@ from repro.engine.batch import (
     run_plan_with_faults,
     validate_batch_partial_concentration,
 )
+from repro.engine.backends import (
+    EngineBackend,
+    StreamSpec,
+    StreamSummary,
+    backend_names,
+    get_backend,
+    register_backend,
+    resolve_workers,
+)
 from repro.engine.plan import (
     PLAN_CACHE,
     ChipLayer,
@@ -50,18 +59,25 @@ __all__ = [
     "BatchRouting",
     "ChipLayer",
     "ComparatorPlan",
+    "EngineBackend",
     "FixedPermutation",
     "PLAN_CACHE",
     "PlanCache",
     "StagePlan",
+    "StreamSpec",
+    "StreamSummary",
+    "backend_names",
     "chip_layer",
     "comparator_stages",
     "concentrate_plan_batch",
     "fixed_permutation",
+    "get_backend",
     "hyperconcentrate_batch",
     "nearsortedness_batch",
     "plan_cache",
     "prefix_ranks_batch",
+    "register_backend",
+    "resolve_workers",
     "run_comparator_plan",
     "run_plan",
     "run_plan_sparse",

@@ -1,0 +1,55 @@
+"""repro.engine.backends — execution paths behind one protocol.
+
+``get_backend("scalar" | "batch" | "packed" | "netlist" | "process")``
+returns an :class:`~repro.engine.backends.base.EngineBackend`; see
+``docs/performance.md`` ("Scaling") for when each wins.
+"""
+
+from repro.engine.backends.base import (
+    CAP_OCCUPANCY,
+    CAP_PARALLEL,
+    CAP_ROUTING,
+    CAP_STREAM,
+    DEFAULT_SHARD_TRIALS,
+    EngineBackend,
+    StreamSpec,
+    StreamSummary,
+    backend_names,
+    get_backend,
+    register_backend,
+    resolve_workers,
+    shard_valid,
+    summarize_batch,
+)
+from repro.engine.backends.local import (
+    BatchBackend,
+    NetlistBackend,
+    PackedGateBackend,
+    ScalarBackend,
+)
+from repro.engine.backends.pool import shared_pool, shutdown_pools
+from repro.engine.backends.sharded import ShardedBackend
+
+__all__ = [
+    "CAP_OCCUPANCY",
+    "CAP_PARALLEL",
+    "CAP_ROUTING",
+    "CAP_STREAM",
+    "DEFAULT_SHARD_TRIALS",
+    "BatchBackend",
+    "EngineBackend",
+    "NetlistBackend",
+    "PackedGateBackend",
+    "ScalarBackend",
+    "ShardedBackend",
+    "StreamSpec",
+    "StreamSummary",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "resolve_workers",
+    "shard_valid",
+    "shared_pool",
+    "shutdown_pools",
+    "summarize_batch",
+]

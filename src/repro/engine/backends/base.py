@@ -1,0 +1,300 @@
+"""The engine backend protocol.
+
+Every de-facto execution path of the repo — the per-trial scalar
+oracle, the vectorized numpy batch engine, the bit-packed gate
+evaluator, the gate netlist — is an *engine backend*: something that
+takes a ``(B, n)`` valid-bit array and produces routings (or, for the
+gate paths, output occupancies).  This module makes that implicit
+family explicit:
+
+* :class:`EngineBackend` — the small interface (``run_trials``,
+  ``run_occupancy``, ``run_stream``, ``capabilities``, ``plan_key``);
+* a named registry (:func:`register_backend` / :func:`get_backend` /
+  :func:`backend_names`) behind the CLI ``--backend`` selector;
+* :class:`StreamSpec` / :class:`StreamSummary` — the deterministic
+  trial-stream contract shared by every backend: trials are generated
+  per *shard* from ``SeedSequence(seed).spawn(n_shards)`` children
+  keyed by shard position, so the stream's ε/α results are identical
+  for any worker count (and for the serial fallback).
+
+Backends declaring the ``parallel`` capability (the sharded
+multiprocess backend in :mod:`repro.engine.backends.sharded`) fan the
+shards out over a persistent process pool; everything else runs them
+in-process through exactly the same shard plan.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro import obs
+from repro.core.concentration import validate_partial_concentration
+from repro.errors import ConfigurationError, ReproError
+
+#: Capability tags a backend may declare.
+CAP_ROUTING = "routing"  #: run_trials produces full BatchRouting rows
+CAP_OCCUPANCY = "occupancy"  #: run_occupancy produces output occupancies
+CAP_STREAM = "stream"  #: run_stream folds a sharded trial stream
+CAP_PARALLEL = "parallel"  #: shards fan out across processes
+
+#: Trials per shard when a stream spec does not say otherwise.  Small
+#: enough that peak memory stays flat at 10^7+ trials, large enough
+#: that the per-shard numpy dispatch overhead is noise.
+DEFAULT_SHARD_TRIALS = 4096
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a ``--workers`` value: ``0`` (or None) means "one per
+    core", negatives are configuration errors (CLI exit code 2)."""
+    if workers is None:
+        workers = 0
+    workers = int(workers)
+    if workers < 0:
+        raise ConfigurationError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """A deterministic stream of random trials.
+
+    ``load="mixed"`` draws a per-trial validity threshold first (the
+    ``repro verify`` distribution); ``load="half"`` is the flat p=0.5
+    throughput workload of the engine benches.
+    """
+
+    trials: int
+    seed: int = 0
+    load: str = "mixed"
+    shard_trials: int = DEFAULT_SHARD_TRIALS
+    #: Validate the (n, m, alpha) contract on every shard.
+    check_contract: bool = True
+    #: Measure worst-case ε-nearsortedness where the switch tracks it.
+    measure_epsilon: bool = True
+
+    def shards(self) -> list[tuple[int, int]]:
+        """``(start, stop)`` trial bounds per shard.  The split depends
+        only on ``trials`` and ``shard_trials`` — never on the worker
+        count — which is what makes stream results worker-invariant."""
+        if self.trials < 0:
+            raise ConfigurationError(f"trials must be >= 0, got {self.trials}")
+        if self.shard_trials < 1:
+            raise ConfigurationError(
+                f"shard_trials must be >= 1, got {self.shard_trials}"
+            )
+        return [
+            (start, min(start + self.shard_trials, self.trials))
+            for start in range(0, self.trials, self.shard_trials)
+        ]
+
+
+def shard_valid(
+    n: int, count: int, entropy: np.random.SeedSequence, load: str
+) -> np.ndarray:
+    """The shard trial generator every backend shares: ``count`` rows
+    of valid bits drawn from a generator seeded by the shard's own
+    SeedSequence child."""
+    rng = np.random.default_rng(entropy)
+    if load == "half":
+        return rng.random((count, n)) < 0.5
+    if load == "mixed":
+        thresholds = rng.random((count, 1))
+        return rng.random((count, n)) < thresholds
+    raise ConfigurationError(f"unknown stream load model {load!r}")
+
+
+@dataclass(frozen=True)
+class StreamSummary:
+    """The streaming reduction's fold state: everything ``repro
+    verify`` needs, at O(1) memory per shard."""
+
+    trials: int = 0
+    shards: int = 0
+    routed_total: int = 0
+    min_routed: int | None = None
+    worst_epsilon: int | None = None
+    violations: int = 0
+    #: First few violation messages (the fold caps this).
+    messages: tuple[str, ...] = field(default=())
+
+    MAX_MESSAGES = 8
+
+    def fold(self, other: "StreamSummary") -> "StreamSummary":
+        """Merge two shard summaries (associative and commutative, so
+        as-completed folding is safe)."""
+
+        def _opt(a, b, op):
+            if a is None:
+                return b
+            if b is None:
+                return a
+            return op(a, b)
+
+        return StreamSummary(
+            trials=self.trials + other.trials,
+            shards=self.shards + other.shards,
+            routed_total=self.routed_total + other.routed_total,
+            min_routed=_opt(self.min_routed, other.min_routed, min),
+            worst_epsilon=_opt(self.worst_epsilon, other.worst_epsilon, max),
+            violations=self.violations + other.violations,
+            messages=(self.messages + other.messages)[: self.MAX_MESSAGES],
+        )
+
+
+def summarize_batch(
+    switch,
+    valid: np.ndarray,
+    routing: np.ndarray,
+    *,
+    check_contract: bool = True,
+    measure_epsilon: bool = True,
+) -> StreamSummary:
+    """Reduce one shard's routings to a :class:`StreamSummary`.
+
+    Contract violations are *counted* (with row-localised messages),
+    never raised — the caller decides whether a violated stream is an
+    exit code or a recorded finding.
+    """
+    from repro.engine.batch import BatchRouting, nearsortedness_batch
+    from repro.verify.differential import output_occupancy
+
+    batch = BatchRouting(
+        n_inputs=switch.n,
+        n_outputs=switch.m,
+        valid=valid,
+        input_to_output=routing,
+    )
+    routed = batch.routed_counts
+    violations = 0
+    messages: list[str] = []
+    if check_contract:
+        spec = switch.spec
+        for i in range(valid.shape[0]):
+            try:
+                validate_partial_concentration(spec, valid[i], routing[i])
+            except ReproError as exc:
+                violations += 1
+                if len(messages) < StreamSummary.MAX_MESSAGES:
+                    messages.append(f"trial {i}: {exc}")
+    worst_eps: int | None = None
+    if measure_epsilon and hasattr(switch, "final_positions"):
+        occupancy = output_occupancy(switch, valid, routing=routing)
+        if occupancy is not None:
+            worst_eps = int(nearsortedness_batch(occupancy).max(initial=0))
+    return StreamSummary(
+        trials=int(valid.shape[0]),
+        shards=1,
+        routed_total=int(routed.sum()),
+        min_routed=int(routed.min()) if routed.size else None,
+        worst_epsilon=worst_eps,
+        violations=violations,
+        messages=tuple(messages),
+    )
+
+
+class EngineBackend:
+    """One execution path behind the ``--backend`` selector.
+
+    Subclasses set :attr:`name`, declare :meth:`capabilities`, and
+    implement :meth:`run_trials` (routing backends) or
+    :meth:`run_occupancy` (gate backends).  :meth:`run_stream` has a
+    serial default that every backend inherits; the multiprocess
+    backend overrides it to fan shards over the worker pool.
+    """
+
+    name = "abstract"
+
+    def capabilities(self) -> frozenset:
+        raise NotImplementedError
+
+    def plan_key(self, switch) -> tuple | None:
+        """The switch's compiled-plan cache key, or None for switches
+        without a plan (accessing it compiles the plan as a side
+        effect, which is exactly what warm-start shipping needs)."""
+        plan = getattr(switch, "_plan", None)
+        return getattr(plan, "key", None)
+
+    def run_trials(self, switch, valid: np.ndarray):
+        """Route a ``(B, n)`` trial array; returns a
+        :class:`~repro.engine.batch.BatchRouting`."""
+        raise ConfigurationError(
+            f"backend {self.name!r} cannot produce routings "
+            f"(capabilities: {', '.join(sorted(self.capabilities()))})"
+        )
+
+    def run_occupancy(self, switch, valid: np.ndarray) -> np.ndarray | None:
+        """Output occupancy bits per trial, or None where the switch
+        cannot report final positions."""
+        from repro.verify.differential import output_occupancy
+
+        batch = self.run_trials(switch, valid)
+        return output_occupancy(switch, valid, routing=batch.input_to_output)
+
+    def run_stream(self, switch, spec: StreamSpec) -> StreamSummary:
+        """Generate and reduce ``spec.trials`` random trials, shard by
+        shard (the serial reference fold; see module docstring)."""
+        shards = spec.shards()
+        children = np.random.SeedSequence(spec.seed).spawn(max(1, len(shards)))
+        summary = StreamSummary()
+        for index, (start, stop) in enumerate(shards):
+            obs.counter("engine.shards", backend=self.name).inc()
+            valid = shard_valid(switch.n, stop - start, children[index], spec.load)
+            batch = self.run_trials(switch, valid)
+            summary = summary.fold(
+                summarize_batch(
+                    switch,
+                    valid,
+                    batch.input_to_output,
+                    check_contract=spec.check_contract,
+                    measure_epsilon=spec.measure_epsilon,
+                )
+            )
+        return summary
+
+
+#: name -> factory(workers=...) for every registered backend.
+_BACKENDS: dict[str, Callable[..., EngineBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., EngineBackend]) -> None:
+    _BACKENDS[name] = factory
+
+
+def backend_names() -> list[str]:
+    return sorted(_BACKENDS)
+
+
+def get_backend(name: str, *, workers: int = 1, **options) -> EngineBackend:
+    """Instantiate a registered backend.  ``workers`` is forwarded to
+    backends that fan out and ignored by the single-process ones."""
+    factory = _BACKENDS.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown engine backend {name!r}; available: "
+            f"{', '.join(backend_names())}"
+        )
+    return factory(workers=workers, **options)
+
+
+__all__ = [
+    "CAP_OCCUPANCY",
+    "CAP_PARALLEL",
+    "CAP_ROUTING",
+    "CAP_STREAM",
+    "DEFAULT_SHARD_TRIALS",
+    "EngineBackend",
+    "StreamSpec",
+    "StreamSummary",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "resolve_workers",
+    "shard_valid",
+    "summarize_batch",
+]

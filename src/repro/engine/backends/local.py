@@ -1,0 +1,126 @@
+"""Single-process backends: the four historical execution paths
+wrapped behind the :class:`~repro.engine.backends.base.EngineBackend`
+protocol.
+
+* ``scalar`` — the per-trial ``setup`` oracle (slow, definitionally
+  correct; what every other path is certified against);
+* ``batch`` — the vectorized ``setup_batch`` engine;
+* ``packed`` — bit-parallel gate-netlist evaluation (64 trials per
+  uint64 lane); occupancy only, n ≤ 16 designs with netlists;
+* ``netlist`` — same netlists through the sequential evaluator, one
+  trial at a time (the reference the packed path is pinned against).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.backends.base import (
+    CAP_OCCUPANCY,
+    CAP_ROUTING,
+    CAP_STREAM,
+    EngineBackend,
+    register_backend,
+)
+from repro.errors import ConfigurationError
+
+
+class ScalarBackend(EngineBackend):
+    """The per-trial scalar oracle behind the protocol."""
+
+    name = "scalar"
+
+    def __init__(self, **_options) -> None:
+        pass
+
+    def capabilities(self) -> frozenset:
+        return frozenset({CAP_ROUTING, CAP_OCCUPANCY, CAP_STREAM})
+
+    def run_trials(self, switch, valid: np.ndarray):
+        from repro.engine.batch import BatchRouting
+
+        valid = np.asarray(valid, dtype=bool)
+        routing = np.full(valid.shape, -1, dtype=np.int64)
+        for i in range(valid.shape[0]):
+            routing[i] = switch.setup(valid[i]).input_to_output
+        return BatchRouting(
+            n_inputs=switch.n,
+            n_outputs=switch.m,
+            valid=valid,
+            input_to_output=routing,
+        )
+
+
+class BatchBackend(EngineBackend):
+    """The vectorized numpy engine (``setup_batch``)."""
+
+    name = "batch"
+
+    def __init__(self, **_options) -> None:
+        pass
+
+    def capabilities(self) -> frozenset:
+        return frozenset({CAP_ROUTING, CAP_OCCUPANCY, CAP_STREAM})
+
+    def run_trials(self, switch, valid: np.ndarray):
+        return switch.setup_batch(np.asarray(valid, dtype=bool))
+
+
+class _GateBackend(EngineBackend):
+    """Shared netlist resolution for the two gate-level backends."""
+
+    def capabilities(self) -> frozenset:
+        return frozenset({CAP_OCCUPANCY})
+
+    def _netlist(self, switch):
+        from repro.verify.differential import netlist_for
+
+        netlist = netlist_for(switch)
+        if netlist is None:
+            raise ConfigurationError(
+                f"backend {self.name!r} needs a gate netlist; "
+                f"{switch!r} has none (n > 16 or unmapped design)"
+            )
+        return netlist
+
+
+class PackedGateBackend(_GateBackend):
+    """Bit-packed netlist evaluation: 64 trials per uint64 lane."""
+
+    name = "packed"
+
+    def __init__(self, **_options) -> None:
+        pass
+
+    def run_occupancy(self, switch, valid: np.ndarray) -> np.ndarray:
+        from repro.gates.evaluate import evaluate_packed
+
+        circuit, out_wires = self._netlist(switch)
+        values = evaluate_packed(circuit, np.asarray(valid, dtype=bool))
+        return values[:, out_wires]
+
+
+class NetlistBackend(_GateBackend):
+    """Sequential netlist evaluation, one trial at a time."""
+
+    name = "netlist"
+
+    def __init__(self, **_options) -> None:
+        pass
+
+    def run_occupancy(self, switch, valid: np.ndarray) -> np.ndarray:
+        from repro.gates.evaluate import evaluate
+
+        circuit, out_wires = self._netlist(switch)
+        valid = np.asarray(valid, dtype=bool)
+        out = np.zeros(valid.shape, dtype=bool)
+        for i in range(valid.shape[0]):
+            values = evaluate(circuit, valid[i])
+            out[i] = np.asarray(values)[out_wires]
+        return out
+
+
+register_backend("scalar", ScalarBackend)
+register_backend("batch", BatchBackend)
+register_backend("packed", PackedGateBackend)
+register_backend("netlist", NetlistBackend)

@@ -1,0 +1,199 @@
+"""The persistent worker-process pool behind the sharded backend.
+
+One :class:`WorkerPool` per worker count lives for the whole process
+(created lazily, shut down atexit), so plan compilation, interpreter
+startup, and numpy import are paid once — not per ``run_trials`` call.
+
+Three pieces of process-boundary plumbing live here:
+
+* **plan shipping** — compiled ``StagePlan``/``ComparatorPlan`` arrays
+  cross the boundary once per ``(type, n, m)`` key via
+  ``PlanCache.snapshot()``/``restore()`` (never rebuilt per shard).
+  Under the ``fork`` start method the pool's children additionally
+  inherit every plan that existed when the pool was created, so the
+  payload only covers keys compiled afterwards.
+* **shared-memory buffers** — :func:`create_shm` / :func:`attach_shm`
+  wrap ``multiprocessing.shared_memory`` so trial arrays (uint8 valid
+  bits in, int32 positions out) avoid pickling.  ``attach_shm``
+  unregisters the segment from the child's resource tracker: on
+  CPython < 3.13 attaching registers it, and the tracker would unlink
+  the parent's segment when the child exits.
+* **collected execution** — :func:`run_collected` runs a job under a
+  private :mod:`repro.obs` registry, samples the worker's own process
+  vitals (``proc.rss_kb`` et al. — the parent's resource sampler only
+  sees the parent), and returns the result with a portable
+  ``repro.obs/worker@1`` snapshot for the parent to merge in work-list
+  order.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro import obs
+from repro.engine.plan import PLAN_CACHE
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def create_shm(nbytes: int) -> shared_memory.SharedMemory:
+    """A fresh shared-memory segment owned (and later unlinked) by the
+    caller."""
+    return shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+
+
+def attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to a parent-owned segment from a worker process without
+    adopting unlink responsibility.
+
+    Only needed under ``spawn``: there each worker runs its own
+    resource tracker, which (CPython < 3.13) registers the segment on
+    attach and would unlink the parent's memory when the worker exits.
+    Under ``fork`` the workers share the parent's tracker, whose
+    registration set already holds the name, so no action is needed
+    (and an extra unregister would double-remove).
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    if "fork" not in multiprocessing.get_all_start_methods():
+        try:  # pragma: no cover - tracker layout is a CPython detail
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+    return shm
+
+
+def _sample_worker_vitals() -> None:
+    """Record this worker's own process vitals as gauges on the active
+    (private) registry; after the merge they surface in the parent as
+    ``proc.rss_kb{pid=...,worker=...}`` etc. — per-worker provenance
+    the parent-side resource sampler cannot provide.  The ``pid`` label
+    lets aggregators (the bench suite's child-RSS roll-up) dedupe the
+    many per-shard samples of one worker process, and distinguish real
+    pool children from the inline ``workers == 1`` fallback running in
+    the parent."""
+    import os
+
+    from repro.obs.live.resource import sample_process
+
+    vitals = sample_process()
+    pid = os.getpid()
+    if vitals.get("rss_kb") is not None:
+        obs.gauge("proc.rss_kb", pid=pid).set(int(vitals["rss_kb"]))
+    obs.gauge("proc.cpu_s", pid=pid).set(vitals["cpu_s"])
+    obs.gauge("proc.gc_collections", pid=pid).set(vitals["gc_collections"])
+
+
+def run_collected(fn, job: dict) -> tuple[object, dict]:
+    """Execute ``fn(job)`` in a worker: restore any shipped plans,
+    collect metrics into a private registry, and return
+    ``(result, portable_snapshot)``.
+
+    Also the serial in-process fallback (``workers == 1`` runs this
+    inline), so journals and provenance labels look the same for every
+    worker count.
+    """
+    from repro.obs.live.merge import portable_snapshot, roundtrip
+
+    plans = job.pop("plans", None)
+    if plans:
+        PLAN_CACHE.restore(plans)
+    delay = job.pop("delay_s", 0.0)
+    if delay:
+        # Test hook: an injected slow shard (see tests/test_backend.py's
+        # regression-gate pin). Never set outside tests.
+        time.sleep(delay)
+    local = obs.Registry()
+    with obs.using(local):
+        with obs.span("engine.shard", shard=job.get("shard", 0)):
+            result = fn(job)
+        _sample_worker_vitals()
+    return result, roundtrip(portable_snapshot(local))
+
+
+class WorkerPool:
+    """A lazily-started, persistent ``ProcessPoolExecutor``."""
+
+    def __init__(self, workers: int) -> None:
+        self.workers = int(workers)
+        self._executor: ProcessPoolExecutor | None = None
+        self._shipped: set = set()
+        self._inherited: set = set()
+
+    @property
+    def executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            ctx = _mp_context()
+            if ctx.get_start_method() == "fork":
+                # Children forked now inherit every already-compiled plan.
+                self._inherited = PLAN_CACHE.keys()
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=ctx
+            )
+        return self._executor
+
+    def plan_payload(self, keys) -> dict | None:
+        """The ``PlanCache.snapshot`` payload to attach to this round's
+        jobs: plans the pool's workers cannot already have.  Keys ship
+        once — callers attach the payload to every job of the round
+        that first needs them, and restore() in the worker is an
+        idempotent no-op for plans it already holds."""
+        wanted = [
+            key
+            for key in keys
+            if key is not None
+            and key not in self._shipped
+            and key not in self._inherited
+        ]
+        if not wanted:
+            return None
+        payload = PLAN_CACHE.snapshot(wanted)
+        self._shipped.update(payload)
+        return payload or None
+
+    def submit(self, fn, job: dict):
+        return self.executor.submit(run_collected, fn, job)
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        self._shipped.clear()
+        self._inherited = set()
+
+
+_POOLS: dict[int, WorkerPool] = {}
+
+
+def shared_pool(workers: int) -> WorkerPool:
+    """The process-wide pool for ``workers`` worker processes."""
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = _POOLS[workers] = WorkerPool(workers)
+    return pool
+
+
+def shutdown_pools() -> None:
+    for pool in _POOLS.values():
+        pool.shutdown()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+def as_shm_array(
+    shm: shared_memory.SharedMemory, shape: tuple, dtype
+) -> np.ndarray:
+    """View a segment as an ndarray (no copy)."""
+    return np.ndarray(shape, dtype=dtype, buffer=shm.buf)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable, Hashable
+from typing import Callable, Hashable, Iterable
 
 import numpy as np
 
@@ -153,6 +153,23 @@ def comparator_stages(
 _CLEAR_HOOKS: list[Callable[[], None]] = []
 
 
+def _refreeze_plan(plan: object) -> None:
+    """Re-apply the read-only flag to a plan's arrays in place (pickle
+    round-trips produce writable copies)."""
+    if isinstance(plan, StagePlan):
+        for op in plan.ops:
+            if isinstance(op, ChipLayer):
+                for arr in (op.groups, op.flat32, op.cm_of):
+                    arr.setflags(write=False)
+            elif isinstance(op, FixedPermutation):
+                op.perm.setflags(write=False)
+                op.perm32.setflags(write=False)
+    elif isinstance(plan, ComparatorPlan):
+        for hi, lo in plan.stages:
+            hi.setflags(write=False)
+            lo.setflags(write=False)
+
+
 class PlanCache:
     """Process-wide cache of compiled plans, keyed by design tuple.
 
@@ -167,6 +184,7 @@ class PlanCache:
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._restored = 0
 
     def get_or_build(self, key: tuple, builder: Callable[[], object]) -> object:
         kind = key[0] if key else "?"
@@ -192,13 +210,57 @@ class PlanCache:
                 "entries": len(self._plans),
                 "hits": self._hits,
                 "misses": self._misses,
+                "restored": self._restored,
             }
+
+    def keys(self) -> set:
+        with self._lock:
+            return set(self._plans)
+
+    def snapshot(self, keys: Iterable[tuple] | None = None) -> dict:
+        """A pure-data, pickle-safe copy of the cache: ``{key: plan}``.
+
+        Plans are immutable dataclasses of read-only numpy arrays, so
+        the plan objects themselves are the payload — no per-process
+        state (locks, counters, obs handles) rides along.  This is what
+        the multiprocess backend ships to warm each worker instead of
+        recompiling plans per shard (see
+        :meth:`repro.engine.backends.pool.WorkerPool.plan_payload`).
+        """
+        with self._lock:
+            if keys is None:
+                return dict(self._plans)
+            return {key: self._plans[key] for key in keys if key in self._plans}
+
+    def restore(self, plans: dict) -> int:
+        """Install a :meth:`snapshot` payload (e.g. after crossing a
+        process boundary) and return how many entries were new.
+
+        Existing entries win — a restore never clobbers a plan the
+        process already built — and neither path counts as a hit or a
+        miss, so the hit/miss counters keep measuring only real lookup
+        traffic.  Arrays are re-frozen: pickling drops the read-only
+        flag, and restored plans are shared exactly like built ones.
+        """
+        installed = 0
+        for key, plan in plans.items():
+            _refreeze_plan(plan)
+            kind = key[0] if key else "?"
+            with self._lock:
+                if key in self._plans:
+                    continue
+                self._plans[key] = plan
+                self._restored += 1
+                installed += 1
+            obs.counter("engine.plan_cache.restored", kind=kind).inc()
+        return installed
 
     def clear(self) -> None:
         with self._lock:
             self._plans.clear()
             self._hits = 0
             self._misses = 0
+            self._restored = 0
         for hook in _CLEAR_HOOKS:
             hook()
 

@@ -328,6 +328,13 @@ def _batched_k_trial(
     return float(np.mean(batch.routed_counts))
 
 
+def _compare_job(job: dict) -> float:
+    """Worker-process body for one (switch, k) comparison item."""
+    return _batched_k_trial(
+        job["switch"], job["k"], job["trials"], job["entropy"]
+    )
+
+
 def compare_partial_vs_perfect(
     perfect: ConcentratorSwitch,
     partial: ConcentratorSwitch,
@@ -335,6 +342,7 @@ def compare_partial_vs_perfect(
     trials: int = 20,
     seed: int | None = None,
     workers: int = 0,
+    executor: str = "thread",
 ) -> dict[int, dict[str, float]]:
     """The Section 1 substitution experiment.
 
@@ -347,10 +355,16 @@ def compare_partial_vs_perfect(
     exactly.  ``workers >= 1`` switches to the batched engine path: each
     (switch, k) work item gets its own ``SeedSequence`` child keyed by
     its position, the trials run through :meth:`setup_batch`, and
-    ``workers > 1`` fans the items over a thread pool — so the results
-    are identical for any worker count, but differ from the serial
-    draw order.
+    ``workers > 1`` fans the items out — over a thread pool by default,
+    or over the persistent multiprocess engine pool with
+    ``executor="process"`` — so the results are identical for any
+    worker count and either executor, but differ from the serial draw
+    order.
     """
+    if executor not in ("thread", "process"):
+        raise ConfigurationError(
+            f"unknown compare executor {executor!r} (thread or process)"
+        )
     if workers >= 1:
         items = [(sw, k) for k in k_values for sw in (perfect, partial)]
         children = np.random.SeedSequence(seed).spawn(len(items))
@@ -366,7 +380,38 @@ def compare_partial_vs_perfect(
             return _batched_k_trial(sw, k, trials, child)
 
         parent = obs.get_registry()
-        if workers > 1 and parent.enabled:
+        if workers > 1 and executor == "process":
+            # Persistent process pool: plans ship once per design key,
+            # each item collects into a private worker registry, and
+            # the snapshots merge back in work-list order below.
+            from repro.engine.backends.pool import shared_pool
+
+            pool = shared_pool(workers)
+            payload = pool.plan_payload(
+                [
+                    getattr(getattr(sw, "_plan", None), "key", None)
+                    for sw in (perfect, partial)
+                ]
+            )
+            futures = []
+            for index, (sw, k, child) in enumerate(jobs):
+                job = {
+                    "switch": sw,
+                    "k": k,
+                    "trials": trials,
+                    "entropy": child,
+                    "shard": index,
+                }
+                if payload:
+                    job["plans"] = payload
+                futures.append(pool.submit(_compare_job, job))
+            means = []
+            for label, future in zip(labels, futures):
+                mean, snapshot = future.result()
+                if parent.enabled:
+                    merge_portable(parent, snapshot, worker=label)
+                means.append(mean)
+        elif workers > 1 and parent.enabled:
             # Each job routes through the batched engine, which emits
             # engine.* metrics and spans: give every job a private
             # thread-local registry and merge the portable snapshots

@@ -38,6 +38,14 @@ CATALOG: tuple[MetricInfo, ...] = (
                "setup_batch invocations, by switch class"),
     MetricInfo("engine.batch_trials", "counter", ("switch",),
                "total trials routed through setup_batch, by switch class"),
+    MetricInfo("engine.plan_cache.restored", "counter", ("kind",),
+               "plans installed from a shipped PlanCache.snapshot() "
+               "payload (worker warm-start), by plan kind"),
+    MetricInfo("engine.shards", "counter", ("backend",),
+               "trial shards dispatched by an engine backend's "
+               "run_stream/run_trials fan-out, by backend name"),
+    MetricInfo("engine.shard", "span", (),
+               "one shard executing in a worker (meta: shard index)"),
     MetricInfo("engine.run_plan", "span", (),
                "one batched plan execution (meta: plan, batch, valid)"),
     MetricInfo("engine.stage", "span", (),

@@ -64,6 +64,12 @@ class BenchSpec:
     description: str = ""
 
 
+#: Worker cap for the scaling workloads, installed by :func:`run_bench`
+#: from the CLI's ``--workers`` for the duration of ``spec.make()``.
+#: ``None`` means uncapped (each spec uses its registered worker count).
+_WORKERS_CAP: int | None = None
+
+
 def _warm(switch) -> None:
     """Compile the switch's plan outside the timed region."""
     warm = np.zeros((2, switch.n), dtype=bool)
@@ -87,6 +93,61 @@ def _engine_factory(build: Callable[[], object], trials: int):
         return Workload(
             run=run,
             meta={"n": switch.n, "m": switch.m, "trials": trials},
+        )
+
+    return make
+
+
+def _scaling_factory(
+    build: Callable[[], object], trials: int, workers: int, shard_trials: int
+):
+    """Cores-vs-throughput point for the ``scaling`` suite: stream
+    ``trials`` half-load trials through the sharded process backend at
+    a fixed worker count.  The shard grid depends only on ``trials`` /
+    ``shard_trials`` — never on ``workers`` — so every point of the
+    curve folds the same per-shard summaries; only the wall time moves.
+    ``workers`` is clamped by :func:`run_bench`'s ``workers_cap`` (the
+    CLI's ``--workers``) so smoke boxes never oversubscribe."""
+
+    def make() -> Workload:
+        from repro.engine import StreamSpec, get_backend
+
+        switch = build()
+        _warm(switch)
+        effective = workers
+        if _WORKERS_CAP is not None and _WORKERS_CAP >= 1:
+            effective = min(effective, _WORKERS_CAP)
+        backend = get_backend(
+            "process", workers=effective, shard_trials=shard_trials
+        )
+        stream = StreamSpec(
+            trials=trials,
+            seed=DEFAULT_SEED,
+            load="half",
+            shard_trials=shard_trials,
+            check_contract=False,
+            measure_epsilon=False,
+        )
+        # Spin the pool up (fork + numpy import) outside the timed region.
+        backend.run_stream(
+            switch, StreamSpec(trials=shard_trials, shard_trials=shard_trials)
+        )
+
+        def run(rng: np.random.Generator) -> int:
+            summary = backend.run_stream(switch, stream)
+            return summary.trials
+
+        return Workload(
+            run=run,
+            meta={
+                "n": switch.n,
+                "m": switch.m,
+                "trials": trials,
+                "shard_trials": shard_trials,
+                "backend": "process",
+                "workers": workers,
+                "workers_effective": effective,
+            },
         )
 
     return make
@@ -250,6 +311,40 @@ SPECS: tuple[BenchSpec, ...] = (
         _certify_factory("revsort", {"n": 16, "m": 12}),
         "exhaustive certify_design('revsort', n=16) wall time",
     ),
+    # -- engine scaling curve (sharded process backend) ----------------
+    #    One spec per (geometry, worker-count) point; plot workers vs
+    #    throughput from the trajectory to get the cores-vs-throughput
+    #    curve in docs/performance.md.
+    BenchSpec(
+        "scaling.columnsort-n256-w1", ("scaling",), "trials",
+        _scaling_factory(_columnsort(256, 192), trials=4096, workers=1,
+                         shard_trials=512),
+        "sharded stream, Columnsort n=256, 1 worker (serial baseline)",
+    ),
+    BenchSpec(
+        "scaling.columnsort-n256-w2", ("scaling",), "trials",
+        _scaling_factory(_columnsort(256, 192), trials=4096, workers=2,
+                         shard_trials=512),
+        "sharded stream, Columnsort n=256, 2 workers",
+    ),
+    BenchSpec(
+        "scaling.columnsort-n4096-w1", ("scaling",), "trials",
+        _scaling_factory(_columnsort(4096, 3072), trials=2048, workers=1,
+                         shard_trials=256),
+        "sharded stream, Thm-4 headline geometry, 1 worker (serial baseline)",
+    ),
+    BenchSpec(
+        "scaling.columnsort-n4096-w2", ("scaling",), "trials",
+        _scaling_factory(_columnsort(4096, 3072), trials=2048, workers=2,
+                         shard_trials=256),
+        "sharded stream, Thm-4 headline geometry, 2 workers",
+    ),
+    BenchSpec(
+        "scaling.columnsort-n4096-w4", ("scaling",), "trials",
+        _scaling_factory(_columnsort(4096, 3072), trials=2048, workers=4,
+                         shard_trials=256),
+        "sharded stream, Thm-4 headline geometry, 4 workers",
+    ),
 )
 
 
@@ -274,16 +369,45 @@ def suite_specs(suite: str, *, contains: str | None = None) -> list[BenchSpec]:
 
 
 def _peak_rss_kb() -> int | None:
-    """Process peak RSS in KiB (ru_maxrss is KiB on Linux, bytes on
-    macOS), or None where the resource module is unavailable."""
+    """Peak RSS in KiB aggregated over this process *and its reaped
+    children* (``RUSAGE_SELF + RUSAGE_CHILDREN``), or None where the
+    resource module is unavailable.  ``ru_maxrss`` is KiB on Linux,
+    bytes on macOS.  RUSAGE_CHILDREN only covers waited-for children,
+    so live pool workers are invisible to it — :func:`_worker_rss_kb`
+    covers those from the merged worker telemetry."""
     try:
         import resource
     except ImportError:  # pragma: no cover - non-POSIX
         return None
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    peak = (
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        + resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    )
     if sys.platform == "darwin":  # pragma: no cover - linux CI
         peak //= 1024
     return int(peak)
+
+
+def _worker_rss_kb(snapshot: dict) -> int:
+    """Resident memory of *live* pool workers, which RUSAGE_CHILDREN
+    cannot see: the ``proc.rss_kb{pid=...,worker=...}`` gauges merged
+    back from worker processes, deduped by pid (one worker serves many
+    shards) and excluding this process itself (the inline
+    ``workers == 1`` fallback samples the parent, already covered by
+    RUSAGE_SELF)."""
+    import os
+
+    from repro.obs.registry import split_metric_key
+
+    by_pid: dict[str, int] = {}
+    own = str(os.getpid())
+    for key, value in snapshot.get("gauges", {}).items():
+        name, labels = split_metric_key(key)
+        pid = labels.get("pid")
+        if name != "proc.rss_kb" or pid is None or pid == own:
+            continue
+        by_pid[pid] = max(by_pid.get(pid, 0), int(value))
+    return sum(by_pid.values())
 
 
 def _span_seconds(snapshot: dict) -> dict:
@@ -304,6 +428,7 @@ def run_bench(
     seed: int = DEFAULT_SEED,
     alloc: bool = True,
     merge_into: obs.Registry | None = None,
+    workers_cap: int | None = None,
 ) -> dict:
     """Execute one spec and build its trajectory record.
 
@@ -314,14 +439,22 @@ def run_bench(
     ``wall_s``.  ``merge_into`` optionally receives the bench
     registry's portable snapshot afterwards, with ``worker=<bench id>``
     provenance — how ``repro bench run --journal`` gets per-bench
-    metrics into the live event stream.
+    metrics into the live event stream.  ``workers_cap`` clamps the
+    worker counts of the scaling workloads (see
+    :func:`_scaling_factory`); it is installed only around
+    ``spec.make()``, where backends are chosen.
     """
     from repro.engine import plan_cache
     from repro.obs.live.merge import merge_portable, portable_snapshot, roundtrip
 
+    global _WORKERS_CAP
     if repeats < 1:
         raise ConfigurationError("repeats must be >= 1")
-    workload = spec.make()
+    _WORKERS_CAP = workers_cap
+    try:
+        workload = spec.make()
+    finally:
+        _WORKERS_CAP = None
     cache_before = plan_cache().stats()
     started_at = time.time()
     walls: list[float] = []
@@ -359,6 +492,9 @@ def run_bench(
     misses = cache_after["misses"] - cache_before["misses"]
     lookups = hits + misses
     median_wall = statistics.median(walls)
+    snapshot = registry.snapshot()
+    rss_self = _peak_rss_kb()
+    rss_workers = _worker_rss_kb(snapshot)
     return new_record(
         bench=spec.id,
         suite=suite,
@@ -369,7 +505,10 @@ def run_bench(
         best_wall_s=min(walls),
         work=int(work),
         throughput=(int(work) / median_wall) if median_wall > 0 else None,
-        rss_peak_kb=_peak_rss_kb(),
+        rss_peak_kb=(
+            rss_self + rss_workers if rss_self is not None else None
+        ),
+        rss_workers_kb=rss_workers,
         alloc_peak_kb=alloc_peak_kb,
         alloc_blocks=alloc_blocks,
         plan_cache={
@@ -377,7 +516,7 @@ def run_bench(
             "misses": misses,
             "hit_rate": (hits / lookups) if lookups else None,
         },
-        span_seconds=_span_seconds(registry.snapshot()),
+        span_seconds=_span_seconds(snapshot),
         meta=workload.meta,
         env=obs.environment(),
         seed=seed,

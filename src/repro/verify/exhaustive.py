@@ -24,7 +24,6 @@ from typing import Iterator
 import numpy as np
 
 from repro import obs
-from repro._util.rng import default_rng
 from repro.core.concentration import validate_partial_concentration
 from repro.engine import nearsortedness_batch, validate_batch_partial_concentration
 from repro.errors import ReproError
@@ -106,15 +105,142 @@ def _localize_contract_rows(spec, chunk: np.ndarray, routing: np.ndarray) -> lis
     return bad
 
 
+def _chunk_rng(seed: int, index: int) -> np.random.Generator:
+    """Chunk-local metamorphic generator, derived from the run seed and
+    the chunk's position — never from a shared sequential stream — so
+    serial and sharded certification draw identical permutations."""
+    return np.random.default_rng(np.random.SeedSequence(entropy=[seed, index]))
+
+
+def _examine_chunk(switch, chunk: np.ndarray, config: dict) -> dict:
+    """Run every check of one pattern chunk and return a pure-data
+    report (pickle-safe: this is the unit of work the multiprocess
+    certifier ships to pool workers).
+
+    ``sections`` lists ``(check, break_on_cap, events)`` in the
+    canonical check order, each event being ``(k, pattern_hex,
+    message)`` — exactly what :func:`certify_switch`'s fold turns into
+    :class:`Violation` records, so serial and parallel certification
+    produce identical certificates.
+    """
+    spec = switch.spec
+    offset = config["offset"]
+    batch_size = chunk.shape[0]
+    ks = chunk.sum(axis=1).astype(np.int64)
+    k_counts: dict[int, int] = {}
+    for k, count in zip(*np.unique(ks, return_counts=True)):
+        k_counts[int(k)] = k_counts.get(int(k), 0) + int(count)
+    checks = {"contract": 0, "epsilon": 0, "scalar_parity": 0, "gate_parity": 0,
+              "metamorphic": 0}
+    sections: list[tuple[str, bool, list[tuple[int, str, str]]]] = []
+    report = {
+        "index": config["index"],
+        "batch_size": batch_size,
+        "k_counts": k_counts,
+        "checks": checks,
+        "worst_eps": None,
+        "sections": sections,
+    }
+
+    def event(k: int, row: np.ndarray, message: str) -> tuple[int, str, str]:
+        return int(k), pattern_hex(row), message
+
+    # -- batch contract ------------------------------------------------
+    try:
+        batch = switch.setup_batch(chunk)
+    except ReproError as exc:
+        sections.append(
+            ("contract", True,
+             [event(ks[0], chunk[0], f"setup_batch raised {exc!r}")])
+        )
+        return report
+    checks["contract"] += batch_size
+    contract_events: list[tuple[int, str, str]] = []
+    try:
+        validate_batch_partial_concentration(spec, batch)
+    except ReproError:
+        for i, msg in _localize_contract_rows(spec, chunk, batch.input_to_output):
+            contract_events.append(event(ks[i], chunk[i], msg))
+    sections.append(("contract", True, contract_events))
+
+    # -- ε-nearsortedness against the theorem bound --------------------
+    occupancy = output_occupancy(switch, chunk, routing=batch.input_to_output)
+    epsilon_bound = config["epsilon_bound"]
+    if config["has_nearsort"] and occupancy is not None:
+        eps = nearsortedness_batch(occupancy)
+        checks["epsilon"] += batch_size
+        report["worst_eps"] = int(eps.max(initial=0))
+        sections.append(
+            ("epsilon", True,
+             [event(ks[i], chunk[i],
+                    f"measured epsilon {int(eps[i])} exceeds bound "
+                    f"{epsilon_bound}")
+              for i in np.flatnonzero(eps > epsilon_bound)])
+        )
+
+    # -- differential: scalar oracle -----------------------------------
+    scalar_stride = config["scalar_stride"]
+    if scalar_stride:
+        offsets = np.arange(batch_size)
+        picked = offsets[(offset + offsets) % scalar_stride == 0]
+        checks["scalar_parity"] += picked.size
+        sections.append(
+            ("scalar-parity", True,
+             [event(ks[i], chunk[i], msg)
+              for i, msg in scalar_parity_failures(
+                  switch, chunk, batch.input_to_output, picked)])
+        )
+
+    # -- differential: gate-level netlist ------------------------------
+    netlist = netlist_for(switch) if config["check_gates"] else None
+    if netlist is not None and occupancy is not None:
+        checks["gate_parity"] += batch_size
+        sections.append(
+            ("gate-parity", True,
+             [event(ks[i], chunk[i], msg)
+              for i, msg in gate_parity_failures(*netlist, chunk, occupancy)])
+        )
+
+    # -- metamorphic relations -----------------------------------------
+    meta_stride = config["meta_stride"]
+    if meta_stride:
+        rng = _chunk_rng(config["seed"], config["index"])
+        offsets = np.arange(batch_size)
+        picked = offsets[(offset + offsets) % meta_stride == 0]
+        checks["metamorphic"] += picked.size
+        meta_events: list[tuple[int, str, str]] = []
+        for i in picked:
+            for msg in metamorphic_failures(switch, chunk[i], rng):
+                meta_events.append(event(ks[i], chunk[i], msg))
+        # The cap never stops the metamorphic scan (matching the
+        # historical recording semantics), hence break_on_cap=False.
+        sections.append(("metamorphic", False, meta_events))
+    return report
+
+
+def _certify_chunk_job(job: dict) -> dict:
+    """Pool-worker entry point: examine one shipped chunk."""
+    return _examine_chunk(job["switch"], job["chunk"], job["config"])
+
+
 def certify_switch(
     switch,
     *,
     design: str = "custom",
     params: dict | None = None,
     options: CertifyOptions | None = None,
+    workers: int = 1,
 ) -> Certificate:
     """Certify one switch instance; never raises on contract failures —
-    every violation is recorded in the returned certificate."""
+    every violation is recorded in the returned certificate.
+
+    ``workers > 1`` fans the pattern chunks over the persistent
+    process pool (:mod:`repro.engine.backends.pool`): chunk boundaries,
+    check strides, and the per-chunk metamorphic generators depend only
+    on the options, and the chunk reports are folded strictly in chunk
+    order, so the certificate JSON is byte-identical for every worker
+    count.
+    """
     options = options or CertifyOptions()
     spec = switch.spec
     has_nearsort = hasattr(switch, "final_positions") and hasattr(
@@ -151,101 +277,76 @@ def certify_switch(
               "metamorphic": 0}
     k_counts: dict[int, int] = {}
     k_exhaustive: dict[int, bool] = {}
-    rng = default_rng(options.seed)
     seen = 0
 
-    def record(check: str, k: int, pattern: np.ndarray, message: str) -> bool:
+    base_config = {
+        "has_nearsort": has_nearsort,
+        "epsilon_bound": cert.epsilon_bound,
+        "scalar_stride": scalar_stride,
+        "meta_stride": meta_stride,
+        "check_gates": netlist is not None,
+        "seed": options.seed,
+    }
+
+    def tasks() -> Iterator[tuple[dict, np.ndarray]]:
+        """(config, chunk) pairs in enumeration order, tracking the
+        pattern offset each chunk starts at."""
+        offset = 0
+        index = 0
+        for k_slice, exhaustive, chunks in slices:
+            if k_slice is not None:
+                k_exhaustive[k_slice] = exhaustive
+            for chunk in chunks:
+                config = dict(
+                    base_config,
+                    index=index,
+                    offset=offset,
+                    k_slice=k_slice,
+                    exhaustive=exhaustive,
+                )
+                yield config, chunk
+                offset += chunk.shape[0]
+                index += 1
+
+    def record(check: str, k: int, hexpat: str, message: str) -> bool:
         """Add one violation; returns False once the cap is hit."""
         obs.counter("verify.violations", design=design, check=check).inc()
         if len(cert.violations) >= options.max_violations:
             cert.violations_truncated = True
             return False
         cert.violations.append(
-            Violation(check=check, k=k, pattern=pattern_hex(pattern), message=message)
+            Violation(check=check, k=k, pattern=hexpat, message=message)
         )
         return True
 
+    def fold(config: dict, report: dict) -> None:
+        nonlocal seen
+        batch_size = report["batch_size"]
+        for k, count in report["k_counts"].items():
+            k_counts[k] = k_counts.get(k, 0) + count
+            if config["k_slice"] is None:
+                k_exhaustive[k] = config["exhaustive"]
+        obs.counter("verify.patterns", design=design).inc(batch_size)
+        for name, delta in report["checks"].items():
+            checks[name] += delta
+        if report["worst_eps"] is not None:
+            cert.worst_epsilon = max(
+                int(cert.worst_epsilon or 0), report["worst_eps"]
+            )
+        for check, break_on_cap, events in report["sections"]:
+            for k, hexpat, message in events:
+                if not record(check, k, hexpat, message) and break_on_cap:
+                    break
+        seen += batch_size
+
     with obs.span("verify.certify", design=design, n=switch.n, m=switch.m):
-        for k_slice, exhaustive, chunks in slices:
-            if cert.violations_truncated:
-                break
-            if k_slice is not None:
-                k_exhaustive[k_slice] = exhaustive
-            for chunk in chunks:
+        if workers > 1:
+            _certify_parallel(switch, list(tasks()), fold, cert, workers)
+        else:
+            for config, chunk in tasks():
                 if cert.violations_truncated:
                     break
-                batch_size = chunk.shape[0]
-                ks = chunk.sum(axis=1).astype(np.int64)
-                for k, count in zip(*np.unique(ks, return_counts=True)):
-                    k_counts[int(k)] = k_counts.get(int(k), 0) + int(count)
-                    if k_slice is None:
-                        k_exhaustive[int(k)] = exhaustive
-                obs.counter("verify.patterns", design=design).inc(batch_size)
-
-                # -- batch contract ------------------------------------
-                try:
-                    batch = switch.setup_batch(chunk)
-                except ReproError as exc:
-                    record("contract", int(ks[0]), chunk[0],
-                           f"setup_batch raised {exc!r}")
-                    continue
-                checks["contract"] += batch_size
-                try:
-                    validate_batch_partial_concentration(spec, batch)
-                except ReproError:
-                    for i, msg in _localize_contract_rows(
-                        spec, chunk, batch.input_to_output
-                    ):
-                        if not record("contract", int(ks[i]), chunk[i], msg):
-                            break
-
-                # -- ε-nearsortedness against the theorem bound --------
-                occupancy = output_occupancy(
-                    switch, chunk, routing=batch.input_to_output
-                )
-                if has_nearsort and occupancy is not None:
-                    eps = nearsortedness_batch(occupancy)
-                    checks["epsilon"] += batch_size
-                    cert.worst_epsilon = max(
-                        int(cert.worst_epsilon or 0), int(eps.max(initial=0))
-                    )
-                    for i in np.flatnonzero(eps > cert.epsilon_bound):
-                        if not record(
-                            "epsilon", int(ks[i]), chunk[i],
-                            f"measured epsilon {int(eps[i])} exceeds bound "
-                            f"{cert.epsilon_bound}",
-                        ):
-                            break
-
-                # -- differential: scalar oracle -----------------------
-                if scalar_stride:
-                    offsets = np.arange(batch_size)
-                    picked = offsets[(seen + offsets) % scalar_stride == 0]
-                    checks["scalar_parity"] += picked.size
-                    for i, msg in scalar_parity_failures(
-                        switch, chunk, batch.input_to_output, picked
-                    ):
-                        if not record("scalar-parity", int(ks[i]), chunk[i], msg):
-                            break
-
-                # -- differential: gate-level netlist ------------------
-                if netlist is not None and occupancy is not None:
-                    checks["gate_parity"] += batch_size
-                    for i, msg in gate_parity_failures(
-                        *netlist, chunk, occupancy
-                    ):
-                        if not record("gate-parity", int(ks[i]), chunk[i], msg):
-                            break
-
-                # -- metamorphic relations -----------------------------
-                if meta_stride:
-                    offsets = np.arange(batch_size)
-                    picked = offsets[(seen + offsets) % meta_stride == 0]
-                    checks["metamorphic"] += picked.size
-                    for i in picked:
-                        for msg in metamorphic_failures(switch, chunk[i], rng):
-                            record("metamorphic", int(ks[i]), chunk[i], msg)
-                seen += batch_size
+                fold(config, _examine_chunk(switch, chunk, config))
 
     cert.checks = checks
     cert.total_patterns = seen
@@ -256,20 +357,60 @@ def certify_switch(
     return cert
 
 
+def _certify_parallel(switch, tasks, fold, cert, workers: int) -> None:
+    """Ship chunk tasks to the worker pool and fold the reports in
+    chunk order (stopping at violation truncation, like the serial
+    loop).  Worker metric snapshots merge back in the same order with
+    ``certify-<chunk>`` provenance."""
+    from repro.engine.backends.pool import shared_pool
+    from repro.obs.live.merge import merge_portable
+
+    pool = shared_pool(workers)
+    plan = getattr(switch, "_plan", None)
+    payload = pool.plan_payload([getattr(plan, "key", None)])
+    futures = []
+    for config, chunk in tasks:
+        job = {
+            "switch": switch,
+            "chunk": chunk,
+            "config": config,
+            "shard": config["index"],
+        }
+        if payload:
+            job["plans"] = payload
+        futures.append((config, pool.submit(_certify_chunk_job, job)))
+    parent = obs.get_registry()
+    for config, future in futures:
+        if cert.violations_truncated:
+            future.cancel()
+            continue
+        report, snapshot = future.result()
+        if parent.enabled:
+            merge_portable(parent, snapshot, worker=f"certify-{config['index']}")
+        fold(config, report)
+
+
 def certify_design(
-    name: str, params: dict, *, options: CertifyOptions | None = None
+    name: str,
+    params: dict,
+    *,
+    options: CertifyOptions | None = None,
+    workers: int = 1,
 ) -> Certificate:
     """Build a registered design and certify it."""
     from repro.switches.registry import build_switch
 
     switch = build_switch(name, **params)
-    return certify_switch(switch, design=name, params=params, options=options)
+    return certify_switch(
+        switch, design=name, params=params, options=options, workers=workers
+    )
 
 
 def certify_registry(
     *,
     designs: list[str] | None = None,
     options: CertifyOptions | None = None,
+    workers: int = 1,
 ) -> list[Certificate]:
     """Certify every registered design at its declared certification
     configs (see :func:`repro.switches.registry.certify_configs`)."""
@@ -277,7 +418,9 @@ def certify_registry(
 
     certificates = []
     for name, params in certify_configs(designs):
-        certificates.append(certify_design(name, params, options=options))
+        certificates.append(
+            certify_design(name, params, options=options, workers=workers)
+        )
     return certificates
 
 

@@ -1,0 +1,270 @@
+"""Engine backend protocol: registry, parity across execution paths,
+plan-cache warm start, and the worker-count determinism guarantees of
+the sharded multiprocess backend."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.engine import (
+    StreamSpec,
+    StreamSummary,
+    backend_names,
+    get_backend,
+    plan_cache,
+    resolve_workers,
+)
+from repro.engine.backends import (
+    CAP_OCCUPANCY,
+    CAP_PARALLEL,
+    CAP_ROUTING,
+    CAP_STREAM,
+    shard_valid,
+    summarize_batch,
+)
+from repro.engine.backends.sharded import ShardedBackend
+from repro.errors import ConfigurationError
+from repro.switches.columnsort_switch import ColumnsortSwitch
+from repro.switches.hyperconcentrator import Hyperconcentrator
+from repro.switches.revsort_switch import RevsortSwitch
+from repro.verify import CertifyOptions, certify_design
+
+#: Small budgets so certify-based tests run in seconds.
+QUICK = CertifyOptions(
+    max_total=1 << 10, max_per_k=32, chunk=64, scalar_rows=16,
+    metamorphic_rows=8,
+)
+
+
+def _mixed_valid(rng, trials: int, n: int) -> np.ndarray:
+    return rng.random((trials, n)) < rng.random((trials, 1))
+
+
+class TestRegistry:
+    def test_all_execution_paths_registered(self):
+        names = backend_names()
+        for name in ("scalar", "batch", "packed", "netlist", "process"):
+            assert name in names
+
+    def test_unknown_backend_is_config_error(self):
+        with pytest.raises(ConfigurationError):
+            get_backend("gpu")
+
+    def test_capabilities(self):
+        assert CAP_ROUTING in get_backend("batch").capabilities()
+        assert CAP_STREAM in get_backend("batch").capabilities()
+        assert CAP_PARALLEL in get_backend("process").capabilities()
+        assert CAP_PARALLEL not in get_backend("batch").capabilities()
+        packed = get_backend("packed").capabilities()
+        assert CAP_OCCUPANCY in packed
+        assert CAP_ROUTING not in packed
+
+    def test_occupancy_only_backend_refuses_routing(self):
+        sw = Hyperconcentrator(8)
+        with pytest.raises(ConfigurationError):
+            get_backend("packed").run_trials(sw, np.zeros((1, 8), bool))
+
+    def test_plan_key_matches_compiled_plan(self):
+        sw = ColumnsortSwitch(8, 2, 12)
+        key = get_backend("batch").plan_key(sw)
+        assert key is not None
+        assert key == get_backend("process").plan_key(sw)
+        assert get_backend("batch").plan_key(object()) is None
+
+
+class TestParity:
+    def test_routing_parity_scalar_batch_process(self, rng):
+        sw = ColumnsortSwitch(8, 2, 12)
+        valid = _mixed_valid(rng, 40, sw.n)
+        ref = get_backend("scalar").run_trials(sw, valid).input_to_output
+        batch = get_backend("batch").run_trials(sw, valid).input_to_output
+        proc = (
+            get_backend("process", workers=2, shard_trials=8)
+            .run_trials(sw, valid)
+            .input_to_output
+        )
+        assert np.array_equal(ref, batch)
+        assert np.array_equal(ref, proc)
+
+    def test_occupancy_parity_gate_backends(self, rng):
+        sw = Hyperconcentrator(8)
+        valid = _mixed_valid(rng, 24, sw.n)
+        ref = get_backend("batch").run_occupancy(sw, valid)
+        assert ref is not None
+        for name in ("packed", "netlist"):
+            occ = get_backend(name).run_occupancy(sw, valid)
+            assert np.array_equal(ref, occ), name
+
+
+class TestStreamDeterminism:
+    def test_summary_invariant_across_worker_counts(self):
+        sw = RevsortSwitch(16, 12)
+        spec = StreamSpec(trials=64, seed=9, shard_trials=16)
+        ref = get_backend("batch").run_stream(sw, spec)
+        assert ref.trials == 64 and ref.shards == 4
+        for workers in (1, 2, 4):
+            got = get_backend("process", workers=workers).run_stream(sw, spec)
+            assert got == ref, f"workers={workers}"
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        trials=st.integers(min_value=0, max_value=48),
+        shard_trials=st.integers(min_value=1, max_value=64),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_shard_boundaries_partition_and_fold(self, trials, shard_trials, seed):
+        """Any shard grid partitions [0, trials) exactly, and folding
+        the per-shard summaries in any bracketing equals the backend's
+        own stream result — the property that makes the ε/α results
+        independent of how shards land on workers."""
+        sw = Hyperconcentrator(8)
+        spec = StreamSpec(trials=trials, seed=seed, shard_trials=shard_trials)
+        shards = spec.shards()
+        assert [s for s, _ in shards] == list(range(0, trials, shard_trials))
+        assert sum(stop - start for start, stop in shards) == trials
+        children = np.random.SeedSequence(seed).spawn(max(1, len(shards)))
+        pieces = []
+        for index, (start, stop) in enumerate(shards):
+            valid = shard_valid(sw.n, stop - start, children[index], spec.load)
+            batch = sw.setup_batch(valid)
+            pieces.append(summarize_batch(sw, valid, batch.input_to_output))
+        left = StreamSummary()
+        for piece in pieces:
+            left = left.fold(piece)
+        right = StreamSummary()
+        for piece in reversed(pieces):
+            right = piece.fold(right)
+        assert left == right  # fold order cannot matter
+        assert left == get_backend("process", workers=1).run_stream(sw, spec)
+        assert left == get_backend("batch").run_stream(sw, spec)
+
+
+class TestPlanCacheSnapshot:
+    def test_snapshot_restore_roundtrip(self):
+        cache = plan_cache()
+        cache.clear()
+        sw = ColumnsortSwitch(8, 2, 12)
+        warm = np.zeros((2, sw.n), dtype=bool)
+        warm[:, 0] = True
+        sw.setup_batch(warm)
+        assert cache.stats()["misses"] >= 1
+        snap = cache.snapshot()
+        assert set(snap) == cache.keys()
+        # The payload is pure data: it must survive the pickle boundary
+        # the worker protocol ships it over.
+        snap = pickle.loads(pickle.dumps(snap))
+
+        cache.clear()
+        assert cache.stats()["restored"] == 0
+        assert cache.restore(snap) == len(snap)
+        assert cache.stats()["restored"] == len(snap)
+        # Warm start: a fresh switch finds every plan — hits, no misses.
+        before = cache.stats()
+        ColumnsortSwitch(8, 2, 12).setup_batch(warm)
+        after = cache.stats()
+        assert after["misses"] == before["misses"]
+        assert after["hits"] > before["hits"]
+        # Restoring the same payload again installs nothing.
+        assert cache.restore(snap) == 0
+
+    def test_restored_plans_are_frozen(self):
+        cache = plan_cache()
+        cache.clear()
+        sw = ColumnsortSwitch(8, 2, 12)
+        warm = np.zeros((2, sw.n), dtype=bool)
+        warm[:, 0] = True
+        sw.setup_batch(warm)
+        snap = pickle.loads(pickle.dumps(cache.snapshot()))
+        cache.clear()
+        cache.restore(snap)
+        routed = ColumnsortSwitch(8, 2, 12).setup_batch(warm)
+        assert routed.input_to_output.shape == (2, sw.n)
+
+
+class TestWorkersOption:
+    def test_resolve_workers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) >= 1
+        assert resolve_workers(None) >= 1
+        with pytest.raises(ConfigurationError):
+            resolve_workers(-1)
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["certify", "hyper", "--n", "8", "--workers", "-1"],
+            ["verify", "hyper", "--n", "8", "--backend", "process",
+             "--workers", "-1"],
+            ["compare", "--switch", "revsort", "--n", "16", "--m", "12",
+             "--workers", "-1"],
+            ["bench", "run", "--suite", "smoke", "--workers", "-1"],
+        ],
+    )
+    def test_negative_workers_exits_2(self, argv, capsys):
+        assert main(argv) == 2
+        assert "workers" in capsys.readouterr().err
+
+
+class TestCrossProcessCertify:
+    @pytest.mark.parametrize(
+        "design,params",
+        [
+            ("hyper", {"n": 8}),
+            ("revsort", {"n": 16, "m": 12}),
+            ("columnsort", {"r": 8, "s": 2, "m": 12}),
+        ],
+    )
+    def test_certificate_json_worker_invariant(self, design, params):
+        docs = []
+        for workers in (0, 1, 2, 4):
+            cert = certify_design(
+                design, dict(params), options=QUICK, workers=workers
+            )
+            assert cert.ok
+            docs.append(cert.to_json())
+        assert all(doc == docs[0] for doc in docs[1:]), design
+
+
+class TestSlowShardGate:
+    def _spec(self, delay_s: float):
+        from repro.obs.perf.suite import BenchSpec, Workload
+
+        def make():
+            sw = ColumnsortSwitch.from_beta(256, 0.75, 192)
+            backend = ShardedBackend(
+                workers=1, shard_trials=256, _test_shard_delay_s=delay_s
+            )
+            stream = StreamSpec(
+                trials=1024, shard_trials=256, load="half",
+                check_contract=False, measure_epsilon=False,
+            )
+
+            def run(rng):
+                return backend.run_stream(sw, stream).trials
+
+            return Workload(run=run, meta={})
+
+        return BenchSpec("test.slow-shard", ("test",), "trials", make)
+
+    def test_injected_slow_shard_trips_the_gate(self):
+        from repro.obs.perf.regression import compare_records, has_regressions
+        from repro.obs.perf.suite import run_bench
+
+        history = [
+            run_bench(self._spec(0.0), suite="test", repeats=3, alloc=False)
+        ]
+        slow = run_bench(self._spec(0.5), suite="test", repeats=3, alloc=False)
+        verdicts = compare_records({"test.slow-shard": slow}, history)
+        assert has_regressions(verdicts)
+        # A clean re-run stays inside the (generous) noise band.
+        clean = run_bench(self._spec(0.0), suite="test", repeats=3, alloc=False)
+        verdicts = compare_records(
+            {"test.slow-shard": clean}, history, tolerance=2.0
+        )
+        assert not has_regressions(verdicts)

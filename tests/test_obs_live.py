@@ -715,7 +715,7 @@ class TestCLITelemetry:
                                                    monkeypatch):
         import repro.verify
 
-        def killed(design, params, options=None):
+        def killed(design, params, options=None, workers=1):
             with obs.span("verify.certify", design=design):
                 obs.counter("verify.patterns", design=design).inc(7)
                 raise KeyboardInterrupt
@@ -741,7 +741,7 @@ class TestCLITelemetry:
                                                    monkeypatch):
         import repro.verify
 
-        def violated(design, params, options=None):
+        def violated(design, params, options=None, workers=1):
             from repro.errors import ConcentrationError
 
             with obs.span("verify.certify", design=design):
@@ -766,7 +766,7 @@ class TestCLITelemetry:
 
         real = repro.verify.certify_design
 
-        def poked(design, params, options=None):
+        def poked(design, params, options=None, workers=1):
             os.kill(os.getpid(), signal.SIGUSR1)
             return real(design, params, options=options)
 

@@ -257,7 +257,7 @@ class TestProfiler:
 
 class TestSuite:
     def test_suite_registry_shape(self):
-        assert set(suite.suite_names()) == {"smoke", "full"}
+        assert set(suite.suite_names()) == {"smoke", "full", "scaling"}
         smoke = suite.suite_specs("smoke")
         assert {s.id for s in smoke} >= {
             "engine.columnsort-n256",
