@@ -182,6 +182,7 @@ def _command_name(args: argparse.Namespace) -> str:
         getattr(args, "faults_command", None)
         or getattr(args, "bench_command", None)
         or getattr(args, "obs_command", None)
+        or getattr(args, "flows_command", None)
     )
     return f"{args.command} {sub}" if sub else str(args.command)
 
@@ -1088,6 +1089,158 @@ def cmd_knockout(args: argparse.Namespace) -> int:
     return 0
 
 
+def _flows_workload(args: argparse.Namespace):
+    from repro.network.flows import WorkloadSpec
+
+    return WorkloadSpec(
+        n=args.n,
+        load=args.load,
+        duration=args.duration,
+        sizes=args.sizes,
+        fixed_size=args.fixed_size,
+        seed=args.seed,
+    )
+
+
+def _flows_fabric_params(args: argparse.Namespace) -> dict:
+    return {
+        "design": args.design,
+        "m": args.m if args.m > 0 else None,
+        "lanes": args.lanes,
+        "fifo_depth": args.fifo_depth,
+        "slot_cycles": args.slot_cycles,
+    }
+
+
+def _json_safe(obj, digits: int = 6):
+    """Round floats and map NaN to None so the JSON output is both
+    valid and byte-stable for golden snapshots."""
+    import math
+
+    if isinstance(obj, float):
+        return None if math.isnan(obj) else round(obj, digits)
+    if isinstance(obj, dict):
+        return {k: _json_safe(v, digits) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_json_safe(v, digits) for v in obj]
+    return obj
+
+
+def _flows_row(name: str, result) -> dict:
+    pct = result.fct_percentiles()
+
+    def fmt(v: float) -> str:
+        import math
+
+        return "-" if math.isnan(v) else f"{v:.1f}"
+
+    return {
+        "fabric": name,
+        "flows": f"{result.completed}/{result.flows}",
+        "loss": f"{result.loss_rate:.4f}",
+        "fct p50": fmt(pct["p50"]),
+        "fct p99": fmt(pct["p99"]),
+        "cycles": result.cycles,
+        "events": result.events,
+    }
+
+
+def cmd_flows(args: argparse.Namespace) -> int:
+    return args.flows_func(args)
+
+
+def cmd_flows_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.network.flows import run_fabric
+
+    spec = _flows_workload(args)
+    with _telemetry_scope(args) as tele:
+        tele.phase("flows", total=1)
+        result = run_fabric(
+            args.fabric,
+            spec,
+            backpressure=not args.no_backpressure,
+            max_cycles=args.max_cycles or None,
+            **_flows_fabric_params(args),
+        )
+        tele.advance("flows", 1, 1)
+        if args.format == "json":
+            print(
+                json.dumps(
+                    _json_safe(
+                        {
+                            "schema": "repro.cli/flows-run@1",
+                            "workload": {
+                                "n": spec.n,
+                                "load": spec.load,
+                                "duration": spec.duration,
+                                "sizes": spec.sizes,
+                                "seed": spec.seed,
+                            },
+                            "backpressure": not args.no_backpressure,
+                            "result": result.as_dict(),
+                        }
+                    ),
+                    indent=2,
+                )
+            )
+        else:
+            print(
+                render_table(
+                    [_flows_row(args.fabric, result)],
+                    title=(
+                        f"flows run: {args.fabric} fabric, n={spec.n}, "
+                        f"load={spec.load}, sizes={spec.sizes}, seed={spec.seed}"
+                    ),
+                )
+            )
+    return 0
+
+
+def cmd_flows_compare(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.engine import resolve_workers
+    from repro.network.flows import fabric_names, head_to_head
+
+    spec = _flows_workload(args)
+    names = (
+        [f.strip() for f in args.fabrics.split(",") if f.strip()]
+        if args.fabrics
+        else fabric_names()
+    )
+    workers = resolve_workers(args.workers)
+    with _telemetry_scope(args) as tele:
+        tele.phase("flows-compare", total=len(names))
+        report = head_to_head(
+            spec,
+            names,
+            backpressure=not args.no_backpressure,
+            workers=workers,
+            max_cycles=args.max_cycles or None,
+            **_flows_fabric_params(args),
+        )
+        tele.advance("flows-compare", len(names), len(names))
+        if args.format == "json":
+            payload = _json_safe(report.as_dict())
+            payload = {"schema": "repro.cli/flows-compare@1", **payload}
+            print(json.dumps(payload, indent=2))
+        else:
+            rows = [_flows_row(name, report.results[name]) for name in names]
+            print(
+                render_table(
+                    rows,
+                    title=(
+                        f"flows head-to-head: n={spec.n}, load={spec.load}, "
+                        f"sizes={spec.sizes}, seed={spec.seed}, "
+                        f"{report.total_events:,} events"
+                    ),
+                )
+            )
+    return 0
+
+
 def cmd_reproduce(args: argparse.Namespace) -> int:
     import importlib.util
     from pathlib import Path
@@ -1715,6 +1868,104 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect repro.obs metrics and write a JSON snapshot here",
     )
     p.set_defaults(func=cmd_knockout)
+
+    p = sub.add_parser(
+        "flows",
+        help="event-driven flow-level fabric simulation: run one fabric "
+        "or a head-to-head FCT study (see docs/flows.md)",
+    )
+    flows_sub = p.add_subparsers(dest="flows_command", required=True)
+    p.set_defaults(func=cmd_flows)
+
+    from repro.network.flows import fabric_names as _fabric_names
+    from repro.network.flows import (
+        size_distribution_names as _size_names,
+    )
+
+    def _add_flows_workload_flags(fp: argparse.ArgumentParser) -> None:
+        fp.add_argument(
+            "--n", type=int, default=64,
+            help="fabric ports (power of four fits every fabric)",
+        )
+        fp.add_argument(
+            "--load", type=float, default=0.7,
+            help="offered load per port in cells/cycle",
+        )
+        fp.add_argument(
+            "--duration", type=float, default=200.0,
+            help="arrival horizon in cycles (the run drains afterwards)",
+        )
+        fp.add_argument(
+            "--sizes", choices=_size_names(), default="websearch",
+            help="flow size mix",
+        )
+        fp.add_argument(
+            "--fixed-size", type=int, default=4,
+            help="cells per flow for --sizes fixed",
+        )
+        fp.add_argument("--seed", type=int, default=0)
+        fp.add_argument(
+            "--no-backpressure", action="store_true",
+            help="drop rejected cells instead of retransmitting",
+        )
+        fp.add_argument(
+            "--max-cycles", type=int, default=0,
+            help="cap fabric cycles (0 = the default drain bound)",
+        )
+        fp.add_argument(
+            "--design", default="revsort",
+            help="registry design for the concentrator fabric",
+        )
+        fp.add_argument(
+            "--m", type=int, default=0,
+            help="concentrator outputs (0 = 3n/4)",
+        )
+        fp.add_argument(
+            "--lanes", type=int, default=4,
+            help="knockout concentration ratio L",
+        )
+        fp.add_argument(
+            "--fifo-depth", type=int, default=16,
+            help="knockout per-output FIFO depth",
+        )
+        fp.add_argument(
+            "--slot-cycles", type=int, default=1,
+            help="cycles the rotor holds each matching",
+        )
+        fp.add_argument("--format", choices=["table", "json"], default="table")
+        fp.add_argument(
+            "--metrics-out",
+            default=None,
+            help="collect repro.obs metrics and write a JSON snapshot here",
+        )
+        _add_telemetry_flags(fp)
+
+    pf = flows_sub.add_parser(
+        "run", help="simulate one fabric over a seeded workload"
+    )
+    pf.add_argument(
+        "--fabric", choices=_fabric_names(), default="concentrator"
+    )
+    _add_flows_workload_flags(pf)
+    pf.set_defaults(flows_func=cmd_flows_run)
+
+    pfc = flows_sub.add_parser(
+        "compare",
+        help="head-to-head FCT study: every fabric over the same workload",
+    )
+    pfc.add_argument(
+        "--fabrics", default=None,
+        help="comma-separated fabric subset (default: all)",
+    )
+    pfc.add_argument(
+        "--workers", type=int, default=1,
+        help="fan fabrics out over threads (0 = one per core); results "
+        "are identical for any worker count",
+    )
+    _add_flows_workload_flags(pfc)
+    pfc.set_defaults(flows_func=cmd_flows_compare)
+    # The acceptance-sized default study: >=10^6 events at seed 0.
+    pfc.set_defaults(n=256, duration=1500.0)
 
     p = sub.add_parser("reproduce", help="run the full reproduction report")
     p.add_argument("--output", default=None, help="also write a Markdown report here")

@@ -11,7 +11,10 @@ simulations that exercise that use case:
 * :mod:`repro.network.simulate` — single-switch and two-level
   concentration-tree simulations under a congestion policy, with
   throughput/loss statistics (the light-load equivalence experiment of
-  Section 1 lives here).
+  Section 1 lives here);
+* :mod:`repro.network.flows` — the event-driven flow-level layer:
+  TCP-ish flows with heavy-tailed sizes against pluggable fabric
+  stages, measuring flow-completion times (``repro flows``).
 """
 
 from repro.network.analytic import (
@@ -25,6 +28,16 @@ from repro.network.fattree import (
     full_bisection_capacity,
     random_permutation_round,
     universal_capacity,
+)
+from repro.network.flows import (
+    FlowSim,
+    FlowSimResult,
+    FlowSpec,
+    WorkloadSpec,
+    build_fabric,
+    fabric_names,
+    generate_flows,
+    head_to_head,
 )
 from repro.network.funnel import FunnelNetwork, LevelStats
 from repro.network.knockout import (
@@ -49,6 +62,14 @@ from repro.network.traffic import (
 __all__ = [
     "BernoulliTraffic",
     "FatTree",
+    "FlowSim",
+    "FlowSimResult",
+    "FlowSpec",
+    "WorkloadSpec",
+    "build_fabric",
+    "fabric_names",
+    "generate_flows",
+    "head_to_head",
     "Routed",
     "constant_capacity",
     "full_bisection_capacity",

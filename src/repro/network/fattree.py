@@ -123,6 +123,17 @@ class FatTree:
         level d within each level-d subtree contend for that subtree's
         up-link capacity through a concentrator.  Descent: lossless.
         """
+        stats, _ = self.route_round_detailed(messages)
+        return stats
+
+    def route_round_detailed(
+        self, messages: list[Routed | None]
+    ) -> tuple[FatTreeStats, list[Routed]]:
+        """Like :meth:`route_round`, but also return the survivors —
+        the messages actually delivered, identified by their ``src``
+        slot.  The event-driven fabric layer needs the identities (one
+        message per leaf per round, so ``src`` is a unique key); the
+        round-synchronous callers keep the stats-only view."""
         if len(messages) != self.leaves:
             raise ConfigurationError(
                 f"expected {self.leaves} slots, got {len(messages)}"
@@ -176,7 +187,7 @@ class FatTree:
             live = survivors
 
         stats.delivered = len(live)
-        return stats
+        return stats, live
 
 
 def universal_capacity(height: int, base: int = 2) -> Callable[[int], int]:

@@ -1,0 +1,104 @@
+"""Deterministic event plumbing for the flow-level simulator.
+
+The whole determinism story of :mod:`repro.network.flows` rests on two
+invariants enforced here:
+
+* **stable ordering** — events pop in non-decreasing time, and events
+  scheduled for the *same* time pop in the order they were scheduled
+  (a monotone sequence number breaks heap ties), so the event loop is
+  a pure function of the schedule, never of hash order or float luck;
+* **monotone clock** — the :class:`SimClock` only moves forward;
+  scheduling into the past is a programming error and raises
+  immediately instead of silently reordering history.
+
+The clock is injectable: :class:`~repro.network.flows.sim.FlowSim`
+creates one by default but accepts any object with the same interface,
+which is how tests freeze time or start a simulation mid-epoch.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+from repro.errors import ConfigurationError
+
+
+class Event(NamedTuple):
+    """One scheduled occurrence.
+
+    ``seq`` is the global schedule order — the FIFO tie-break for
+    events sharing a timestamp.  ``kind`` is a small string tag
+    (``"arrival"``, ``"cycle"``); ``payload`` is whatever the producer
+    wants back when the event fires.
+    """
+
+    time: float
+    seq: int
+    kind: str
+    payload: object
+
+
+@dataclass
+class SimClock:
+    """A forward-only simulation clock.
+
+    ``now`` is the current simulation time in cycles.  The event loop
+    calls :meth:`advance_to` as it pops events; components read
+    ``clock.now`` instead of carrying timestamps around.
+    """
+
+    now: float = 0.0
+
+    def advance_to(self, time: float) -> None:
+        if time < self.now:
+            raise ConfigurationError(
+                f"clock cannot run backwards: at {self.now}, asked for {time}"
+            )
+        self.now = time
+
+
+@dataclass
+class EventQueue:
+    """A heap-based future event list with stable FIFO tie-breaking.
+
+    ``push`` assigns each event the next sequence number, so two
+    events at the same timestamp always pop in push order — Python's
+    heapq compares the ``(time, seq)`` prefix of the tuples and never
+    reaches the (possibly uncomparable) payloads.
+    """
+
+    clock: SimClock = field(default_factory=SimClock)
+    _heap: list[Event] = field(default_factory=list)
+    _seq: int = 0
+    popped: int = 0
+
+    def push(self, time: float, kind: str, payload: object = None) -> Event:
+        """Schedule ``kind`` at ``time`` (≥ the clock, or it raises)."""
+        if time < self.clock.now:
+            raise ConfigurationError(
+                f"cannot schedule {kind!r} at {time} behind the clock "
+                f"({self.clock.now})"
+            )
+        event = Event(float(time), self._seq, kind, payload)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event, advancing the clock."""
+        event = heapq.heappop(self._heap)
+        self.clock.advance_to(event.time)
+        self.popped += 1
+        return event
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next event, or None when empty."""
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,415 @@
+"""Pluggable fabric stages for the event-driven flow simulator.
+
+A fabric stage is the thing cells contend against once per cycle: the
+simulator offers at most one :class:`Cell` per ingress port and the
+stage classifies each offered cell into one of three fates —
+
+* **delivered** — the cell won a path and leaves the fabric;
+* **rejected** — the cell lost the contention (a real loss: the
+  congestion model decides whether to retransmit it);
+* **blocked** — the fabric could not even consider the cell this cycle
+  (a rotor waiting for its slot); blocked cells re-queue for a later
+  cycle with no congestion penalty, because nothing was dropped.
+
+A stage may also hold cells *in flight* (the knockout model's output
+FIFOs): those cells appear in a later cycle's ``delivered`` list, and
+:meth:`FabricStage.in_flight` exposes the count so flow conservation
+can be checked at any instant.
+
+Four stages cover the head-to-head study:
+
+* :class:`ConcentratorFabric` — the paper's subject: an n-to-m
+  concentrator switch from the registry guards the uplinks.  Routing
+  goes through the engine's batched setup path (one row per cycle, the
+  compiled plan amortized across cycles), and a
+  :class:`repro.faults.FaultScenario` applies exactly as in the
+  round-synchronous simulator: structural faults wrap the switch in a
+  :class:`~repro.faults.injector.FaultySwitch`, flaky pins flip per
+  cycle with the scenario's own seed.
+* :class:`KnockoutFabric` — a knockout-style output-buffered stage:
+  cells bound for the same egress contend through an n-to-L
+  concentrator (the knockout principle), winners enter a bounded FIFO
+  drained one cell per cycle.
+* :class:`FatTreeFabric` — the binary fat-tree up-path of
+  :mod:`repro.network.fattree`, survivors per cycle via
+  :meth:`~repro.network.fattree.FatTree.route_round_detailed`.
+* :class:`RotorFabric` — a rotor/optical round-robin partition
+  baseline: each cycle port i is wired to one destination; a cell
+  whose destination is not currently wired waits (blocked), one whose
+  slot is up always delivers.  No contention, no loss — the cost is
+  latency.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util.rng import default_rng
+from repro.errors import ConfigurationError
+from repro.messages.message import Message
+from repro.network.fattree import FatTree, Routed, universal_capacity
+from repro.switches.base import ConcentratorSwitch
+from repro.switches.perfect import PerfectConcentrator
+from repro.switches.registry import build_switch
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One fixed-size unit of a flow in flight: cell ``index`` of flow
+    ``flow_id``, from ingress ``src`` toward egress ``dst``."""
+
+    flow_id: int
+    src: int
+    dst: int
+    index: int
+
+
+@dataclass
+class StageOutcome:
+    """What one fabric cycle did with the offered (and buffered) cells.
+
+    ``faulted`` counts the subset of ``rejected`` killed by flaky input
+    pins before reaching the switch — loss charged to hardware, not
+    contention.
+    """
+
+    delivered: list[Cell] = field(default_factory=list)
+    rejected: list[Cell] = field(default_factory=list)
+    blocked: list[Cell] = field(default_factory=list)
+    faulted: int = 0
+
+
+class FabricStage(ABC):
+    """Abstract fabric stage: ``n`` ingress ports, one cycle at a time."""
+
+    #: Subclasses set these in ``__init__``.
+    name: str
+    n: int
+
+    @abstractmethod
+    def step(self, cells: list[Cell | None]) -> StageOutcome:
+        """Advance one cycle with at most one cell per ingress port."""
+
+    def in_flight(self) -> int:
+        """Cells buffered inside the stage (0 for bufferless stages)."""
+        return 0
+
+    def admits(self, src: int, dst: int) -> bool:
+        """Whether a cell src→dst could possibly advance *this* cycle.
+
+        A VOQ-style scheduling hint: the ingress port skips flows the
+        fabric would only block (a rotor whose slot is elsewhere) and
+        gives the cycle to one it might serve.  Stages where every cell
+        at least contends (everything but the rotor) always admit.
+        """
+        return True
+
+    def describe(self) -> dict:
+        return {"name": self.name, "n": self.n}
+
+    def _check(self, cells: list[Cell | None]) -> None:
+        if len(cells) != self.n:
+            raise ConfigurationError(
+                f"{self.name}: expected {self.n} ingress slots, got {len(cells)}"
+            )
+        for i, cell in enumerate(cells):
+            if cell is None:
+                continue
+            if cell.src != i:
+                raise ConfigurationError(
+                    f"{self.name}: cell of flow {cell.flow_id} in slot {i} "
+                    f"claims src {cell.src}"
+                )
+            if not 0 <= cell.dst < self.n:
+                raise ConfigurationError(
+                    f"{self.name}: bad destination {cell.dst}"
+                )
+
+
+class ConcentratorFabric(FabricStage):
+    """An uplink stage guarded by one of the paper's concentrators.
+
+    Cells contend for the switch's m output channels; winners exit the
+    fabric (descent is modelled lossless, as in the fat-tree).  Routing
+    uses :meth:`~repro.switches.base.ConcentratorSwitch.setup_batch`
+    with one row per cycle so the compiled plan and the engine backend
+    are exercised exactly as the benchmarks exercise them.
+    """
+
+    def __init__(self, switch: ConcentratorSwitch, *, scenario=None,
+                 remap_outputs: bool = False):
+        self.name = "concentrator"
+        self.n = switch.n
+        self.switch = switch
+        self._flaky: tuple = ()
+        self._fault_rng = None
+        if scenario is not None:
+            # Imported lazily: repro.faults imports network modules for
+            # its resilience measurements.
+            from repro.faults.injector import FaultySwitch
+
+            structural = scenario.structural()
+            if structural.fault_count:
+                self.switch = FaultySwitch(
+                    switch, structural, remap_outputs=remap_outputs
+                )
+            self._flaky = tuple(scenario.flaky_pins())
+            if self._flaky:
+                self._fault_rng = default_rng(scenario.seed)
+
+    def describe(self) -> dict:
+        out = super().describe()
+        out["m"] = self.switch.m
+        out["switch"] = type(self.switch).__name__
+        return out
+
+    def step(self, cells: list[Cell | None]) -> StageOutcome:
+        self._check(cells)
+        valid = np.array([cell is not None for cell in cells], dtype=bool)
+        outcome = StageOutcome()
+        effective = valid
+        garbled = np.zeros(self.n, dtype=bool)
+        if self._flaky:
+            # Same semantics as SwitchSimulation._flip_flaky: a flip on
+            # an occupied pin garbles the cell before the switch sees
+            # it; a flip on an idle pin raises a ghost that occupies
+            # capacity but delivers nothing.
+            effective = valid.copy()
+            for pin, p in self._flaky:
+                if self._fault_rng.random() >= p:
+                    continue
+                if valid[pin]:
+                    garbled[pin] = True
+                effective[pin] = not valid[pin]
+        routing = self.switch.setup_batch(effective[None, :])
+        io = routing.input_to_output[0]
+        for i, cell in enumerate(cells):
+            if cell is None:
+                continue
+            if garbled[i]:
+                outcome.rejected.append(cell)
+                outcome.faulted += 1
+            elif io[i] >= 0:
+                outcome.delivered.append(cell)
+            else:
+                outcome.rejected.append(cell)
+        return outcome
+
+
+class KnockoutFabric(FabricStage):
+    """A knockout-style output-buffered stage.
+
+    Per cycle, the cells bound for egress ``o`` contend through an
+    n-to-L concentrator (L = ``lanes``, the knockout ratio); winners
+    enter egress ``o``'s FIFO of depth ``fifo_depth``, losers and FIFO
+    overflow are rejected.  Every non-empty FIFO then transmits one
+    cell — those are the cycle's deliveries, so a cell's fabric latency
+    is its queueing delay.
+    """
+
+    def __init__(self, n: int, *, lanes: int = 4, fifo_depth: int = 16,
+                 concentrator_factory=None):
+        if n < 1:
+            raise ConfigurationError(f"n must be positive, got {n}")
+        if lanes < 1:
+            raise ConfigurationError(f"lanes must be >= 1, got {lanes}")
+        if fifo_depth < 1:
+            raise ConfigurationError(f"fifo_depth must be >= 1, got {fifo_depth}")
+        self.name = "knockout"
+        self.n = n
+        self.lanes = min(lanes, n)
+        self.fifo_depth = fifo_depth
+        factory = concentrator_factory or PerfectConcentrator
+        self._picker = factory(n, self.lanes) if self.lanes < n else None
+        self._fifos: list[deque[Cell]] = [deque() for _ in range(n)]
+
+    def describe(self) -> dict:
+        out = super().describe()
+        out["lanes"] = self.lanes
+        out["fifo_depth"] = self.fifo_depth
+        return out
+
+    def in_flight(self) -> int:
+        return sum(len(f) for f in self._fifos)
+
+    def step(self, cells: list[Cell | None]) -> StageOutcome:
+        self._check(cells)
+        outcome = StageOutcome()
+        groups: dict[int, list[Cell]] = {}
+        for cell in cells:
+            if cell is not None:
+                groups.setdefault(cell.dst, []).append(cell)
+        for dst, contenders in sorted(groups.items()):
+            if self._picker is not None and len(contenders) > self.lanes:
+                valid = np.zeros(self.n, dtype=bool)
+                by_src = {}
+                for cell in contenders:
+                    valid[cell.src] = True
+                    by_src[cell.src] = cell
+                io = self._picker.setup(valid).input_to_output
+                winners = [by_src[s] for s in sorted(by_src) if io[s] >= 0]
+                outcome.rejected.extend(
+                    by_src[s] for s in sorted(by_src) if io[s] < 0
+                )
+            else:
+                winners = contenders
+            fifo = self._fifos[dst]
+            for cell in winners:
+                if len(fifo) < self.fifo_depth:
+                    fifo.append(cell)
+                else:
+                    outcome.rejected.append(cell)
+        for fifo in self._fifos:
+            if fifo:
+                outcome.delivered.append(fifo.popleft())
+        return outcome
+
+
+class FatTreeFabric(FabricStage):
+    """The binary fat-tree up-path as a fabric stage.
+
+    Each cycle is one fat-tree round: ascent hops concentrate, losers
+    are rejected, survivors are delivered (descent lossless).  Cell
+    identity comes back through
+    :meth:`~repro.network.fattree.FatTree.route_round_detailed` — one
+    cell per leaf per cycle makes ``src`` a unique key.
+    """
+
+    def __init__(self, n: int, *, capacity_profile=None,
+                 concentrator_factory=None):
+        if n < 2 or n & (n - 1):
+            raise ConfigurationError(
+                f"fat-tree fabric needs a power-of-two port count, got {n}"
+            )
+        self.name = "fattree"
+        self.n = n
+        height = n.bit_length() - 1
+        self.tree = FatTree(
+            height,
+            capacity_profile or universal_capacity(height),
+            concentrator_factory,
+        )
+
+    def describe(self) -> dict:
+        out = super().describe()
+        out["height"] = self.tree.height
+        out["capacity"] = dict(self.tree.capacity)
+        return out
+
+    def step(self, cells: list[Cell | None]) -> StageOutcome:
+        self._check(cells)
+        messages: list[Routed | None] = [None] * self.n
+        by_src: dict[int, Cell] = {}
+        for i, cell in enumerate(cells):
+            if cell is None:
+                continue
+            messages[i] = Routed(
+                message=Message.from_int(cell.flow_id % 256, 8),
+                src=i,
+                dst=cell.dst,
+            )
+            by_src[i] = cell
+        _, survivors = self.tree.route_round_detailed(messages)
+        outcome = StageOutcome()
+        alive = {routed.src for routed in survivors}
+        for src in sorted(by_src):
+            (outcome.delivered if src in alive else outcome.rejected).append(
+                by_src[src]
+            )
+        return outcome
+
+
+class RotorFabric(FabricStage):
+    """A rotor/optical round-robin partition baseline.
+
+    At cycle t, port i is wired to destination ``(i + 1 + t) mod n``
+    (the +1 skips the useless self-slot when the rotation passes it).
+    A cell whose destination is wired delivers; every other cell is
+    blocked — it waits, loss-free, for its slot.  This is the one-hop
+    rotor model: full fairness, zero loss, worst-case n−1 cycles of
+    slot latency.
+    """
+
+    def __init__(self, n: int, *, slot_cycles: int = 1):
+        if n < 2:
+            raise ConfigurationError(f"rotor fabric needs n >= 2, got {n}")
+        if slot_cycles < 1:
+            raise ConfigurationError(
+                f"slot_cycles must be >= 1, got {slot_cycles}"
+            )
+        self.name = "rotor"
+        self.n = n
+        self.slot_cycles = slot_cycles
+        self._cycle = 0
+
+    def describe(self) -> dict:
+        out = super().describe()
+        out["slot_cycles"] = self.slot_cycles
+        return out
+
+    def _shift(self) -> int:
+        return 1 + (self._cycle // self.slot_cycles) % (self.n - 1)
+
+    def admits(self, src: int, dst: int) -> bool:
+        # A cell's own port (dst == src) never needs the fabric.
+        return dst == src or dst == (src + self._shift()) % self.n
+
+    def step(self, cells: list[Cell | None]) -> StageOutcome:
+        self._check(cells)
+        outcome = StageOutcome()
+        shift = self._shift()
+        self._cycle += 1
+        for i, cell in enumerate(cells):
+            if cell is None:
+                continue
+            if cell.dst == (i + shift) % self.n or cell.dst == i:
+                outcome.delivered.append(cell)
+            else:
+                outcome.blocked.append(cell)
+        return outcome
+
+
+def fabric_names() -> list[str]:
+    return ["concentrator", "fattree", "knockout", "rotor"]
+
+
+def build_fabric(
+    name: str,
+    n: int,
+    *,
+    design: str = "revsort",
+    m: int | None = None,
+    scenario=None,
+    remap_outputs: bool = False,
+    lanes: int = 4,
+    fifo_depth: int = 16,
+    slot_cycles: int = 1,
+    **params,
+) -> FabricStage:
+    """Build a fabric stage by name.
+
+    ``design``/``m``/``params`` configure the concentrator stage's
+    registry switch (m defaults to 3n/4, the registry's usual shape);
+    ``lanes``/``fifo_depth`` configure the knockout stage;
+    ``slot_cycles`` the rotor's matching hold time; ``scenario``
+    applies a fault scenario to the concentrator stage.
+    """
+    if name == "concentrator":
+        m = m if m is not None else max(1, (3 * n) // 4)
+        switch = build_switch(design, n=n, m=m, **params)
+        return ConcentratorFabric(
+            switch, scenario=scenario, remap_outputs=remap_outputs
+        )
+    if name == "knockout":
+        return KnockoutFabric(n, lanes=lanes, fifo_depth=fifo_depth)
+    if name == "fattree":
+        return FatTreeFabric(n)
+    if name == "rotor":
+        return RotorFabric(n, slot_cycles=slot_cycles)
+    raise ConfigurationError(
+        f"unknown fabric {name!r}; available: {', '.join(fabric_names())}"
+    )

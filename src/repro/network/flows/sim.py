@@ -1,0 +1,372 @@
+"""The event-driven flow simulator.
+
+:class:`FlowSim` ties the pieces together: flows (from
+:mod:`repro.network.flows.workload`) arrive at ToR-like ingress ports,
+each port offers at most one cell per fabric cycle, and a
+:class:`~repro.network.flows.fabric.FabricStage` decides each cell's
+fate.  Time is event-driven — the heap-based
+:class:`~repro.network.flows.events.EventQueue` holds flow arrivals at
+their (real-valued) arrival times and fabric cycles at integer times,
+and cycles are only scheduled while there is work: an idle fabric
+consumes no events, so a sparse workload is cheap to simulate however
+long its horizon.
+
+Congestion control is TCP-ish per flow:
+
+* each flow keeps an additive-increase/multiplicative-decrease
+  congestion window ``cwnd`` (starts at 1, +1 per delivered cell,
+  halved on loss, clamped to [1, 64]);
+* with **backpressure** on (the default), a rejected cell is *not*
+  lost: the flow keeps it for retransmission but backs off —
+  suspended for ``max(1, round(4 / cwnd))`` cycles, so repeat losers
+  pace down to one attempt per 4 cycles while healthy flows retry
+  immediately;
+* with backpressure off, a rejected cell is dropped permanently and
+  the flow moves on — the open-loop mode the differential tests use,
+  where the event-driven model must reduce exactly to the
+  round-synchronous :class:`~repro.network.simulate.SwitchSimulation`;
+* a **blocked** cell (rotor slot wait) is always retried next cycle
+  with no penalty: nothing was dropped.
+
+Ports schedule their flows round-robin: after a flow gets the port for
+a cycle, it rotates to the back of the port's queue, so elephants
+cannot starve mice sharing an ingress.
+
+A flow completes when every cell is resolved (delivered or dropped,
+including cells that surfaced later from an in-fabric FIFO); its
+flow-completion time is ``resolution_cycle − arrival + 1`` — a
+one-cell flow arriving at 0 and delivered in cycle 0 has FCT 1.
+
+Everything here is a pure function of (flows, stage): the simulator
+itself draws no randomness, which is what makes same-seed runs
+byte-identical regardless of how the study layer shards fabrics over
+workers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.network.flows.events import EventQueue, SimClock
+from repro.network.flows.fabric import Cell, FabricStage
+from repro.network.flows.workload import FlowSpec
+
+#: AIMD clamp for the per-flow congestion window.
+CWND_MAX = 64.0
+#: Base backoff numerator: a cwnd-1 flow waits this many cycles.
+BACKOFF_BASE = 4.0
+
+
+@dataclass
+class _FlowState:
+    """Mutable per-flow bookkeeping."""
+
+    spec: FlowSpec
+    next_index: int = 0      # next cell of the flow to emit
+    delivered: int = 0
+    dropped: int = 0
+    cwnd: float = 1.0
+    next_ok: float = 0.0     # earliest cycle the flow may transmit
+    finish: float = float("nan")
+
+    @property
+    def resolved(self) -> int:
+        return self.delivered + self.dropped
+
+    @property
+    def done(self) -> bool:
+        return self.resolved >= self.spec.size_cells
+
+
+@dataclass
+class FlowSimResult:
+    """Outcome of one simulation run.
+
+    ``fct[i]`` is flow i's completion time in cycles (NaN if the run
+    hit ``max_cycles`` before the flow resolved).  ``offered_cells``
+    counts transmission *attempts*, so with backpressure on it exceeds
+    ``delivered_cells + dropped_cells`` by the retransmissions; with
+    backpressure off the three balance exactly once the run drains.
+    ``events`` counts queue events plus per-cell outcomes — the unit
+    the CLI and CI budgets are expressed in.
+    """
+
+    fabric: str
+    flows: int
+    completed: int
+    offered_cells: int
+    delivered_cells: int
+    dropped_cells: int
+    faulted_cells: int
+    blocked_cells: int
+    cycles: int
+    events: int
+    fct: np.ndarray
+
+    @property
+    def loss_rate(self) -> float:
+        return (
+            self.dropped_cells / self.offered_cells if self.offered_cells else 0.0
+        )
+
+    def fct_percentiles(
+        self, qs: Sequence[float] = (50.0, 90.0, 99.0, 99.9)
+    ) -> dict[str, float]:
+        """FCT percentiles over completed flows (NaN-safe)."""
+        finished = self.fct[~np.isnan(self.fct)]
+        if not finished.size:
+            return {f"p{q:g}": float("nan") for q in qs}
+        return {
+            f"p{q:g}": float(np.percentile(finished, q)) for q in qs
+        }
+
+    def as_dict(self) -> dict:
+        out = {
+            "fabric": self.fabric,
+            "flows": self.flows,
+            "completed": self.completed,
+            "offered_cells": self.offered_cells,
+            "delivered_cells": self.delivered_cells,
+            "dropped_cells": self.dropped_cells,
+            "faulted_cells": self.faulted_cells,
+            "blocked_cells": self.blocked_cells,
+            "loss_rate": self.loss_rate,
+            "cycles": self.cycles,
+            "events": self.events,
+        }
+        out.update(self.fct_percentiles())
+        return out
+
+
+@dataclass
+class FlowSim:
+    """Drive ``flows`` through ``stage`` to completion.
+
+    ``checkpoint`` (if given) is called as ``checkpoint(sim, cycle)``
+    after every fabric cycle — the conservation property suite hooks in
+    here via :meth:`accounting`.  ``max_cycles`` caps the number of
+    fabric cycles (unresolved flows keep NaN FCTs); the default runs
+    until the backlog drains.
+    """
+
+    stage: FabricStage
+    flows: Sequence[FlowSpec]
+    backpressure: bool = True
+    clock: SimClock | None = None
+    max_cycles: int | None = None
+    checkpoint: Callable[["FlowSim", int], None] | None = None
+
+    _queue: EventQueue = field(init=False, repr=False)
+    _states: list[_FlowState] = field(init=False, repr=False)
+    _ports: list[deque[int]] = field(init=False, repr=False)
+    _in_fabric: int = field(init=False, default=0)
+    _arrived_cells: int = field(init=False, default=0)
+    _cycle_scheduled: bool = field(init=False, default=False)
+
+    def __post_init__(self) -> None:
+        self._queue = EventQueue(clock=self.clock or SimClock())
+        self._states = []
+        for i, spec in enumerate(self.flows):
+            if spec.flow_id != i:
+                raise ConfigurationError(
+                    f"flow ids must be dense and ordered; slot {i} holds "
+                    f"flow {spec.flow_id}"
+                )
+            if not 0 <= spec.src < self.stage.n:
+                raise ConfigurationError(
+                    f"flow {i}: src {spec.src} outside fabric of width "
+                    f"{self.stage.n}"
+                )
+            self._states.append(_FlowState(spec=spec))
+        self._ports = [deque() for _ in range(self.stage.n)]
+
+    # -- conservation ---------------------------------------------------
+
+    def accounting(self) -> dict[str, int]:
+        """Cell conservation snapshot: at every instant,
+        ``arrived == delivered + dropped + in_fabric + at_source``."""
+        delivered = sum(s.delivered for s in self._states)
+        dropped = sum(s.dropped for s in self._states)
+        at_source = sum(
+            s.spec.size_cells - s.next_index
+            for port in self._ports
+            for s in (self._states[fid] for fid in port)
+        )
+        return {
+            "arrived": self._arrived_cells,
+            "delivered": delivered,
+            "dropped": dropped,
+            "in_fabric": self._in_fabric,
+            "at_source": at_source,
+        }
+
+    # -- event loop -----------------------------------------------------
+
+    def _schedule_cycle(self) -> None:
+        if not self._cycle_scheduled:
+            when = ceil(self._queue.clock.now)
+            self._queue.push(float(when), "cycle")
+            self._cycle_scheduled = True
+
+    def _work_pending(self) -> bool:
+        return self._in_fabric > 0 or any(self._ports)
+
+    def run(self) -> FlowSimResult:
+        reg = obs.get_registry()
+        counts = {
+            "delivered": 0, "dropped": 0, "blocked": 0, "faulted": 0,
+            "offered": 0,
+        }
+        cycles = 0
+        with reg.span(
+            "flows.run", fabric=self.stage.name, flows=len(self._states)
+        ):
+            for state in self._states:
+                self._queue.push(state.spec.arrival, "arrival", state.spec.flow_id)
+            while self._queue:
+                event = self._queue.pop()
+                if event.kind == "arrival":
+                    state = self._states[event.payload]
+                    self._ports[state.spec.src].append(state.spec.flow_id)
+                    self._arrived_cells += state.spec.size_cells
+                    self._schedule_cycle()
+                elif event.kind == "cycle":
+                    self._cycle_scheduled = False
+                    self._run_cycle(event.time, counts, reg)
+                    cycles += 1
+                    if self.checkpoint is not None:
+                        self.checkpoint(self, cycles - 1)
+                    if self.max_cycles is not None and cycles >= self.max_cycles:
+                        break
+                    if self._work_pending():
+                        self._queue.push(event.time + 1.0, "cycle")
+                        self._cycle_scheduled = True
+            if reg.enabled:
+                reg.counter("flows.cycles", fabric=self.stage.name).inc(cycles)
+                reg.counter("flows.events", fabric=self.stage.name).inc(
+                    self._queue.popped
+                )
+
+        fct = np.array([s.finish for s in self._states], dtype=np.float64)
+        completed = int(np.count_nonzero(~np.isnan(fct)))
+        events = (
+            self._queue.popped
+            + counts["delivered"] + counts["dropped"] + counts["blocked"]
+        )
+        return FlowSimResult(
+            fabric=self.stage.name,
+            flows=len(self._states),
+            completed=completed,
+            offered_cells=counts["offered"],
+            delivered_cells=counts["delivered"],
+            dropped_cells=counts["dropped"],
+            faulted_cells=counts["faulted"],
+            blocked_cells=counts["blocked"],
+            cycles=cycles,
+            events=events,
+            fct=fct,
+        )
+
+    def _pick(self, port: deque[int], now: float) -> Cell | None:
+        """The port's cell for this cycle: first eligible flow in
+        round-robin order; the chosen flow rotates to the back."""
+        for _ in range(len(port)):
+            state = self._states[port[0]]
+            if (
+                state.next_ok <= now
+                and state.next_index < state.spec.size_cells
+                and self.stage.admits(state.spec.src, state.spec.dst)
+            ):
+                port.rotate(-1)
+                return Cell(
+                    flow_id=state.spec.flow_id,
+                    src=state.spec.src,
+                    dst=state.spec.dst,
+                    index=state.next_index,
+                )
+            port.rotate(-1)
+        return None
+
+    def _resolve(self, state: _FlowState, now: float) -> None:
+        if state.done and np.isnan(state.finish):
+            state.finish = now - state.spec.arrival + 1.0
+            try:
+                self._ports[state.spec.src].remove(state.spec.flow_id)
+            except ValueError:
+                pass  # already retired
+
+    def _run_cycle(self, now: float, counts: dict[str, int], reg) -> None:
+        offered: dict[tuple[int, int], Cell] = {}
+        slots: list[Cell | None] = [None] * self.stage.n
+        for i, port in enumerate(self._ports):
+            cell = self._pick(port, now)
+            if cell is not None:
+                slots[i] = cell
+                offered[(cell.flow_id, cell.index)] = cell
+        counts["offered"] += len(offered)
+
+        outcome = self.stage.step(slots)
+        counts["faulted"] += outcome.faulted
+
+        for cell in outcome.delivered:
+            state = self._states[cell.flow_id]
+            key = (cell.flow_id, cell.index)
+            if key in offered:
+                del offered[key]
+                state.next_index += 1
+            else:
+                self._in_fabric -= 1  # surfaced from an in-fabric FIFO
+            state.delivered += 1
+            state.cwnd = min(CWND_MAX, state.cwnd + 1.0)
+            counts["delivered"] += 1
+            self._resolve(state, now)
+
+        for cell in outcome.rejected:
+            state = self._states[cell.flow_id]
+            del offered[(cell.flow_id, cell.index)]
+            if self.backpressure:
+                # Keep the cell; back off harder the smaller the window.
+                state.cwnd = max(1.0, state.cwnd / 2.0)
+                state.next_ok = now + max(1.0, round(BACKOFF_BASE / state.cwnd))
+            else:
+                state.next_index += 1
+                state.dropped += 1
+                counts["dropped"] += 1
+                self._resolve(state, now)
+
+        for cell in outcome.blocked:
+            del offered[(cell.flow_id, cell.index)]
+            counts["blocked"] += 1
+
+        # Cells the stage absorbed (knockout FIFOs): the fabric owns
+        # them now; they resurface in a later cycle's delivered list.
+        for cell in offered.values():
+            self._states[cell.flow_id].next_index += 1
+            self._in_fabric += 1
+
+        if reg.enabled:
+            reg.counter("flows.cells_offered", fabric=self.stage.name).inc(
+                int(np.count_nonzero([s is not None for s in slots]))
+            )
+            reg.counter("flows.cells_delivered", fabric=self.stage.name).inc(
+                len(outcome.delivered)
+            )
+            if outcome.rejected and not self.backpressure:
+                reg.counter("flows.cells_dropped", fabric=self.stage.name).inc(
+                    len(outcome.rejected)
+                )
+            if outcome.blocked:
+                reg.counter("flows.cells_blocked", fabric=self.stage.name).inc(
+                    len(outcome.blocked)
+                )
+            if outcome.faulted:
+                reg.counter("flows.cells_faulted", fabric=self.stage.name).inc(
+                    outcome.faulted
+                )

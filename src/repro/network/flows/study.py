@@ -1,0 +1,145 @@
+"""The head-to-head fabric study behind ``repro flows compare``.
+
+Methodology: one workload is generated once from the seed, and every
+fabric simulates *exactly the same flows* — identical offered load,
+identical arrival times, identical sizes — so differences in the
+flow-completion-time percentiles and loss are attributable to the
+fabric alone.  Each fabric's simulation is independent and
+deterministic, which is why the study may fan fabrics out over a
+thread pool (``workers > 1``) without changing a single byte of any
+result: per-fabric telemetry is collected in private registries and
+merged back in fabric order, mirroring the worker-determinism contract
+of :func:`repro.analysis.sweep.sweep`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.network.flows.fabric import build_fabric, fabric_names
+from repro.network.flows.sim import FlowSim, FlowSimResult
+from repro.network.flows.workload import WorkloadSpec, generate_flows
+from repro.obs.live.merge import merge_portable, portable_snapshot, roundtrip
+
+
+@dataclass
+class CompareReport:
+    """Results of one head-to-head run: one :class:`FlowSimResult` per
+    fabric, all over the same workload."""
+
+    workload: WorkloadSpec
+    fabrics: list[str]
+    results: dict[str, FlowSimResult] = field(default_factory=dict)
+
+    @property
+    def total_events(self) -> int:
+        return sum(r.events for r in self.results.values())
+
+    def as_dict(self) -> dict:
+        return {
+            "workload": {
+                "n": self.workload.n,
+                "load": self.workload.load,
+                "duration": self.workload.duration,
+                "sizes": self.workload.sizes,
+                "seed": self.workload.seed,
+            },
+            "flows": next(iter(self.results.values())).flows
+            if self.results
+            else 0,
+            "total_events": self.total_events,
+            "fabrics": {
+                name: self.results[name].as_dict() for name in self.fabrics
+            },
+        }
+
+
+def _default_max_cycles(spec: WorkloadSpec) -> int:
+    # Generous drain bound: under persistent overload a fabric clears
+    # at most one cell per port per cycle, so 50x the arrival horizon
+    # (plus slack for tiny workloads) always suffices for the loads the
+    # CLI exposes while still bounding a pathological no-progress run.
+    return int(spec.duration) * 50 + 5000
+
+
+def run_fabric(
+    name: str,
+    spec: WorkloadSpec,
+    *,
+    backpressure: bool = True,
+    max_cycles: int | None = None,
+    **fabric_params,
+) -> FlowSimResult:
+    """Simulate one fabric over the workload (``repro flows run``)."""
+    flows = generate_flows(spec)
+    stage = build_fabric(name, spec.n, **fabric_params)
+    sim = FlowSim(
+        stage,
+        flows,
+        backpressure=backpressure,
+        max_cycles=max_cycles or _default_max_cycles(spec),
+    )
+    return sim.run()
+
+
+def head_to_head(
+    spec: WorkloadSpec,
+    fabrics: list[str] | None = None,
+    *,
+    backpressure: bool = True,
+    workers: int = 0,
+    max_cycles: int | None = None,
+    **fabric_params,
+) -> CompareReport:
+    """Run every fabric over the same workload.
+
+    ``fabrics`` defaults to all of :func:`fabric_names` (the paper's
+    concentrator fabric, the fat-tree and knockout models, and the
+    rotor/optical baseline).  ``fabric_params`` configure the stages
+    (see :func:`~repro.network.flows.fabric.build_fabric`).
+    """
+    names = list(fabrics) if fabrics is not None else fabric_names()
+    unknown = set(names) - set(fabric_names())
+    if unknown:
+        raise ConfigurationError(
+            f"unknown fabrics: {sorted(unknown)}; "
+            f"available: {', '.join(fabric_names())}"
+        )
+    flows = generate_flows(spec)
+    cap = max_cycles or _default_max_cycles(spec)
+
+    def _one(name: str) -> FlowSimResult:
+        stage = build_fabric(name, spec.n, **fabric_params)
+        return FlowSim(
+            stage, flows, backpressure=backpressure, max_cycles=cap
+        ).run()
+
+    report = CompareReport(workload=spec, fabrics=names)
+    parent = obs.get_registry()
+    with parent.span("flows.compare", fabrics=",".join(names), n=spec.n):
+        if workers > 1 and parent.enabled:
+            # Each fabric collects telemetry into a private registry;
+            # the snapshots merge back in fabric order, so metrics are
+            # independent of thread interleaving.
+            def _collected(name: str) -> tuple[FlowSimResult, dict]:
+                local = obs.Registry()
+                with obs.using(local):
+                    result = _one(name)
+                return result, roundtrip(portable_snapshot(local))
+
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(_collected, names))
+            for name, (result, snapshot) in zip(names, outcomes):
+                merge_portable(parent, snapshot, worker=f"flows-{name}")
+                report.results[name] = result
+        elif workers > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                for name, result in zip(names, pool.map(_one, names)):
+                    report.results[name] = result
+        else:
+            for name in names:
+                report.results[name] = _one(name)
+    return report

@@ -1,0 +1,216 @@
+"""Flow workload generation for the event-driven simulator.
+
+A workload is a list of :class:`FlowSpec` — who sends, to where, how
+many cells, starting when.  Arrivals are Poisson per ingress port;
+sizes come from discrete heavy-tailed mixes shaped like the published
+datacenter traces:
+
+* ``websearch`` — the DCTCP-style web-search mix: most flows are a
+  handful of cells (queries and responses), a thin tail of multi-
+  hundred-cell background transfers carries most of the bytes;
+* ``datamining`` — the VL2-style data-mining mix: even more extreme —
+  over half the flows are a single cell while kilocell elephants
+  dominate the volume;
+* ``uniform`` — a flat 1..32-cell control mix (no heavy tail);
+* ``fixed`` — every flow exactly ``fixed_size`` cells (the degenerate
+  mix the differential tests use).
+
+Everything is seeded through ``numpy.random.SeedSequence``: the
+workload seed spawns one child per ingress port, so the flow list is
+byte-identical however the simulation is later sharded or threaded,
+and two fabrics handed the same :class:`WorkloadSpec` see the *same*
+flows — the precondition for a fair head-to-head at identical offered
+load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One flow: ``size_cells`` cells from ingress ``src`` toward leaf
+    ``dst``, arriving at time ``arrival`` (in cycles)."""
+
+    flow_id: int
+    src: int
+    dst: int
+    size_cells: int
+    arrival: float
+
+
+@dataclass(frozen=True)
+class SizeDistribution:
+    """A discrete flow-size distribution: ``sizes[i]`` cells with
+    cumulative probability ``cdf[i]`` (``cdf[-1] == 1``).  Sampling is
+    inverse-CDF over uniforms, so one draw consumes exactly one uniform
+    whatever the mix."""
+
+    name: str
+    sizes: tuple[int, ...]
+    cdf: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.sizes) != len(self.cdf) or not self.sizes:
+            raise ConfigurationError("sizes and cdf must be non-empty and equal length")
+        if abs(self.cdf[-1] - 1.0) > 1e-12:
+            raise ConfigurationError(f"cdf must end at 1.0, got {self.cdf[-1]}")
+        if any(b <= a for a, b in zip(self.cdf, self.cdf[1:])):
+            raise ConfigurationError("cdf must be strictly increasing")
+        if any(s < 1 for s in self.sizes):
+            raise ConfigurationError("flow sizes must be >= 1 cell")
+
+    @property
+    def mean_cells(self) -> float:
+        pmf = np.diff(np.concatenate(([0.0], np.asarray(self.cdf))))
+        return float(np.dot(pmf, np.asarray(self.sizes, dtype=float)))
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """``count`` iid sizes (int64 cells)."""
+        draws = rng.random(count)
+        idx = np.searchsorted(np.asarray(self.cdf), draws, side="right")
+        idx = np.minimum(idx, len(self.sizes) - 1)
+        return np.asarray(self.sizes, dtype=np.int64)[idx]
+
+
+#: The published-trace-shaped mixes, quantized to cells.
+_DISTRIBUTIONS: dict[str, SizeDistribution] = {
+    "websearch": SizeDistribution(
+        "websearch",
+        sizes=(1, 2, 3, 5, 7, 10, 15, 30, 50, 100, 300, 1000),
+        cdf=(0.15, 0.20, 0.30, 0.40, 0.53, 0.60, 0.70, 0.80, 0.90, 0.97,
+             0.995, 1.0),
+    ),
+    "datamining": SizeDistribution(
+        "datamining",
+        sizes=(1, 2, 3, 7, 50, 200, 1000, 5000),
+        cdf=(0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 0.98, 1.0),
+    ),
+    "uniform": SizeDistribution(
+        "uniform",
+        sizes=tuple(range(1, 33)),
+        cdf=tuple((i + 1) / 32 for i in range(32)),
+    ),
+}
+
+
+def size_distribution_names() -> list[str]:
+    return sorted(_DISTRIBUTIONS) + ["fixed"]
+
+
+def size_distribution(name: str, *, fixed_size: int = 4) -> SizeDistribution:
+    """Look up a mix by name; ``fixed`` builds a point mass at
+    ``fixed_size`` cells."""
+    if name == "fixed":
+        if fixed_size < 1:
+            raise ConfigurationError("fixed_size must be >= 1 cell")
+        return SizeDistribution("fixed", sizes=(fixed_size,), cdf=(1.0,))
+    try:
+        return _DISTRIBUTIONS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown size distribution {name!r}; available: "
+            f"{', '.join(size_distribution_names())}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a generated workload.
+
+    ``load`` is the offered load per ingress port in cells per cycle
+    (1.0 saturates a port); the per-port Poisson flow arrival rate is
+    ``load / mean_size``.  ``duration`` is the arrival horizon in
+    cycles — flows stop *arriving* then, but the simulation runs on
+    until the backlog drains.
+    """
+
+    n: int
+    load: float = 0.7
+    duration: float = 200.0
+    sizes: str = "websearch"
+    fixed_size: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError(f"n must be positive, got {self.n}")
+        if self.load <= 0.0:
+            raise ConfigurationError(f"load must be > 0, got {self.load}")
+        if self.duration <= 0.0:
+            raise ConfigurationError(
+                f"duration must be > 0, got {self.duration}"
+            )
+
+    @property
+    def distribution(self) -> SizeDistribution:
+        return size_distribution(self.sizes, fixed_size=self.fixed_size)
+
+
+def generate_flows(spec: WorkloadSpec) -> list[FlowSpec]:
+    """The full flow list of a workload, sorted by (arrival, flow_id).
+
+    One ``SeedSequence`` child per ingress port drives that port's
+    arrival process (exponential gaps) and its size/destination draws,
+    so ports are independent streams and the list is reproducible from
+    ``spec`` alone.  Flow ids are assigned *after* the global sort, so
+    they are dense, deterministic, and ordered by arrival.
+    """
+    dist = spec.distribution
+    rate = spec.load / dist.mean_cells  # flows per cycle per port
+    children = np.random.SeedSequence(spec.seed).spawn(spec.n)
+    raw: list[tuple[float, int, int, int]] = []
+    for src, child in enumerate(children):
+        rng = np.random.default_rng(child)
+        # Draw a generous block of gaps at once; top up in the rare
+        # case the block does not cover the horizon.
+        expect = max(8, int(spec.duration * rate * 2) + 8)
+        t = 0.0
+        arrivals: list[float] = []
+        while True:
+            gaps = rng.exponential(1.0 / rate, size=expect)
+            for gap in gaps:
+                t += float(gap)
+                if t >= spec.duration:
+                    break
+                arrivals.append(t)
+            if t >= spec.duration:
+                break
+        if not arrivals:
+            continue
+        sizes = dist.sample(rng, len(arrivals))
+        dsts = rng.integers(0, spec.n, size=len(arrivals))
+        for when, size, dst in zip(arrivals, sizes, dsts):
+            raw.append((when, src, int(size), int(dst)))
+    raw.sort(key=lambda item: (item[0], item[1]))
+    return [
+        FlowSpec(flow_id=i, src=src, dst=dst, size_cells=size, arrival=when)
+        for i, (when, src, size, dst) in enumerate(raw)
+    ]
+
+
+def one_shot_flows(
+    sizes: Iterable[int], *, dsts: Iterable[int] | None = None
+) -> list[FlowSpec]:
+    """The degenerate workload of the differential tests: exactly one
+    flow per ingress port, all arriving at t=0.  ``sizes[i]`` is the
+    flow of ingress ``i``; ``dsts`` defaults to ``dst == src``."""
+    sizes = [int(s) for s in sizes]
+    if any(s < 1 for s in sizes):
+        raise ConfigurationError("every one-shot flow needs >= 1 cell")
+    if dsts is None:
+        dst_list = list(range(len(sizes)))
+    else:
+        dst_list = [int(d) for d in dsts]
+        if len(dst_list) != len(sizes):
+            raise ConfigurationError("dsts must match sizes in length")
+    return [
+        FlowSpec(flow_id=i, src=i, dst=dst_list[i], size_cells=size, arrival=0.0)
+        for i, size in enumerate(sizes)
+    ]

@@ -72,6 +72,26 @@ CATALOG: tuple[MetricInfo, ...] = (
                "one SwitchSimulation.run call (meta: rounds)"),
     MetricInfo("sim.round", "span", (),
                "one simulated round inside sim.run (meta: round)"),
+    # network/flows (the event-driven flow simulator, see docs/flows.md)
+    MetricInfo("flows.cells_offered", "counter", ("fabric",),
+               "cell transmission attempts offered to a fabric stage "
+               "(retransmissions count again), by fabric"),
+    MetricInfo("flows.cells_delivered", "counter", ("fabric",),
+               "cells delivered through the fabric, by fabric"),
+    MetricInfo("flows.cells_dropped", "counter", ("fabric",),
+               "cells permanently dropped (no backpressure), by fabric"),
+    MetricInfo("flows.cells_blocked", "counter", ("fabric",),
+               "cells blocked awaiting their slot (rotor), by fabric"),
+    MetricInfo("flows.cells_faulted", "counter", ("fabric",),
+               "cells garbled at a flaky input pin, by fabric"),
+    MetricInfo("flows.cycles", "counter", ("fabric",),
+               "fabric cycles executed by FlowSim.run, by fabric"),
+    MetricInfo("flows.events", "counter", ("fabric",),
+               "queue events popped by FlowSim.run, by fabric"),
+    MetricInfo("flows.run", "span", (),
+               "one FlowSim.run call (meta: fabric, flows)"),
+    MetricInfo("flows.compare", "span", (),
+               "one head-to-head fabric study (meta: fabrics, n)"),
     # network/knockout
     MetricInfo("knockout.offered", "counter", (),
                "packets offered to the knockout switch"),

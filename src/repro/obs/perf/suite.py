@@ -221,6 +221,51 @@ def _certify_factory(design: str, params: dict):
     return make
 
 
+def _flows_factory(
+    fabric: str, n: int, load: float, duration: float, sizes: str, **params
+):
+    """Event-driven flow-sim throughput: one full drain of a seeded
+    workload against ``fabric``; work is the event count (queue events
+    plus per-cell outcomes).  The flow list is generated in ``make``
+    (untimed); the stage is rebuilt per repeat because stages are
+    stateful (FIFOs, rotor phase) — plan compilation is already cached
+    after the warm-up build."""
+
+    def make() -> Workload:
+        from repro.network.flows import (
+            FlowSim,
+            WorkloadSpec,
+            build_fabric,
+            generate_flows,
+        )
+
+        spec = WorkloadSpec(
+            n=n, load=load, duration=duration, sizes=sizes, seed=DEFAULT_SEED
+        )
+        flows = generate_flows(spec)
+        build_fabric(fabric, n, **params)  # warm the plan cache
+        cap = int(duration) * 50 + 5000
+
+        def run(rng: np.random.Generator) -> int:
+            stage = build_fabric(fabric, n, **params)
+            result = FlowSim(stage, flows, max_cycles=cap).run()
+            return result.events
+
+        return Workload(
+            run=run,
+            meta={
+                "fabric": fabric,
+                "n": n,
+                "load": load,
+                "duration": duration,
+                "sizes": sizes,
+                "flows": len(flows),
+            },
+        )
+
+    return make
+
+
 def _columnsort(n: int, m: int):
     from repro.switches.columnsort_switch import ColumnsortSwitch
 
@@ -310,6 +355,32 @@ SPECS: tuple[BenchSpec, ...] = (
         "certify.revsort-n16", ("smoke", "full"), "patterns",
         _certify_factory("revsort", {"n": 16, "m": 12}),
         "exhaustive certify_design('revsort', n=16) wall time",
+    ),
+    # -- event-driven flow simulator (see docs/flows.md) ---------------
+    BenchSpec(
+        "flows.concentrator-n64", ("flows",), "events",
+        _flows_factory("concentrator", 64, 0.7, 120.0, "websearch"),
+        "event-driven drain, revsort concentrator fabric at n=64",
+    ),
+    BenchSpec(
+        "flows.fattree-n64", ("flows",), "events",
+        _flows_factory("fattree", 64, 0.7, 120.0, "websearch"),
+        "event-driven drain, fat-tree up-path fabric at n=64",
+    ),
+    BenchSpec(
+        "flows.knockout-n64", ("flows",), "events",
+        _flows_factory("knockout", 64, 0.7, 120.0, "websearch"),
+        "event-driven drain, knockout output-buffered fabric at n=64",
+    ),
+    BenchSpec(
+        "flows.rotor-n64", ("flows",), "events",
+        _flows_factory("rotor", 64, 0.7, 120.0, "websearch"),
+        "event-driven drain, rotor/optical baseline at n=64",
+    ),
+    BenchSpec(
+        "flows.concentrator-n256", ("full",), "events",
+        _flows_factory("concentrator", 256, 0.7, 400.0, "websearch"),
+        "event-driven drain, revsort concentrator fabric at n=256",
     ),
     # -- engine scaling curve (sharded process backend) ----------------
     #    One spec per (geometry, worker-count) point; plot workers vs

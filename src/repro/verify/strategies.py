@@ -152,6 +152,47 @@ def fault_scenarios(
     return FaultScenario(name="hypothesis", faults=tuple(faults), seed=seed)
 
 
+def workload_specs(
+    *, ports: tuple[int, ...] = (4, 8, 16), max_duration: float = 25.0
+) -> st.SearchStrategy["WorkloadSpec"]:
+    """A random :class:`repro.network.flows.WorkloadSpec` — port count,
+    offered load (including overload), arrival horizon, size mix, and
+    seed — sized for property tests, not paper-scale studies."""
+    from repro.network.flows import WorkloadSpec, size_distribution_names
+
+    return st.builds(
+        WorkloadSpec,
+        n=st.sampled_from(ports),
+        load=st.floats(min_value=0.1, max_value=1.2),
+        duration=st.floats(min_value=2.0, max_value=max_duration),
+        sizes=st.sampled_from(size_distribution_names()),
+        fixed_size=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+
+
+@st.composite
+def fabric_topologies(draw: st.DrawFn, n: int = 16) -> "FabricStage":
+    """A random fabric stage of width ``n`` for the event-driven flow
+    simulator: any of the four head-to-head models with its knobs
+    (concentrator width, knockout lanes/FIFO depth, rotor hold time)
+    drawn too.  ``n`` should be a power of four so every fabric is
+    constructible (revsort needs a square, the fat-tree a power of
+    two)."""
+    from repro.network.flows import build_fabric, fabric_names
+
+    name = draw(st.sampled_from(fabric_names()))
+    params: dict[str, object] = {}
+    if name == "concentrator":
+        params["m"] = draw(st.sampled_from([max(1, n // 2), max(1, (3 * n) // 4)]))
+    elif name == "knockout":
+        params["lanes"] = draw(st.integers(min_value=1, max_value=4))
+        params["fifo_depth"] = draw(st.integers(min_value=1, max_value=8))
+    elif name == "rotor":
+        params["slot_cycles"] = draw(st.integers(min_value=1, max_value=3))
+    return build_fabric(name, n, **params)
+
+
 def mesh_orderings(side: int) -> st.SearchStrategy[np.ndarray]:
     """A random permutation of the ``side × side`` flat positions —
     candidate mesh readout orderings for the analysis helpers."""

@@ -257,7 +257,12 @@ class TestProfiler:
 
 class TestSuite:
     def test_suite_registry_shape(self):
-        assert set(suite.suite_names()) == {"smoke", "full", "scaling"}
+        assert set(suite.suite_names()) == {"smoke", "full", "scaling", "flows"}
+        flows = suite.suite_specs("flows")
+        assert {s.id for s in flows} == {
+            f"flows.{fabric}-n64"
+            for fabric in ("concentrator", "fattree", "knockout", "rotor")
+        }
         smoke = suite.suite_specs("smoke")
         assert {s.id for s in smoke} >= {
             "engine.columnsort-n256",
