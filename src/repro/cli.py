@@ -277,6 +277,12 @@ def _telemetry_scope(args: argparse.Namespace):
     command = _command_name(args)
     with contextlib.ExitStack() as stack:
         registry = stack.enter_context(obs.collecting())
+        # Every collected command is one causal trace: the context
+        # stamps span_id/parent_id on spans here and (shipped with each
+        # shard job) in workers, so `repro obs analyze` can stitch one
+        # tree back out of the journal.
+        trace_id = getattr(args, "trace_id", None) or obs.new_trace_id(command)
+        registry.tracer.context = obs.TraceContext(trace_id=trace_id)
         # --metrics-out alone: no journal, but the command still sees
         # the collecting registry (the reproduce report reads it).
         tele = _NullTelemetry()
@@ -285,7 +291,7 @@ def _telemetry_scope(args: argparse.Namespace):
             journal = stack.enter_context(
                 EventJournal(getattr(args, "journal", None), command=command)
             )
-            journal.emit("env", pid=os.getpid(), **obs.environment())
+            journal.emit("env", pid=os.getpid(), trace_id=trace_id, **obs.environment())
             sink = JournalSink(registry, journal)
             stack.callback(sink.close)
             recorder = FlightRecorder()
@@ -1505,6 +1511,106 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs_analyze(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.perf.analyze import analysis_report, analyze_journal
+    from repro.obs.perf.chrometrace import write_chrome_trace
+
+    analysis = analyze_journal(args.journal)
+    if args.format == "json":
+        import json
+
+        serializable = {
+            k: v for k, v in analysis.items() if k not in ("tree", "replayed")
+        }
+        serializable["tree"] = {
+            "roots": analysis["tree"]["roots"],
+            "nodes": analysis["tree"]["nodes"],
+        }
+        text = json.dumps(_json_safe(serializable), indent=2)
+    else:
+        text = analysis_report(analysis, fmt=args.format)
+    if args.trace_out:
+        path = write_chrome_trace(
+            analysis["replayed"]["spans"],
+            args.trace_out,
+            metadata={
+                "command": analysis.get("command"),
+                "trace_id": analysis.get("trace_id"),
+            },
+        )
+        print(f"perfetto trace written to {path}")
+    if args.out:
+        Path(args.out).write_text(text + "\n", encoding="utf-8")
+        print(f"analysis written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_obs_slo(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ConcentrationError
+    from repro.obs.live import replay_journal
+    from repro.obs.slo import evaluate_slo, load_slo_spec, slo_rows, violations
+
+    if bool(args.journal) == bool(args.input):
+        raise ReproError("give exactly one of --journal or --input")
+    rules = load_slo_spec(args.spec)
+    if args.journal:
+        source = replay_journal(args.journal)
+        against = args.journal
+    else:
+        from pathlib import Path
+
+        if not Path(args.input).exists():
+            raise ReproError(f"no input file at {args.input}")
+        try:
+            source = json.loads(Path(args.input).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"{args.input} is not JSON: {exc}") from None
+        if not isinstance(source, dict):
+            raise ReproError(f"{args.input} is not a JSON object")
+        against = args.input
+    verdicts = evaluate_slo(rules, source)
+    failed = violations(verdicts)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "schema": "repro.cli/slo-verdicts@1",
+                    "spec": str(args.spec),
+                    "against": str(against),
+                    "ok": not failed,
+                    "verdicts": [v.as_dict() for v in verdicts],
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(
+            render_table(
+                slo_rows(verdicts),
+                title=f"SLO gate: {args.spec} vs {against}",
+            )
+        )
+    if failed:
+        names = ", ".join(v.rule.name for v in failed)
+        if args.warn_only:
+            print(
+                f"WARNING: {len(failed)} objective(s) violated: {names} "
+                "(warn-only mode: exiting 0)",
+                file=sys.stderr,
+            )
+            return 0
+        raise ConcentrationError(
+            f"{len(failed)} SLO objective(s) violated: {names}"
+        )
+    return 0
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     rows = obs.catalog_rows()
     if args.demo:
@@ -2069,6 +2175,54 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--format", choices=["table", "md"], default="table")
     pr.add_argument("--out", default=None, help="write instead of printing")
     pr.set_defaults(func=cmd_obs_report)
+
+    pa = obs_sub.add_parser(
+        "analyze",
+        help="reconstruct the causal span tree from a journal: critical "
+        "path, per-phase breakdown, worker utilization/stragglers",
+    )
+    pa.add_argument(
+        "journal", metavar="JOURNAL",
+        help="a repro.obs/journal@1 JSONL written with --journal",
+    )
+    pa.add_argument("--format", choices=["table", "md", "json"], default="table")
+    pa.add_argument("--out", default=None, help="write instead of printing")
+    pa.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="also export the replayed spans as Chrome-trace/Perfetto "
+        "JSON (one track per worker, flow arrows from the dispatch span)",
+    )
+    pa.set_defaults(func=cmd_obs_analyze)
+
+    ps = obs_sub.add_parser(
+        "slo",
+        help="evaluate a declarative SLO spec against a journal or a "
+        "flows run/compare JSON; exits 1 on violation",
+    )
+    ps.add_argument(
+        "--spec", required=True, help="SLO spec (.toml on Python >=3.11, or .json)"
+    )
+    ps.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="evaluate against a replayed repro.obs/journal@1 journal",
+    )
+    ps.add_argument(
+        "--input",
+        default=None,
+        metavar="PATH",
+        help="evaluate against a flows run/compare JSON document",
+    )
+    ps.add_argument("--format", choices=["table", "json"], default="table")
+    ps.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report violations but exit 0 (CI soak mode)",
+    )
+    ps.set_defaults(func=cmd_obs_slo)
 
     p = sub.add_parser(
         "bench",

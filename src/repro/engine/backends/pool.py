@@ -23,7 +23,9 @@ Three pieces of process-boundary plumbing live here:
   vitals (``proc.rss_kb`` et al. — the parent's resource sampler only
   sees the parent), and returns the result with a portable
   ``repro.obs/worker@1`` snapshot for the parent to merge in work-list
-  order.
+  order.  A shipped ``trace`` payload (:mod:`repro.obs.tracectx`)
+  rebuilds the parent's causal trace context, so worker spans carry
+  ``span_id``/``parent_id`` linking back to the dispatching span.
 """
 
 from __future__ import annotations
@@ -104,6 +106,7 @@ def run_collected(fn, job: dict) -> tuple[object, dict]:
     worker count.
     """
     from repro.obs.live.merge import portable_snapshot, roundtrip
+    from repro.obs.tracectx import child_context
 
     plans = job.pop("plans", None)
     if plans:
@@ -113,7 +116,13 @@ def run_collected(fn, job: dict) -> tuple[object, dict]:
         # Test hook: an injected slow shard (see tests/test_backend.py's
         # regression-gate pin). Never set outside tests.
         time.sleep(delay)
+    trace = job.pop("trace", None)
     local = obs.Registry()
+    if trace is not None:
+        # Rebuild the dispatching parent's trace context so this
+        # worker's spans carry span_id/parent_id rooted at the parent's
+        # engine.shards span (see repro.obs.tracectx).
+        local.tracer.context = child_context(trace)
     with obs.using(local):
         with obs.span("engine.shard", shard=job.get("shard", 0)):
             result = fn(job)

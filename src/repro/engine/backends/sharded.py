@@ -129,24 +129,39 @@ class ShardedBackend(EngineBackend):
     def _dispatch(self, switch, fn, jobs: list[dict]) -> list[object]:
         """Run the shard jobs (pool or inline), merge worker snapshots
         back in shard order, and return per-shard results in shard
-        order."""
+        order.
+
+        The whole round runs inside one ``engine.shards`` span; when a
+        trace context is active its span id is shipped to every shard
+        as the causal parent of the worker's root spans, which is how
+        ``repro obs analyze`` stitches per-worker subtrees back under
+        the dispatching command.
+        """
         self._jobs(switch, jobs)
         for _ in jobs:
             obs.counter("engine.shards", backend=self.name).inc()
         parent = obs.get_registry()
-        if self.workers > 1 and len(jobs) > 1:
-            pool = shared_pool(self.workers)
-            futures = [pool.submit(fn, job) for job in jobs]
-            outcomes = [future.result() for future in futures]
-        else:
-            outcomes = [run_collected(fn, job) for job in jobs]
-        results = []
-        for index, (result, snapshot) in enumerate(outcomes):
-            if parent.enabled:
-                from repro.obs.live.merge import merge_portable
+        with parent.span("engine.shards", backend=self.name, shards=len(jobs)):
+            ctx = parent.tracer.context if parent.enabled else None
+            if ctx is not None:
+                dispatch_id = parent.tracer.active_span_id
+                for job in jobs:
+                    job["trace"] = ctx.ship(
+                        parent_id=dispatch_id, prefix=f"shard-{job['shard']}"
+                    )
+            if self.workers > 1 and len(jobs) > 1:
+                pool = shared_pool(self.workers)
+                futures = [pool.submit(fn, job) for job in jobs]
+                outcomes = [future.result() for future in futures]
+            else:
+                outcomes = [run_collected(fn, job) for job in jobs]
+            results = []
+            for index, (result, snapshot) in enumerate(outcomes):
+                if parent.enabled:
+                    from repro.obs.live.merge import merge_portable
 
-                merge_portable(parent, snapshot, worker=f"shard-{index}")
-            results.append(result)
+                    merge_portable(parent, snapshot, worker=f"shard-{index}")
+                results.append(result)
         return results
 
     # -- the protocol ------------------------------------------------

@@ -119,6 +119,9 @@ class BufferPolicy(CongestionPolicy):
                 self._queue.append(msg)
                 self._count_retried()
         self.depth_history.append(len(self._queue))
+        obs.series("congestion.queue_depth", policy=type(self).__name__).append(
+            len(self._queue), t=round_index
+        )
 
     def backlog(self) -> list[Message]:
         out = list(self._queue)
@@ -249,6 +252,9 @@ class RetryPolicy(CongestionPolicy):
                 _Pending(message=msg, resend_round=round_index + wait)
             )
             self._count_retried()
+        obs.series("congestion.inflight", policy=type(self).__name__).append(
+            len(self._pending), t=round_index
+        )
 
     def backlog(self) -> list[Message]:
         ready = [p.message for p in self._pending]

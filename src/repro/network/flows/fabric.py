@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro._util.rng import default_rng
 from repro.errors import ConfigurationError
 from repro.messages.message import Message
@@ -266,6 +267,9 @@ class KnockoutFabric(FabricStage):
         for fifo in self._fifos:
             if fifo:
                 outcome.delivered.append(fifo.popleft())
+        # The occupancy curve is the knockout story (winners queue,
+        # losers knock out) — one sample per fabric cycle.
+        obs.series("flows.fifo_depth", fabric=self.name).append(self.in_flight())
         return outcome
 
 

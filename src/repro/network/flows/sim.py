@@ -370,3 +370,27 @@ class FlowSim:
                 reg.counter("flows.cells_faulted", fabric=self.stage.name).inc(
                     outcome.faulted
                 )
+            # Per-cycle timeseries: the shape of congestion over the
+            # run, not just its end-of-run totals.  The fabric cycle
+            # index is the time axis (deterministic; see
+            # repro.obs.timeseries for the decimation contract).
+            fabric = self.stage.name
+            reg.series("flows.queue_depth", fabric=fabric).append(
+                self.stage.in_flight(), t=now
+            )
+            reg.series("flows.inflight_cells", fabric=fabric).append(
+                self._in_fabric, t=now
+            )
+            reg.series("flows.cwnd_mean", fabric=fabric).append(
+                sum(s.cwnd for s in self._states) / len(self._states)
+                if self._states
+                else 0.0,
+                t=now,
+            )
+            reg.series("flows.delivery_rate", fabric=fabric).append(
+                len(outcome.delivered), t=now
+            )
+            reg.series("flows.drop_rate", fabric=fabric).append(
+                len(outcome.rejected) if not self.backpressure else 0,
+                t=now,
+            )

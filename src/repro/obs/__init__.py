@@ -39,12 +39,15 @@ from repro.obs.registry import (
     histogram,
     install,
     metric_key,
+    series,
     span,
     split_metric_key,
     uninstall,
     using,
 )
 from repro.obs.runmeta import environment, git_dirty, git_sha, run_metadata
+from repro.obs.timeseries import NullSeries, Series
+from repro.obs.tracectx import TraceContext, child_context, new_trace_id
 from repro.obs.tracing import SpanRecord, Tracer
 
 __all__ = [
@@ -55,12 +58,16 @@ __all__ = [
     "MetricInfo",
     "NULL_REGISTRY",
     "NullRegistry",
+    "NullSeries",
     "Registry",
     "SCHEMA_VERSION",
+    "Series",
     "SpanRecord",
+    "TraceContext",
     "Tracer",
     "bucket_key",
     "catalog_rows",
+    "child_context",
     "collecting",
     "counter",
     "enabled",
@@ -74,8 +81,10 @@ __all__ = [
     "metric_key",
     "metric_names",
     "metrics_markdown",
+    "new_trace_id",
     "read_metrics_json",
     "run_metadata",
+    "series",
     "span",
     "split_metric_key",
     "uninstall",

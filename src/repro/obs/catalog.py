@@ -14,7 +14,7 @@ from dataclasses import dataclass
 @dataclass(frozen=True)
 class MetricInfo:
     name: str
-    kind: str  # "counter" | "gauge" | "histogram" | "span"
+    kind: str  # "counter" | "gauge" | "histogram" | "series" | "span"
     labels: tuple[str, ...]
     description: str
 
@@ -43,7 +43,9 @@ CATALOG: tuple[MetricInfo, ...] = (
                "payload (worker warm-start), by plan kind"),
     MetricInfo("engine.shards", "counter", ("backend",),
                "trial shards dispatched by an engine backend's "
-               "run_stream/run_trials fan-out, by backend name"),
+               "run_stream/run_trials fan-out, by backend name; also the "
+               "span wrapping the whole dispatch round (meta: backend, "
+               "shards) — the causal parent shipped to every worker"),
     MetricInfo("engine.shard", "span", (),
                "one shard executing in a worker (meta: shard index)"),
     MetricInfo("engine.run_plan", "span", (),
@@ -92,6 +94,19 @@ CATALOG: tuple[MetricInfo, ...] = (
                "one FlowSim.run call (meta: fabric, flows)"),
     MetricInfo("flows.compare", "span", (),
                "one head-to-head fabric study (meta: fabrics, n)"),
+    MetricInfo("flows.queue_depth", "series", ("fabric",),
+               "per-cycle cells held inside the fabric stage, by fabric"),
+    MetricInfo("flows.inflight_cells", "series", ("fabric",),
+               "per-cycle cells the simulator has handed to the fabric "
+               "but not yet seen delivered, by fabric"),
+    MetricInfo("flows.cwnd_mean", "series", ("fabric",),
+               "per-cycle mean AIMD congestion window across flows"),
+    MetricInfo("flows.delivery_rate", "series", ("fabric",),
+               "cells delivered per fabric cycle, by fabric"),
+    MetricInfo("flows.drop_rate", "series", ("fabric",),
+               "cells dropped per fabric cycle (no backpressure), by fabric"),
+    MetricInfo("flows.fifo_depth", "series", ("fabric",),
+               "per-cycle total knockout egress-FIFO occupancy"),
     # network/knockout
     MetricInfo("knockout.offered", "counter", (),
                "packets offered to the knockout switch"),
@@ -110,6 +125,10 @@ CATALOG: tuple[MetricInfo, ...] = (
                "messages a congestion policy queued for retry"),
     MetricInfo("congestion.expired", "counter", ("policy",),
                "TTL expiries (sub-count of congestion.dropped)"),
+    MetricInfo("congestion.queue_depth", "series", ("policy",),
+               "per-round input-buffer depth of BufferPolicy"),
+    MetricInfo("congestion.inflight", "series", ("policy",),
+               "per-round messages waiting out a RetryPolicy backoff"),
     # faults/
     MetricInfo("faults.injected", "counter", ("kind",),
                "faults compiled into a FaultySwitch, by fault kind"),

@@ -1,9 +1,9 @@
 """Snapshot exporters: JSON files and Markdown sections.
 
 A *snapshot* is the plain dict produced by
-:meth:`repro.obs.registry.Registry.snapshot` — four keys
-(``counters``, ``gauges``, ``histograms``, ``spans``) holding only
-JSON-native values, so :func:`write_metrics_json` /
+:meth:`repro.obs.registry.Registry.snapshot` — five keys
+(``counters``, ``gauges``, ``histograms``, ``series``, ``spans``)
+holding only JSON-native values, so :func:`write_metrics_json` /
 :func:`read_metrics_json` round-trip it losslessly.
 
 :func:`metrics_markdown` renders the same snapshot as GitHub-flavoured
@@ -59,7 +59,7 @@ def read_metrics_json(path: str | Path) -> dict:
         raise ConfigurationError(f"{path} is not a repro.obs metrics file")
     return {
         key: document[key]
-        for key in ("counters", "gauges", "histograms", "spans")
+        for key in ("counters", "gauges", "histograms", "series", "spans")
         if key in document
     }
 

@@ -17,14 +17,22 @@ Line format (``schema="repro.obs/journal@1"`` on the ``start`` line)::
      "count": 20, "sum": 0.08, "min": ..., "max": ..., "buckets": {...}}
     {"seq": 5, "t": ..., "type": "span", "name": "sim.run", "path": ...,
      "depth": 0, "start": ..., "duration_s": ..., "meta": {...}}
-    {"seq": 6, "t": ..., "type": "heartbeat", "rss_kb": ..., "cpu_s": ...}
-    {"seq": 7, "t": ..., "type": "end", "spans_dropped": 0}
+    {"seq": 6, "t": ..., "type": "series", "key": "flows.queue_depth{...}",
+     "budget": 256, "stride": 1, "count": ..., "points": [[t, v], ...]}
+    {"seq": 7, "t": ..., "type": "heartbeat", "rss_kb": ..., "cpu_s": ...}
+    {"seq": 8, "t": ..., "type": "end", "spans_dropped": 0}
 
 Metric events are **deltas since the previous flush**, so replaying a
 journal (:func:`replay_journal`) reduces to exactly the live
 registry's final totals — including metrics merged in from worker
 registries, because the merge lands in the parent before the next
-flush.  Gauges carry absolute values (last write wins on replay).
+flush.  Gauges carry absolute values (last write wins on replay), and
+``series`` frames carry the series' full decimated point buffer (also
+last-write-wins, so replay reproduces the registry's series exactly —
+the buffer is bounded, see :mod:`repro.obs.timeseries`).  Spans carry
+``span_id``/``parent_id`` when a trace context is active
+(:mod:`repro.obs.tracectx`), which is what ``repro obs analyze``
+reconstructs the causal tree from.
 
 The journal is the event *bus* as well as the file: in-memory sinks
 (the flight recorder's ring buffer, the ``--live`` progress view)
@@ -149,6 +157,7 @@ class JournalSink:
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
         self._hists: dict[str, dict] = {}
+        self._series: dict[str, int] = {}
         self._previous_sink = registry.tracer.sink
         registry.tracer.sink = journal.emit_span
 
@@ -189,6 +198,14 @@ class JournalSink:
                     "sum": hist.total,
                     "buckets": dict(hist.buckets),
                 }
+                emitted += 1
+        for key, series in list(reg._series.items()):
+            # Series frames are snapshots, not deltas (the buffer is
+            # bounded, so re-emitting the whole thing stays cheap and
+            # replay is trivially last-write-wins).
+            if series.count != self._series.get(key):
+                self.journal.emit("series", key=key, **series.as_dict())
+                self._series[key] = series.count
                 emitted += 1
         return emitted
 
@@ -235,6 +252,7 @@ def replay_journal(source: str | Path | Iterable[dict]) -> dict:
     counters: dict[str, float] = {}
     gauges: dict[str, float] = {}
     hists: dict[str, dict] = {}
+    series: dict[str, dict] = {}
     spans: list[dict] = []
     dropped = 0
     for event in read_journal(source):
@@ -243,6 +261,13 @@ def replay_journal(source: str | Path | Iterable[dict]) -> dict:
             counters[event["key"]] = counters.get(event["key"], 0.0) + event["delta"]
         elif kind == "gauge":
             gauges[event["key"]] = event["value"]
+        elif kind == "series":
+            # Frames carry the full decimated buffer: last write wins.
+            series[event["key"]] = {
+                key: event[key]
+                for key in ("budget", "stride", "count", "points")
+                if key in event
+            }
         elif kind == "hist":
             h = hists.setdefault(
                 event["key"],
@@ -260,7 +285,16 @@ def replay_journal(source: str | Path | Iterable[dict]) -> dict:
             spans.append(
                 {
                     key: event[key]
-                    for key in ("name", "path", "depth", "start", "duration_s", "meta")
+                    for key in (
+                        "name",
+                        "path",
+                        "depth",
+                        "start",
+                        "duration_s",
+                        "meta",
+                        "span_id",
+                        "parent_id",
+                    )
                     if key in event
                 }
             )
@@ -273,5 +307,6 @@ def replay_journal(source: str | Path | Iterable[dict]) -> dict:
         "counters": dict(sorted(counters.items())),
         "gauges": dict(sorted(gauges.items())),
         "histograms": {k: hists[k] for k in sorted(hists)},
+        "series": {k: series[k] for k in sorted(series)},
         "spans": {"events": spans, "dropped": dropped},
     }

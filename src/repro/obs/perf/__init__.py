@@ -26,6 +26,7 @@ See docs/performance.md ("The performance observatory") for the
 record schema and CLI recipes.
 """
 
+from repro.obs.perf.analyze import analysis_report, analyze_journal
 from repro.obs.perf.chrometrace import chrome_trace_document, write_chrome_trace
 from repro.obs.perf.profiler import profile_text, profiled, write_profile
 from repro.obs.perf.regression import Verdict, compare_records, has_regressions
@@ -55,6 +56,8 @@ __all__ = [
     "BenchSpec",
     "Verdict",
     "Workload",
+    "analysis_report",
+    "analyze_journal",
     "append_records",
     "backfill_engine_report",
     "chrome_trace_document",

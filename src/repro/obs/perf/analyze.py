@@ -1,0 +1,325 @@
+"""The ``repro obs analyze`` causal-trace analyzer.
+
+Replays a ``repro.obs/journal@1`` journal and reconstructs the causal
+span tree from the ``span_id``/``parent_id`` pairs a trace context
+stamps onto spans (:mod:`repro.obs.tracectx`) — including spans merged
+back from shard workers, whose root ``parent_id`` names the parent
+process's dispatching ``engine.shards`` span.  From the tree it
+derives:
+
+* the **critical path** — from the longest root span, repeatedly
+  descend into the longest child (durations only: worker clocks are
+  not comparable to the parent's, so cross-process wall timestamps
+  never enter the walk);
+* the **per-phase breakdown** — wall time between consecutive
+  ``phase`` frames in the journal;
+* the **worker table** — per worker label: span count, busy time (the
+  worker's root spans), share of the dispatch window, and a straggler
+  marker on the slowest worker.
+
+Per-worker span totals partition the flat replayed span list, so they
+sum exactly to ``replay_journal``'s totals — the invariant the tier-1
+suite pins.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.obs.live.journal import read_journal, replay_journal
+
+#: Worker-label key for spans recorded in the parent process.
+MAIN = "main"
+
+
+def _worker_of(span: dict) -> str:
+    worker = (span.get("meta") or {}).get("worker")
+    return MAIN if worker is None else str(worker)
+
+
+def causal_tree(spans: list[dict]) -> dict:
+    """Index spans by ``span_id`` and link children to parents.
+
+    Returns ``{"nodes": {id: node}, "roots": [ids], "untraced": n}``
+    where each node is ``{"name", "worker", "duration_s", "depth",
+    "children": [ids]}``.  Spans without ids (recorded with no trace
+    context) are counted in ``untraced``, not placed in the tree; a
+    span whose parent id is unknown becomes a root.
+    """
+    nodes: dict[str, dict] = {}
+    untraced = 0
+    for span in spans:
+        span_id = span.get("span_id")
+        if span_id is None:
+            untraced += 1
+            continue
+        nodes[span_id] = {
+            "name": span["name"],
+            "worker": _worker_of(span),
+            "duration_s": float(span["duration_s"]),
+            "depth": int(span.get("depth", 0)),
+            "parent_id": span.get("parent_id"),
+            "children": [],
+        }
+    roots = []
+    for span_id, node in nodes.items():
+        parent = nodes.get(node["parent_id"])
+        if parent is None:
+            roots.append(span_id)
+        else:
+            parent["children"].append(span_id)
+    # Deterministic child order: ids are <prefix>:<seq>, so sort by
+    # (prefix, numeric seq) to keep shard-2 ahead of shard-10.
+    for node in nodes.values():
+        node["children"].sort(key=_id_sort_key)
+    roots.sort(key=_id_sort_key)
+    return {"nodes": nodes, "roots": roots, "untraced": untraced}
+
+
+def _id_sort_key(span_id: str) -> tuple:
+    prefix, _, seq = span_id.rpartition(":")
+    return (prefix, int(seq) if seq.isdigit() else 0, seq)
+
+
+def critical_path(tree: dict) -> list[dict]:
+    """The longest root-to-leaf chain by span duration: at every level
+    descend into the longest child.  Each step reports the span's name,
+    worker, duration, and *self* time (duration minus its children)."""
+    nodes = tree["nodes"]
+    if not tree["roots"]:
+        return []
+    current = max(tree["roots"], key=lambda i: nodes[i]["duration_s"])
+    path = []
+    while current is not None:
+        node = nodes[current]
+        child_total = sum(nodes[c]["duration_s"] for c in node["children"])
+        path.append(
+            {
+                "span_id": current,
+                "name": node["name"],
+                "worker": node["worker"],
+                "duration_s": node["duration_s"],
+                "self_s": max(0.0, node["duration_s"] - child_total),
+            }
+        )
+        current = max(
+            node["children"],
+            key=lambda i: nodes[i]["duration_s"],
+            default=None,
+        )
+    return path
+
+
+def phase_breakdown(events: list[dict]) -> list[dict]:
+    """Wall time spent in each journal ``phase``: a phase runs from its
+    frame to the next phase frame (or the journal's last event)."""
+    phases = [e for e in events if e.get("type") == "phase"]
+    if not phases:
+        return []
+    end_t = float(events[-1].get("t", phases[-1]["t"]))
+    rows = []
+    for frame, following in zip(phases, phases[1:] + [None]):
+        stop = float(following["t"]) if following is not None else end_t
+        rows.append(
+            {
+                "phase": str(frame.get("name", "?")),
+                "wall_s": max(0.0, stop - float(frame["t"])),
+            }
+        )
+    return rows
+
+
+def worker_rows(spans: list[dict]) -> list[dict]:
+    """Per-worker utilization: busy time is the sum of the worker's
+    root spans (depth 0 in its own process — ``engine.shard`` for pool
+    workers), so nested spans are not double-counted.  The dispatch
+    window is the parent's total ``engine.shards`` span time; the
+    slowest worker gets the straggler marker."""
+    busy: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for span in spans:
+        worker = _worker_of(span)
+        counts[worker] = counts.get(worker, 0) + 1
+        if worker != MAIN and int(span.get("depth", 0)) == 0:
+            busy[worker] = busy.get(worker, 0.0) + float(span["duration_s"])
+    window = sum(
+        float(s["duration_s"])
+        for s in spans
+        if _worker_of(s) == MAIN and s["name"] == "engine.shards"
+    )
+    slowest = max(busy, key=busy.get) if busy else None
+    rows = []
+    for worker in sorted(counts):
+        if worker == MAIN:
+            continue
+        worker_busy = busy.get(worker, 0.0)
+        rows.append(
+            {
+                "worker": worker,
+                "spans": counts[worker],
+                "busy_s": worker_busy,
+                "of_window": (worker_busy / window) if window > 0 else None,
+                "straggler": worker == slowest and len(busy) > 1,
+            }
+        )
+    return rows
+
+
+def span_totals_by_worker(spans: list[dict]) -> dict[str, float]:
+    """Total span-duration per worker label.  The labels partition the
+    flat span list, so the values sum exactly to the all-span total of
+    the same replay — the parity ``repro obs analyze`` is pinned to."""
+    totals: dict[str, float] = {}
+    for span in spans:
+        worker = _worker_of(span)
+        totals[worker] = totals.get(worker, 0.0) + float(span["duration_s"])
+    return dict(sorted(totals.items()))
+
+
+def analyze_journal(source) -> dict:
+    """The full analysis for one journal (path or event list)."""
+    events = read_journal(source)
+    replayed = replay_journal(events)
+    spans = replayed["spans"]["events"]
+    tree = causal_tree(spans)
+    head = events[0]
+    trace_id = head.get("trace_id")
+    if trace_id is None:
+        # The CLI stamps the trace id on the env frame, right after start.
+        trace_id = next(
+            (e.get("trace_id") for e in events if e.get("type") == "env"), None
+        )
+    return {
+        "command": head.get("command"),
+        "trace_id": trace_id,
+        "spans": len(spans),
+        "untraced_spans": tree["untraced"],
+        "tree": tree,
+        "critical_path": critical_path(tree),
+        "phases": phase_breakdown(events),
+        "workers": worker_rows(spans),
+        "totals_by_worker": span_totals_by_worker(spans),
+        "replayed": replayed,
+    }
+
+
+def _fmt_s(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def _tree_lines(tree: dict, max_children: int = 8) -> list[str]:
+    nodes = tree["nodes"]
+    lines: list[str] = []
+
+    def walk(span_id: str, indent: int) -> None:
+        node = nodes[span_id]
+        worker = "" if node["worker"] == MAIN else f"  [{node['worker']}]"
+        lines.append(
+            f"{'  ' * indent}{node['name']}  "
+            f"{_fmt_s(node['duration_s'])}{worker}  ({span_id})"
+        )
+        shown = node["children"][:max_children]
+        for child in shown:
+            walk(child, indent + 1)
+        hidden = len(node["children"]) - len(shown)
+        if hidden > 0:
+            lines.append(f"{'  ' * (indent + 1)}... {hidden} more")
+
+    for root in tree["roots"]:
+        walk(root, 0)
+    return lines
+
+
+def analysis_report(analysis: dict, *, fmt: str = "table") -> str:
+    """Render one :func:`analyze_journal` result; ``fmt`` is ``table``
+    (terminal) or ``md`` (Markdown)."""
+    if fmt not in {"table", "md"}:
+        raise ConfigurationError(f"unknown analyze format {fmt!r}")
+    parts: list[str] = []
+    header = (
+        f"command={analysis.get('command') or '?'}"
+        f"  trace={analysis.get('trace_id') or '-'}"
+        f"  spans={analysis['spans']}"
+        f" ({analysis['untraced_spans']} untraced)"
+    )
+    parts.append(f"## Causal trace\n\n{header}" if fmt == "md" else header)
+
+    tree_lines = _tree_lines(analysis["tree"])
+    if tree_lines:
+        block = "\n".join(tree_lines)
+        parts.append(f"```\n{block}\n```" if fmt == "md" else block)
+
+    path = analysis["critical_path"]
+    if path:
+        path_rows = [
+            {
+                "step": i,
+                "span": f"{step['name']} ({step['worker']})",
+                "duration": _fmt_s(step["duration_s"]),
+                "self": _fmt_s(step["self_s"]),
+            }
+            for i, step in enumerate(path)
+        ]
+        parts.append(_section("Critical path", path_rows, fmt))
+
+    phases = analysis["phases"]
+    if phases:
+        phase_rows = [
+            {"phase": row["phase"], "wall": _fmt_s(row["wall_s"])}
+            for row in phases
+        ]
+        parts.append(_section("Phases", phase_rows, fmt))
+
+    workers = analysis["workers"]
+    if workers:
+        worker_rows_fmt = [
+            {
+                "worker": row["worker"],
+                "spans": row["spans"],
+                "busy": _fmt_s(row["busy_s"]),
+                "of window": (
+                    f"{row['of_window'] * 100:.0f}%"
+                    if row["of_window"] is not None
+                    else "-"
+                ),
+                "straggler": "<-- straggler" if row["straggler"] else "",
+            }
+            for row in workers
+        ]
+        parts.append(_section("Workers", worker_rows_fmt, fmt))
+
+    totals = analysis["totals_by_worker"]
+    if totals:
+        total_rows = [
+            {"worker": worker, "span total": _fmt_s(value)}
+            for worker, value in totals.items()
+        ]
+        total_rows.append(
+            {"worker": "(all)", "span total": _fmt_s(sum(totals.values()))}
+        )
+        parts.append(_section("Span totals", total_rows, fmt))
+
+    return "\n\n".join(parts)
+
+
+def _section(title: str, rows: list[dict], fmt: str) -> str:
+    if fmt == "md":
+        headers = list(rows[0].keys())
+        lines = [
+            f"## {title}",
+            "",
+            "| " + " | ".join(headers) + " |",
+            "|" + "|".join("---" for _ in headers) + "|",
+        ]
+        lines.extend(
+            "| " + " | ".join(str(row[h]) for h in headers) + " |" for row in rows
+        )
+        return "\n".join(lines)
+    from repro.analysis.tables import render_table
+
+    return render_table(rows, title=title.lower())

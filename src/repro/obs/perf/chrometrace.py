@@ -4,9 +4,16 @@ The Chrome Trace Event Format's *complete* events (``"ph": "X"``) are
 exactly our :class:`~repro.obs.tracing.SpanRecord`: a name, a start
 timestamp, a duration, and an args dict.  Nesting needs no explicit
 parent links — Perfetto and ``chrome://tracing`` reconstruct the stack
-from time containment on one track — so the export is a direct
-per-span mapping with timestamps rebased to the earliest span and
-converted to microseconds (the format's unit).
+from time containment on one track.
+
+Spans merged back from worker processes carry a ``worker`` meta label
+(the ``repro.obs/worker@1`` protocol); those land on their *own*
+Perfetto track — one synthetic pid per worker label, named after it —
+so a sharded run renders as parallel worker lanes under the parent's
+lane instead of one interleaved mess.  When spans also carry causal
+ids (:mod:`repro.obs.tracectx`), cross-track parent/child links are
+drawn as flow arrows (``"s"``/``"f"`` event pairs) from the
+dispatching span to each worker's root spans.
 
 Load the output at https://ui.perfetto.dev or ``chrome://tracing``.
 """
@@ -19,7 +26,7 @@ from pathlib import Path
 from repro.errors import ConfigurationError
 from repro.obs.tracing import SpanRecord
 
-#: The process/thread ids all spans land on (one timeline track).
+#: The pid of the main-process track; worker tracks count up from it.
 _PID = 1
 _TID = 1
 
@@ -31,17 +38,40 @@ def _as_event_dicts(spans) -> list[dict]:
     return events
 
 
+def _track_pids(records: list[dict]) -> dict[str | None, int]:
+    """Assign one synthetic pid per worker label: the main process
+    (spans without a ``worker`` meta label) is pid 1, workers follow in
+    sorted-label order — deterministic for any merge order."""
+    workers = sorted(
+        {
+            str(r.get("meta", {}).get("worker"))
+            for r in records
+            if r.get("meta", {}).get("worker") is not None
+        }
+    )
+    pids: dict[str | None, int] = {None: _PID}
+    for offset, label in enumerate(workers):
+        pids[label] = _PID + 1 + offset
+    return pids
+
+
 def chrome_trace_events(spans) -> list[dict]:
     """Map spans (:class:`SpanRecord` s or their ``as_dict`` forms) to
-    Chrome-trace ``X`` events, rebased to the earliest start."""
+    Chrome-trace ``X`` events, rebased to the earliest start, plus flow
+    arrows for causal links that cross track boundaries."""
     records = _as_event_dicts(spans)
     if not records:
         return []
+    pids = _track_pids(records)
     t0 = min(float(r["start"]) for r in records)
     events = []
     for r in records:
         meta = dict(r.get("meta", {}))
         meta["path"] = r.get("path", r["name"])
+        if r.get("span_id") is not None:
+            meta["span_id"] = r["span_id"]
+            if r.get("parent_id") is not None:
+                meta["parent_id"] = r["parent_id"]
         events.append(
             {
                 "name": r["name"],
@@ -49,38 +79,89 @@ def chrome_trace_events(spans) -> list[dict]:
                 "ph": "X",
                 "ts": round((float(r["start"]) - t0) * 1e6, 3),
                 "dur": round(float(r["duration_s"]) * 1e6, 3),
-                "pid": _PID,
+                "pid": pids[_worker_of(r)],
                 "tid": _TID,
                 "args": meta,
             }
         )
     # The viewer nests by time containment; emitting in start order
     # keeps parents ahead of children for tools that care.
-    events.sort(key=lambda e: (e["ts"], -e["dur"]))
+    events.sort(key=lambda e: (e["ts"], -e["dur"], e["pid"]))
+    events.extend(_flow_events(records, pids, t0))
     return events
+
+
+def _worker_of(record: dict) -> str | None:
+    worker = record.get("meta", {}).get("worker")
+    return None if worker is None else str(worker)
+
+
+def _flow_events(records: list[dict], pids: dict, t0: float) -> list[dict]:
+    """``s``/``f`` flow-arrow pairs for parent→child span links whose
+    endpoints sit on different tracks (same-track nesting is already
+    visible as time containment).  Arrow ids are sequential over the
+    deterministic sorted child order, so the document is byte-stable
+    under a fixed clock."""
+    by_id = {
+        r["span_id"]: r for r in records if r.get("span_id") is not None
+    }
+    links = []
+    for r in records:
+        parent = by_id.get(r.get("parent_id"))
+        if parent is None:
+            continue
+        if _worker_of(parent) == _worker_of(r):
+            continue
+        links.append((parent, r))
+    links.sort(key=lambda pair: (float(pair[1]["start"]), str(pair[1]["span_id"])))
+    flows: list[dict] = []
+    for flow_id, (parent, child) in enumerate(links, start=1):
+        common = {"cat": "flow", "name": "dispatch", "id": flow_id, "tid": _TID}
+        flows.append(
+            {
+                **common,
+                "ph": "s",
+                "ts": round((float(parent["start"]) - t0) * 1e6, 3),
+                "pid": pids[_worker_of(parent)],
+            }
+        )
+        flows.append(
+            {
+                **common,
+                "ph": "f",
+                "bp": "e",
+                "ts": round((float(child["start"]) - t0) * 1e6, 3),
+                "pid": pids[_worker_of(child)],
+            }
+        )
+    return flows
 
 
 def chrome_trace_document(
     spans, *, metadata: dict | None = None
 ) -> dict:
     """A full Chrome-trace JSON object for ``spans`` plus naming
-    metadata (shown as the process/thread labels in Perfetto)."""
-    events: list[dict] = [
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": _PID,
-            "args": {"name": "repro"},
-        },
-        {
-            "name": "thread_name",
-            "ph": "M",
-            "pid": _PID,
-            "tid": _TID,
-            "args": {"name": "spans"},
-        },
-    ]
-    events.extend(chrome_trace_events(spans))
+    metadata (shown as the process/thread labels in Perfetto): pid 1 is
+    the main ``repro`` process, each worker label gets its own named
+    track."""
+    records = _as_event_dicts(spans)
+    pids = _track_pids(records) if records else {None: _PID}
+    events: list[dict] = []
+    for label, pid in sorted(pids.items(), key=lambda item: item[1]):
+        name = "repro" if label is None else f"worker {label}"
+        events.append(
+            {"name": "process_name", "ph": "M", "pid": pid, "args": {"name": name}}
+        )
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": _TID,
+                "args": {"name": "spans"},
+            }
+        )
+    events.extend(chrome_trace_events(records))
     document: dict = {
         "traceEvents": events,
         "displayTimeUnit": "ms",

@@ -10,7 +10,11 @@ a Markdown document or terminal tables:
   the measured combinational depth against the paper's ``3 lg n``
   (Revsort, Theorem 3) and ``4 beta lg n`` (Columnsort, Theorem 4)
   message-delay lines;
-* **Provenance** — the environment block of the newest record.
+* **Flows** — for the ``flows.*`` benches: FCT p50/p99 from the latest
+  record plus an events/s sparkline over history;
+* **Provenance** — the environment block of the newest record,
+  including the host ``cpu_count`` (see docs/performance.md on
+  interpreting scaling numbers from 1-core CI runners).
 """
 
 from __future__ import annotations
@@ -113,6 +117,41 @@ def delay_rows(records: list[dict]) -> list[dict]:
     return rows
 
 
+def flows_rows(records: list[dict]) -> list[dict]:
+    """One row per ``flows.*`` bench: latest FCT percentiles (cycles)
+    and the events/s trend over history."""
+    by_bench: dict[str, list[dict]] = {}
+    for record in records:
+        bench = str(record.get("bench"))
+        if bench.startswith("flows."):
+            by_bench.setdefault(bench, []).append(record)
+    rows = []
+    for bench in sorted(by_bench):
+        history = by_bench[bench]
+        latest = history[-1]
+        meta = latest.get("meta") or {}
+        rates = [
+            float(r["throughput"])
+            for r in history
+            if r.get("throughput") is not None
+        ]
+        rows.append(
+            {
+                "bench": bench,
+                "fabric": meta.get("fabric", "-"),
+                "fct p50": _fmt_cycles(meta.get("fct_p50")),
+                "fct p99": _fmt_cycles(meta.get("fct_p99")),
+                "events/s": _fmt_throughput(latest),
+                "trend": sparkline(rates),
+            }
+        )
+    return rows
+
+
+def _fmt_cycles(value) -> str:
+    return f"{float(value):g}" if value is not None else "-"
+
+
 def _render_md(rows: list[dict]) -> str:
     if not rows:
         return "_(empty)_"
@@ -136,11 +175,14 @@ def trajectory_report(records: list[dict], *, fmt: str = "table") -> str:
         raise ConfigurationError(f"unknown report format {fmt!r}")
     bench_rows = trajectory_rows(records)
     gate_rows = delay_rows(records)
+    fct_rows = flows_rows(records)
     env = records[-1].get("env") or {}
+    cpus = env.get("cpu_count")
     provenance = (
         f"latest record: sha={env.get('git_sha') or '?'}"
         f"{' (dirty)' if env.get('git_dirty') else ''}"
         f"  python={env.get('python') or '?'}  numpy={env.get('numpy') or '?'}"
+        f"  cpus={cpus if cpus is not None else '?'}"
         f"  started={records[-1].get('started_at') or '?'}"
     )
     if fmt == "md":
@@ -160,6 +202,13 @@ def trajectory_report(records: list[dict], *, fmt: str = "table") -> str:
                 "",
                 _render_md(gate_rows),
             ]
+        if fct_rows:
+            parts += [
+                "",
+                "## Flows (FCT in fabric cycles, events/s over history)",
+                "",
+                _render_md(fct_rows),
+            ]
         parts += ["", f"_{provenance}_", ""]
         return "\n".join(parts)
 
@@ -176,6 +225,13 @@ def trajectory_report(records: list[dict], *, fmt: str = "table") -> str:
             render_table(
                 gate_rows,
                 title="delay in gates vs theory (Thm 3: 3 lg n, Thm 4: 4b lg n)",
+            )
+        )
+    if fct_rows:
+        parts.append(
+            render_table(
+                fct_rows,
+                title="flows (FCT in fabric cycles, events/s over history)",
             )
         )
     parts.append(provenance)

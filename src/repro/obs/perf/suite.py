@@ -246,22 +246,28 @@ def _flows_factory(
         build_fabric(fabric, n, **params)  # warm the plan cache
         cap = int(duration) * 50 + 5000
 
+        meta = {
+            "fabric": fabric,
+            "n": n,
+            "load": load,
+            "duration": duration,
+            "sizes": sizes,
+            "flows": len(flows),
+        }
+
         def run(rng: np.random.Generator) -> int:
             stage = build_fabric(fabric, n, **params)
             result = FlowSim(stage, flows, max_cycles=cap).run()
+            # The run is deterministic, so stamping the FCT percentiles
+            # per repeat is idempotent; they land in the trajectory
+            # record's meta for `repro obs report`'s flows section.
+            percentiles = result.fct_percentiles((50.0, 99.0))
+            for q, key in ((50.0, "fct_p50"), (99.0, "fct_p99")):
+                value = percentiles[f"p{q:g}"]
+                meta[key] = None if value != value else value
             return result.events
 
-        return Workload(
-            run=run,
-            meta={
-                "fabric": fabric,
-                "n": n,
-                "load": load,
-                "duration": duration,
-                "sizes": sizes,
-                "flows": len(flows),
-            },
-        )
+        return Workload(run=run, meta=meta)
 
     return make
 

@@ -43,6 +43,7 @@ from repro.obs.metrics import (
     NullGauge,
     NullHistogram,
 )
+from repro.obs.timeseries import NULL_SERIES, NullSeries, Series
 from repro.obs.tracing import Tracer
 
 
@@ -91,6 +92,7 @@ class Registry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._series: dict[str, Series] = {}
         self.clock = clock
         self.tracer = Tracer(max_events=max_trace_events, clock=clock)
 
@@ -114,6 +116,15 @@ class Registry:
         metric = self._histograms.get(key)
         if metric is None:
             metric = self._histograms[key] = Histogram(key)
+        return metric
+
+    def series(self, name: str, /, **labels: object) -> Series:
+        """Bounded per-cycle timeseries (see
+        :mod:`repro.obs.timeseries`)."""
+        key = metric_key(name, labels)
+        metric = self._series.get(key)
+        if metric is None:
+            metric = self._series[key] = Series(key)
         return metric
 
     # -- tracing --------------------------------------------------------
@@ -159,6 +170,11 @@ class Registry:
             if hist is None:
                 hist = self._histograms[key] = Histogram(key)
             hist.merge_dict(hist_dict)
+        for key, series_dict in snapshot.get("series", {}).items():
+            # A worker's timeline is a per-worker fact (like a gauge):
+            # rekey with provenance, never interleave into the parent's.
+            target = _with_worker(key, worker) if worker is not None else key
+            self._series[target] = Series.from_dict(target, series_dict)
         spans = snapshot.get("spans", {})
         self.tracer.absorb(
             spans.get("events", []), spans.get("dropped", 0), worker=worker
@@ -171,6 +187,7 @@ class Registry:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+        self._series.clear()
         self.tracer.reset()
 
     def snapshot(self) -> dict:
@@ -180,6 +197,9 @@ class Registry:
             "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
             "histograms": {
                 k: h.as_dict() for k, h in sorted(self._histograms.items())
+            },
+            "series": {
+                k: s.as_dict() for k, s in sorted(self._series.items())
             },
             "spans": self.tracer.as_dict(),
         }
@@ -203,6 +223,9 @@ class NullRegistry:
     def histogram(self, name: str, /, **labels: object) -> NullHistogram:
         return NULL_HISTOGRAM
 
+    def series(self, name: str, /, **labels: object) -> NullSeries:
+        return NULL_SERIES
+
     def span(self, name: str, /, **meta: object) -> ContextManager[None]:
         return nullcontext()
 
@@ -214,6 +237,7 @@ class NullRegistry:
             "counters": {},
             "gauges": {},
             "histograms": {},
+            "series": {},
             "spans": {"events": [], "dropped": 0},
         }
 
@@ -304,6 +328,10 @@ def gauge(name: str, /, **labels: object):
 
 def histogram(name: str, /, **labels: object):
     return _current().histogram(name, **labels)
+
+
+def series(name: str, /, **labels: object):
+    return _current().series(name, **labels)
 
 
 def span(name: str, /, **meta: object) -> ContextManager[None]:

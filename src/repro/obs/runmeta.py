@@ -9,6 +9,7 @@ metric snapshot the instrumented code emitted while it ran.
 
 from __future__ import annotations
 
+import os
 import platform
 import subprocess
 import time
@@ -19,8 +20,9 @@ from repro.obs.registry import NullRegistry, Registry
 
 #: Bumped when the record layout changes.  Version 2 added
 #: ``git_dirty`` and ``numpy`` (version 1 records carried only the SHA
-#: and Python-level metadata).
-RECORD_VERSION = 2
+#: and Python-level metadata); version 3 added ``cpu_count``, making
+#: the 1-core caveat in docs/performance.md machine-checkable.
+RECORD_VERSION = 3
 
 
 def _git(args: list[str], cwd: str | None) -> str | None:
@@ -73,6 +75,9 @@ def environment() -> dict:
         "python": platform.python_version(),
         "numpy": numpy_version(),
         "platform": platform.platform(),
+        # Scaling benches mean nothing without knowing how many cores
+        # the host actually had (the docs/performance.md 1-core caveat).
+        "cpu_count": os.cpu_count(),
     }
 
 

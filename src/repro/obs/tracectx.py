@@ -1,0 +1,82 @@
+"""Causal trace context: one ``trace_id`` per command, one
+``span_id``/``parent_id`` pair per span.
+
+The span tracer (:mod:`repro.obs.tracing`) nests spans by *time
+containment* within one process, but spans merged back from worker
+processes land flat — the only provenance is a ``{worker=...}`` meta
+label.  A :class:`TraceContext` adds the causal layer: while a context
+is attached to a tracer, every span it records gets a deterministic
+``span_id`` (``<prefix>:<counter>``) and a ``parent_id`` naming the
+enclosing open span — or, at the top of a worker's stack, the
+*dispatching* span in the parent process.
+
+Shipping the context across a process boundary is one small dict
+(:meth:`TraceContext.ship`): the parent attaches it to each shard job
+next to the plan-cache payload, the worker rebuilds it with
+:func:`child_context`, and the merged ``repro.obs/worker@1`` snapshot
+then reconstructs a single causal span tree rooted at the command's
+``trace_id`` — what ``repro obs analyze`` walks for critical paths and
+straggler tables, and what the Chrome-trace exporter turns into flow
+arrows between worker tracks.
+
+Span ids are deterministic (a per-context counter, never a random
+source), so journaled runs stay byte-reproducible under a fixed clock.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TraceContext:
+    """The identity a tracer stamps onto every span it records.
+
+    ``prefix`` namespaces the per-context span counter so ids minted in
+    different processes cannot collide (the parent uses ``main``, shard
+    workers use their deterministic work-list label, e.g. ``shard-3``).
+    ``parent_id`` is the causal parent of this context's *root* spans:
+    ``None`` in the top-level process, the dispatching span's id in a
+    worker.
+    """
+
+    trace_id: str
+    parent_id: str | None = None
+    prefix: str = "main"
+    _seq: int = field(default=0, repr=False)
+
+    def next_id(self) -> str:
+        """Mint the next deterministic span id for this context."""
+        self._seq += 1
+        return f"{self.prefix}:{self._seq}"
+
+    def ship(self, *, parent_id: str | None, prefix: str) -> dict:
+        """The JSON-safe payload a dispatching parent attaches to a
+        worker job (next to the plan-cache snapshot)."""
+        return {
+            "trace_id": self.trace_id,
+            "parent_id": parent_id,
+            "prefix": prefix,
+        }
+
+
+def child_context(payload: dict) -> TraceContext:
+    """Rebuild a worker-side context from a shipped payload."""
+    return TraceContext(
+        trace_id=str(payload["trace_id"]),
+        parent_id=payload.get("parent_id"),
+        prefix=str(payload.get("prefix") or "worker"),
+    )
+
+
+def new_trace_id(command: str | None = None) -> str:
+    """A fresh trace id for one top-level command.
+
+    Unique across processes and restarts (pid + wall-clock nanoseconds)
+    but never used in byte-stable goldens — deterministic tests build
+    their :class:`TraceContext` with an explicit ``trace_id`` instead.
+    """
+    slug = (command or "run").replace(" ", "-")
+    return f"{slug}-{os.getpid():x}-{time.time_ns():x}"

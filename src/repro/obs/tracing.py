@@ -20,6 +20,13 @@ skewed parent duration in a trace is attributable to the failing
 child.  An optional ``sink`` callable observes *every* completed span
 — including ones the bounded buffer drops — which is how the live
 event journal (:mod:`repro.obs.live.journal`) streams spans to disk.
+
+When a :class:`~repro.obs.tracectx.TraceContext` is attached
+(``tracer.context``), every recorded span additionally carries a
+deterministic ``span_id`` and the ``parent_id`` of its enclosing open
+span (or the context's own ``parent_id`` at the top of the stack — the
+cross-process causal link).  Without a context both stay ``None`` and
+``as_dict`` omits them, so untraced runs serialise exactly as before.
 """
 
 from __future__ import annotations
@@ -27,7 +34,10 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard only
+    from repro.obs.tracectx import TraceContext
 
 
 @dataclass(frozen=True)
@@ -40,9 +50,11 @@ class SpanRecord:
     start: float  # perf_counter timestamp at entry
     duration_s: float
     meta: dict = field(default_factory=dict)
+    span_id: str | None = None
+    parent_id: str | None = None
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "name": self.name,
             "path": self.path,
             "depth": self.depth,
@@ -50,6 +62,10 @@ class SpanRecord:
             "duration_s": self.duration_s,
             "meta": dict(self.meta),
         }
+        if self.span_id is not None:
+            out["span_id"] = self.span_id
+            out["parent_id"] = self.parent_id
+        return out
 
 
 class Tracer:
@@ -60,15 +76,18 @@ class Tracer:
         max_events: int = 10_000,
         clock: Callable[[], float] = perf_counter,
         sink: Callable[[SpanRecord], None] | None = None,
+        context: "TraceContext | None" = None,
     ):
         if max_events < 0:
             raise ValueError("max_events must be non-negative")
         self.max_events = max_events
         self.clock = clock
         self.sink = sink
+        self.context = context
         self.events: list[SpanRecord] = []
         self.dropped = 0
         self._stack: list[str] = []
+        self._id_stack: list[str] = []
 
     @property
     def active_depth(self) -> int:
@@ -80,11 +99,25 @@ class Tracer:
         idle) — what a crash report names as the failing region."""
         return "/".join(self._stack)
 
+    @property
+    def active_span_id(self) -> str | None:
+        """The span id of the innermost open span (None when idle or
+        when no trace context is attached) — what a dispatching parent
+        ships to workers as their root spans' ``parent_id``."""
+        return self._id_stack[-1] if self._id_stack else None
+
     @contextmanager
     def span(self, name: str, /, **meta: object) -> Iterator[None]:
         self._stack.append(name)
         path = "/".join(self._stack)
         depth = len(self._stack) - 1
+        span_id = parent_id = None
+        if self.context is not None:
+            parent_id = (
+                self._id_stack[-1] if self._id_stack else self.context.parent_id
+            )
+            span_id = self.context.next_id()
+            self._id_stack.append(span_id)
         error: str | None = None
         start = self.clock()
         try:
@@ -97,6 +130,8 @@ class Tracer:
         finally:
             duration = self.clock() - start
             self._stack.pop()
+            if span_id is not None and self._id_stack:
+                self._id_stack.pop()
             record = SpanRecord(
                 name=name,
                 path=path,
@@ -104,6 +139,8 @@ class Tracer:
                 start=start,
                 duration_s=duration,
                 meta=dict(meta) if error is None else {**meta, "error": error},
+                span_id=span_id,
+                parent_id=parent_id,
             )
             if len(self.events) < self.max_events:
                 self.events.append(record)
@@ -122,6 +159,8 @@ class Tracer:
         ``as_dict`` forms) into this one, tagging each with its
         ``worker`` provenance label.  Respects ``max_events``; the
         child's own drop count carries over."""
+        from dataclasses import replace
+
         self.dropped += int(dropped)
         for event in events:
             record = (
@@ -134,17 +173,12 @@ class Tracer:
                     start=float(event["start"]),
                     duration_s=float(event["duration_s"]),
                     meta=dict(event.get("meta", {})),
+                    span_id=event.get("span_id"),
+                    parent_id=event.get("parent_id"),
                 )
             )
             if worker is not None:
-                record = SpanRecord(
-                    name=record.name,
-                    path=record.path,
-                    depth=record.depth,
-                    start=record.start,
-                    duration_s=record.duration_s,
-                    meta={**record.meta, "worker": worker},
-                )
+                record = replace(record, meta={**record.meta, "worker": worker})
             if len(self.events) < self.max_events:
                 self.events.append(record)
                 if self.sink is not None:
@@ -159,6 +193,7 @@ class Tracer:
         self.events.clear()
         self.dropped = 0
         self._stack.clear()
+        self._id_stack.clear()
 
     def as_dict(self) -> dict:
         return {

@@ -368,26 +368,37 @@ def _certify_parallel(switch, tasks, fold, cert, workers: int) -> None:
     pool = shared_pool(workers)
     plan = getattr(switch, "_plan", None)
     payload = pool.plan_payload([getattr(plan, "key", None)])
-    futures = []
-    for config, chunk in tasks:
-        job = {
-            "switch": switch,
-            "chunk": chunk,
-            "config": config,
-            "shard": config["index"],
-        }
-        if payload:
-            job["plans"] = payload
-        futures.append((config, pool.submit(_certify_chunk_job, job)))
     parent = obs.get_registry()
-    for config, future in futures:
-        if cert.violations_truncated:
-            future.cancel()
-            continue
-        report, snapshot = future.result()
-        if parent.enabled:
-            merge_portable(parent, snapshot, worker=f"certify-{config['index']}")
-        fold(config, report)
+    with parent.span("engine.shards", backend="certify", shards=len(tasks)):
+        # Ship the active trace context so each worker's spans link
+        # back to this dispatch span (see repro.obs.tracectx).
+        ctx = parent.tracer.context if parent.enabled else None
+        dispatch_id = parent.tracer.active_span_id if ctx is not None else None
+        futures = []
+        for config, chunk in tasks:
+            job = {
+                "switch": switch,
+                "chunk": chunk,
+                "config": config,
+                "shard": config["index"],
+            }
+            if payload:
+                job["plans"] = payload
+            if ctx is not None:
+                job["trace"] = ctx.ship(
+                    parent_id=dispatch_id, prefix=f"certify-{config['index']}"
+                )
+            futures.append((config, pool.submit(_certify_chunk_job, job)))
+        for config, future in futures:
+            if cert.violations_truncated:
+                future.cancel()
+                continue
+            report, snapshot = future.result()
+            if parent.enabled:
+                merge_portable(
+                    parent, snapshot, worker=f"certify-{config['index']}"
+                )
+            fold(config, report)
 
 
 def certify_design(

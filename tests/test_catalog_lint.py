@@ -1,7 +1,9 @@
 """Catalog-completeness lint: the metric namespace cannot drift.
 
 Greps every ``.counter("...")`` / ``.gauge`` / ``.histogram`` /
-``.span`` call in ``src/`` (multi-line calls included) and checks the
+``.series`` / ``.span`` call in ``src/`` (multi-line calls included,
+and ``obs.series(...)`` module-level calls match the same pattern) and
+checks the
 name set against :data:`repro.obs.catalog.CATALOG` in both directions:
 
 * a metric emitted in source but missing from the catalog fails with
@@ -25,7 +27,7 @@ SRC = Path(__file__).resolve().parents[1] / "src"
 #: ``registry.counter("name", ...)`` and friends; ``re.S`` lets the
 #: quoted name sit on the line after the opening paren.
 _EMIT_CALL = re.compile(
-    r"\.(counter|gauge|histogram|span)\(\s*(f?)\"([^\"]+)\"", re.S
+    r"\.(counter|gauge|histogram|series|span)\(\s*(f?)\"([^\"]+)\"", re.S
 )
 
 
@@ -72,7 +74,7 @@ def test_no_stale_catalog_entries():
 
 
 def test_catalog_kinds_and_names_wellformed():
-    kinds = {"counter", "gauge", "histogram", "span"}
+    kinds = {"counter", "gauge", "histogram", "series", "span"}
     seen: set[str] = set()
     for m in CATALOG:
         assert m.kind in kinds, f"{m.name}: unknown kind {m.kind!r}"

@@ -9,6 +9,7 @@ round-trips, run-metadata records, and the metric-name catalog.
 from __future__ import annotations
 
 import json
+import os
 
 import numpy as np
 import pytest
@@ -437,14 +438,17 @@ class TestRunMetadata:
         import platform
 
         env = obs.environment()
-        assert set(env) == {"git_sha", "git_dirty", "python", "numpy", "platform"}
+        assert set(env) == {
+            "git_sha", "git_dirty", "python", "numpy", "platform", "cpu_count",
+        }
         assert env["python"] == platform.python_version()
         assert env["numpy"] == np.__version__
+        assert env["cpu_count"] == os.cpu_count()
         json.dumps(env)
 
     def test_record_carries_environment(self):
         record = obs.run_metadata(run_id="tests::env", seed=None, wall_s=0.1)
-        assert record["version"] == 2
+        assert record["version"] == 3
         assert record["numpy"] == np.__version__
         assert "git_dirty" in record
         assert record["git_sha"] == obs.git_sha()

@@ -1,0 +1,350 @@
+"""The declarative SLO gate: spec parsing, the metric selector
+grammar, verdict evaluation, and the ``repro obs slo`` exit-code
+contract (1 on violation, 0 on pass or ``--warn-only``)."""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.slo import (
+    SLO_SCHEMA,
+    SloRule,
+    evaluate_slo,
+    load_slo_spec,
+    parse_slo_spec,
+    resolve_metric,
+    slo_rows,
+    violations,
+)
+
+
+def _spec(rules: list[dict]) -> dict:
+    return {"schema": SLO_SCHEMA, "rules": rules}
+
+
+def _rule(metric: str, op: str = "<=", threshold: float = 10.0, name=None):
+    return SloRule(name=name or metric, metric=metric, op=op, threshold=threshold)
+
+
+class TestSpecParsing:
+    def test_parses_rules_with_defaulted_names(self):
+        rules = parse_slo_spec(
+            _spec(
+                [
+                    {"name": "loss", "metric": "flows:knockout.loss_rate",
+                     "op": "<=", "threshold": 0.05},
+                    {"metric": "counter:sim.rounds", "op": ">", "threshold": 0},
+                ]
+            )
+        )
+        assert [r.name for r in rules] == ["loss", "counter:sim.rounds"]
+        assert rules[0].threshold == 0.05
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ConfigurationError, match="schema"):
+            parse_slo_spec({"schema": "nope", "rules": [{}]})
+
+    def test_empty_rules_rejected(self):
+        with pytest.raises(ConfigurationError, match="no rules"):
+            parse_slo_spec(_spec([]))
+
+    def test_missing_field_names_the_rule(self):
+        with pytest.raises(ConfigurationError, match="rule 0"):
+            parse_slo_spec(_spec([{"op": "<=", "threshold": 1.0}]))
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown op"):
+            parse_slo_spec(
+                _spec([{"metric": "counter:x", "op": "==", "threshold": 1.0}])
+            )
+
+    def test_load_json_spec(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(
+            json.dumps(
+                _spec([{"metric": "counter:x", "op": "<", "threshold": 2.0}])
+            ),
+            encoding="utf-8",
+        )
+        (rule,) = load_slo_spec(path)
+        assert rule.op == "<"
+
+    def test_load_toml_spec(self, tmp_path):
+        path = tmp_path / "slo.toml"
+        path.write_text(
+            'schema = "repro.obs/slo@1"\n\n'
+            "[[rules]]\n"
+            'name = "loss"\n'
+            'metric = "flows:knockout.loss_rate"\n'
+            'op = "<="\n'
+            "threshold = 0.05\n",
+            encoding="utf-8",
+        )
+        if sys.version_info >= (3, 11):
+            (rule,) = load_slo_spec(path)
+            assert rule.name == "loss"
+        else:
+            with pytest.raises(ConfigurationError, match="JSON instead"):
+                load_slo_spec(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no SLO spec"):
+            load_slo_spec(tmp_path / "absent.toml")
+
+
+class TestSelectors:
+    SOURCE = {
+        "counters": {"sim.delivered": 90.0, "sim.offered": 100.0,
+                     "sim.dropped": 0.0, "sim.faults": 0.0},
+        "gauges": {"proc.rss_kb": 4096.0},
+        "series": {
+            "flows.queue_depth{fabric=knockout}": {
+                "budget": 256, "stride": 1, "count": 4,
+                "points": [[0.0, 1.0], [1.0, 5.0], [2.0, 3.0], [3.0, 2.0]],
+            }
+        },
+        "spans": {"events": [], "dropped": 0},
+    }
+
+    def test_counter_and_gauge(self):
+        assert resolve_metric("counter:sim.delivered", self.SOURCE)[0] == 90.0
+        assert resolve_metric("gauge:proc.rss_kb", self.SOURCE)[0] == 4096.0
+        value, detail = resolve_metric("counter:absent", self.SOURCE)
+        assert value is None and "no such counter" in detail
+
+    def test_ratio(self):
+        value, _ = resolve_metric(
+            "ratio:sim.delivered/sim.offered", self.SOURCE
+        )
+        assert value == pytest.approx(0.9)
+        # 0/0 resolves to 0 (a no-traffic run violates no loss budget)
+        assert resolve_metric("ratio:sim.dropped/sim.faults", self.SOURCE)[
+            0
+        ] == 0.0
+        # x/0 with x != 0 is unresolvable
+        assert resolve_metric("ratio:sim.offered/sim.dropped", self.SOURCE)[
+            0
+        ] is None
+
+    def test_series_aggregates(self):
+        key = "flows.queue_depth{fabric=knockout}"
+        assert resolve_metric(f"series_max:{key}", self.SOURCE)[0] == 5.0
+        assert resolve_metric(f"series_last:{key}", self.SOURCE)[0] == 2.0
+        assert resolve_metric(f"series_mean:{key}", self.SOURCE)[0] == pytest.approx(2.75)
+        assert resolve_metric("series_max:absent", self.SOURCE)[0] is None
+
+    def test_worker_idle_pct(self):
+        spans = [
+            {"name": "engine.shards", "path": "engine.shards", "depth": 0,
+             "start": 0.0, "duration_s": 4.0, "meta": {}},
+            {"name": "engine.shard", "path": "engine.shard", "depth": 0,
+             "start": 0.0, "duration_s": 4.0, "meta": {"worker": "w0"}},
+            {"name": "engine.shard", "path": "engine.shard", "depth": 0,
+             "start": 0.0, "duration_s": 1.0, "meta": {"worker": "w1"}},
+        ]
+        source = {"spans": {"events": spans, "dropped": 0}}
+        value, _ = resolve_metric("worker_idle_pct", source)
+        # the worst worker (w1) was busy 25% of the window -> 75% idle
+        assert value == pytest.approx(75.0)
+        # no workers at all -> nothing was idle
+        assert resolve_metric("worker_idle_pct", {"spans": {"events": []}})[
+            0
+        ] == 0.0
+
+    def test_flows_compare_document(self):
+        doc = {
+            "schema": "repro.cli/flows-compare@1",
+            "fabrics": {
+                "knockout": {"p99": 412.0, "loss_rate": 0.01},
+                "fat-tree": {"p99": 123.0, "loss_rate": 0.0},
+            },
+        }
+        assert resolve_metric("flows:knockout.p99", doc)[0] == 412.0
+        assert resolve_metric("flows:fat-tree.loss_rate", doc)[0] == 0.0
+        assert resolve_metric("flows:absent.p99", doc)[0] is None
+        assert resolve_metric("flows:knockout", doc)[0] is None  # no field
+
+    def test_flows_run_document(self):
+        doc = {
+            "schema": "repro.cli/flows-run@1",
+            "result": {"fabric": "knockout", "p99": 412.0},
+        }
+        assert resolve_metric("flows:result.p99", doc)[0] == 412.0
+        assert resolve_metric("flows:knockout.p99", doc)[0] == 412.0
+        assert resolve_metric("flows:fat-tree.p99", doc)[0] is None
+
+    def test_unknown_selector_kind(self):
+        value, detail = resolve_metric("histogram:x", self.SOURCE)
+        assert value is None and "unknown selector" in detail
+
+
+class TestEvaluation:
+    def test_pass_and_fail_verdicts(self):
+        rules = [
+            _rule("counter:sim.delivered", op=">=", threshold=50.0),
+            _rule("counter:sim.delivered", op=">=", threshold=99.0,
+                  name="too strict"),
+        ]
+        verdicts = evaluate_slo(rules, TestSelectors.SOURCE)
+        assert [v.ok for v in verdicts] == [True, False]
+        assert [v.rule.name for v in violations(verdicts)] == ["too strict"]
+
+    def test_missing_metric_fails(self):
+        (verdict,) = evaluate_slo(
+            [_rule("counter:absent", op="<=", threshold=1.0)],
+            TestSelectors.SOURCE,
+        )
+        assert not verdict.ok and verdict.value is None
+
+    def test_nan_fails(self):
+        doc = {"schema": "repro.cli/flows-run@1",
+               "result": {"fabric": "k", "p99": math.nan}}
+        (verdict,) = evaluate_slo(
+            [_rule("flows:result.p99", op="<=", threshold=1e9)], doc
+        )
+        assert not verdict.ok and verdict.detail == "value is NaN"
+
+    def test_slo_rows_render(self):
+        rules = [_rule("counter:sim.delivered", op=">=", threshold=50.0)]
+        (row,) = slo_rows(evaluate_slo(rules, TestSelectors.SOURCE))
+        assert row["verdict"] == "ok"
+        assert row["want"] == ">= 50"
+        assert row["got"] == "90"
+
+
+def _write_spec(tmp_path: Path, rules: list[dict]) -> Path:
+    path = tmp_path / "slo.json"
+    path.write_text(
+        json.dumps({"schema": SLO_SCHEMA, "rules": rules}), encoding="utf-8"
+    )
+    return path
+
+
+def _flows_json(tmp_path: Path) -> Path:
+    doc = {
+        "schema": "repro.cli/flows-compare@1",
+        "fabrics": {"knockout": {"p99": 412.0, "loss_rate": 0.01}},
+    }
+    path = tmp_path / "head-to-head.json"
+    path.write_text(json.dumps(doc), encoding="utf-8")
+    return path
+
+
+class TestCLIGate:
+    def _main(self, argv):
+        from repro.cli import main
+
+        return main(argv)
+
+    def test_passing_spec_exits_zero(self, tmp_path, capsys):
+        spec = _write_spec(
+            tmp_path,
+            [{"name": "p99", "metric": "flows:knockout.p99",
+              "op": "<=", "threshold": 600.0}],
+        )
+        code = self._main(
+            ["obs", "slo", "--spec", str(spec),
+             "--input", str(_flows_json(tmp_path))]
+        )
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_violated_spec_exits_one(self, tmp_path, capsys):
+        spec = _write_spec(
+            tmp_path,
+            [{"name": "p99", "metric": "flows:knockout.p99",
+              "op": "<=", "threshold": 100.0}],
+        )
+        code = self._main(
+            ["obs", "slo", "--spec", str(spec),
+             "--input", str(_flows_json(tmp_path))]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "contract violation" in captured.err
+        assert "p99" in captured.err
+        assert "FAIL" in captured.out
+
+    def test_warn_only_exits_zero_with_warning(self, tmp_path, capsys):
+        spec = _write_spec(
+            tmp_path,
+            [{"name": "p99", "metric": "flows:knockout.p99",
+              "op": "<=", "threshold": 100.0}],
+        )
+        code = self._main(
+            ["obs", "slo", "--spec", str(spec),
+             "--input", str(_flows_json(tmp_path)), "--warn-only"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "WARNING" in captured.err
+        assert "warn-only" in captured.err
+
+    def test_json_format_emits_verdict_document(self, tmp_path, capsys):
+        spec = _write_spec(
+            tmp_path,
+            [{"name": "p99", "metric": "flows:knockout.p99",
+              "op": "<=", "threshold": 600.0}],
+        )
+        code = self._main(
+            ["obs", "slo", "--spec", str(spec),
+             "--input", str(_flows_json(tmp_path)), "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.cli/slo-verdicts@1"
+        assert payload["ok"] is True
+        assert payload["verdicts"][0]["value"] == 412.0
+
+    def test_requires_exactly_one_source(self, tmp_path, capsys):
+        spec = _write_spec(
+            tmp_path,
+            [{"metric": "counter:x", "op": "<=", "threshold": 1.0}],
+        )
+        assert self._main(["obs", "slo", "--spec", str(spec)]) == 2
+        journal = tmp_path / "j.jsonl"
+        flows = _flows_json(tmp_path)
+        assert (
+            self._main(
+                ["obs", "slo", "--spec", str(spec), "--journal",
+                 str(journal), "--input", str(flows)]
+            )
+            == 2
+        )
+
+    def test_journal_source(self, tmp_path, capsys):
+        from tests.test_timeseries import deterministic_flows_run
+
+        journal = tmp_path / "flows.jsonl"
+        deterministic_flows_run(journal)
+        spec = _write_spec(
+            tmp_path,
+            [
+                {"name": "events", "metric":
+                 "counter:flows.events{fabric=knockout}",
+                 "op": ">=", "threshold": 6.0},
+                {"name": "peak queue", "metric":
+                 "series_max:flows.queue_depth{fabric=knockout}",
+                 "op": "<=", "threshold": 10.0},
+            ],
+        )
+        code = self._main(
+            ["obs", "slo", "--spec", str(spec), "--journal", str(journal)]
+        )
+        assert code == 0
+
+    def test_smoke_spec_parses(self):
+        """The committed CI smoke spec must stay loadable (TOML needs
+        tomllib, so only check on runtimes that have it)."""
+        path = Path(__file__).parent.parent / "benchmarks" / "slo_smoke.toml"
+        assert path.exists()
+        if sys.version_info >= (3, 11):
+            rules = load_slo_spec(path)
+            assert rules
+            assert all(r.metric.startswith("flows:") for r in rules)
