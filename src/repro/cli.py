@@ -73,7 +73,7 @@ from repro._util.rng import default_rng
 from repro.analysis.tables import render_table
 from repro.core.concentration import validate_partial_concentration
 from repro.core.nearsort import nearsortedness
-from repro.errors import ConcentrationError, ReproError
+from repro.errors import ConcentrationError, ExecutionError, ReproError
 from repro.hardware.costs import columnsort_measures, revsort_measures, table1
 
 
@@ -296,6 +296,22 @@ def _telemetry_scope(args: argparse.Namespace):
             stack.callback(sink.close)
             recorder = FlightRecorder()
             journal.subscribe(recorder.record)
+            # Supervision events (worker_death / shard_timeout /
+            # pool_respawn / degraded) become journal frames, with the
+            # counter deltas they ticked flushed alongside, so retries
+            # are visible live and in replay — and the flight recorder
+            # (a journal subscriber) can name the fatal shard.
+            from repro.engine.backends.supervisor import (
+                add_event_sink,
+                remove_event_sink,
+            )
+
+            def _supervision_frame(kind: str, **fields: object) -> None:
+                journal.emit(kind, **fields)
+                sink.flush()
+
+            add_event_sink(_supervision_frame)
+            stack.callback(remove_event_sink, _supervision_frame)
             view = None
             if getattr(args, "live", False):
                 view = LiveView()
@@ -319,6 +335,11 @@ def _telemetry_scope(args: argparse.Namespace):
             yield tele
         except _Violation as exc:
             tele.crash("contract-violation", exc=exc)
+            raise
+        except ExecutionError as exc:
+            # The execution stack failed (retry budget exhausted): dump
+            # the ring buffer — its worker_death frames say which shard.
+            tele.crash("execution-failure", exc=exc)
             raise
         except ReproError:
             raise
@@ -556,7 +577,13 @@ def cmd_certify(args: argparse.Namespace) -> int:
     from repro.engine import resolve_workers
 
     workers = resolve_workers(args.workers)
-    options = CertifyOptions(max_total=args.max_total, max_per_k=args.max_per_k)
+    opt_kwargs: dict[str, object] = {
+        "max_total": args.max_total,
+        "max_per_k": args.max_per_k,
+    }
+    if getattr(args, "chunk", 0):
+        opt_kwargs["chunk"] = args.chunk
+    options = CertifyOptions(**opt_kwargs)
     explicit: dict[str, object] = {}
     if args.n:
         explicit["n"] = args.n
@@ -580,13 +607,12 @@ def cmd_certify(args: argparse.Namespace) -> int:
     with _telemetry_scope(args) as tele:
         certs = []
         tele.phase("certify", total=len(configs))
+        certify_kwargs = {"options": options, "workers": workers}
+        if getattr(args, "checkpoint", None):
+            certify_kwargs["checkpoint_dir"] = args.checkpoint
         for index, (design, params) in enumerate(configs):
             try:
-                certs.append(
-                    certify_design(
-                        design, params, options=options, workers=workers
-                    )
-                )
+                certs.append(certify_design(design, params, **certify_kwargs))
             except TypeError as exc:  # e.g. a missing required override
                 raise ReproError(f"bad parameters for {design!r}: {exc}") from exc
             tele.advance("certify", index + 1, len(configs))
@@ -1800,6 +1826,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for chunk certification (0 = one per "
         "core); certificates are byte-identical for any worker count",
     )
+    p.add_argument(
+        "--chunk",
+        type=int,
+        default=0,
+        help="patterns per chunk (default: the library's chunk size); "
+        "smaller chunks mean finer checkpoint/retry granularity",
+    )
+    p.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="persist completed chunk reports to per-config journals "
+        "under DIR; a killed run resumed with the same arguments skips "
+        "finished chunks and emits an identical certificate",
+    )
     p.add_argument("--format", choices=["table", "json"], default="table")
     p.add_argument(
         "--faults",
@@ -2320,6 +2361,12 @@ def main(argv: list[str] | None = None) -> int:
         # a failed verification), not a usage error.
         print(f"contract violation: {exc}", file=sys.stderr)
         return 1
+    except ExecutionError as exc:
+        # The run infrastructure failed (exhausted shard retries), not
+        # the switch under test: exit 3, so CI can tell "rerun me" from
+        # both findings (1) and usage errors (2).
+        print(f"execution failure: {exc}", file=sys.stderr)
+        return 3
     except ReproError as exc:
         # Configuration and usage errors (FaultInjectionError included)
         # exit 2, matching argparse's bad-arguments convention.

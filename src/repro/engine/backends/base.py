@@ -40,6 +40,7 @@ CAP_ROUTING = "routing"  #: run_trials produces full BatchRouting rows
 CAP_OCCUPANCY = "occupancy"  #: run_occupancy produces output occupancies
 CAP_STREAM = "stream"  #: run_stream folds a sharded trial stream
 CAP_PARALLEL = "parallel"  #: shards fan out across processes
+CAP_SUPERVISED = "supervised"  #: pool dispatch survives worker death
 
 #: Trials per shard when a stream spec does not say otherwise.  Small
 #: enough that peak memory stays flat at 10^7+ trials, large enough
@@ -287,6 +288,7 @@ __all__ = [
     "CAP_PARALLEL",
     "CAP_ROUTING",
     "CAP_STREAM",
+    "CAP_SUPERVISED",
     "DEFAULT_SHARD_TRIALS",
     "EngineBackend",
     "StreamSpec",

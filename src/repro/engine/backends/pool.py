@@ -31,7 +31,9 @@ Three pieces of process-boundary plumbing live here:
 from __future__ import annotations
 
 import atexit
+import contextlib
 import multiprocessing
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import shared_memory
@@ -47,10 +49,59 @@ def _mp_context():
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
+#: Names of parent-owned segments not yet unlinked — the orphan set
+#: :func:`sweep_orphan_shm` reclaims if a dispatch round dies between
+#: creation and its own cleanup.
+_LIVE_SHM: set[str] = set()
+
+
 def create_shm(nbytes: int) -> shared_memory.SharedMemory:
     """A fresh shared-memory segment owned (and later unlinked) by the
     caller."""
-    return shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+    shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+    _LIVE_SHM.add(shm.name)
+    return shm
+
+
+def release_shm(shm: shared_memory.SharedMemory) -> None:
+    """Close and unlink a parent-owned segment (idempotent)."""
+    _LIVE_SHM.discard(shm.name)
+    with contextlib.suppress(Exception):
+        shm.close()
+    with contextlib.suppress(FileNotFoundError):
+        shm.unlink()
+
+
+@contextlib.contextmanager
+def shm_segments(*sizes: int):
+    """Create one segment per requested size, releasing every segment
+    that was successfully created on *any* exit path — including a
+    failure partway through allocation, which used to leak the earlier
+    segments."""
+    segments: list[shared_memory.SharedMemory] = []
+    try:
+        for nbytes in sizes:
+            segments.append(create_shm(nbytes))
+        yield segments
+    finally:
+        for shm in segments:
+            release_shm(shm)
+
+
+def sweep_orphan_shm() -> int:
+    """Unlink any parent-owned segments still registered (a dispatch
+    round died before its own cleanup); returns the number swept.
+    Called by :func:`shutdown_pools`, so pool shutdown leaves no
+    segments behind even after a crash."""
+    swept = 0
+    for name in sorted(_LIVE_SHM):
+        with contextlib.suppress(Exception):
+            shm = shared_memory.SharedMemory(name=name)
+            shm.close()
+            shm.unlink()
+            swept += 1
+    _LIVE_SHM.clear()
+    return swept
 
 
 def attach_shm(name: str) -> shared_memory.SharedMemory:
@@ -96,6 +147,42 @@ def _sample_worker_vitals() -> None:
     obs.gauge("proc.gc_collections", pid=pid).set(vitals["gc_collections"])
 
 
+def maybe_die(chaos: dict | None, shard: int | None) -> None:
+    """Test-only chaos hook: act out the job's ``chaos`` payload.
+
+    ``die_mode`` is one of ``exit`` (abrupt ``os._exit``, the shape of
+    an OOM kill), ``kill`` (SIGKILL to self), ``raise`` (a transient
+    in-job exception), or ``sleep`` (sleep ``sleep_s`` seconds — long
+    enough to blow any test deadline).  ``shard`` scopes the chaos to
+    one shard index; ``once_token`` is a filesystem path claimed
+    atomically by the first victim, so the injected failure fires
+    exactly once across the whole run and every retry runs clean.
+    Never set outside tests/CI.
+    """
+    if not chaos:
+        return
+    target = chaos.get("shard")
+    if target is not None and shard != target:
+        return
+    token = chaos.get("once_token")
+    if token:
+        try:
+            os.close(os.open(token, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+        except FileExistsError:
+            return  # somebody already died for this token
+    mode = chaos.get("die_mode")
+    if mode == "exit":
+        os._exit(17)
+    if mode == "kill":
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
+    if mode == "raise":
+        raise RuntimeError(f"injected chaos failure (shard {shard})")
+    if mode == "sleep":
+        time.sleep(float(chaos.get("sleep_s", 60.0)))
+
+
 def run_collected(fn, job: dict) -> tuple[object, dict]:
     """Execute ``fn(job)`` in a worker: restore any shipped plans,
     collect metrics into a private registry, and return
@@ -116,6 +203,7 @@ def run_collected(fn, job: dict) -> tuple[object, dict]:
         # Test hook: an injected slow shard (see tests/test_backend.py's
         # regression-gate pin). Never set outside tests.
         time.sleep(delay)
+    maybe_die(job.pop("chaos", None), job.get("shard"))
     trace = job.pop("trace", None)
     local = obs.Registry()
     if trace is not None:
@@ -138,11 +226,19 @@ class WorkerPool:
         self._executor: ProcessPoolExecutor | None = None
         self._shipped: set = set()
         self._inherited: set = set()
+        #: Bumped on every respawn, so a supervisor can tell a future
+        #: that died with the *current* executor from a stale one.
+        self.generation = 0
 
     @property
     def executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
             ctx = _mp_context()
+            # A fresh executor has fresh children: any record of plans
+            # shipped to (or inherited by) earlier children is stale
+            # and would starve the new ones of their warm start.
+            self._shipped = set()
+            self._inherited = set()
             if ctx.get_start_method() == "fork":
                 # Children forked now inherit every already-compiled plan.
                 self._inherited = PLAN_CACHE.keys()
@@ -150,6 +246,26 @@ class WorkerPool:
                 max_workers=self.workers, mp_context=ctx
             )
         return self._executor
+
+    def respawn(self, *, kill: bool = False) -> None:
+        """Tear down the executor (killing wedged workers when ``kill``)
+        so the next submit builds a fresh one with reset plan shipping.
+        Safe on a broken executor and a no-op-ish when none exists."""
+        executor = self._executor
+        self._executor = None
+        self._shipped = set()
+        self._inherited = set()
+        self.generation += 1
+        if executor is None:
+            return
+        if kill:
+            # shutdown() would join workers that will never return from
+            # a wedged shard; reclaim them first.
+            for proc in list(getattr(executor, "_processes", {}).values()):
+                with contextlib.suppress(Exception):
+                    proc.kill()
+        with contextlib.suppress(Exception):
+            executor.shutdown(wait=False, cancel_futures=True)
 
     def plan_payload(self, keys) -> dict | None:
         """The ``PlanCache.snapshot`` payload to attach to this round's
@@ -196,6 +312,7 @@ def shutdown_pools() -> None:
     for pool in _POOLS.values():
         pool.shutdown()
     _POOLS.clear()
+    sweep_orphan_shm()
 
 
 atexit.register(shutdown_pools)

@@ -34,6 +34,7 @@ from repro.engine.backends.base import (
     CAP_PARALLEL,
     CAP_ROUTING,
     CAP_STREAM,
+    CAP_SUPERVISED,
     DEFAULT_SHARD_TRIALS,
     EngineBackend,
     StreamSpec,
@@ -46,9 +47,14 @@ from repro.engine.backends.base import (
 from repro.engine.backends.pool import (
     as_shm_array,
     attach_shm,
-    create_shm,
     run_collected,
     shared_pool,
+    shm_segments,
+)
+from repro.engine.backends.supervisor import (
+    ShardSupervisor,
+    SupervisorPolicy,
+    chaos_from_env,
 )
 
 
@@ -101,15 +107,29 @@ class ShardedBackend(EngineBackend):
         *,
         workers: int = 0,
         shard_trials: int = DEFAULT_SHARD_TRIALS,
+        deadline_s: float | None = None,
+        max_retries: int = 2,
+        backoff_s: float = 0.05,
+        degrade: bool = True,
         _test_shard_delay_s: float = 0.0,
+        _test_chaos: dict | None = None,
         **_options,
     ) -> None:
         self.workers = resolve_workers(workers)
         self.shard_trials = int(shard_trials)
+        self.policy = SupervisorPolicy(
+            deadline_s=deadline_s,
+            max_retries=int(max_retries),
+            backoff_s=float(backoff_s),
+            degrade=bool(degrade),
+        )
         self._test_shard_delay_s = float(_test_shard_delay_s)
+        self._test_chaos = _test_chaos
 
     def capabilities(self) -> frozenset:
-        return frozenset({CAP_ROUTING, CAP_OCCUPANCY, CAP_STREAM, CAP_PARALLEL})
+        return frozenset(
+            {CAP_ROUTING, CAP_OCCUPANCY, CAP_STREAM, CAP_PARALLEL, CAP_SUPERVISED}
+        )
 
     # -- dispatch plumbing -------------------------------------------
 
@@ -131,6 +151,11 @@ class ShardedBackend(EngineBackend):
         back in shard order, and return per-shard results in shard
         order.
 
+        Pool dispatch is supervised (:mod:`.supervisor`): a dead or
+        deadline-stuck worker costs a retry and a pool respawn, never
+        the run — and because every shard's entropy is keyed to its
+        position, retried results are byte-identical to a clean run's.
+
         The whole round runs inside one ``engine.shards`` span; when a
         trace context is active its span id is shipped to every shard
         as the causal parent of the worker's root spans, which is how
@@ -150,9 +175,17 @@ class ShardedBackend(EngineBackend):
                         parent_id=dispatch_id, prefix=f"shard-{job['shard']}"
                     )
             if self.workers > 1 and len(jobs) > 1:
-                pool = shared_pool(self.workers)
-                futures = [pool.submit(fn, job) for job in jobs]
-                outcomes = [future.result() for future in futures]
+                chaos = self._test_chaos or chaos_from_env()
+                if chaos:
+                    for job in jobs:
+                        job["chaos"] = dict(chaos)
+                supervisor = ShardSupervisor(
+                    shared_pool(self.workers),
+                    self.policy,
+                    plan_keys=[self.plan_key(switch)],
+                    label=self.name,
+                )
+                outcomes = supervisor.run(fn, jobs)
             else:
                 outcomes = [run_collected(fn, job) for job in jobs]
             results = []
@@ -179,9 +212,11 @@ class ShardedBackend(EngineBackend):
             # Small batches aren't worth the buffer round trip; the
             # result is identical because rows route independently.
             return switch.setup_batch(valid)
-        shm_in = create_shm(trials * n)
-        shm_out = create_shm(trials * n * 4)
-        try:
+        # The context manager releases both segments on every exit path
+        # — including a failure between the two allocations or a shard
+        # job raising mid-dispatch — and registers them in the orphan
+        # set that pool shutdown sweeps as a last resort.
+        with shm_segments(trials * n, trials * n * 4) as (shm_in, shm_out):
             as_shm_array(shm_in, valid.shape, np.uint8)[:] = valid
             jobs = [
                 {
@@ -198,11 +233,6 @@ class ShardedBackend(EngineBackend):
                 as_shm_array(shm_out, valid.shape, np.int32)
                 .astype(np.int64)
             )
-        finally:
-            shm_in.close()
-            shm_in.unlink()
-            shm_out.close()
-            shm_out.unlink()
         return BatchRouting(
             n_inputs=switch.n,
             n_outputs=switch.m,

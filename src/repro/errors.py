@@ -34,6 +34,18 @@ class FaultInjectionError(ConfigurationError):
     """
 
 
+class ExecutionError(ReproError, RuntimeError):
+    """The execution stack itself failed — not the switch under test.
+
+    Raised by the shard supervisor when a shard exhausts its retry
+    budget (repeated worker deaths, deadline expiries, or transient
+    exceptions) and graceful degradation is disabled or also failed.
+    Distinct from a contract violation (the design is fine, the run
+    infrastructure is not), so the CLI maps it to exit code 3 — neither
+    the contract-violation exit 1 nor the configuration exit 2.
+    """
+
+
 class ConcentrationError(ReproError, AssertionError):
     """A switch violated its concentration contract.
 
@@ -63,14 +75,19 @@ def exit_code_for(exc: BaseException) -> int:
     """Map an exception to the CLI's process exit code.
 
     Contract violations (:class:`ConcentrationError`) exit 1 so CI
-    treats them as test failures; every other :class:`ReproError` —
-    configuration mistakes, routing/simulation/circuit faults — exits
-    2, the conventional usage-error code.  Anything outside the
-    hierarchy is an internal error and maps to 70 (BSD ``EX_SOFTWARE``),
-    which is also what the flight recorder stamps into crash reports.
+    treats them as test failures; execution-stack failures
+    (:class:`ExecutionError` — a shard that exhausted its retry budget)
+    exit 3 so a wedged pool is never mistaken for either a finding or a
+    usage mistake; every other :class:`ReproError` — configuration
+    mistakes, routing/simulation/circuit faults — exits 2, the
+    conventional usage-error code.  Anything outside the hierarchy is
+    an internal error and maps to 70 (BSD ``EX_SOFTWARE``), which is
+    also what the flight recorder stamps into crash reports.
     """
     if isinstance(exc, ConcentrationError):
         return 1
+    if isinstance(exc, ExecutionError):
+        return 3
     if isinstance(exc, ReproError):
         return 2
     return 70

@@ -48,6 +48,24 @@ CATALOG: tuple[MetricInfo, ...] = (
                "shards) — the causal parent shipped to every worker"),
     MetricInfo("engine.shard", "span", (),
                "one shard executing in a worker (meta: shard index)"),
+    MetricInfo("engine.supervisor", "span", (),
+               "one supervised dispatch round over the worker pool "
+               "(meta: shards, workers, label) — wraps submission, the "
+               "retry loop, and any respawns/fallbacks"),
+    MetricInfo("engine.shard_retries", "counter", (),
+               "shard resubmissions by the supervisor (worker death, "
+               "deadline expiry, transient exception, or rescue after a "
+               "pool respawn); zero on a clean run"),
+    MetricInfo("engine.shard_timeouts", "counter", (),
+               "shards that outlived the supervisor's per-shard "
+               "deadline (each also costs a charged retry and a "
+               "kill-respawn of the pool)"),
+    MetricInfo("engine.pool_respawns", "counter", (),
+               "worker-pool executor teardowns + rebuilds by the "
+               "supervisor after a worker death or deadline expiry"),
+    MetricInfo("engine.degraded_fallbacks", "counter", (),
+               "shards run in-process in the parent after exhausting "
+               "their retry budget (graceful degradation)"),
     MetricInfo("engine.run_plan", "span", (),
                "one batched plan execution (meta: plan, batch, valid)"),
     MetricInfo("engine.stage", "span", (),

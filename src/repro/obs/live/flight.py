@@ -31,7 +31,14 @@ DEFAULT_CAPACITY = 256
 def failing_span(events) -> dict | None:
     """The innermost span an exception escaped from: the *first*
     error-tagged span event in ``events`` (spans complete innermost-
-    first while an exception unwinds), else None."""
+    first while an exception unwinds), else None.
+
+    A shard whose worker was SIGKILLed never completes its span — the
+    process that owned it is gone — so when no error-tagged span
+    exists, the most recent supervisor ``worker_death`` frame stands in
+    for it: the crash report still names the shard that took its worker
+    down."""
+    events = list(events)  # callers pass reversed() iterators
     for event in events:
         if event.get("type") == "span" and "error" in (event.get("meta") or {}):
             return {
@@ -39,6 +46,14 @@ def failing_span(events) -> dict | None:
                 "path": event.get("path"),
                 "error": event["meta"].get("error"),
                 "duration_s": event.get("duration_s"),
+            }
+    for event in events:
+        if event.get("type") == "worker_death":
+            return {
+                "name": "engine.shard",
+                "path": None,
+                "error": f"worker-death (shard {event.get('shard')})",
+                "duration_s": None,
             }
     return None
 

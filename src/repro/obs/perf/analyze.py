@@ -188,6 +188,7 @@ def analyze_journal(source) -> dict:
         trace_id = next(
             (e.get("trace_id") for e in events if e.get("type") == "env"), None
         )
+    counters = replayed["counters"]
     return {
         "command": head.get("command"),
         "trace_id": trace_id,
@@ -198,6 +199,19 @@ def analyze_journal(source) -> dict:
         "phases": phase_breakdown(events),
         "workers": worker_rows(spans),
         "totals_by_worker": span_totals_by_worker(spans),
+        # Self-healing activity (zero everywhere on a clean run; the
+        # journal sink only writes counters that moved, so .get).
+        "supervision": {
+            "shard_retries": int(counters.get("engine.shard_retries", 0)),
+            "shard_timeouts": int(counters.get("engine.shard_timeouts", 0)),
+            "pool_respawns": int(counters.get("engine.pool_respawns", 0)),
+            "degraded_fallbacks": int(
+                counters.get("engine.degraded_fallbacks", 0)
+            ),
+            "worker_deaths": sum(
+                1 for e in events if e.get("type") == "worker_death"
+            ),
+        },
         "replayed": replayed,
     }
 
@@ -266,6 +280,17 @@ def analysis_report(analysis: dict, *, fmt: str = "table") -> str:
             for i, step in enumerate(path)
         ]
         parts.append(_section("Critical path", path_rows, fmt))
+
+    supervision = analysis.get("supervision") or {}
+    if any(supervision.values()):
+        # Only worth a section when something actually went wrong —
+        # clean-run reports stay exactly as they were.
+        supervision_rows = [
+            {"event": key.replace("_", " "), "count": value}
+            for key, value in supervision.items()
+            if value
+        ]
+        parts.append(_section("Supervision", supervision_rows, fmt))
 
     phases = analysis["phases"]
     if phases:

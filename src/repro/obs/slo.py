@@ -61,12 +61,22 @@ _OPS = {
 
 @dataclass(frozen=True)
 class SloRule:
-    """One objective: ``metric op threshold``."""
+    """One objective: ``metric op threshold``.
+
+    ``default`` substitutes for an *absent* metric instead of failing
+    the rule.  The journal sink only emits counters that ever moved, so
+    "this counter stayed at zero" — the shape of every
+    nothing-went-wrong objective, e.g. ``engine.shard_retries`` on a
+    clean run — looks like a missing metric; ``default = 0`` states
+    that absence is the passing value.  A present-but-NaN value still
+    fails: defaults cover absence, never corruption.
+    """
 
     name: str
     metric: str
     op: str
     threshold: float
+    default: float | None = None
 
     def check(self, value: float) -> bool:
         return _OPS[self.op](value, self.threshold)
@@ -131,12 +141,14 @@ def parse_slo_spec(document: dict, *, source: str = "<spec>") -> list[SloRule]:
                     f"{source}: rule {index}: unknown op {op!r} "
                     f"(use one of {sorted(_OPS)})"
                 )
+            default = raw.get("default")
             rules.append(
                 SloRule(
                     name=str(raw.get("name") or raw["metric"]),
                     metric=str(raw["metric"]),
                     op=op,
                     threshold=float(raw["threshold"]),
+                    default=float(default) if default is not None else None,
                 )
             )
         except KeyError as exc:
@@ -228,6 +240,8 @@ def evaluate_slo(rules: list[SloRule], source: dict) -> list[SloVerdict]:
     verdicts = []
     for rule in rules:
         value, detail = resolve_metric(rule.metric, source)
+        if value is None and rule.default is not None:
+            value, detail = rule.default, "defaulted (metric absent)"
         if value is None:
             verdicts.append(SloVerdict(rule, None, False, detail or "missing"))
         elif value != value:  # NaN — e.g. FCT percentiles with no completions

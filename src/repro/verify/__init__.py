@@ -32,6 +32,7 @@ from repro.verify.certificate import (
     read_certificate_dict,
     write_certificate,
 )
+from repro.verify.checkpoint import CertifyCheckpoint, certify_fingerprint
 from repro.verify.differential import (
     MAX_GATE_N,
     differential_check,
@@ -57,12 +58,14 @@ from repro.verify.patterns import (
 __all__ = [
     "CERTIFICATE_SCHEMA",
     "Certificate",
+    "CertifyCheckpoint",
     "CertifyOptions",
     "KSlice",
     "MAX_GATE_N",
     "Violation",
     "all_patterns",
     "certify_design",
+    "certify_fingerprint",
     "certify_registry",
     "certify_switch",
     "differential_check",

@@ -1,0 +1,149 @@
+"""Checkpoint/resume for long certification runs.
+
+``certify --checkpoint DIR`` persists every completed chunk report —
+the pure-data unit of work :func:`~repro.verify.exhaustive._examine_chunk`
+produces — to an append-only JSONL journal as it folds.  A killed run
+resumes by loading the journal, skipping finished chunks, and folding
+the stored reports in their original chunk order, so the resumed
+certificate is byte-identical to an uninterrupted run's: the task list
+regenerates deterministically from the options, and a report's JSON
+round trip is lossless (reports are built from ``int()``/``str`` data
+precisely so they can cross process and now filesystem boundaries).
+
+File format (``repro.verify/checkpoint@1``): a header line naming the
+schema and the run fingerprint — a SHA-256 over the design, params,
+switch dimensions, and every certify option — followed by one
+``{"index": i, "report": {...}}`` line per completed chunk.  The
+fingerprint is checked on resume: a checkpoint taken under different
+options describes different chunks, so reusing it would silently
+corrupt the certificate; that's a :class:`~repro.errors.ConfigurationError`.
+A truncated trailing line (the run died mid-write) is discarded — that
+chunk simply re-runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+SCHEMA = "repro.verify/checkpoint@1"
+
+
+def certify_fingerprint(design: str, params: dict, n: int, m: int, options) -> str:
+    """The identity of one certification run: same fingerprint ⇔ same
+    deterministic chunk sequence, so stored reports are interchangeable
+    with fresh ones."""
+    payload = {
+        "design": design,
+        "params": {str(k): params[k] for k in sorted(params or {})},
+        "n": int(n),
+        "m": int(m),
+        "options": dataclasses.asdict(options),
+    }
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+def _decode_report(report: dict) -> dict:
+    """Undo the lossy bits of a JSON round trip: dict keys back to int,
+    section/event tuples back to tuples (fold treats reports as opaque
+    data, but tests compare them structurally)."""
+    report = dict(report)
+    report["k_counts"] = {int(k): int(v) for k, v in report["k_counts"].items()}
+    report["sections"] = [
+        (check, bool(cap), [(int(k), hexpat, msg) for k, hexpat, msg in events])
+        for check, cap, events in report["sections"]
+    ]
+    return report
+
+
+class CertifyCheckpoint:
+    """One run's append-only chunk-report journal.
+
+    ``record`` appends and flushes immediately — a SIGKILL between two
+    chunks loses at most the in-flight chunk.  ``has``/``report`` serve
+    the resume path.  Close explicitly (or via context manager); the
+    file stays on disk for the operator to delete once the certificate
+    is in hand.
+    """
+
+    def __init__(self, path: str | Path, fingerprint: str) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self._reports: dict[int, dict] = {}
+        self._load()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self._header_seen
+        self._fh = open(self.path, "a", encoding="utf-8")
+        if fresh:
+            self._write_line({"schema": SCHEMA, "fingerprint": fingerprint})
+
+    def _load(self) -> None:
+        self._header_seen = False
+        if not self.path.exists():
+            return
+        with open(self.path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    frame = json.loads(line)
+                except json.JSONDecodeError:
+                    # The previous run died mid-write; the partial
+                    # record's chunk re-runs.
+                    continue
+                if not self._header_seen:
+                    if frame.get("schema") != SCHEMA:
+                        raise ConfigurationError(
+                            f"{self.path} is not a {SCHEMA} checkpoint "
+                            f"(schema: {frame.get('schema')!r})"
+                        )
+                    if frame.get("fingerprint") != self.fingerprint:
+                        raise ConfigurationError(
+                            f"checkpoint {self.path} was taken for a different "
+                            "certification run (design/params/options changed); "
+                            "delete it or point --checkpoint elsewhere"
+                        )
+                    self._header_seen = True
+                    continue
+                self._reports[int(frame["index"])] = _decode_report(frame["report"])
+
+    def _write_line(self, frame: dict) -> None:
+        self._fh.write(json.dumps(frame, separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def has(self, index: int) -> bool:
+        return index in self._reports
+
+    def report(self, index: int) -> dict:
+        return self._reports[index]
+
+    def record(self, index: int, report: dict) -> None:
+        if index in self._reports:
+            return
+        self._write_line({"index": int(index), "report": report})
+        self._reports[index] = _decode_report(
+            json.loads(json.dumps(report))
+        )
+
+    def completed_indices(self) -> list[int]:
+        return sorted(self._reports)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> CertifyCheckpoint:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = ["SCHEMA", "CertifyCheckpoint", "certify_fingerprint"]

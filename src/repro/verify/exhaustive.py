@@ -230,16 +230,26 @@ def certify_switch(
     params: dict | None = None,
     options: CertifyOptions | None = None,
     workers: int = 1,
+    checkpoint: str | None = None,
+    supervisor_policy=None,
 ) -> Certificate:
     """Certify one switch instance; never raises on contract failures —
     every violation is recorded in the returned certificate.
 
     ``workers > 1`` fans the pattern chunks over the persistent
-    process pool (:mod:`repro.engine.backends.pool`): chunk boundaries,
-    check strides, and the per-chunk metamorphic generators depend only
-    on the options, and the chunk reports are folded strictly in chunk
+    process pool (:mod:`repro.engine.backends.pool`), supervised
+    (:mod:`repro.engine.backends.supervisor`): a worker death or shard
+    deadline costs a retry, never the run.  Chunk boundaries, check
+    strides, and the per-chunk metamorphic generators depend only on
+    the options, and the chunk reports are folded strictly in chunk
     order, so the certificate JSON is byte-identical for every worker
-    count.
+    count — and for any schedule of retries.
+
+    ``checkpoint`` names a JSONL journal
+    (:mod:`repro.verify.checkpoint`): each completed chunk report is
+    persisted as it lands, finished chunks are skipped on resume, and
+    the stored reports fold into the same positions a clean run would
+    have put them — identical certificate, only unfinished work redone.
     """
     options = options or CertifyOptions()
     spec = switch.spec
@@ -339,14 +349,36 @@ def certify_switch(
                     break
         seen += batch_size
 
-    with obs.span("verify.certify", design=design, n=switch.n, m=switch.m):
-        if workers > 1:
-            _certify_parallel(switch, list(tasks()), fold, cert, workers)
-        else:
-            for config, chunk in tasks():
-                if cert.violations_truncated:
-                    break
-                fold(config, _examine_chunk(switch, chunk, config))
+    ckpt = None
+    if checkpoint is not None:
+        from repro.verify.checkpoint import CertifyCheckpoint, certify_fingerprint
+
+        ckpt = CertifyCheckpoint(
+            checkpoint,
+            certify_fingerprint(design, params or {}, switch.n, switch.m, options),
+        )
+
+    try:
+        with obs.span("verify.certify", design=design, n=switch.n, m=switch.m):
+            if workers > 1:
+                _certify_parallel(
+                    switch, list(tasks()), fold, cert, workers,
+                    policy=supervisor_policy, checkpoint=ckpt,
+                )
+            else:
+                for config, chunk in tasks():
+                    if cert.violations_truncated:
+                        break
+                    if ckpt is not None and ckpt.has(config["index"]):
+                        fold(config, ckpt.report(config["index"]))
+                        continue
+                    report = _examine_chunk(switch, chunk, config)
+                    if ckpt is not None:
+                        ckpt.record(config["index"], report)
+                    fold(config, report)
+    finally:
+        if ckpt is not None:
+            ckpt.close()
 
     cert.checks = checks
     cert.total_patterns = seen
@@ -357,25 +389,42 @@ def certify_switch(
     return cert
 
 
-def _certify_parallel(switch, tasks, fold, cert, workers: int) -> None:
-    """Ship chunk tasks to the worker pool and fold the reports in
-    chunk order (stopping at violation truncation, like the serial
-    loop).  Worker metric snapshots merge back in the same order with
-    ``certify-<chunk>`` provenance."""
+def _certify_parallel(
+    switch, tasks, fold, cert, workers: int, *, policy=None, checkpoint=None
+) -> None:
+    """Ship chunk tasks to the supervised worker pool and fold the
+    reports in chunk order (stopping at violation truncation, like the
+    serial loop).  Worker metric snapshots merge back in the same order
+    with ``certify-<chunk>`` provenance.
+
+    A ``checkpoint`` journal shifts work two ways: chunks it already
+    holds are never submitted (their stored reports fold in place), and
+    every fresh report is persisted the moment its shard completes —
+    *completion* order, because that is what survives a kill; the fold
+    below still runs in chunk order.
+    """
     from repro.engine.backends.pool import shared_pool
+    from repro.engine.backends.supervisor import ShardSupervisor, chaos_from_env
     from repro.obs.live.merge import merge_portable
 
     pool = shared_pool(workers)
     plan = getattr(switch, "_plan", None)
-    payload = pool.plan_payload([getattr(plan, "key", None)])
+    plan_key = getattr(plan, "key", None)
+    payload = pool.plan_payload([plan_key])
+    todo = [
+        (config, chunk)
+        for config, chunk in tasks
+        if checkpoint is None or not checkpoint.has(config["index"])
+    ]
     parent = obs.get_registry()
-    with parent.span("engine.shards", backend="certify", shards=len(tasks)):
+    with parent.span("engine.shards", backend="certify", shards=len(todo)):
         # Ship the active trace context so each worker's spans link
         # back to this dispatch span (see repro.obs.tracectx).
         ctx = parent.tracer.context if parent.enabled else None
         dispatch_id = parent.tracer.active_span_id if ctx is not None else None
-        futures = []
-        for config, chunk in tasks:
+        chaos = chaos_from_env()
+        jobs = []
+        for config, chunk in todo:
             job = {
                 "switch": switch,
                 "chunk": chunk,
@@ -384,21 +433,53 @@ def _certify_parallel(switch, tasks, fold, cert, workers: int) -> None:
             }
             if payload:
                 job["plans"] = payload
+            if chaos:
+                job["chaos"] = dict(chaos)
             if ctx is not None:
                 job["trace"] = ctx.ship(
                     parent_id=dispatch_id, prefix=f"certify-{config['index']}"
                 )
-            futures.append((config, pool.submit(_certify_chunk_job, job)))
-        for config, future in futures:
+            jobs.append(job)
+
+        def persist(position: int, outcome) -> None:
+            if checkpoint is not None and outcome is not None:
+                checkpoint.record(todo[position][0]["index"], outcome[0])
+
+        fresh: dict[int, tuple] = {}
+        if jobs:
+            supervisor = ShardSupervisor(
+                pool, policy, plan_keys=[plan_key], label="certify"
+            )
+            outcomes = supervisor.run(_certify_chunk_job, jobs, on_result=persist)
+            fresh = {
+                todo[i][0]["index"]: outcome
+                for i, outcome in enumerate(outcomes)
+                if outcome is not None
+            }
+        for config, chunk in tasks:
             if cert.violations_truncated:
-                future.cancel()
-                continue
-            report, snapshot = future.result()
-            if parent.enabled:
-                merge_portable(
-                    parent, snapshot, worker=f"certify-{config['index']}"
-                )
-            fold(config, report)
+                break
+            index = config["index"]
+            if index in fresh:
+                report, snapshot = fresh[index]
+                if parent.enabled:
+                    merge_portable(parent, snapshot, worker=f"certify-{index}")
+                fold(config, report)
+            else:
+                fold(config, checkpoint.report(index))
+
+
+def _checkpoint_path(checkpoint_dir, name: str, switch) -> str | None:
+    """One journal per certified instance: the (design, n, m) triple is
+    in the filename for operators, the full options fingerprint is in
+    the header for safety."""
+    if checkpoint_dir is None:
+        return None
+    from pathlib import Path
+
+    return str(
+        Path(checkpoint_dir) / f"{name}-n{switch.n}-m{switch.m}.jsonl"
+    )
 
 
 def certify_design(
@@ -407,13 +488,19 @@ def certify_design(
     *,
     options: CertifyOptions | None = None,
     workers: int = 1,
+    checkpoint_dir: str | None = None,
 ) -> Certificate:
     """Build a registered design and certify it."""
     from repro.switches.registry import build_switch
 
     switch = build_switch(name, **params)
     return certify_switch(
-        switch, design=name, params=params, options=options, workers=workers
+        switch,
+        design=name,
+        params=params,
+        options=options,
+        workers=workers,
+        checkpoint=_checkpoint_path(checkpoint_dir, name, switch),
     )
 
 
@@ -422,6 +509,7 @@ def certify_registry(
     designs: list[str] | None = None,
     options: CertifyOptions | None = None,
     workers: int = 1,
+    checkpoint_dir: str | None = None,
 ) -> list[Certificate]:
     """Certify every registered design at its declared certification
     configs (see :func:`repro.switches.registry.certify_configs`)."""
@@ -430,7 +518,13 @@ def certify_registry(
     certificates = []
     for name, params in certify_configs(designs):
         certificates.append(
-            certify_design(name, params, options=options, workers=workers)
+            certify_design(
+                name,
+                params,
+                options=options,
+                workers=workers,
+                checkpoint_dir=checkpoint_dir,
+            )
         )
     return certificates
 

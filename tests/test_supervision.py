@@ -1,0 +1,485 @@
+"""Self-healing sharded execution: the shard supervisor's retry /
+respawn / deadline / degradation loop, the pool's respawn and
+shared-memory hygiene, certify checkpoint/resume, and the supervision
+observability surface (journal frames, SLO defaults, flight-recorder
+fallback, analyze section).
+
+The load-bearing property everywhere: a worker death, deadline expiry,
+or transient exception changes *when* results arrive, never *what*
+they are — every shard's entropy is keyed to its position, so retried
+output is byte-identical to a clean run's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.engine import StreamSpec, get_backend
+from repro.engine.backends import CAP_SUPERVISED
+from repro.engine.backends.pool import (
+    WorkerPool,
+    _LIVE_SHM,
+    create_shm,
+    shm_segments,
+    sweep_orphan_shm,
+)
+from repro.engine.backends.supervisor import chaos_from_env
+from repro.errors import ConfigurationError, ExecutionError, exit_code_for
+from repro.switches.revsort_switch import RevsortSwitch
+from repro.verify import CertifyOptions, certify_design
+
+#: Small budgets so certify-based tests run in seconds.
+QUICK = CertifyOptions(
+    max_total=1 << 10, max_per_k=32, chunk=64, scalar_rows=16,
+    metamorphic_rows=8,
+)
+
+SPEC = StreamSpec(trials=24000, seed=42, load="mixed", shard_trials=4000)
+
+
+def _switch() -> RevsortSwitch:
+    return RevsortSwitch(16, 12)
+
+
+def _stream_ref():
+    return get_backend("batch").run_stream(_switch(), SPEC)
+
+
+def _chaos_token(tmp_path) -> str:
+    return str(tmp_path / "chaos.token")
+
+
+class TestPoolRespawn:
+    def test_respawn_resets_plan_shipping(self):
+        """Satellite fix: a respawned pool's children start with empty
+        plan caches, so previously-shipped keys must ship again."""
+        pool = WorkerPool(1)
+        pool._shipped = {"stale-key"}
+        pool._inherited = {"stale-too"}
+        generation = pool.generation
+        pool.respawn()
+        assert pool._shipped == set()
+        assert pool._inherited == set()
+        assert pool.generation == generation + 1
+
+    def test_executor_property_resets_stale_sets(self):
+        """The lazy executor property itself also clears the sets: a
+        pool whose executor was torn down elsewhere (shutdown) must not
+        starve fresh children of plans recorded as shipped to dead
+        ones."""
+        pool = WorkerPool(1)
+        pool._shipped = {"stale-key"}
+        try:
+            pool.executor  # noqa: B018 - property has the side effect
+            assert "stale-key" not in pool._shipped
+        finally:
+            pool.shutdown()
+
+    def test_supervised_capability_advertised(self):
+        assert CAP_SUPERVISED in get_backend("process").capabilities()
+
+
+class TestShmHygiene:
+    def test_segments_released_on_clean_exit(self):
+        with shm_segments(64, 128) as (a, b):
+            names = {a.name, b.name}
+            assert names <= _LIVE_SHM
+        assert not (names & _LIVE_SHM)
+
+    def test_segments_released_when_body_raises(self):
+        """Satellite fix: a shard job raising mid-dispatch used to leak
+        both segments."""
+        with pytest.raises(RuntimeError):
+            with shm_segments(64, 128) as (a, b):
+                names = {a.name, b.name}
+                raise RuntimeError("shard job died")
+        assert not (names & _LIVE_SHM)
+
+    def test_partial_allocation_failure_releases_earlier_segments(
+        self, monkeypatch
+    ):
+        import repro.engine.backends.pool as pool_mod
+
+        created = []
+        real = pool_mod.create_shm
+
+        def flaky(nbytes):
+            if created:
+                raise OSError("out of segments")
+            shm = real(nbytes)
+            created.append(shm.name)
+            return shm
+
+        monkeypatch.setattr(pool_mod, "create_shm", flaky)
+        with pytest.raises(OSError):
+            with pool_mod.shm_segments(64, 128):
+                pass  # pragma: no cover - never entered
+        assert created and created[0] not in _LIVE_SHM
+
+    def test_sweep_reclaims_orphans(self):
+        shm = create_shm(64)
+        name = shm.name
+        shm.close()  # owner died without unlinking
+        assert name in _LIVE_SHM
+        assert sweep_orphan_shm() >= 1
+        assert name not in _LIVE_SHM
+
+
+class TestChaosEnv:
+    def test_unset_means_no_chaos(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        assert chaos_from_env() is None
+
+    def test_parses_mode_shard_and_token(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "sleep:2:7.5")
+        monkeypatch.setenv("REPRO_CHAOS_TOKEN", "/tmp/tok")
+        assert chaos_from_env() == {
+            "die_mode": "sleep", "shard": 2, "sleep_s": 7.5,
+            "once_token": "/tmp/tok",
+        }
+
+
+class TestSupervisedStream:
+    """Kill, crash, stall, and exhaust workers; the stream summary must
+    match the in-process batch backend bit for bit."""
+
+    @pytest.mark.parametrize("mode", ["kill", "exit"])
+    def test_worker_death_is_retried_and_identical(self, tmp_path, mode):
+        chaos = {"die_mode": mode, "once_token": _chaos_token(tmp_path)}
+        with obs.collecting() as registry:
+            backend = get_backend("process", workers=3, _test_chaos=chaos)
+            got = backend.run_stream(_switch(), SPEC)
+        assert got == _stream_ref()
+        counters = registry.snapshot()["counters"]
+        assert counters.get("engine.shard_retries", 0) >= 1
+        assert counters.get("engine.pool_respawns", 0) >= 1
+
+    def test_transient_exception_is_retried_and_identical(self, tmp_path):
+        chaos = {"die_mode": "raise", "once_token": _chaos_token(tmp_path)}
+        with obs.collecting() as registry:
+            backend = get_backend("process", workers=3, _test_chaos=chaos)
+            got = backend.run_stream(_switch(), SPEC)
+        assert got == _stream_ref()
+        counters = registry.snapshot()["counters"]
+        assert counters.get("engine.shard_retries", 0) >= 1
+        # A transient in-job exception needs no executor teardown.
+        assert counters.get("engine.pool_respawns", 0) == 0
+
+    def test_deadline_expiry_kills_and_retries(self, tmp_path):
+        chaos = {
+            "die_mode": "sleep", "sleep_s": 60.0, "shard": 0,
+            "once_token": _chaos_token(tmp_path),
+        }
+        with obs.collecting() as registry:
+            backend = get_backend(
+                "process", workers=3, deadline_s=1.0, _test_chaos=chaos
+            )
+            got = backend.run_stream(_switch(), SPEC)
+        assert got == _stream_ref()
+        counters = registry.snapshot()["counters"]
+        assert counters.get("engine.shard_timeouts", 0) >= 1
+        assert counters.get("engine.pool_respawns", 0) >= 1
+
+    def test_exhausted_budget_degrades_to_in_process(self):
+        # Shard 2 fails on *every* attempt (no once-token): after the
+        # retry budget it must run inline in the parent — with the
+        # chaos payload stripped — and still produce identical output.
+        chaos = {"die_mode": "raise", "shard": 2}
+        with obs.collecting() as registry:
+            backend = get_backend(
+                "process", workers=3, max_retries=1, _test_chaos=chaos
+            )
+            got = backend.run_stream(_switch(), SPEC)
+        assert got == _stream_ref()
+        counters = registry.snapshot()["counters"]
+        assert counters.get("engine.degraded_fallbacks", 0) >= 1
+
+    def test_degradation_disabled_raises_execution_error(self):
+        chaos = {"die_mode": "raise", "shard": 2}
+        backend = get_backend(
+            "process", workers=3, max_retries=1, degrade=False,
+            _test_chaos=chaos,
+        )
+        with pytest.raises(ExecutionError) as excinfo:
+            backend.run_stream(_switch(), SPEC)
+        assert exit_code_for(excinfo.value) == 3
+
+    def test_no_shm_leaked_after_chaos(self, tmp_path, rng):
+        # run_trials crosses shared memory; kill a worker mid-round and
+        # check the parent's segment registry drains.
+        chaos = {"die_mode": "kill", "once_token": _chaos_token(tmp_path)}
+        backend = get_backend(
+            "process", workers=2, shard_trials=64, _test_chaos=chaos
+        )
+        valid = rng.random((256, 16)) < 0.5
+        batch = backend.run_trials(_switch(), valid)
+        ref = get_backend("batch").run_trials(_switch(), valid)
+        assert (batch.input_to_output == ref.input_to_output).all()
+        assert not _LIVE_SHM
+
+
+class TestCertifyChaos:
+    """The acceptance scenario: SIGKILL a pool worker mid
+    ``certify --workers 4`` and require a byte-identical certificate
+    plus visible retry counters."""
+
+    ARGS = [
+        "certify", "revsort", "--n", "16", "--m", "12",
+        "--workers", "4", "--chunk", "64", "--max-total", "1024",
+    ]
+
+    def _run(self, tmp_path, name, env=None, journal=None, monkeypatch=None):
+        from repro.cli import main
+
+        out = tmp_path / name
+        argv = self.ARGS + ["--out", str(out)]
+        if journal is not None:
+            argv += ["--journal", str(journal)]
+        if env:
+            for key, value in env.items():
+                monkeypatch.setenv(key, value)
+        try:
+            assert main(argv) == 0
+        finally:
+            if env:
+                for key in env:
+                    monkeypatch.delenv(key)
+        return out.read_bytes()
+
+    def test_worker_kill_mid_certify_is_byte_identical(
+        self, tmp_path, monkeypatch
+    ):
+        clean = self._run(tmp_path, "clean.json")
+        journal = tmp_path / "chaos.jsonl"
+        killed = self._run(
+            tmp_path, "killed.json",
+            env={
+                "REPRO_CHAOS": "kill",
+                "REPRO_CHAOS_TOKEN": _chaos_token(tmp_path),
+            },
+            journal=journal,
+            monkeypatch=monkeypatch,
+        )
+        assert killed == clean
+
+        from repro.obs.live import replay_journal
+
+        events = [
+            json.loads(line) for line in journal.read_text().splitlines()
+        ]
+        counters = replay_journal(events)["counters"]
+        assert counters.get("engine.shard_retries", 0) >= 1
+        assert counters.get("engine.pool_respawns", 0) >= 1
+        assert any(e.get("type") == "worker_death" for e in events)
+
+        from repro.obs.perf.analyze import analyze_journal
+
+        supervision = analyze_journal(events)["supervision"]
+        assert supervision["shard_retries"] >= 1
+        assert supervision["pool_respawns"] >= 1
+        assert supervision["worker_deaths"] >= 1
+
+
+class TestCheckpoint:
+    DESIGN = ("revsort", {"n": 16, "m": 12})
+
+    def _clean(self):
+        name, params = self.DESIGN
+        return certify_design(name, dict(params), options=QUICK, workers=1)
+
+    def test_serial_crash_and_resume_identical(self, tmp_path, monkeypatch):
+        import repro.verify.exhaustive as ex
+
+        clean = self._clean().as_dict()
+        real = ex._examine_chunk
+        calls = {"n": 0, "armed": True}
+
+        def dying(switch, chunk, config):
+            calls["n"] += 1
+            if calls["armed"] and calls["n"] > 3:
+                calls["armed"] = False
+                raise RuntimeError("simulated kill")
+            return real(switch, chunk, config)
+
+        monkeypatch.setattr(ex, "_examine_chunk", dying)
+        name, params = self.DESIGN
+        with pytest.raises(RuntimeError, match="simulated kill"):
+            certify_design(
+                name, dict(params), options=QUICK, workers=1,
+                checkpoint_dir=str(tmp_path),
+            )
+        total_chunks = calls["n"]  # 3 completed + the dying one
+
+        # Resume: only unfinished chunks re-run, certificate identical.
+        calls["n"] = 0
+        resumed = certify_design(
+            name, dict(params), options=QUICK, workers=1,
+            checkpoint_dir=str(tmp_path),
+        )
+        assert resumed.as_dict() == clean
+        assert calls["n"] >= 1  # something was actually left to do
+        # The three checkpointed chunks were skipped.
+        full_calls = calls["n"] + 3
+        assert full_calls >= total_chunks
+
+        # A second resume finds everything done: zero chunk executions.
+        calls["n"] = 0
+        again = certify_design(
+            name, dict(params), options=QUICK, workers=1,
+            checkpoint_dir=str(tmp_path),
+        )
+        assert again.as_dict() == clean
+        assert calls["n"] == 0
+
+    def test_parallel_resume_from_serial_checkpoint(self, tmp_path):
+        """Chunk identity is worker-invariant, so a checkpoint written
+        serially resumes under the supervised pool (and vice versa)."""
+        name, params = self.DESIGN
+        clean = self._clean().as_dict()
+        first = certify_design(
+            name, dict(params), options=QUICK, workers=1,
+            checkpoint_dir=str(tmp_path),
+        )
+        resumed = certify_design(
+            name, dict(params), options=QUICK, workers=2,
+            checkpoint_dir=str(tmp_path),
+        )
+        assert first.as_dict() == clean
+        assert resumed.as_dict() == clean
+
+    def test_truncated_checkpoint_resumes(self, tmp_path):
+        name, params = self.DESIGN
+        clean = self._clean().as_dict()
+        certify_design(
+            name, dict(params), options=QUICK, workers=1,
+            checkpoint_dir=str(tmp_path),
+        )
+        path = tmp_path / "revsort-n16-m12.jsonl"
+        lines = path.read_text().splitlines()
+        # Keep the header + 2 records, plus a half-written record (the
+        # run died mid-write); the partial line must be discarded.
+        path.write_text("\n".join(lines[:3]) + "\n" + lines[3][: len(lines[3]) // 2])
+        resumed = certify_design(
+            name, dict(params), options=QUICK, workers=1,
+            checkpoint_dir=str(tmp_path),
+        )
+        assert resumed.as_dict() == clean
+
+    def test_fingerprint_mismatch_is_config_error(self, tmp_path):
+        name, params = self.DESIGN
+        certify_design(
+            name, dict(params), options=QUICK, workers=1,
+            checkpoint_dir=str(tmp_path),
+        )
+        from dataclasses import replace
+
+        other = replace(QUICK, scalar_rows=8)
+        with pytest.raises(ConfigurationError):
+            certify_design(
+                name, dict(params), options=other, workers=1,
+                checkpoint_dir=str(tmp_path),
+            )
+
+
+class TestSloDefaults:
+    def test_absent_metric_uses_default(self):
+        from repro.obs.slo import evaluate_slo, parse_slo_spec
+
+        rules = parse_slo_spec(
+            {
+                "schema": "repro.obs/slo@1",
+                "rules": [
+                    {
+                        "metric": "counter:engine.shard_retries",
+                        "op": "<=", "threshold": 0, "default": 0,
+                    },
+                    {
+                        "metric": "counter:engine.shard_retries",
+                        "op": "<=", "threshold": 0,
+                    },
+                ],
+            }
+        )
+        defaulted, missing = evaluate_slo(rules, {"counters": {}})
+        assert defaulted.ok and "defaulted" in defaulted.detail
+        assert not missing.ok  # no default: absence still fails
+
+        # A present value ignores the default entirely.
+        present, _ = evaluate_slo(
+            rules, {"counters": {"engine.shard_retries": 2}}
+        )
+        assert not present.ok and present.value == 2.0
+
+    def test_committed_supervision_spec_loads(self):
+        from pathlib import Path
+
+        from repro.obs.slo import evaluate_slo, load_slo_spec
+
+        spec = (
+            Path(__file__).parent.parent / "benchmarks" / "slo_supervision.toml"
+        )
+        rules = load_slo_spec(spec)
+        source = {"counters": {"verify.patterns{design=revsort}": 5906.0}}
+        assert all(v.ok for v in evaluate_slo(rules, source))
+        source["counters"]["engine.pool_respawns"] = 1.0
+        assert not all(v.ok for v in evaluate_slo(rules, source))
+
+
+class TestFlightRecorderWorkerDeath:
+    def test_worker_death_frame_becomes_failing_span(self):
+        from repro.obs.live.flight import failing_span
+
+        events = [
+            {"type": "counter"},
+            {"type": "worker_death", "shard": 5, "label": "certify"},
+        ]
+        span = failing_span(reversed(events))
+        assert span == {
+            "name": "engine.shard",
+            "path": None,
+            "error": "worker-death (shard 5)",
+            "duration_s": None,
+        }
+
+    def test_error_tagged_span_still_wins(self):
+        from repro.obs.live.flight import failing_span
+
+        events = [
+            {"type": "worker_death", "shard": 5},
+            {
+                "type": "span", "name": "verify.certify", "path": "p",
+                "meta": {"error": "boom"}, "duration_s": 0.5,
+            },
+        ]
+        assert failing_span(reversed(events))["name"] == "verify.certify"
+
+
+class TestExitCodeContract:
+    def test_execution_error_exits_3(self):
+        assert exit_code_for(ExecutionError("pool gave up")) == 3
+
+    def test_cli_maps_execution_error_to_3(self, monkeypatch, capsys):
+        from repro.cli import main
+        import repro.verify.exhaustive as ex
+
+        def broken(*args, **kwargs):
+            raise ExecutionError("shard 0 exhausted its retry budget")
+
+        monkeypatch.setattr(ex, "certify_design", broken)
+        monkeypatch.setattr("repro.verify.certify_design", broken)
+        assert main(["certify", "hyper", "--n", "8"]) == 3
+        assert "execution failure" in capsys.readouterr().err
+
+
+def teardown_module() -> None:
+    """Chaos tests leave broken executors behind; later test modules
+    reuse the process-wide pools, so reset them."""
+    from repro.engine.backends.pool import shutdown_pools
+
+    shutdown_pools()
+    for key in ("REPRO_CHAOS", "REPRO_CHAOS_TOKEN"):
+        os.environ.pop(key, None)
